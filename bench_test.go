@@ -1,0 +1,216 @@
+package deque
+
+// This file holds the testing.B entry points for every figure and ablation
+// in the paper's evaluation (see DESIGN.md §4). Each figure benchmark runs
+// the paper's microbenchmark — uniformly random operations in the figure's
+// access pattern — for every structure the figure plots, at the worker
+// count selected by -cpu / GOMAXPROCS. The full thread sweeps with trial
+// averaging live in cmd/figures; these benches are the `go test -bench`
+// face of the same harness.
+//
+//	go test -bench 'BenchmarkFigure14' -benchmem
+//	go test -bench 'BenchmarkAblation' -cpu 1,2,4
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/msqueue"
+	"repro/internal/tstack"
+	"repro/internal/xrand"
+)
+
+// benchPattern drives b.N operations of the given pattern across
+// GOMAXPROCS goroutines, each with its own session and RNG.
+func benchPattern(b *testing.B, factory bench.Factory, pattern bench.Pattern) {
+	b.Helper()
+	inst := factory(runtime.GOMAXPROCS(0)*2 + 2)
+	var seed atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		s := inst.Session()
+		rng := xrand.NewXoshiro256(seed.Add(1) * 0x9e3779b97f4a7c15)
+		ops := uint32(0)
+		for pb.Next() {
+			v := ops & 0x00FFFFFF
+			switch pattern {
+			case bench.PatternStack:
+				if rng.Bool() {
+					s.PushLeft(v)
+				} else {
+					s.PopLeft()
+				}
+			case bench.PatternQueue:
+				if rng.Bool() {
+					s.PushLeft(v)
+				} else {
+					s.PopRight()
+				}
+			default:
+				switch rng.Intn(4) {
+				case 0:
+					s.PushLeft(v)
+				case 1:
+					s.PushRight(v)
+				case 2:
+					s.PopLeft()
+				case 3:
+					s.PopRight()
+				}
+			}
+			ops++
+		}
+	})
+}
+
+func figureBench(b *testing.B, pattern bench.Pattern) {
+	b.Helper()
+	for _, name := range bench.PaperStructures {
+		factory, err := bench.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) { benchPattern(b, factory, pattern) })
+	}
+}
+
+// BenchmarkFigure14 reproduces Fig. 14: throughput under the Deque access
+// pattern (uniform choice among all four operations).
+func BenchmarkFigure14(b *testing.B) { figureBench(b, bench.PatternDeque) }
+
+// BenchmarkFigure15 reproduces Fig. 15: throughput under the Stack access
+// pattern (push_left / pop_left only).
+func BenchmarkFigure15(b *testing.B) { figureBench(b, bench.PatternStack) }
+
+// BenchmarkFigure16 reproduces Fig. 16: throughput under the Queue access
+// pattern (push_left / pop_right).
+func BenchmarkFigure16(b *testing.B) { figureBench(b, bench.PatternQueue) }
+
+// BenchmarkAblationBufferSize is A1: the paper states buffer size has no
+// significant performance impact (they chose 1024).
+func BenchmarkAblationBufferSize(b *testing.B) {
+	for _, sz := range []int{64, 256, 1024, 4096} {
+		b.Run(map[int]string{64: "sz64", 256: "sz256", 1024: "sz1024", 4096: "sz4096"}[sz],
+			func(b *testing.B) {
+				benchPattern(b, bench.OFWithNodeSize(sz), bench.PatternDeque)
+			})
+	}
+}
+
+// BenchmarkAblationElimination is A2: elimination on/off per access pattern
+// (boost on Stack/Deque, tax on Queue).
+func BenchmarkAblationElimination(b *testing.B) {
+	for _, p := range bench.Patterns {
+		for _, name := range []string{"of", "of-elim"} {
+			factory, _ := bench.Lookup(name)
+			b.Run(string(p)+"/"+name, func(b *testing.B) { benchPattern(b, factory, p) })
+		}
+	}
+}
+
+// BenchmarkAblationElimPlacement is A4: the paper's off-critical-path
+// elimination versus the naive linger-first placement.
+func BenchmarkAblationElimPlacement(b *testing.B) {
+	for _, name := range []string{"of-elim", "of-elim-naive"} {
+		factory, _ := bench.Lookup(name)
+		b.Run(name, func(b *testing.B) { benchPattern(b, factory, bench.PatternStack) })
+	}
+}
+
+// BenchmarkSingleThreadLatency is A3: single-threaded operation latency per
+// structure (the abstract's "low latency" claim; OF beats the nonblocking
+// alternatives' single-thread throughput in §IV).
+func BenchmarkSingleThreadLatency(b *testing.B) {
+	for _, name := range bench.PaperStructures {
+		factory, _ := bench.Lookup(name)
+		b.Run(name, func(b *testing.B) {
+			inst := factory(2)
+			s := inst.Session()
+			rng := xrand.NewXoshiro256(99)
+			for i := 0; i < b.N; i++ {
+				if rng.Bool() {
+					s.PushLeft(uint32(i))
+				} else {
+					s.PopLeft()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionSpecialized compares the general deque, restricted to
+// one access pattern, against the dedicated classical structure for that
+// pattern (Michael–Scott queue; Treiber stack ± elimination) — the cost of
+// generality, an extension experiment beyond the paper's figures.
+func BenchmarkExtensionSpecialized(b *testing.B) {
+	b.Run("queue-pattern/of", func(b *testing.B) {
+		f, _ := bench.Lookup("of")
+		benchPattern(b, f, bench.PatternQueue)
+	})
+	b.Run("queue-pattern/msqueue", func(b *testing.B) {
+		q := msqueue.New()
+		var seed atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			rng := xrand.NewXoshiro256(seed.Add(1))
+			i := uint32(0)
+			for pb.Next() {
+				if rng.Bool() {
+					q.Enqueue(i)
+					i++
+				} else {
+					q.Dequeue()
+				}
+			}
+		})
+	})
+	b.Run("stack-pattern/of-elim", func(b *testing.B) {
+		f, _ := bench.Lookup("of-elim")
+		benchPattern(b, f, bench.PatternStack)
+	})
+	b.Run("stack-pattern/treiber-elim", func(b *testing.B) {
+		s := tstack.New(tstack.Config{Elimination: true, MaxThreads: 512})
+		var seed atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			h := s.Register()
+			rng := xrand.NewXoshiro256(seed.Add(1))
+			i := uint32(0)
+			for pb.Next() {
+				if rng.Bool() {
+					s.Push(h, i)
+					i++
+				} else {
+					s.Pop(h)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkGenericOverhead measures the Deque[T] slab indirection against
+// the raw Uint32 deque.
+func BenchmarkGenericOverhead(b *testing.B) {
+	b.Run("uint32-direct", func(b *testing.B) {
+		d := NewUint32()
+		h := d.Register()
+		for i := 0; i < b.N; i++ {
+			_ = h.PushLeft(uint32(i))
+			h.PopLeft()
+		}
+	})
+	b.Run("generic-uint32", func(b *testing.B) {
+		d := New[uint32]()
+		h := d.Register()
+		for i := 0; i < b.N; i++ {
+			h.PushLeft(uint32(i))
+			h.PopLeft()
+		}
+	})
+	b.Run("generic-string", func(b *testing.B) {
+		d := New[string]()
+		h := d.Register()
+		for i := 0; i < b.N; i++ {
+			h.PushLeft("payload")
+			h.PopLeft()
+		}
+	})
+}

@@ -1,0 +1,107 @@
+// Command benchdeque runs one point (or a thread sweep) of the paper's
+// microbenchmark and prints human-readable rows or CSV.
+//
+// Examples:
+//
+//	benchdeque -structure of-elim -pattern stack -threads 1,2,4,8 -duration 1s
+//	benchdeque -structure all -pattern queue -threads 4 -csv
+//	benchdeque -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		structure = flag.String("structure", "of", "structure name, or 'all' for every structure, or 'paper' for the paper's set")
+		pattern   = flag.String("pattern", "deque", "access pattern: deque, stack, or queue")
+		threads   = flag.String("threads", "1", "comma-separated worker counts, e.g. 1,2,4,8")
+		duration  = flag.Duration("duration", time.Second, "measured duration per trial")
+		trials    = flag.Int("trials", 5, "trials per configuration (the paper uses 5)")
+		prefill   = flag.Int("prefill", 0, "elements inserted before measuring")
+		pin       = flag.Bool("pin", true, "lock each worker to an OS thread")
+		seed      = flag.Uint64("seed", 1, "base RNG seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned rows")
+		list      = flag.Bool("list", false, "list structure names and exit")
+		latency   = flag.Bool("latency", false, "measure per-operation latency percentiles instead of throughput")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.StructureNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var names []string
+	switch *structure {
+	case "all":
+		names = bench.StructureNames()
+	case "paper":
+		names = bench.PaperStructures
+	default:
+		names = strings.Split(*structure, ",")
+	}
+
+	var threadCounts []int
+	for _, f := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", f)
+			os.Exit(2)
+		}
+		threadCounts = append(threadCounts, n)
+	}
+
+	if *csv {
+		fmt.Println("structure,pattern,threads,ops_per_sec,stddev,trials,gomaxprocs")
+	} else {
+		fmt.Printf("# GOMAXPROCS=%d duration=%v trials=%d prefill=%d\n",
+			runtime.GOMAXPROCS(0), *duration, *trials, *prefill)
+	}
+	for _, name := range names {
+		for _, t := range threadCounts {
+			cfg := bench.Config{
+				Structure: name,
+				Pattern:   bench.Pattern(*pattern),
+				Threads:   t,
+				Duration:  *duration,
+				Trials:    *trials,
+				Prefill:   *prefill,
+				Pin:       *pin,
+				Seed:      *seed,
+			}
+			if *latency {
+				lr, err := bench.RunLatency(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("%-14s %-6s t=%-3d %s\n", name, *pattern, t, lr.Hist)
+				continue
+			}
+			r, err := bench.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if *csv {
+				fmt.Printf("%s,%s,%d,%.0f,%.0f,%d,%d\n",
+					name, *pattern, t, r.Summary.Mean, r.Summary.Stddev,
+					*trials, runtime.GOMAXPROCS(0))
+			} else {
+				fmt.Println(r)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Command stress runs long-duration validation campaigns against any
+// structure in the registry: conservation stress (no lost, duplicated, or
+// invented values) and linearizability checking of many small recorded
+// histories.
+//
+// Examples:
+//
+//	stress -structure of -mode conservation -workers 8 -duration 10s
+//	stress -structure of-elim -mode lincheck -histories 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/lincheck"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		structure = flag.String("structure", "of", "structure under test (see benchdeque -list)")
+		mode      = flag.String("mode", "conservation", "conservation or lincheck")
+		workers   = flag.Int("workers", 8, "concurrent workers")
+		duration  = flag.Duration("duration", 5*time.Second, "conservation: run length")
+		histories = flag.Int("histories", 2000, "lincheck: number of small histories")
+		opsPer    = flag.Int("ops", 5, "lincheck: ops per worker per history")
+		seed      = flag.Uint64("seed", uint64(time.Now().UnixNano()), "RNG seed")
+	)
+	flag.Parse()
+
+	factory, err := bench.Lookup(*structure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch *mode {
+	case "conservation":
+		if conservation(factory, *workers, *duration, *seed) {
+			fmt.Println("conservation: PASS")
+			return
+		}
+		fmt.Println("conservation: FAIL")
+		os.Exit(1)
+	case "lincheck":
+		if linearizability(factory, *workers, *histories, *opsPer, *seed) {
+			fmt.Println("lincheck: PASS")
+			return
+		}
+		fmt.Println("lincheck: FAIL")
+		os.Exit(1)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// conservation hammers the structure and verifies every value pushed is
+// popped at most once and only after being pushed. Residue is checked by
+// draining at the end.
+func conservation(factory bench.Factory, workers int, d time.Duration, seed uint64) bool {
+	inst := factory(workers + 1)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	type wstate struct {
+		pushed uint64
+		popped []uint32
+	}
+	states := make([]wstate, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := inst.Session()
+			rng := xrand.NewXoshiro256(seed + uint64(w)*977)
+			var i uint32
+			for !stop.Load() {
+				id := uint32(w)<<24 | (i & 0x00FFFFFF)
+				switch rng.Intn(4) {
+				case 0:
+					s.PushLeft(id)
+					states[w].pushed++
+					i++
+				case 1:
+					s.PushRight(id)
+					states[w].pushed++
+					i++
+				case 2:
+					if v, ok := s.PopLeft(); ok {
+						states[w].popped = append(states[w].popped, v)
+					}
+				case 3:
+					if v, ok := s.PopRight(); ok {
+						states[w].popped = append(states[w].popped, v)
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+
+	// Drain the residue.
+	s := inst.Session()
+	var residue int
+	for {
+		if _, ok := s.PopLeft(); !ok {
+			break
+		}
+		residue++
+	}
+	seen := make(map[uint32]bool)
+	totalPushed, totalPopped := uint64(0), 0
+	for w := range states {
+		totalPushed += states[w].pushed
+		for _, v := range states[w].popped {
+			if seen[v] {
+				fmt.Printf("value %#x popped twice\n", v)
+				return false
+			}
+			seen[v] = true
+			totalPopped++
+		}
+	}
+	fmt.Printf("pushed=%d popped=%d residue=%d\n", totalPushed, totalPopped, residue)
+	return uint64(totalPopped)+uint64(residue) == totalPushed
+}
+
+// linearizability records many small histories and checks each.
+func linearizability(factory bench.Factory, workers, histories, opsPer int, seed uint64) bool {
+	if workers*opsPer*2 > lincheck.MaxOps {
+		fmt.Printf("capping: %d workers x %d ops exceeds checkable history size\n", workers, opsPer)
+		workers = 3
+	}
+	for trial := 0; trial < histories; trial++ {
+		inst := factory(workers + 1)
+		rec := lincheck.NewRecorder()
+		logs := make([]*lincheck.WorkerLog, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			logs[w] = rec.Worker()
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := inst.Session()
+				l := logs[w]
+				rng := xrand.NewXoshiro256(seed + uint64(trial)*131 + uint64(w))
+				for i := 0; i < opsPer; i++ {
+					v := uint32(trial&0xFFFF)<<12 | uint32(w)<<8 | uint32(i)
+					switch rng.Intn(4) {
+					case 0:
+						l.Push(lincheck.PushLeft, v, func() { s.PushLeft(v) })
+					case 1:
+						l.Push(lincheck.PushRight, v, func() { s.PushRight(v) })
+					case 2:
+						l.Pop(lincheck.PopLeft, s.PopLeft)
+					case 3:
+						l.Pop(lincheck.PopRight, s.PopRight)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		h := lincheck.Merge(logs...)
+		if !lincheck.Check(h) {
+			fmt.Printf("history %d NOT linearizable:\n", trial)
+			for _, op := range h {
+				fmt.Printf("  %v\n", op)
+			}
+			return false
+		}
+		if trial%500 == 499 {
+			fmt.Printf("checked %d histories\n", trial+1)
+		}
+	}
+	return true
+}

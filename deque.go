@@ -1,0 +1,207 @@
+// Package deque provides an unbounded, nonblocking (obstruction-free),
+// linearizable concurrent double-ended queue — a Go implementation of
+// Graichen, Izraelevitz, and Scott, "An Unbounded Nonblocking Double-ended
+// Queue" (ICPP 2016).
+//
+// The structure is a doubly-linked chain of array-based nodes in the style
+// of Herlihy–Luchangco–Moir, extended with node linking/unlinking so
+// capacity is unbounded, and an optional elimination layer that cancels
+// overlapping same-side push/pop pairs without touching the deque. See
+// internal/core for the algorithm and DESIGN.md for the full map of this
+// repository.
+//
+// # Usage
+//
+//	d := deque.New[string]()
+//	h := d.Register()        // one handle per goroutine
+//	h.PushLeft("a")
+//	h.PushRight("b")
+//	v, ok := h.PopRight()    // "b", true
+//
+// Handles are required because several internals (elimination slots, spare
+// node caches) are per-thread; they are cheap and long-lived. All handle
+// methods are safe to call concurrently with other handles' methods; a
+// single Handle must not be shared between goroutines.
+//
+// Deque[T] carries values of any type by parking them in an internal
+// lock-free slab and threading 32-bit handles through the algorithm's
+// CAS-able slots (the paper's deque carries 32-bit values; see package
+// word). Uint32 skips the indirection for the paper-faithful payload type.
+package deque
+
+import (
+	"repro/internal/arena"
+	"repro/internal/core"
+)
+
+// options collects construction parameters.
+type options struct {
+	nodeSize    int
+	maxThreads  int
+	elimination bool
+	capacity    uint32
+}
+
+// Option configures New and NewUint32.
+type Option func(*options)
+
+// WithNodeSize sets the slot count of each internal node (default 1024, the
+// paper's choice; minimum 4). Smaller nodes exercise the linking paths more
+// often; larger nodes amortize them further.
+func WithNodeSize(n int) Option { return func(o *options) { o.nodeSize = n } }
+
+// WithMaxThreads bounds the number of handles that may ever be registered
+// (default 256).
+func WithMaxThreads(n int) Option { return func(o *options) { o.maxThreads = n } }
+
+// WithElimination enables the per-side elimination arrays (Section II-D of
+// the paper): overlapping same-side push/pop pairs cancel without touching
+// the deque. A large win for stack-like access, a small tax for queue-like
+// access.
+func WithElimination(on bool) Option { return func(o *options) { o.elimination = on } }
+
+// WithCapacity bounds the number of values that may be resident at once in
+// a Deque[T] (default 1<<22). The deque itself is unbounded; this sizes the
+// value slab's handle space. NewUint32 ignores it.
+func WithCapacity(n int) Option { return func(o *options) { o.capacity = uint32(n) } }
+
+func buildOptions(opts []Option) options {
+	o := options{capacity: 1 << 22}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+func (o options) coreConfig() core.Config {
+	return core.Config{
+		NodeSize:    o.nodeSize,
+		MaxThreads:  o.maxThreads,
+		Elimination: o.elimination,
+	}
+}
+
+// Deque is an unbounded concurrent double-ended queue of T.
+type Deque[T any] struct {
+	core *core.Deque
+	slab *arena.Slab[T]
+}
+
+// New returns an empty Deque[T].
+func New[T any](opts ...Option) *Deque[T] {
+	o := buildOptions(opts)
+	return &Deque[T]{
+		core: core.New(o.coreConfig()),
+		slab: arena.NewSlab[T](o.capacity),
+	}
+}
+
+// Register returns a Handle for the calling goroutine. It panics when more
+// than MaxThreads handles are registered.
+func (d *Deque[T]) Register() *Handle[T] {
+	return &Handle[T]{d: d, h: d.core.Register()}
+}
+
+// Len returns the number of stored values. It is exact only in quiescence
+// (no concurrent operations); use it for tests, stats, and shutdown checks.
+func (d *Deque[T]) Len() int { return d.core.Len() }
+
+// Handle is a per-goroutine accessor to a Deque[T]. Not safe for concurrent
+// use; register one per goroutine.
+type Handle[T any] struct {
+	d *Deque[T]
+	h *core.Handle
+}
+
+// PushLeft inserts v at the left end.
+func (h *Handle[T]) PushLeft(v T) {
+	hv := h.d.slab.Put(v)
+	if err := h.d.core.PushLeft(h.h, hv); err != nil {
+		// Unreachable: slab handles are below the reserved range.
+		h.d.slab.Take(hv)
+		panic(err)
+	}
+}
+
+// PushRight inserts v at the right end.
+func (h *Handle[T]) PushRight(v T) {
+	hv := h.d.slab.Put(v)
+	if err := h.d.core.PushRight(h.h, hv); err != nil {
+		h.d.slab.Take(hv)
+		panic(err)
+	}
+}
+
+// PopLeft removes and returns the leftmost value; ok is false when the
+// deque was empty.
+func (h *Handle[T]) PopLeft() (v T, ok bool) {
+	hv, ok := h.d.core.PopLeft(h.h)
+	if !ok {
+		return v, false
+	}
+	return h.d.slab.Take(hv), true
+}
+
+// PopRight removes and returns the rightmost value; ok is false when the
+// deque was empty.
+func (h *Handle[T]) PopRight() (v T, ok bool) {
+	hv, ok := h.d.core.PopRight(h.h)
+	if !ok {
+		return v, false
+	}
+	return h.d.slab.Take(hv), true
+}
+
+// Eliminated reports how many of this handle's operations completed via
+// elimination (always 0 unless WithElimination was set).
+func (h *Handle[T]) Eliminated() uint64 { return h.h.Eliminated }
+
+// Uint32 is the paper-faithful deque over raw uint32 payloads: no value
+// slab, values live directly in the 64-bit CAS slots. Values must be at
+// most MaxUint32Value.
+type Uint32 struct {
+	core *core.Deque
+}
+
+// MaxUint32Value is the largest value a Uint32 deque can store; the four
+// values above it are reserved slot markers (LN/RN/LS/RS in the paper).
+const MaxUint32Value = 0xFFFFFFFB
+
+// ErrReserved is returned by Uint32 pushes of values above MaxUint32Value.
+var ErrReserved = core.ErrReserved
+
+// NewUint32 returns an empty Uint32 deque.
+func NewUint32(opts ...Option) *Uint32 {
+	o := buildOptions(opts)
+	return &Uint32{core: core.New(o.coreConfig())}
+}
+
+// Register returns a handle for the calling goroutine.
+func (d *Uint32) Register() *Uint32Handle {
+	return &Uint32Handle{d: d, h: d.core.Register()}
+}
+
+// Len returns the number of stored values; exact only in quiescence.
+func (d *Uint32) Len() int { return d.core.Len() }
+
+// Uint32Handle is a per-goroutine accessor to a Uint32 deque.
+type Uint32Handle struct {
+	d *Uint32
+	h *core.Handle
+}
+
+// PushLeft inserts v at the left end; ErrReserved if v > MaxUint32Value.
+func (h *Uint32Handle) PushLeft(v uint32) error { return h.d.core.PushLeft(h.h, v) }
+
+// PushRight inserts v at the right end; ErrReserved if v > MaxUint32Value.
+func (h *Uint32Handle) PushRight(v uint32) error { return h.d.core.PushRight(h.h, v) }
+
+// PopLeft removes and returns the leftmost value; ok is false when empty.
+func (h *Uint32Handle) PopLeft() (uint32, bool) { return h.d.core.PopLeft(h.h) }
+
+// PopRight removes and returns the rightmost value; ok is false when empty.
+func (h *Uint32Handle) PopRight() (uint32, bool) { return h.d.core.PopRight(h.h) }
+
+// Eliminated reports how many of this handle's operations completed via
+// elimination.
+func (h *Uint32Handle) Eliminated() uint64 { return h.h.Eliminated }

@@ -1,0 +1,232 @@
+package deque
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dequetest"
+)
+
+func TestGenericBasics(t *testing.T) {
+	d := New[string]()
+	h := d.Register()
+	h.PushLeft("b")
+	h.PushLeft("a")
+	h.PushRight("c")
+	if v, ok := h.PopLeft(); !ok || v != "a" {
+		t.Fatalf("PopLeft = (%q,%v), want (a,true)", v, ok)
+	}
+	if v, ok := h.PopRight(); !ok || v != "c" {
+		t.Fatalf("PopRight = (%q,%v), want (c,true)", v, ok)
+	}
+	if v, ok := h.PopRight(); !ok || v != "b" {
+		t.Fatalf("PopRight = (%q,%v), want (b,true)", v, ok)
+	}
+	if _, ok := h.PopLeft(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestGenericStructValues(t *testing.T) {
+	type task struct {
+		ID   int
+		Name string
+		Data []byte
+	}
+	d := New[task]()
+	h := d.Register()
+	h.PushRight(task{1, "one", []byte{1}})
+	h.PushRight(task{2, "two", []byte{2, 2}})
+	v, ok := h.PopLeft()
+	if !ok || v.ID != 1 || v.Name != "one" || len(v.Data) != 1 {
+		t.Fatalf("PopLeft = (%+v,%v)", v, ok)
+	}
+}
+
+func TestGenericPointerValues(t *testing.T) {
+	d := New[*int]()
+	h := d.Register()
+	x := 42
+	h.PushLeft(&x)
+	p, ok := h.PopRight()
+	if !ok || p != &x {
+		t.Fatal("pointer identity lost")
+	}
+}
+
+func TestUint32Basics(t *testing.T) {
+	d := NewUint32()
+	h := d.Register()
+	if err := h.PushLeft(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PushRight(MaxUint32Value + 1); !errors.Is(err, ErrReserved) {
+		t.Fatalf("reserved push = %v, want ErrReserved", err)
+	}
+	if v, ok := h.PopRight(); !ok || v != 7 {
+		t.Fatalf("PopRight = (%d,%v)", v, ok)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	d := New[int](WithNodeSize(8), WithMaxThreads(4), WithElimination(true), WithCapacity(1024))
+	h := d.Register()
+	for i := 0; i < 500; i++ {
+		h.PushLeft(i)
+	}
+	for i := 499; i >= 0; i-- {
+		if v, ok := h.PopLeft(); !ok || v != i {
+			t.Fatalf("PopLeft = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestEliminatedCounterSingleThreadZero(t *testing.T) {
+	d := New[int](WithElimination(true))
+	h := d.Register()
+	for i := 0; i < 100; i++ {
+		h.PushLeft(i)
+		h.PopLeft()
+	}
+	if h.Eliminated() != 0 {
+		t.Fatalf("single-threaded Eliminated = %d, want 0", h.Eliminated())
+	}
+}
+
+func TestConcurrentGenericNoValueLoss(t *testing.T) {
+	// Every payload popped must equal what was pushed under that handle
+	// scheme — the slab round-trip must never mix values up.
+	d := New[[2]uint64](WithNodeSize(16))
+	const workers, perW = 8, 10000
+	var wg sync.WaitGroup
+	bad := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w uint64) {
+			defer wg.Done()
+			h := d.Register()
+			for i := uint64(0); i < perW; i++ {
+				v := [2]uint64{w<<32 | i, ^(w<<32 | i)}
+				if i%2 == 0 {
+					h.PushLeft(v)
+				} else {
+					h.PushRight(v)
+				}
+				var got [2]uint64
+				var ok bool
+				if i%3 == 0 {
+					got, ok = h.PopLeft()
+				} else {
+					got, ok = h.PopRight()
+				}
+				if ok && got[1] != ^got[0] {
+					bad <- "corrupt payload"
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	close(bad)
+	for msg := range bad {
+		t.Fatal(msg)
+	}
+}
+
+type apiInst struct{ d *Deque[uint32] }
+
+func (i apiInst) Session() dequetest.Session { return apiSess{i.d.Register()} }
+func (i apiInst) Len() int                   { return i.d.Len() }
+
+type apiSess struct{ h *Handle[uint32] }
+
+func (s apiSess) PushLeft(v uint32)        { s.h.PushLeft(v) }
+func (s apiSess) PushRight(v uint32)       { s.h.PushRight(v) }
+func (s apiSess) PopLeft() (uint32, bool)  { return s.h.PopLeft() }
+func (s apiSess) PopRight() (uint32, bool) { return s.h.PopRight() }
+
+func TestConformanceGenericAPI(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return apiInst{New[uint32](WithNodeSize(16), WithMaxThreads(64))}
+	})
+}
+
+type u32Inst struct{ d *Uint32 }
+
+func (i u32Inst) Session() dequetest.Session { return u32Sess{i.d.Register()} }
+func (i u32Inst) Len() int                   { return i.d.Len() }
+
+type u32Sess struct{ h *Uint32Handle }
+
+func (s u32Sess) PushLeft(v uint32) {
+	if err := s.h.PushLeft(v); err != nil {
+		panic(err)
+	}
+}
+func (s u32Sess) PushRight(v uint32) {
+	if err := s.h.PushRight(v); err != nil {
+		panic(err)
+	}
+}
+func (s u32Sess) PopLeft() (uint32, bool)  { return s.h.PopLeft() }
+func (s u32Sess) PopRight() (uint32, bool) { return s.h.PopRight() }
+
+func TestConformanceUint32API(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return u32Inst{NewUint32(WithNodeSize(16), WithMaxThreads(64))}
+	})
+}
+
+func TestPropertyGenericSequential(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := New[uint16](WithNodeSize(4))
+		h := d.Register()
+		var model []uint16
+		next := uint16(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				h.PushLeft(next)
+				model = append([]uint16{next}, model...)
+				next++
+			case 1:
+				h.PushRight(next)
+				model = append(model, next)
+				next++
+			case 2:
+				v, ok := h.PopLeft()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				v, ok := h.PopRight()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+		}
+		return d.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package deque_test
+
+import (
+	"fmt"
+	"sync"
+
+	deque "repro"
+)
+
+// The basic lifecycle: construct, register a handle, operate on both ends.
+func Example() {
+	d := deque.New[string]()
+	h := d.Register()
+
+	h.PushLeft("middle")
+	h.PushLeft("left")
+	h.PushRight("right")
+
+	for {
+		v, ok := h.PopLeft()
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// left
+	// middle
+	// right
+}
+
+// Raw uint32 payloads skip the value slab entirely, matching the paper's
+// deque exactly; the four values above MaxUint32Value are reserved.
+func ExampleNewUint32() {
+	d := deque.NewUint32(deque.WithElimination(true))
+	h := d.Register()
+	_ = h.PushLeft(7)
+	_ = h.PushRight(9)
+	v, _ := h.PopRight()
+	fmt.Println(v)
+	err := h.PushLeft(deque.MaxUint32Value + 1)
+	fmt.Println(err != nil)
+	// Output:
+	// 9
+	// true
+}
+
+// Each goroutine needs its own handle; handles are cheap and long-lived.
+func ExampleDeque_Register() {
+	d := deque.New[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.Register() // one per goroutine
+			for i := 0; i < 100; i++ {
+				h.PushLeft(w*100 + i)
+				h.PopRight()
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Println(d.Len())
+	// Output:
+	// 0
+}
+
+// A Stack view works one end of the deque: plain LIFO.
+func ExampleNewStack() {
+	s := deque.NewStack[string]()
+	h := s.Register()
+	h.Push("a")
+	h.Push("b")
+	v, _ := h.Pop()
+	fmt.Println(v)
+	// Output:
+	// b
+}
+
+// A Queue view pushes left and pops right: plain FIFO.
+func ExampleNewQueue() {
+	q := deque.NewQueue[int]()
+	h := q.Register()
+	h.Enqueue(1)
+	h.Enqueue(2)
+	v, _ := h.Dequeue()
+	fmt.Println(v)
+	// Output:
+	// 1
+}
+
+// Priority scheduling from the two ends of one deque: urgent work enters
+// on the pop side and overtakes the FIFO backlog.
+func ExampleAsQueue() {
+	d := deque.New[string]()
+	q := deque.AsQueue(d)
+	qh := q.Register()
+	dh := d.Register()
+
+	qh.Enqueue("normal-1")
+	qh.Enqueue("normal-2")
+	dh.PushRight("urgent") // jumps the line at the dequeue end
+
+	for {
+		v, ok := qh.Dequeue()
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// urgent
+	// normal-1
+	// normal-2
+}

@@ -1,0 +1,108 @@
+// Priority jobs: a two-class job server built directly on deque semantics.
+//
+// Normal jobs enter on the right; urgent jobs enter on the left. Workers
+// always pop from the left, so urgent jobs overtake the whole backlog while
+// normal jobs still run FIFO among themselves — a two-level priority queue
+// with no locks and no extra machinery, just the two ends of one deque.
+//
+// The program submits a mixed workload, measures queueing delay per class,
+// and verifies every job ran exactly once.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	deque "repro"
+)
+
+type job struct {
+	id       int
+	urgent   bool
+	enqueued time.Time
+}
+
+func main() {
+	const normalJobs = 200000
+	const urgentJobs = 2000
+	workers := runtime.GOMAXPROCS(0)
+
+	d := deque.New[job](deque.WithMaxThreads(workers + 2))
+	var executed atomic.Int64
+	var urgentDelay, normalDelay atomic.Int64 // summed nanoseconds
+	seen := make([]atomic.Bool, normalJobs+urgentJobs)
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := d.Register()
+			for {
+				j, ok := h.PopLeft()
+				if !ok {
+					select {
+					case <-done:
+						if j, ok := h.PopLeft(); ok {
+							run(j, &executed, &urgentDelay, &normalDelay, seen)
+							continue
+						}
+						return
+					default:
+						runtime.Gosched()
+						continue
+					}
+				}
+				run(j, &executed, &urgentDelay, &normalDelay, seen)
+			}
+		}()
+	}
+
+	// Submit: a big FIFO backlog of normal jobs with occasional urgent
+	// arrivals that must jump the line.
+	sub := d.Register()
+	next := 0
+	for i := 0; i < normalJobs; i++ {
+		sub.PushRight(job{id: next, enqueued: time.Now()})
+		next++
+		if i%(normalJobs/urgentJobs) == 0 && next < normalJobs+urgentJobs {
+			sub.PushLeft(job{id: next, urgent: true, enqueued: time.Now()})
+			next++
+		}
+	}
+	for next < normalJobs+urgentJobs {
+		sub.PushLeft(job{id: next, urgent: true, enqueued: time.Now()})
+		next++
+	}
+	close(done)
+	wg.Wait()
+
+	if got := executed.Load(); got != normalJobs+urgentJobs {
+		panic(fmt.Sprintf("executed %d jobs, want %d", got, normalJobs+urgentJobs))
+	}
+	fmt.Printf("executed %d jobs on %d workers\n", executed.Load(), workers)
+	fmt.Printf("mean queueing delay: urgent %v, normal %v\n",
+		time.Duration(urgentDelay.Load()/int64(urgentJobs)),
+		time.Duration(normalDelay.Load()/int64(normalJobs)))
+}
+
+func run(j job, executed *atomic.Int64, urgentDelay, normalDelay *atomic.Int64, seen []atomic.Bool) {
+	if seen[j.id].Swap(true) {
+		panic(fmt.Sprintf("job %d executed twice", j.id))
+	}
+	delay := time.Since(j.enqueued).Nanoseconds()
+	if j.urgent {
+		urgentDelay.Add(delay)
+	} else {
+		normalDelay.Add(delay)
+	}
+	// Simulate a little work.
+	for i := 0; i < 200; i++ {
+		_ = i
+	}
+	executed.Add(1)
+}

@@ -1,0 +1,64 @@
+// Quickstart: the basics of the unbounded nonblocking deque — construction,
+// per-goroutine handles, both value modes (generic and raw uint32), and a
+// small concurrent demo.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	deque "repro"
+)
+
+func main() {
+	// A deque of any type: values are parked in an internal lock-free slab
+	// and flow through the algorithm's 32-bit CAS slots as handles.
+	d := deque.New[string]()
+
+	// Each goroutine registers a handle once and reuses it.
+	h := d.Register()
+
+	h.PushLeft("middle")
+	h.PushLeft("left")
+	h.PushRight("right")
+
+	for {
+		v, ok := h.PopLeft()
+		if !ok {
+			break
+		}
+		fmt.Println("popped:", v) // left, middle, right
+	}
+
+	// The paper-faithful variant stores raw uint32 payloads directly in
+	// the slots — no indirection at all.
+	u := deque.NewUint32(deque.WithElimination(true))
+	uh := u.Register()
+	_ = uh.PushLeft(42)
+	if v, ok := uh.PopRight(); ok {
+		fmt.Println("uint32 deque popped:", v)
+	}
+
+	// Concurrent use: operations on opposite ends do not interfere.
+	var wg sync.WaitGroup
+	const perSide = 100000
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		h := d.Register()
+		for i := 0; i < perSide; i++ {
+			h.PushLeft(fmt.Sprintf("L%d", i))
+			h.PopLeft()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		h := d.Register()
+		for i := 0; i < perSide; i++ {
+			h.PushRight(fmt.Sprintf("R%d", i))
+			h.PopRight()
+		}
+	}()
+	wg.Wait()
+	fmt.Println("concurrent demo done, residual size:", d.Len())
+}

@@ -1,0 +1,159 @@
+// Work-stealing: the motivating workload of the paper's related-work
+// section. A fork-join computation (parallel pairwise sum over a large
+// range) is scheduled two ways:
+//
+//  1. Chase–Lev work-stealing deques (internal/wsdeque): each worker owns a
+//     deque, pushes/pops at the bottom (LIFO, cache-friendly) and steals
+//     from others' tops — the restricted structure the paper says common
+//     schedulers use.
+//  2. The paper's general deque as a single shared run queue: owners push
+//     and pop on the left (LIFO for locality); the structure's other end
+//     stays available — no owner restriction is needed at all.
+//
+// The point is functional: a general nonblocking deque can directly express
+// the scheduler pattern that otherwise needs a special-purpose structure.
+// Run it to see both schedulers compute the same result, with timings.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	deque "repro"
+	"repro/internal/wsdeque"
+)
+
+// task is an index range to sum; ranges split until below grain size.
+type task struct {
+	lo, hi uint64
+}
+
+const (
+	total = 1 << 24
+	grain = 1 << 10
+)
+
+// want is the closed-form answer for sum(0..total-1).
+const want = uint64(total) * uint64(total-1) / 2
+
+// encode packs a task into a uint64 for the Chase–Lev deque (which carries
+// word-size task IDs, as real schedulers do). Both bounds fit in 32 bits.
+func encode(t task) uint64 { return t.lo<<32 | t.hi }
+func decode(v uint64) task { return task{lo: v >> 32, hi: v & 0xFFFFFFFF} }
+
+func split(t task) (a, b task, leaf bool) {
+	if t.hi-t.lo <= grain {
+		return t, t, true
+	}
+	mid := (t.lo + t.hi) / 2
+	return task{t.lo, mid}, task{mid, t.hi}, false
+}
+
+func sumRange(t task) uint64 {
+	s := uint64(0)
+	for i := t.lo; i < t.hi; i++ {
+		s += i
+	}
+	return s
+}
+
+// runChaseLev schedules with per-worker Chase–Lev deques.
+func runChaseLev(workers int) (uint64, time.Duration) {
+	start := time.Now()
+	deques := make([]*wsdeque.Deque, workers)
+	for i := range deques {
+		deques[i] = wsdeque.New(256)
+	}
+	deques[0].Push(encode(task{0, total}))
+	var sum atomic.Uint64
+	var pending atomic.Int64
+	pending.Store(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			my := deques[w]
+			for pending.Load() > 0 {
+				v, ok := my.PopBottom()
+				if !ok {
+					// Steal from a victim's top.
+					for i := 1; i < workers && !ok; i++ {
+						v, ok = deques[(w+i)%workers].Steal()
+					}
+					if !ok {
+						runtime.Gosched()
+						continue
+					}
+				}
+				a, b, leaf := split(decode(v))
+				if leaf {
+					sum.Add(sumRange(a))
+					pending.Add(-1)
+					continue
+				}
+				pending.Add(1) // one task became two
+				my.Push(encode(a))
+				my.Push(encode(b))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return sum.Load(), time.Since(start)
+}
+
+// runGeneralDeque schedules with one shared OFDeque of task structs.
+func runGeneralDeque(workers int) (uint64, time.Duration) {
+	start := time.Now()
+	d := deque.New[task](deque.WithMaxThreads(workers + 1))
+	seed := d.Register()
+	seed.PushLeft(task{0, total})
+	var sum atomic.Uint64
+	var pending atomic.Int64
+	pending.Store(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := d.Register()
+			for pending.Load() > 0 {
+				// LIFO on the left: freshly split subtasks stay hot.
+				t, ok := h.PopLeft()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				a, b, leaf := split(t)
+				if leaf {
+					sum.Add(sumRange(a))
+					pending.Add(-1)
+					continue
+				}
+				pending.Add(1)
+				h.PushLeft(a)
+				h.PushLeft(b)
+			}
+		}()
+	}
+	wg.Wait()
+	return sum.Load(), time.Since(start)
+}
+
+func main() {
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Printf("summing 0..%d with %d workers (answer %d)\n\n", total-1, workers, want)
+
+	s1, d1 := runChaseLev(workers)
+	fmt.Printf("chase-lev work-stealing: sum=%d ok=%v in %v\n", s1, s1 == want, d1)
+
+	s2, d2 := runGeneralDeque(workers)
+	fmt.Printf("shared OFDeque         : sum=%d ok=%v in %v\n", s2, s2 == want, d2)
+
+	if s1 != want || s2 != want {
+		panic("wrong sum")
+	}
+}

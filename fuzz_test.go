@@ -1,0 +1,98 @@
+package deque
+
+import (
+	"testing"
+
+	"repro/internal/seqdeque"
+)
+
+// FuzzDequeAgainstModel drives the generic deque with fuzz-chosen operation
+// sequences, mirroring every call on the sequential model. Each input byte
+// encodes one operation; the low bits select the op, higher bits perturb
+// the node size so the linking paths get fuzzed too.
+//
+// Runs as a regression test over the seed corpus under plain `go test`, and
+// explores further with `go test -fuzz FuzzDequeAgainstModel`.
+func FuzzDequeAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint8(0))
+	f.Add([]byte{0, 0, 0, 2, 2, 2, 2}, uint8(1))
+	f.Add([]byte{1, 1, 1, 3, 3, 3, 3}, uint8(2))
+	f.Add([]byte{0, 1, 0, 1, 3, 2, 3, 2, 3, 2}, uint8(3))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}, uint8(0))
+
+	f.Fuzz(func(t *testing.T, ops []byte, szSel uint8) {
+		sizes := []int{4, 5, 8, 1024}
+		d := New[uint32](WithNodeSize(sizes[int(szSel)%len(sizes)]), WithMaxThreads(2))
+		h := d.Register()
+		model := seqdeque.New[uint32](8)
+		next := uint32(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				h.PushLeft(next)
+				model.PushLeft(next)
+				next++
+			case 1:
+				h.PushRight(next)
+				model.PushRight(next)
+				next++
+			case 2:
+				v, ok := h.PopLeft()
+				mv, mok := model.PopLeft()
+				if ok != mok || v != mv {
+					t.Fatalf("PopLeft = (%d,%v), model (%d,%v)", v, ok, mv, mok)
+				}
+			case 3:
+				v, ok := h.PopRight()
+				mv, mok := model.PopRight()
+				if ok != mok || v != mv {
+					t.Fatalf("PopRight = (%d,%v), model (%d,%v)", v, ok, mv, mok)
+				}
+			}
+		}
+		if d.Len() != model.Len() {
+			t.Fatalf("Len = %d, model %d", d.Len(), model.Len())
+		}
+	})
+}
+
+// FuzzViewsAgainstModel fuzzes the Stack and Queue views sharing one deque
+// against the model, exercising the cross-view interactions.
+func FuzzViewsAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3})
+	f.Add([]byte{0, 0, 2, 2, 1, 1, 3, 3})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		d := New[uint32](WithNodeSize(4), WithMaxThreads(4))
+		st := AsStack(d)
+		qu := AsQueue(d)
+		sh := st.Register()
+		qh := qu.Register()
+		model := seqdeque.New[uint32](8)
+		next := uint32(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // stack push = push left
+				sh.Push(next)
+				model.PushLeft(next)
+				next++
+			case 1: // queue enqueue = push left
+				qh.Enqueue(next)
+				model.PushLeft(next)
+				next++
+			case 2: // stack pop = pop left
+				v, ok := sh.Pop()
+				mv, mok := model.PopLeft()
+				if ok != mok || v != mv {
+					t.Fatalf("stack Pop = (%d,%v), model (%d,%v)", v, ok, mv, mok)
+				}
+			case 3: // queue dequeue = pop right
+				v, ok := qh.Dequeue()
+				mv, mok := model.PopRight()
+				if ok != mok || v != mv {
+					t.Fatalf("Dequeue = (%d,%v), model (%d,%v)", v, ok, mv, mok)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type thing struct{ v int }
+
+func TestRegistryAllocGet(t *testing.T) {
+	r := NewRegistry[thing](100)
+	a, b := &thing{1}, &thing{2}
+	ia, ib := r.Alloc(a), r.Alloc(b)
+	if ia == ib {
+		t.Fatal("duplicate IDs")
+	}
+	if r.Get(ia) != a || r.Get(ib) != b {
+		t.Fatal("Get returned wrong pointer")
+	}
+}
+
+func TestRegistryIDsMonotonic(t *testing.T) {
+	r := NewRegistry[thing](100)
+	prev := r.Alloc(&thing{})
+	for i := 0; i < 50; i++ {
+		id := r.Alloc(&thing{})
+		if id <= prev {
+			t.Fatalf("IDs not monotonic: %d after %d", id, prev)
+		}
+		prev = id
+	}
+	if r.Allocated() != 51 {
+		t.Fatalf("Allocated = %d, want 51", r.Allocated())
+	}
+}
+
+func TestRegistryClear(t *testing.T) {
+	r := NewRegistry[thing](100)
+	id := r.Alloc(&thing{7})
+	r.Clear(id)
+	if r.Get(id) != nil {
+		t.Fatal("Get after Clear returned non-nil")
+	}
+	r.Clear(id) // double clear is a no-op
+	if r.Get(id) != nil {
+		t.Fatal("double Clear misbehaved")
+	}
+}
+
+func TestRegistryGetUnpublished(t *testing.T) {
+	r := NewRegistry[thing](1 << 14)
+	if r.Get(12345) != nil {
+		t.Fatal("Get of never-allocated in-range ID returned non-nil")
+	}
+}
+
+func TestRegistryLimitRounding(t *testing.T) {
+	r := NewRegistry[thing](1)
+	if r.Limit() != regChunkSize {
+		t.Fatalf("Limit = %d, want %d (one chunk)", r.Limit(), regChunkSize)
+	}
+}
+
+func TestRegistryExhaustionPanics(t *testing.T) {
+	r := NewRegistry[thing](1) // rounds to one chunk
+	for i := 0; i < regChunkSize; i++ {
+		r.Alloc(&thing{})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on ID exhaustion")
+		}
+	}()
+	r.Alloc(&thing{})
+}
+
+func TestRegistryAllocNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on Alloc(nil)")
+		}
+	}()
+	NewRegistry[thing](10).Alloc(nil)
+}
+
+func TestRegistryConcurrentAllocGet(t *testing.T) {
+	r := NewRegistry[thing](1 << 16)
+	const goroutines = 8
+	const perG = 2000
+	ids := make([][]uint32, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]uint32, perG)
+			for i := 0; i < perG; i++ {
+				ids[g][i] = r.Alloc(&thing{v: g*perG + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint32]bool)
+	for g := 0; g < goroutines; g++ {
+		for i, id := range ids[g] {
+			if seen[id] {
+				t.Fatalf("ID %d allocated twice", id)
+			}
+			seen[id] = true
+			got := r.Get(id)
+			if got == nil || got.v != g*perG+i {
+				t.Fatalf("Get(%d) = %+v, want v=%d", id, got, g*perG+i)
+			}
+		}
+	}
+}
+
+func TestSlabPutTakeRoundTrip(t *testing.T) {
+	s := NewSlab[string](100)
+	h := s.Put("hello")
+	if got := s.Take(h); got != "hello" {
+		t.Fatalf("Take = %q, want hello", got)
+	}
+}
+
+func TestSlabHandleRecycling(t *testing.T) {
+	s := NewSlab[int](100)
+	h1 := s.Put(1)
+	s.Take(h1)
+	h2 := s.Put(2)
+	if h2 != h1 {
+		t.Fatalf("freed handle not recycled: first %d, second %d", h1, h2)
+	}
+	if s.Take(h2) != 2 {
+		t.Fatal("recycled handle returned stale value")
+	}
+}
+
+func TestSlabManyLive(t *testing.T) {
+	s := NewSlab[int](1 << 14)
+	handles := make([]uint32, 5000)
+	for i := range handles {
+		handles[i] = s.Put(i * 3)
+	}
+	for i, h := range handles {
+		if got := s.Take(h); got != i*3 {
+			t.Fatalf("Take(%d) = %d, want %d", h, got, i*3)
+		}
+	}
+}
+
+func TestSlabConcurrentChurn(t *testing.T) {
+	s := NewSlab[uint64](1 << 16)
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < perG; i++ {
+				want := g<<32 | i
+				h := s.Put(want)
+				if got := s.Take(h); got != want {
+					t.Errorf("Take = %#x, want %#x", got, want)
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+}
+
+func TestSlabConcurrentHandlesDistinct(t *testing.T) {
+	// Handles held live simultaneously by different goroutines must never
+	// collide.
+	s := NewSlab[int](1 << 16)
+	const goroutines = 8
+	const live = 500
+	all := make([][]uint32, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hs := make([]uint32, live)
+			for i := range hs {
+				hs[i] = s.Put(g*live + i)
+			}
+			all[g] = hs
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint32]bool)
+	for g, hs := range all {
+		for i, h := range hs {
+			if seen[h] {
+				t.Fatalf("handle %d live twice", h)
+			}
+			seen[h] = true
+			if got := s.Take(h); got != g*live+i {
+				t.Fatalf("Take(%d) = %d, want %d", h, got, g*live+i)
+			}
+		}
+	}
+}
+
+func TestHeadEncodingProperty(t *testing.T) {
+	f := func(tag, idx uint32) bool {
+		h := packHead(tag, idx+1)
+		gotIdx, ok := headIdx(h)
+		return ok && gotIdx == idx && headTag(h) == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := headIdx(packHead(55, 0)); ok {
+		t.Fatal("zero idxPlus1 should decode as empty")
+	}
+}
+
+func BenchmarkSlabPutTake(b *testing.B) {
+	s := NewSlab[int](1 << 16)
+	for i := 0; i < b.N; i++ {
+		s.Take(s.Put(i))
+	}
+}
+
+func BenchmarkRegistryAlloc(b *testing.B) {
+	r := NewRegistry[thing](1 << 30)
+	th := &thing{}
+	for i := 0; i < b.N; i++ {
+		r.Alloc(th)
+	}
+}

@@ -1,0 +1,112 @@
+// Package arena provides the two allocation substrates the unbounded deque
+// needs because its slots are 64-bit CAS words holding 32-bit payloads:
+//
+//   - Registry[T]: maps dense 32-bit IDs to *T. The paper stores 32-bit node
+//     pointers inside link slots; in Go we store 32-bit node IDs and resolve
+//     them here. IDs are allocated monotonically and never reused, so a slot
+//     counter plus ID uniqueness rules out ABA. Clearing an entry (after the
+//     hazard-pointer domain says no reader can still need it) releases the
+//     node to the garbage collector; a stale ID then resolves to nil, which
+//     readers treat as "hint went stale, retry".
+//
+//   - Slab[T]: a free-listed store mapping 32-bit handles to values of any
+//     type T, used by the generic Deque[T] wrapper to funnel arbitrary
+//     payloads through the core's 32-bit data slots. Handles are recycled;
+//     a tagged Treiber free list prevents ABA.
+//
+// Both structures are lock-free and grow in chunks installed with CAS.
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Registry chunk geometry: 8192 entries per chunk keeps each chunk at 64 KiB
+// of pointers while the fixed directory stays small.
+const (
+	regChunkBits = 13
+	regChunkSize = 1 << regChunkBits
+	regChunkMask = regChunkSize - 1
+)
+
+// Registry maps monotonically allocated uint32 IDs to *T. It is safe for
+// concurrent use. IDs are never reused; Clear releases the referent.
+type Registry[T any] struct {
+	chunks []atomic.Pointer[regChunk[T]]
+	next   atomic.Uint32
+	limit  uint32
+}
+
+type regChunk[T any] struct {
+	entries [regChunkSize]atomic.Pointer[T]
+}
+
+// NewRegistry returns a Registry that can hold up to limit live-or-dead IDs.
+// limit is rounded up to a whole number of chunks. The paper's deque
+// allocates one node per ~SZ pushes that cross a boundary, so even modest
+// limits cover enormous operation counts; the benchmarks use 1<<26.
+func NewRegistry[T any](limit uint32) *Registry[T] {
+	if limit == 0 {
+		panic("arena: NewRegistry with zero limit")
+	}
+	nChunks := (uint64(limit) + regChunkSize - 1) / regChunkSize
+	return &Registry[T]{
+		chunks: make([]atomic.Pointer[regChunk[T]], nChunks),
+		limit:  uint32(nChunks * regChunkSize),
+	}
+}
+
+// Limit returns the maximum number of IDs this registry can ever allocate.
+func (r *Registry[T]) Limit() uint32 { return r.limit }
+
+// Allocated returns the number of IDs allocated so far.
+func (r *Registry[T]) Allocated() uint32 { return r.next.Load() }
+
+// Alloc registers v and returns its fresh ID. It panics if the ID space is
+// exhausted, which indicates the registry was sized too small for the run.
+func (r *Registry[T]) Alloc(v *T) uint32 {
+	if v == nil {
+		panic("arena: Alloc(nil)")
+	}
+	id := r.next.Add(1) - 1
+	if id >= r.limit {
+		panic(fmt.Sprintf("arena: registry ID space exhausted (limit %d)", r.limit))
+	}
+	r.chunk(id).entries[id&regChunkMask].Store(v)
+	return id
+}
+
+// Get resolves id to its registered pointer, or nil if the entry was cleared
+// or never published. Get never panics on in-range IDs; out-of-range IDs
+// (impossible for IDs produced by Alloc) panic via the slice bounds check.
+func (r *Registry[T]) Get(id uint32) *T {
+	c := r.chunks[id>>regChunkBits].Load()
+	if c == nil {
+		return nil
+	}
+	return c.entries[id&regChunkMask].Load()
+}
+
+// Clear removes the entry for id, releasing the referent to the garbage
+// collector. Clearing an already-cleared ID is a no-op.
+func (r *Registry[T]) Clear(id uint32) {
+	c := r.chunks[id>>regChunkBits].Load()
+	if c != nil {
+		c.entries[id&regChunkMask].Store(nil)
+	}
+}
+
+// chunk returns the chunk containing id, installing it if necessary.
+func (r *Registry[T]) chunk(id uint32) *regChunk[T] {
+	slot := &r.chunks[id>>regChunkBits]
+	c := slot.Load()
+	if c != nil {
+		return c
+	}
+	fresh := new(regChunk[T])
+	if slot.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return slot.Load()
+}

@@ -1,0 +1,119 @@
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Slab chunk geometry mirrors the registry's.
+const (
+	slabChunkBits = 13
+	slabChunkSize = 1 << slabChunkBits
+	slabChunkMask = slabChunkSize - 1
+)
+
+// freelist head encoding: tag in the high 32 bits, (index+1) in the low 32,
+// so 0 means "empty list" and index 0 is representable.
+func packHead(tag, idxPlus1 uint32) uint64 { return uint64(tag)<<32 | uint64(idxPlus1) }
+func headTag(h uint64) uint32              { return uint32(h >> 32) }
+func headIdx(h uint64) (uint32, bool)      { return uint32(h) - 1, uint32(h) != 0 }
+
+// Slab is a lock-free store of values of type T addressed by recycled uint32
+// handles. Put stores a value and returns its handle; Take retrieves the
+// value and recycles the handle. Handles flow through the deque's 32-bit
+// data slots; a handle's value is only ever read by the single thread that
+// popped it, so plain loads/stores on the value cells are safe — the
+// happens-before edges run through the deque's CASes and the free list.
+type Slab[T any] struct {
+	chunks []atomic.Pointer[slabChunk[T]]
+	next   atomic.Uint32
+	free   atomic.Uint64 // tagged Treiber head of recycled handles
+	limit  uint32
+}
+
+type slabChunk[T any] struct {
+	vals [slabChunkSize]T
+	next [slabChunkSize]atomic.Uint32 // free-list links
+}
+
+// NewSlab returns a slab whose live-handle count may reach limit (rounded up
+// to whole chunks). Unlike Registry IDs, handles are recycled, so limit
+// bounds concurrent occupancy, not total throughput.
+func NewSlab[T any](limit uint32) *Slab[T] {
+	if limit == 0 {
+		panic("arena: NewSlab with zero limit")
+	}
+	nChunks := (uint64(limit) + slabChunkSize - 1) / slabChunkSize
+	return &Slab[T]{
+		chunks: make([]atomic.Pointer[slabChunk[T]], nChunks),
+		limit:  uint32(nChunks * slabChunkSize),
+	}
+}
+
+// Limit returns the maximum number of simultaneously live handles.
+func (s *Slab[T]) Limit() uint32 { return s.limit }
+
+// Put stores v and returns a handle for it.
+func (s *Slab[T]) Put(v T) uint32 {
+	idx, ok := s.popFree()
+	if !ok {
+		idx = s.next.Add(1) - 1
+		if idx >= s.limit {
+			panic(fmt.Sprintf("arena: slab occupancy limit exceeded (limit %d)", s.limit))
+		}
+	}
+	s.chunk(idx).vals[idx&slabChunkMask] = v
+	return idx
+}
+
+// Take returns the value stored under h and recycles the handle. Calling
+// Take twice with the same handle (without an intervening Put returning it)
+// corrupts the slab, exactly as double-free would; the deque's pop semantics
+// guarantee single ownership.
+func (s *Slab[T]) Take(h uint32) T {
+	c := s.chunk(h)
+	i := h & slabChunkMask
+	v := c.vals[i]
+	var zero T
+	c.vals[i] = zero // drop references so GC can reclaim the payload
+	s.pushFree(h)
+	return v
+}
+
+func (s *Slab[T]) popFree() (uint32, bool) {
+	for {
+		h := s.free.Load()
+		idx, ok := headIdx(h)
+		if !ok {
+			return 0, false
+		}
+		next := s.chunk(idx).next[idx&slabChunkMask].Load()
+		if s.free.CompareAndSwap(h, packHead(headTag(h)+1, next)) {
+			return idx, true
+		}
+	}
+}
+
+func (s *Slab[T]) pushFree(idx uint32) {
+	c := s.chunk(idx)
+	for {
+		h := s.free.Load()
+		c.next[idx&slabChunkMask].Store(uint32(h)) // current head's idx+1 encoding
+		if s.free.CompareAndSwap(h, packHead(headTag(h)+1, idx+1)) {
+			return
+		}
+	}
+}
+
+func (s *Slab[T]) chunk(idx uint32) *slabChunk[T] {
+	slot := &s.chunks[idx>>slabChunkBits]
+	c := slot.Load()
+	if c != nil {
+		return c
+	}
+	fresh := new(slabChunk[T])
+	if slot.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return slot.Load()
+}

@@ -1,0 +1,87 @@
+// Package backoff implements bounded exponential backoff for contended
+// retry loops.
+//
+// Several structures in this repository (the test-and-test_and_set lock, the
+// flat-combining lock, and the elimination variants of the Michael and
+// Sundell–Tsigas deques) retry failed CASes under backoff, as in the paper's
+// evaluation ("both deques with and without exponential backoff elimination
+// arrays", "flat combining with an exponential backoff lock"). The backoff
+// here spins on the CPU rather than sleeping: the contention windows involved
+// are tens to hundreds of nanoseconds, far below scheduler granularity.
+package backoff
+
+import (
+	"runtime"
+
+	"repro/internal/xrand"
+)
+
+// DefaultMinSpins and DefaultMaxSpins bound the default backoff window, in
+// iterations of the spin loop.
+const (
+	DefaultMinSpins = 4
+	DefaultMaxSpins = 4096
+)
+
+// Backoff is a bounded exponential backoff helper. The zero value is not
+// ready to use; construct with New. Backoff is not safe for concurrent use;
+// each goroutine owns its own.
+type Backoff struct {
+	min, max int
+	cur      int
+	yields   uint32
+	rng      xrand.Xoshiro256
+}
+
+// New returns a Backoff whose window doubles from min up to max spin
+// iterations. It panics if min < 1 or max < min.
+func New(min, max int, seed uint64) *Backoff {
+	b := &Backoff{}
+	b.Init(min, max, seed)
+	return b
+}
+
+// Init initializes b in place, for callers that embed Backoff in a larger
+// per-thread record and want to avoid a separate allocation.
+func (b *Backoff) Init(min, max int, seed uint64) {
+	if min < 1 || max < min {
+		panic("backoff: need 1 <= min <= max")
+	}
+	b.min, b.max, b.cur = min, max, min
+	b.rng = *xrand.NewXoshiro256(seed)
+}
+
+// Spin waits for a random duration up to the current window, then doubles the
+// window (saturating at max). Randomizing within the window desynchronizes
+// threads that failed the same CAS.
+func (b *Backoff) Spin() {
+	n := 1 + b.rng.Intn(b.cur)
+	for i := 0; i < n; i++ {
+		b.yield()
+	}
+	if b.cur < b.max {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+}
+
+// Reset shrinks the window back to the minimum. Call after a successful
+// operation so the next contention episode starts gently.
+func (b *Backoff) Reset() { b.cur = b.min }
+
+// Window reports the current window size in spin iterations.
+func (b *Backoff) Window() int { return b.cur }
+
+// yield performs one unit of polite spinning. runtime.Gosched is too heavy
+// for a single unit (it enters the scheduler); a counted busy loop with an
+// occasional Gosched approximates the PAUSE-instruction loops used by the
+// paper's C++ implementation while still letting the Go scheduler run other
+// goroutines when workers outnumber Ps.
+func (b *Backoff) yield() {
+	b.yields++
+	if b.yields&1023 == 0 {
+		runtime.Gosched()
+	}
+}

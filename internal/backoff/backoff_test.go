@@ -1,0 +1,100 @@
+package backoff
+
+import (
+	"testing"
+)
+
+func TestNewValidatesArgs(t *testing.T) {
+	cases := []struct{ min, max int }{
+		{0, 10}, {-1, 10}, {5, 4}, {0, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", c.min, c.max)
+				}
+			}()
+			New(c.min, c.max, 1)
+		}()
+	}
+}
+
+func TestWindowDoublesAndSaturates(t *testing.T) {
+	b := New(4, 64, 1)
+	want := []int{4, 8, 16, 32, 64, 64, 64}
+	for i, w := range want {
+		if b.Window() != w {
+			t.Fatalf("before spin %d: Window() = %d, want %d", i, b.Window(), w)
+		}
+		b.Spin()
+	}
+}
+
+func TestResetReturnsToMin(t *testing.T) {
+	b := New(2, 1024, 7)
+	for i := 0; i < 20; i++ {
+		b.Spin()
+	}
+	if b.Window() != 1024 {
+		t.Fatalf("Window() = %d after 20 spins, want saturation at 1024", b.Window())
+	}
+	b.Reset()
+	if b.Window() != 2 {
+		t.Fatalf("Window() = %d after Reset, want 2", b.Window())
+	}
+}
+
+func TestMinEqualsMaxStable(t *testing.T) {
+	b := New(8, 8, 3)
+	for i := 0; i < 10; i++ {
+		b.Spin()
+		if b.Window() != 8 {
+			t.Fatalf("Window() = %d, want constant 8", b.Window())
+		}
+	}
+}
+
+func TestInitReusable(t *testing.T) {
+	var b Backoff
+	b.Init(4, 16, 9)
+	b.Spin()
+	b.Spin()
+	if b.Window() != 16 {
+		t.Fatalf("Window() = %d, want 16", b.Window())
+	}
+	b.Init(2, 32, 9)
+	if b.Window() != 2 {
+		t.Fatalf("after re-Init Window() = %d, want 2", b.Window())
+	}
+}
+
+func TestConcurrentIndependentBackoffs(t *testing.T) {
+	// Each goroutine owns its Backoff; this must be race-free under -race.
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(seed uint64) {
+			b := New(2, 256, seed)
+			for i := 0; i < 1000; i++ {
+				b.Spin()
+				if i%100 == 0 {
+					b.Reset()
+				}
+			}
+			done <- struct{}{}
+		}(uint64(g))
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func BenchmarkSpinResetCycle(b *testing.B) {
+	bo := New(DefaultMinSpins, DefaultMaxSpins, 1)
+	for i := 0; i < b.N; i++ {
+		bo.Spin()
+		if i%8 == 0 {
+			bo.Reset()
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted line: a structure's throughput across a thread
+// sweep. cmd/figures builds these and renders them as CSV and ASCII.
+type Series struct {
+	Name   string
+	Points []float64 // ops/sec, aligned with the sweep's thread counts
+}
+
+// Table is a complete figure: thread counts plus one Series per structure.
+type Table struct {
+	Threads []int
+	Series  []Series
+}
+
+// AddRow appends a series; Points must align with Threads.
+func (t *Table) AddRow(name string, points []float64) error {
+	if len(points) != len(t.Threads) {
+		return fmt.Errorf("bench: series %q has %d points for %d thread counts",
+			name, len(points), len(t.Threads))
+	}
+	t.Series = append(t.Series, Series{Name: name, Points: points})
+	return nil
+}
+
+// WriteCSV emits the table with a "structure,t1,t2,..." header.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "structure"); err != nil {
+		return err
+	}
+	for _, th := range t.Threads {
+		if _, err := fmt.Fprintf(w, ",t%d", th); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		if _, err := fmt.Fprint(w, s.Name); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, ",%.0f", p); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// At returns the series' value at the final (largest) thread count.
+func (s Series) At(i int) float64 { return s.Points[i] }
+
+// Final returns the last point — the value the ASCII chart ranks by.
+func (s Series) Final() float64 {
+	return s.Points[len(s.Points)-1]
+}
+
+// Get returns the named series, or nil.
+func (t *Table) Get(name string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Name == name {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// MaxFinal returns the best final-thread-count throughput in the table.
+func (t *Table) MaxFinal() float64 {
+	m := 0.0
+	for _, s := range t.Series {
+		if v := s.Final(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AsciiChart renders a ranked bar chart of the final column.
+func (t *Table) AsciiChart(title string, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (at %d threads)\n", title, t.Threads[len(t.Threads)-1])
+	max := t.MaxFinal()
+	sorted := append([]Series(nil), t.Series...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Final() > sorted[j].Final() })
+	for _, s := range sorted {
+		bar := 0
+		if max > 0 {
+			bar = int(float64(width) * s.Final() / max)
+		}
+		fmt.Fprintf(&b, "  %-18s %14.0f %s\n", s.Name, s.Final(), strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// ShapeCheck is one qualitative claim evaluated against a Table.
+type ShapeCheck struct {
+	Label string
+	OK    bool
+}
+
+// FormatShapeChecks renders pass/fail lines for EXPERIMENTS.md and stdout.
+func FormatShapeChecks(figure string, checks []ShapeCheck) string {
+	var b strings.Builder
+	for _, c := range checks {
+		status := "PASS"
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  shape[%s] %-58s %s\n", figure, c.Label, status)
+	}
+	return b.String()
+}

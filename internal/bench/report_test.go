@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkTable(t *testing.T) *Table {
+	t.Helper()
+	tb := &Table{Threads: []int{1, 2, 4}}
+	if err := tb.AddRow("alpha", []float64{100, 200, 400}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRow("beta", []float64{300, 250, 200}); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestAddRowValidatesLength(t *testing.T) {
+	tb := &Table{Threads: []int{1, 2}}
+	if err := tb.AddRow("bad", []float64{1}); err == nil {
+		t.Fatal("no error for misaligned series")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := mkTable(t).WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "structure,t1,t2,t4\nalpha,100,200,400\nbeta,300,250,200\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestGetAndFinal(t *testing.T) {
+	tb := mkTable(t)
+	if s := tb.Get("alpha"); s == nil || s.Final() != 400 {
+		t.Fatalf("Get(alpha) = %+v", s)
+	}
+	if tb.Get("gamma") != nil {
+		t.Fatal("Get of missing series non-nil")
+	}
+	if tb.MaxFinal() != 400 {
+		t.Fatalf("MaxFinal = %v", tb.MaxFinal())
+	}
+}
+
+func TestAsciiChartRanksByFinal(t *testing.T) {
+	out := mkTable(t).AsciiChart("demo", 20)
+	ai := strings.Index(out, "alpha")
+	bi := strings.Index(out, "beta")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("chart not ranked by final value:\n%s", out)
+	}
+	if !strings.Contains(out, "####") {
+		t.Fatalf("no bars:\n%s", out)
+	}
+}
+
+func TestFormatShapeChecks(t *testing.T) {
+	out := FormatShapeChecks("f14", []ShapeCheck{
+		{Label: "a", OK: true},
+		{Label: "b", OK: false},
+	})
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("bad output: %q", out)
+	}
+	if !strings.Contains(out, "shape[f14]") {
+		t.Fatalf("missing figure tag: %q", out)
+	}
+}

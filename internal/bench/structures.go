@@ -1,0 +1,193 @@
+// Package bench implements the paper's microbenchmark (Section IV): every
+// thread repeatedly executes a uniformly random method of the deque for a
+// fixed period, under a Stack, Queue, or Deque access pattern; each
+// configuration runs several trials and reports average throughput.
+//
+// The harness measures all the structures from the evaluation: SGLDeque,
+// FCDeque, MMDeque(±elim), STDeque(±elim), TSDeque-FAI/-HW, and
+// OFDeque(±elim), plus the ablation variants the repository adds (buffer
+// sizes, elimination placement).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fcdeque"
+	"repro/internal/mmdeque"
+	"repro/internal/sgldeque"
+	"repro/internal/stdeque"
+	"repro/internal/tsdeque"
+)
+
+// Session is one worker's view of a structure (mirrors dequetest.Session).
+type Session interface {
+	PushLeft(v uint32)
+	PushRight(v uint32)
+	PopLeft() (uint32, bool)
+	PopRight() (uint32, bool)
+}
+
+// Instance is a benchmarkable structure.
+type Instance interface {
+	Session() Session
+}
+
+// Factory builds a fresh Instance for each trial. maxThreads is the number
+// of worker sessions the trial will register.
+type Factory func(maxThreads int) Instance
+
+// Structures is the registry of benchmarkable deques, keyed by the names
+// used in EXPERIMENTS.md and the figure CSVs.
+var Structures = map[string]Factory{
+	"sgl":     func(int) Instance { return sglInst{sgldeque.New(1 << 16)} },
+	"fc":      func(int) Instance { return fcInst{fcdeque.New(1 << 16)} },
+	"mm":      func(mt int) Instance { return mmInst{mmdeque.New(mmdeque.Config{MaxThreads: mt})} },
+	"mm-elim": func(mt int) Instance { return mmInst{mmdeque.New(mmdeque.Config{MaxThreads: mt, Elimination: true})} },
+	"st":      func(mt int) Instance { return stInst{stdeque.New(stdeque.Config{MaxThreads: mt})} },
+	"st-elim": func(mt int) Instance { return stInst{stdeque.New(stdeque.Config{MaxThreads: mt, Elimination: true})} },
+	"ts-fai":  func(mt int) Instance { return tsInst{tsdeque.New(tsdeque.Config{Source: tsdeque.FAI, MaxThreads: mt})} },
+	"ts-hw":   func(mt int) Instance { return tsInst{tsdeque.New(tsdeque.Config{Source: tsdeque.HW, MaxThreads: mt})} },
+	"of":      func(mt int) Instance { return ofInst{core.New(core.Config{MaxThreads: mt})} },
+	"of-elim": func(mt int) Instance {
+		return ofInst{core.New(core.Config{MaxThreads: mt, Elimination: true})}
+	},
+	"of-elim-naive": func(mt int) Instance {
+		return ofInst{core.New(core.Config{MaxThreads: mt, Elimination: true,
+			ElimPlacement: core.ElimOnCriticalPath})}
+	},
+}
+
+// StructureNames returns the registry keys in display order.
+func StructureNames() []string {
+	names := make([]string, 0, len(Structures))
+	for n := range Structures {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PaperStructures lists the structures in the paper's figures, in its
+// legend order.
+var PaperStructures = []string{
+	"sgl", "fc", "mm", "mm-elim", "st", "st-elim", "ts-fai", "ts-hw", "of", "of-elim",
+}
+
+// OFWithNodeSize builds an OFDeque factory with a custom buffer size (the
+// A1 ablation).
+func OFWithNodeSize(sz int) Factory {
+	return func(mt int) Instance {
+		return ofInst{core.New(core.Config{MaxThreads: mt, NodeSize: sz})}
+	}
+}
+
+// OFElimWithDelayedScan builds the naive-placement elimination variant with
+// a custom linger window (the A4 ablation).
+func OFElimWithDelayedScan(spins int) Factory {
+	return func(mt int) Instance {
+		return ofInst{core.New(core.Config{MaxThreads: mt, Elimination: true,
+			ElimPlacement: core.ElimOnCriticalPath, ElimSpins: spins})}
+	}
+}
+
+// TSHWWithDelay builds a TSDeque-HW factory with an interval-widening delay.
+func TSHWWithDelay(delay time.Duration) Factory {
+	return func(mt int) Instance {
+		return tsInst{tsdeque.New(tsdeque.Config{Source: tsdeque.HW, Delay: delay, MaxThreads: mt})}
+	}
+}
+
+// Lookup resolves a structure name, with a helpful error.
+func Lookup(name string) (Factory, error) {
+	f, ok := Structures[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown structure %q (have %v)", name, StructureNames())
+	}
+	return f, nil
+}
+
+// ---- adapters ----
+
+type sglInst struct{ d *sgldeque.Deque }
+
+func (i sglInst) Session() Session { return sglSess{i.d} }
+
+type sglSess struct{ d *sgldeque.Deque }
+
+func (s sglSess) PushLeft(v uint32)        { s.d.PushLeft(v) }
+func (s sglSess) PushRight(v uint32)       { s.d.PushRight(v) }
+func (s sglSess) PopLeft() (uint32, bool)  { return s.d.PopLeft() }
+func (s sglSess) PopRight() (uint32, bool) { return s.d.PopRight() }
+
+type fcInst struct{ d *fcdeque.Deque }
+
+func (i fcInst) Session() Session { return &fcSess{i.d, i.d.Register()} }
+
+type fcSess struct {
+	d *fcdeque.Deque
+	h *fcdeque.Handle
+}
+
+func (s *fcSess) PushLeft(v uint32)        { s.d.PushLeft(s.h, v) }
+func (s *fcSess) PushRight(v uint32)       { s.d.PushRight(s.h, v) }
+func (s *fcSess) PopLeft() (uint32, bool)  { return s.d.PopLeft(s.h) }
+func (s *fcSess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }
+
+type mmInst struct{ d *mmdeque.Deque }
+
+func (i mmInst) Session() Session { return &mmSess{i.d, i.d.Register()} }
+
+type mmSess struct {
+	d *mmdeque.Deque
+	h *mmdeque.Handle
+}
+
+func (s *mmSess) PushLeft(v uint32)        { s.d.PushLeft(s.h, v) }
+func (s *mmSess) PushRight(v uint32)       { s.d.PushRight(s.h, v) }
+func (s *mmSess) PopLeft() (uint32, bool)  { return s.d.PopLeft(s.h) }
+func (s *mmSess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }
+
+type stInst struct{ d *stdeque.Deque }
+
+func (i stInst) Session() Session { return &stSess{i.d, i.d.Register()} }
+
+type stSess struct {
+	d *stdeque.Deque
+	h *stdeque.Handle
+}
+
+func (s *stSess) PushLeft(v uint32)        { s.d.PushLeft(s.h, v) }
+func (s *stSess) PushRight(v uint32)       { s.d.PushRight(s.h, v) }
+func (s *stSess) PopLeft() (uint32, bool)  { return s.d.PopLeft(s.h) }
+func (s *stSess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }
+
+type tsInst struct{ d *tsdeque.Deque }
+
+func (i tsInst) Session() Session { return &tsSess{i.d, i.d.Register()} }
+
+type tsSess struct {
+	d *tsdeque.Deque
+	h *tsdeque.Handle
+}
+
+func (s *tsSess) PushLeft(v uint32)        { s.d.PushLeft(s.h, v) }
+func (s *tsSess) PushRight(v uint32)       { s.d.PushRight(s.h, v) }
+func (s *tsSess) PopLeft() (uint32, bool)  { return s.d.PopLeft(s.h) }
+func (s *tsSess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }
+
+type ofInst struct{ d *core.Deque }
+
+func (i ofInst) Session() Session { return &ofSess{i.d, i.d.Register()} }
+
+type ofSess struct {
+	d *core.Deque
+	h *core.Handle
+}
+
+func (s *ofSess) PushLeft(v uint32)        { s.d.PushLeft(s.h, v) }
+func (s *ofSess) PushRight(v uint32)       { s.d.PushRight(s.h, v) }
+func (s *ofSess) PopLeft() (uint32, bool)  { return s.d.PopLeft(s.h) }
+func (s *ofSess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }

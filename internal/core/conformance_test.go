@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dequetest"
+)
+
+// Conformance adapters: run the shared battery (including linearizability
+// checking) over several configurations of the OFDeque.
+
+type inst struct{ d *Deque }
+
+func (i inst) Session() dequetest.Session { return &sess{d: i.d, h: i.d.Register()} }
+func (i inst) Len() int                   { return i.d.Len() }
+
+type sess struct {
+	d *Deque
+	h *Handle
+}
+
+func (s *sess) PushLeft(v uint32) {
+	if err := s.d.PushLeft(s.h, v); err != nil {
+		panic(err)
+	}
+}
+
+func (s *sess) PushRight(v uint32) {
+	if err := s.d.PushRight(s.h, v); err != nil {
+		panic(err)
+	}
+}
+
+func (s *sess) PopLeft() (uint32, bool)  { return s.d.PopLeft(s.h) }
+func (s *sess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }
+
+func TestConformanceTinyNodes(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return inst{New(Config{NodeSize: MinNodeSize, MaxThreads: 32})}
+	})
+}
+
+func TestConformanceDefault(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return inst{New(Config{MaxThreads: 32})}
+	})
+}
+
+func TestConformanceElimination(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return inst{New(Config{NodeSize: 16, MaxThreads: 32, Elimination: true})}
+	})
+}
+
+func TestConformanceEliminationOnCriticalPath(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return inst{New(Config{NodeSize: 16, MaxThreads: 32, Elimination: true,
+			ElimPlacement: ElimOnCriticalPath, ElimSpins: 32})}
+	})
+}
+
+// TestLinearizabilityLongTinyNodes hammers the boundary/straddle/seal paths
+// with extra linearizability trials beyond the battery's default.
+func TestLinearizabilityLongTinyNodes(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 80
+	}
+	dequetest.RunLinearizability(t, func() dequetest.Instance {
+		return inst{New(Config{NodeSize: MinNodeSize, MaxThreads: 32})}
+	}, trials)
+}

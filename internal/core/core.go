@@ -1,0 +1,345 @@
+// Package core implements the paper's contribution: an unbounded,
+// obstruction-free, linearizable double-ended queue (Section II).
+//
+// # Structure
+//
+// The deque is a doubly-linked list of nodes, each holding an array of SZ
+// CAS-able 64-bit slots (32-bit payload, 32-bit counter — see package word).
+// Interior slots 1..SZ-2 are data slots; border slots 0 and SZ-1 are link
+// slots holding either a null (LN/RN) or the 32-bit registry ID of the
+// neighboring node. Data values occupy one contiguous span across the chain;
+// LN fills everything left of the span, RN everything right of it.
+//
+// # Transitions
+//
+// Every state change is one of a small set of two-CAS transitions (Section
+// II-A3): interior push/pop (the HLM protocol verbatim), straddling push,
+// boundary pop, sealing an empty neighbor (LS/RS into its innermost data
+// slot), appending a fresh node, and removing a sealed node. Read-only empty
+// checks use a read–read–re-read snapshot whose middle read is the
+// linearization point. Each transition's first CAS bumps the counter of the
+// slot just inside the edge, so concurrent edge operations on the same side
+// invalidate one another — obstruction freedom with no helping and no
+// interference between opposite ends (when nodes are big enough).
+//
+// # Edges
+//
+// An edge is interior (within a node's data slots), boundary (at a border
+// slot with no neighbor), or straddling (aligned with a link between two
+// nodes). Operations locate edges through per-side oracles seeded by global
+// (node, count) hints and per-node slot hints; oracle answers may be stale —
+// the transition CASes re-validate everything.
+//
+// # Memory reclamation (Go substitution for Section II-C)
+//
+// The paper retires removed nodes to thread-local lists and frees them under
+// hazard-pointer protection. This port keeps the paper's 32-bit node IDs in
+// the link slots, resolved through a monotonic ID registry
+// (internal/arena.Registry). IDs are never reused, so resolution is always
+// either correct or nil — ABA is structurally impossible. The remove
+// transition clears the node's registry entry on the spot: stalled threads
+// that already resolved the node keep traversing it safely (the garbage
+// collector cannot free memory they reference, and removed nodes always
+// link inward toward nodes removed no earlier, the paper's own invariant),
+// while threads holding only the stale ID get nil and restart from the
+// global hint, whose node is carried as a real pointer and therefore always
+// resolves. The hazard-pointer machinery the paper needs to make this safe
+// in C++ is provided as a faithful standalone substrate in internal/hazard.
+//
+// # Elimination
+//
+// With Config.Elimination, each side gets an elimination array (Section
+// II-D, Fig. 13): operations advertise themselves before looking for the
+// edge, withdraw once they have it, and only scan for a partner after a
+// failed attempt on the real deque — keeping the scan off the critical path.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/backoff"
+	"repro/internal/elim"
+	"repro/internal/word"
+)
+
+// ErrReserved is returned by pushes of the four reserved slot values.
+var ErrReserved = errors.New("core: value is reserved")
+
+// Default configuration values.
+const (
+	// DefaultNodeSize is the paper's choice: "We chose 1024 as a
+	// representative number of slots in each buffer."
+	DefaultNodeSize = 1024
+	// MinNodeSize is the smallest legal node: two border link slots plus
+	// two data slots, so "innermost data slot" and "outermost data slot"
+	// remain distinct positions.
+	MinNodeSize = 4
+	// DefaultMaxThreads sizes the elimination arrays.
+	DefaultMaxThreads = 256
+	// DefaultRegistryLimit bounds lifetime node allocations (IDs are never
+	// recycled). At the default node size this is tens of billions of
+	// boundary-crossing pushes.
+	DefaultRegistryLimit = 1 << 26
+)
+
+// ElimPlacement selects where elimination attempts happen, for the ablation
+// of the paper's Section II-D design discussion.
+type ElimPlacement uint8
+
+const (
+	// ElimOffCriticalPath is the paper's design: advertise before the
+	// oracle, withdraw after it, scan only after a failed deque attempt.
+	ElimOffCriticalPath ElimPlacement = iota
+	// ElimOnCriticalPath is the naive design the paper argues against:
+	// every operation first lingers in the elimination array hoping for a
+	// partner, then works on the deque.
+	ElimOnCriticalPath
+)
+
+// Config parameterizes a Deque. The zero value selects all defaults.
+type Config struct {
+	// NodeSize is the slot count SZ of each node (minimum MinNodeSize).
+	NodeSize int
+	// MaxThreads bounds concurrently registered handles.
+	MaxThreads int
+	// RegistryLimit bounds lifetime node allocations.
+	RegistryLimit uint32
+	// Elimination enables the per-side elimination arrays.
+	Elimination bool
+	// ElimPlacement selects the elimination protocol variant; only
+	// meaningful when Elimination is true.
+	ElimPlacement ElimPlacement
+	// ElimSpins is how long ElimOnCriticalPath lingers waiting for a
+	// partner before trying the deque (ignored by the paper's placement).
+	ElimSpins int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NodeSize == 0 {
+		c.NodeSize = DefaultNodeSize
+	}
+	if c.MaxThreads == 0 {
+		c.MaxThreads = DefaultMaxThreads
+	}
+	if c.RegistryLimit == 0 {
+		c.RegistryLimit = DefaultRegistryLimit
+	}
+	if c.ElimSpins == 0 {
+		c.ElimSpins = 128
+	}
+	return c
+}
+
+// Deque is the unbounded obstruction-free deque over uint32 payloads
+// (values must be <= word.MaxValue; the public generic wrapper funnels
+// arbitrary types through an arena slab). All operations go through a
+// Handle; handles are cheap and long-lived, one per worker goroutine.
+type Deque struct {
+	sz  int
+	cfg Config
+
+	reg *arena.Registry[node]
+
+	left  sideHint
+	right sideHint
+
+	lElim, rElim *elim.Array
+
+	nextTID atomic.Int32
+}
+
+// node is one buffer in the doubly-linked chain (Fig. 5 lines 22-37).
+type node struct {
+	id    uint32
+	slots []atomic.Uint64
+	// Slot hints (Fig. 5 lines 23-24): racy performance hints, stored
+	// atomically to keep the race detector honest.
+	leftSlotHint  atomic.Int64
+	rightSlotHint atomic.Int64
+	// escape is set by the remover just before the node's registry entry
+	// is cleared: a GC-safe pointer to the node that was the active edge at
+	// removal time. A traversal stranded on a removed node whose inward
+	// link ID no longer resolves follows escape instead — the Go
+	// equivalent of the paper's guarantee that hazard pointers keep a
+	// retired node's inward chain traversable. Escape chains point
+	// strictly toward nodes removed later (or still active), so following
+	// them terminates at the active chain.
+	escape atomic.Pointer[node]
+}
+
+// sideHint is the node_hint tuple of Fig. 5: a CAS-able (buffer, ct) word so
+// a slow hint writer cannot clobber a newer hint, plus a shadow pointer that
+// resolves the node without the registry — the traversal start must always
+// resolve, even if the hinted node has since been removed and its registry
+// entry cleared. The shadow may briefly trail the word; any once-valid node
+// is an acceptable traversal start, so readers just take the shadow.
+type sideHint struct {
+	w  atomic.Uint64
+	nd atomic.Pointer[node]
+}
+
+// get returns a traversal start node and the current hint word.
+func (s *sideHint) get() (*node, uint64) {
+	w := s.w.Load()
+	return s.nd.Load(), w
+}
+
+// set installs n as the hint if the hint word still equals old, returning
+// the now-current word (transition H).
+func (s *sideHint) set(old uint64, n *node) uint64 {
+	nw := word.With(old, n.id)
+	if s.w.CompareAndSwap(old, nw) {
+		s.nd.Store(n)
+		return nw
+	}
+	return s.w.Load()
+}
+
+// New returns an empty deque configured by cfg.
+func New(cfg Config) *Deque {
+	cfg = cfg.withDefaults()
+	if cfg.NodeSize < MinNodeSize {
+		panic(fmt.Sprintf("core: NodeSize %d below minimum %d", cfg.NodeSize, MinNodeSize))
+	}
+	if cfg.MaxThreads < 1 {
+		panic("core: MaxThreads must be positive")
+	}
+	d := &Deque{
+		sz:  cfg.NodeSize,
+		cfg: cfg,
+		reg: arena.NewRegistry[node](cfg.RegistryLimit),
+	}
+	if cfg.Elimination {
+		d.lElim = elim.New(cfg.MaxThreads)
+		d.rElim = elim.New(cfg.MaxThreads)
+	}
+	// Initial node, split down the middle (Fig. 5 constructor).
+	first := d.newNode(cfg.NodeSize / 2)
+	hint := word.Pack(first.id, 0)
+	d.left.w.Store(hint)
+	d.left.nd.Store(first)
+	d.right.w.Store(hint)
+	d.right.nd.Store(first)
+	return d
+}
+
+// newNode allocates and registers a node whose first split slots hold LN
+// and the rest RN (Fig. 5 lines 27-35).
+func (d *Deque) newNode(split int) *node {
+	n := &node{slots: make([]atomic.Uint64, d.sz)}
+	for i := 0; i < split; i++ {
+		n.slots[i].Store(word.Pack(word.LN, 0))
+	}
+	for i := split; i < d.sz; i++ {
+		n.slots[i].Store(word.Pack(word.RN, 0))
+	}
+	n.leftSlotHint.Store(int64(clamp(split-1, 1, d.sz-1)))
+	n.rightSlotHint.Store(int64(clamp(split, 0, d.sz-2)))
+	n.id = d.reg.Alloc(n)
+	if n.id > word.MaxValue {
+		panic("core: node ID collides with reserved slot values")
+	}
+	return n
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// resolve maps a node ID read from a link slot to its node. A nil result
+// means the node was removed and unregistered; the caller's view is stale
+// and it should retry from the oracle.
+func (d *Deque) resolve(id uint32) *node { return d.reg.Get(id) }
+
+// unregisterLeft clears n's registry entry after its removal, plus any
+// chain of left-sealed nodes hanging off its left link: they were only
+// reachable through n (the paper's "another sealed node which has been
+// sealed on the same side"), so they became garbage together with n. The
+// paper leaves those to its garbage collector; the registry must drop them
+// explicitly or they would stay pinned. Every node unregistered gets its
+// escape pointer aimed at the surviving edge first, so stranded traversals
+// always have a way back to the chain.
+func (d *Deque) unregisterLeft(n *node, edge *node) {
+	for n != nil {
+		n.escape.Store(edge)
+		d.reg.Clear(n.id)
+		v := word.Val(n.slots[0].Load())
+		if word.IsReserved(v) {
+			return
+		}
+		p := d.resolve(v)
+		if p == nil || word.Val(p.slots[d.sz-2].Load()) != word.LS {
+			return
+		}
+		n = p
+	}
+}
+
+// unregisterRight mirrors unregisterLeft for right-sealed chains.
+func (d *Deque) unregisterRight(n *node, edge *node) {
+	for n != nil {
+		n.escape.Store(edge)
+		d.reg.Clear(n.id)
+		v := word.Val(n.slots[d.sz-1].Load())
+		if word.IsReserved(v) {
+			return
+		}
+		p := d.resolve(v)
+		if p == nil || word.Val(p.slots[1].Load()) != word.RS {
+			return
+		}
+		n = p
+	}
+}
+
+// NodeSize returns the configured slots-per-node.
+func (d *Deque) NodeSize() int { return d.sz }
+
+// Handle is a worker's registration: its elimination slot identity and
+// cached spare nodes so an append whose race was lost does not reallocate.
+// Handles are not safe for concurrent use; register one per goroutine.
+type Handle struct {
+	d *Deque
+
+	tid int
+	// spareL/spareR cache append nodes for each side (their slot layouts
+	// differ, so they are not interchangeable).
+	spareL, spareR *node
+
+	// bo is the retry contention manager. The paper relies on scheduler
+	// randomization to break obstruction-freedom's livelocks (§I); a
+	// bounded exponential backoff is the textbook mechanism and is
+	// essential on adversarial platforms (single-P runtimes, the race
+	// detector's scheduler), where we observed convoy collapse without it.
+	bo backoff.Backoff
+
+	// Appends and Removes count structural transitions performed through
+	// this handle; Eliminated counts operations completed by elimination;
+	// Retries counts failed attempts (stale oracle answers or lost CAS
+	// races) that forced a full re-run of the oracle+transition cycle.
+	// They feed tests, stats, and EXPERIMENTS.md.
+	Appends    uint64
+	Removes    uint64
+	Eliminated uint64
+	Retries    uint64
+}
+
+// Register allocates a Handle. It panics once MaxThreads handles exist.
+func (d *Deque) Register() *Handle {
+	tid := int(d.nextTID.Add(1)) - 1
+	if tid >= d.cfg.MaxThreads {
+		panic(fmt.Sprintf("core: more than MaxThreads=%d handles", d.cfg.MaxThreads))
+	}
+	h := &Handle{d: d, tid: tid}
+	h.bo.Init(backoff.DefaultMinSpins, backoff.DefaultMaxSpins, uint64(tid)*0x9e3779b97f4a7c15+1)
+	return h
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// tiny returns a deque with the smallest legal nodes so boundary,
+// straddling, seal, append, and remove paths are exercised constantly.
+func tiny() *Deque { return New(Config{NodeSize: MinNodeSize, MaxThreads: 16}) }
+
+func TestNewDefaults(t *testing.T) {
+	d := New(Config{})
+	if d.NodeSize() != DefaultNodeSize {
+		t.Fatalf("NodeSize = %d, want %d", d.NodeSize(), DefaultNodeSize)
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 || d.Nodes() != 1 {
+		t.Fatalf("fresh deque Len=%d Nodes=%d", d.Len(), d.Nodes())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(Config{NodeSize: 3}) },
+		func() { New(Config{NodeSize: -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for invalid config")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyPops(t *testing.T) {
+	d := tiny()
+	h := d.Register()
+	if _, ok := d.PopLeft(h); ok {
+		t.Fatal("PopLeft on empty succeeded")
+	}
+	if _, ok := d.PopRight(h); ok {
+		t.Fatal("PopRight on empty succeeded")
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservedRejected(t *testing.T) {
+	d := tiny()
+	h := d.Register()
+	for _, v := range []uint32{word.LN, word.RN, word.LS, word.RS} {
+		if err := d.PushLeft(h, v); !errors.Is(err, ErrReserved) {
+			t.Fatalf("PushLeft(%#x) = %v, want ErrReserved", v, err)
+		}
+		if err := d.PushRight(h, v); !errors.Is(err, ErrReserved) {
+			t.Fatalf("PushRight(%#x) = %v, want ErrReserved", v, err)
+		}
+	}
+	if err := d.PushLeft(h, word.MaxValue); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d.PopRight(h); !ok || v != word.MaxValue {
+		t.Fatalf("PopRight = (%#x,%v)", v, ok)
+	}
+}
+
+func TestStackLeftAcrossNodes(t *testing.T) {
+	d := tiny() // 2 data slots per node: every few pushes appends a node
+	h := d.Register()
+	const n = 50
+	for i := uint32(0); i < n; i++ {
+		if err := d.PushLeft(h, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CheckInvariant(); err != nil {
+			t.Fatalf("after push %d: %v", i, err)
+		}
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	if d.Nodes() < 10 {
+		t.Fatalf("expected many nodes with tiny buffers, got %d", d.Nodes())
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		v, ok := d.PopLeft(h)
+		if !ok || v != uint32(i) {
+			t.Fatalf("PopLeft = (%d,%v), want (%d,true)", v, ok, i)
+		}
+		if err := d.CheckInvariant(); err != nil {
+			t.Fatalf("after pop %d: %v", i, err)
+		}
+	}
+	if _, ok := d.PopLeft(h); ok {
+		t.Fatal("deque should be empty")
+	}
+}
+
+func TestStackRightAcrossNodes(t *testing.T) {
+	d := tiny()
+	h := d.Register()
+	const n = 50
+	for i := uint32(0); i < n; i++ {
+		if err := d.PushRight(h, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		v, ok := d.PopRight(h)
+		if !ok || v != uint32(i) {
+			t.Fatalf("PopRight = (%d,%v), want (%d,true)", v, ok, i)
+		}
+		if err := d.CheckInvariant(); err != nil {
+			t.Fatalf("after pop %d: %v", i, err)
+		}
+	}
+}
+
+func TestQueueLeftToRight(t *testing.T) {
+	d := tiny()
+	h := d.Register()
+	const n = 60
+	for i := uint32(0); i < n; i++ {
+		if err := d.PushLeft(h, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		v, ok := d.PopRight(h)
+		if !ok || v != i {
+			t.Fatalf("PopRight = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	// The straddling pop progression must have sealed and removed nodes.
+	if h.Removes == 0 {
+		t.Fatal("draining across nodes performed no removes")
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueRightToLeft(t *testing.T) {
+	d := tiny()
+	h := d.Register()
+	const n = 60
+	for i := uint32(0); i < n; i++ {
+		if err := d.PushRight(h, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		v, ok := d.PopLeft(h)
+		if !ok || v != i {
+			t.Fatalf("PopLeft = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedEndsOrdering(t *testing.T) {
+	d := tiny()
+	h := d.Register()
+	d.PushLeft(h, 11)
+	d.PushLeft(h, 10)
+	d.PushRight(h, 12)
+	d.PushRight(h, 13)
+	got := d.Slice()
+	want := []uint32{10, 11, 12, 13}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDriftReusesNodes(t *testing.T) {
+	// Queue traffic drifts the span through nodes; removed nodes must be
+	// unregistered so the registry does not accumulate stale entries, and
+	// reachable node count must stay small.
+	d := tiny()
+	h := d.Register()
+	for i := uint32(0); i < 3000; i++ {
+		if err := d.PushLeft(h, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.PopRight(h); !ok {
+			t.Fatal("unexpected empty")
+		}
+	}
+	if n := d.Nodes(); n > 4 {
+		t.Fatalf("reachable chain grew to %d nodes under drift", n)
+	}
+	if h.Removes == 0 || h.Appends == 0 {
+		t.Fatalf("drift should append and remove nodes (appends=%d removes=%d)",
+			h.Appends, h.Removes)
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAfterDrainEachSide(t *testing.T) {
+	d := tiny()
+	h := d.Register()
+	for round := 0; round < 20; round++ {
+		for i := uint32(0); i < 7; i++ {
+			d.PushLeft(h, i)
+		}
+		for i := 0; i < 7; i++ {
+			if _, ok := d.PopLeft(h); !ok {
+				t.Fatal("premature empty")
+			}
+		}
+		if _, ok := d.PopLeft(h); ok {
+			t.Fatal("pop after drain succeeded")
+		}
+		if _, ok := d.PopRight(h); ok {
+			t.Fatal("right pop after drain succeeded")
+		}
+		for i := uint32(0); i < 7; i++ {
+			d.PushRight(h, i)
+		}
+		for i := 0; i < 7; i++ {
+			if _, ok := d.PopRight(h); !ok {
+				t.Fatal("premature empty")
+			}
+		}
+		if _, ok := d.PopRight(h); ok {
+			t.Fatal("pop after drain succeeded")
+		}
+		if err := d.CheckInvariant(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestAlternatingPushPopBothEnds(t *testing.T) {
+	d := tiny()
+	h := d.Register()
+	for i := uint32(0); i < 500; i++ {
+		d.PushLeft(h, 2*i)
+		d.PushRight(h, 2*i+1)
+		l, okL := d.PopLeft(h)
+		r, okR := d.PopRight(h)
+		if !okL || !okR {
+			t.Fatal("unexpected empty")
+		}
+		if l != 2*i || r != 2*i+1 {
+			t.Fatalf("iteration %d: popped (%d,%d), want (%d,%d)", i, l, r, 2*i, 2*i+1)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+}
+
+func TestRegisterOverflowPanics(t *testing.T) {
+	d := New(Config{NodeSize: 8, MaxThreads: 2})
+	d.Register()
+	d.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic past MaxThreads")
+		}
+	}()
+	d.Register()
+}
+
+func TestSpareNodeReuse(t *testing.T) {
+	// A handle's spare is consumed by a successful append and recreated on
+	// demand; single-threaded there are no lost races, so allocation count
+	// tracks appends exactly.
+	d := tiny()
+	h := d.Register()
+	for i := uint32(0); i < 100; i++ {
+		d.PushLeft(h, i)
+	}
+	allocated := d.NodesAllocated()
+	// initial node + one per append (no failed races single-threaded).
+	if allocated != 1+uint32(h.Appends) {
+		t.Fatalf("allocated %d nodes, want 1+%d appends", allocated, h.Appends)
+	}
+}
+
+func TestLargeNodeInteriorOnly(t *testing.T) {
+	// With a big node, light traffic must stay interior: no appends.
+	d := New(Config{NodeSize: 256, MaxThreads: 4})
+	h := d.Register()
+	for i := uint32(0); i < 100; i++ {
+		d.PushLeft(h, i)
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := d.PopRight(h); !ok {
+			t.Fatal("unexpected empty")
+		}
+	}
+	if h.Appends != 0 || h.Removes != 0 {
+		t.Fatalf("interior traffic appended %d / removed %d nodes", h.Appends, h.Removes)
+	}
+	if d.Nodes() != 1 {
+		t.Fatalf("Nodes = %d, want 1", d.Nodes())
+	}
+}
+
+func TestSliceEmptyAndOrder(t *testing.T) {
+	d := tiny()
+	h := d.Register()
+	if got := d.Slice(); len(got) != 0 {
+		t.Fatalf("Slice of empty = %v", got)
+	}
+	for i := uint32(0); i < 9; i++ {
+		d.PushRight(h, i)
+	}
+	got := d.Slice()
+	for i := range got {
+		if got[i] != uint32(i) {
+			t.Fatalf("Slice = %v", got)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"repro/internal/elim"
+	"repro/internal/word"
+)
+
+// This file implements push_left (Fig. 6) and pop_left (Fig. 12), plus their
+// elimination-wrapped variants (Fig. 13). right.go mirrors every function.
+
+// PushLeft inserts v at the left end. The only possible error is
+// ErrReserved; the deque is unbounded.
+func (d *Deque) PushLeft(h *Handle, v uint32) error {
+	if word.IsReserved(v) {
+		return ErrReserved
+	}
+	if d.lElim != nil {
+		d.pushLeftElim(h, v)
+		return nil
+	}
+	for {
+		edge, idx, hintW := d.lOracle()
+		if d.pushLeftTransitions(h, v, edge, idx, hintW) {
+			h.bo.Reset()
+			return nil
+		}
+		h.Retries++
+		h.bo.Spin()
+	}
+}
+
+// PopLeft removes and returns the leftmost value; ok is false when the
+// deque was empty (the paper's EMPTY).
+func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
+	if d.lElim != nil {
+		return d.popLeftElim(h)
+	}
+	for {
+		edge, idx, hintW := d.lOracle()
+		if v, empty, done := d.popLeftTransitions(h, edge, idx, hintW); done {
+			h.bo.Reset()
+			return v, !empty
+		}
+		h.Retries++
+		h.bo.Spin()
+	}
+}
+
+// spareLeft returns a node shaped for a left append — every slot LN, the
+// new datum in the innermost data slot, the right link aimed back at edge
+// (Fig. 6 lines 102-104) — reusing the handle's cached left spare when an
+// earlier append lost its race. Counters restart at 0: the node is
+// unpublished, so no other thread holds stale copies of its slots.
+func (h *Handle) spareLeft(v uint32, edge *node) *node {
+	d := h.d
+	n := h.spareL
+	if n == nil {
+		n = d.newNode(d.sz) // all LN
+		h.spareL = n
+	}
+	n.slots[d.sz-2].Store(word.Pack(v, 0))
+	n.slots[d.sz-1].Store(word.Pack(edge.id, 0))
+	n.leftSlotHint.Store(int64(d.sz - 2))
+	n.rightSlotHint.Store(int64(d.sz - 2))
+	return n
+}
+
+// pushLeftTransitions runs one push attempt against the edge the oracle
+// found: snapshot, validate, and apply the transition the edge type calls
+// for. It reports completion; false means "state moved under us (or we only
+// helped remove a sealed node), retry from the oracle".
+func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hintW uint64) bool {
+	sz := d.sz
+	in := &edge.slots[idx]
+	inCpy := in.Load()
+	inVal := word.Val(inCpy)
+	out := &edge.slots[idx-1]
+	outCpy := out.Load()
+	outVal := word.Val(outCpy)
+
+	// Check the oracle's edge (lines 84-87). The published check rejects
+	// in == RS, but the paper's own straddling empty check (line 193)
+	// tests in == RS and would be unreachable under that reading — and a
+	// right-sealed edge node whose remover has stalled would then block
+	// the left side forever, contradicting Theorem 2. We therefore reject
+	// the SAME-side seal (LS: this node was already removed from the
+	// left) and let RS flow into the straddling branch, where the empty
+	// check and the straddle push handle it. See DESIGN.md §3.
+	if inVal == word.LN || inVal == word.LS ||
+		(idx != 1 && outVal != word.LN) ||
+		(idx == sz-1 && inVal != word.RN) {
+		return false
+	}
+
+	// Interior push, transition L1 (lines 90-95).
+	if idx != 1 {
+		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			out.CompareAndSwap(outCpy, word.With(outCpy, v)) {
+			edge.leftSlotHint.Store(int64(idx - 1))
+			d.left.set(hintW, edge)
+			return true
+		}
+		return false
+	}
+
+	// Boundary edge: append a new node, transition L6 (lines 100-108).
+	if outVal == word.LN {
+		if inVal == word.RS {
+			// A right-sealed node with no left neighbor is off the chain;
+			// stale view.
+			return false
+		}
+		nw := h.spareLeft(v, edge)
+		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			out.CompareAndSwap(outCpy, word.With(outCpy, nw.id)) {
+			h.spareL = nil
+			h.Appends++
+			d.left.set(hintW, nw)
+			return true
+		}
+		return false // nw stays cached for the retry
+	}
+
+	// Straddling edge (lines 112-138): outVal is the left neighbor's ID.
+	outNd := d.resolve(outVal)
+	if outNd == nil {
+		return false
+	}
+	far := &outNd.slots[sz-2]
+	farCpy := far.Load()
+	// Ensure the left neighbor points back (lines 118-120).
+	if word.Val(outNd.slots[sz-1].Load()) != edge.id {
+		return false
+	}
+	switch word.Val(farCpy) {
+	case word.LN:
+		// Straddling push, transition L3 (lines 123-127).
+		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			far.CompareAndSwap(farCpy, word.With(farCpy, v)) {
+			outNd.leftSlotHint.Store(int64(sz - 2))
+			d.left.set(hintW, outNd)
+			return true
+		}
+	case word.LS:
+		// Remove the sealed left neighbor, transition L7 (lines 130-136),
+		// then retry the push from scratch.
+		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			out.CompareAndSwap(outCpy, word.With(outCpy, word.LN)) {
+			h.Removes++
+			edge.leftSlotHint.Store(1)
+			d.left.set(hintW, edge)
+			d.refreshRightHint()
+			d.unregisterLeft(outNd, edge) // retire: stale IDs now resolve to nil
+		}
+	}
+	return false
+}
+
+// popLeftTransitions runs one pop attempt against the oracle's edge.
+// done=false means retry; otherwise empty reports EMPTY and v holds the
+// popped value.
+func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64) (v uint32, empty, done bool) {
+	sz := d.sz
+	in := &edge.slots[idx]
+	inCpy := in.Load()
+	inVal := word.Val(inCpy)
+	out := &edge.slots[idx-1]
+	outCpy := out.Load()
+	outVal := word.Val(outCpy)
+
+	// Check the oracle's edge (lines 158-161; RS is allowed through to
+	// the straddling branch for the same reason as in the push — the
+	// paper's E2 check at line 193 expects to see it).
+	if inVal == word.LN || inVal == word.LS ||
+		(idx != 1 && outVal != word.LN) ||
+		(idx == sz-1 && inVal != word.RN) {
+		return 0, false, false
+	}
+
+	// Interior edge: empty check E1 or interior pop L2 (lines 165-174).
+	if idx != 1 {
+		if inVal == word.RN {
+			// E1: out was LN (validated above) and in re-reads unchanged;
+			// the adjacent (LN, RN) pair proves the span was empty when
+			// out was read — that read is EMPTY's linearization point.
+			if in.Load() == inCpy {
+				return 0, true, true
+			}
+			return 0, false, false
+		}
+		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
+			in.CompareAndSwap(inCpy, word.With(inCpy, word.LN)) {
+			edge.leftSlotHint.Store(int64(idx + 1))
+			d.left.set(hintW, edge)
+			return inVal, false, true
+		}
+		return 0, false, false
+	}
+
+	// Straddling edge: follow the straddling pop progression — seal L5,
+	// remove L7, then fall through to the boundary pop (lines 179-218).
+	if outVal != word.LN {
+		outNd := d.resolve(outVal)
+		if outNd == nil {
+			return 0, false, false
+		}
+		far := &outNd.slots[sz-2]
+		farCpy := far.Load()
+		if word.Val(outNd.slots[sz-1].Load()) != edge.id {
+			return 0, false, false
+		}
+
+		if word.Val(farCpy) == word.LN {
+			// Straddling empty check E2 (lines 193-196).
+			if (inVal == word.RN || inVal == word.RS) && in.Load() == inCpy {
+				return 0, true, true
+			}
+			// Seal the left neighbor, transition L5 (lines 197-201); on
+			// success, continue the progression with refreshed copies.
+			if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+				far.CompareAndSwap(farCpy, word.With(farCpy, word.LS)) {
+				farCpy = word.With(farCpy, word.LS)
+				inCpy = word.Bump(inCpy)
+			}
+		}
+
+		if word.Val(farCpy) == word.LS {
+			// Straddling empty check on a sealed neighbor (lines 204-207).
+			// in == RS also certifies emptiness: both neighbors sealed
+			// means both sides have certified the span empty, and the
+			// check returning EMPTY here is what prevents two sealed
+			// nodes from ever pointing at each other.
+			iv := word.Val(inCpy)
+			if (iv == word.RN || iv == word.RS) && in.Load() == inCpy {
+				return 0, true, true
+			}
+			// Remove the sealed neighbor, transition L7 (lines 208-216).
+			if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+				out.CompareAndSwap(outCpy, word.With(outCpy, word.LN)) {
+				h.Removes++
+				edge.leftSlotHint.Store(1)
+				hintW = d.left.set(hintW, edge)
+				d.refreshRightHint()
+				d.unregisterLeft(outNd, edge)
+				inCpy = word.Bump(inCpy)
+				outCpy = word.With(outCpy, word.LN)
+				outVal = word.LN
+			}
+		}
+	}
+
+	// Boundary edge: empty check E3 or boundary pop L4 (lines 220-229).
+	if outVal == word.LN {
+		inVal = word.Val(inCpy)
+		if inVal == word.RN || inVal == word.RS {
+			// RS at a boundary means the right side certified the deque
+			// empty and is mid-removal; EMPTY is correct if stable.
+			if in.Load() == inCpy {
+				return 0, true, true
+			}
+			return 0, false, false
+		}
+		if word.IsReserved(inVal) {
+			return 0, false, false // seals are never popped
+		}
+		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
+			in.CompareAndSwap(inCpy, word.With(inCpy, word.LN)) {
+			edge.leftSlotHint.Store(2)
+			d.left.set(hintW, edge)
+			return inVal, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// refreshRightHint runs the right oracle and installs its answer — the
+// paper's hint_r(oracle_r(right_node_hint)) from the remove transitions
+// (lines 135/212): after a removal, both global hints must be moved off the
+// retired node so future threads cannot trace to it.
+func (d *Deque) refreshRightHint() {
+	nd, idx, hw := d.rOracle()
+	nd.rightSlotHint.Store(int64(idx))
+	d.right.set(hw, nd)
+}
+
+// refreshLeftHint mirrors refreshRightHint for removals on the right side.
+func (d *Deque) refreshLeftHint() {
+	nd, idx, hw := d.lOracle()
+	nd.leftSlotHint.Store(int64(idx))
+	d.left.set(hw, nd)
+}
+
+// pushLeftElim is push_left wrapped in the Fig. 13 elimination protocol:
+// advertise, oracle, withdraw (possibly already matched), try the deque,
+// scan on failure, re-advertise.
+func (d *Deque) pushLeftElim(h *Handle, v uint32) {
+	if d.cfg.ElimPlacement == ElimOnCriticalPath {
+		if d.elimFirst(h, d.lElim, elim.Push, v) {
+			return
+		}
+	}
+	d.lElim.Insert(h.tid, elim.Push, v)
+	for {
+		edge, idx, hintW := d.lOracle()
+		if _, eliminated := d.lElim.Remove(h.tid); eliminated {
+			h.Eliminated++
+			return
+		}
+		if d.pushLeftTransitions(h, v, edge, idx, hintW) {
+			return
+		}
+		// Contention on the deque: hunt for a partner (lines 269-273).
+		if _, ok := d.lElim.Scan(h.tid, elim.Push, v); ok {
+			h.Eliminated++
+			return
+		}
+		d.lElim.Insert(h.tid, elim.Push, v)
+		h.bo.Spin()
+	}
+}
+
+// popLeftElim is pop_left wrapped in the Fig. 13 elimination protocol.
+func (d *Deque) popLeftElim(h *Handle) (uint32, bool) {
+	if d.cfg.ElimPlacement == ElimOnCriticalPath {
+		if v, ok := d.elimFirstPop(h, d.lElim); ok {
+			return v, true
+		}
+	}
+	d.lElim.Insert(h.tid, elim.Pop, 0)
+	for {
+		edge, idx, hintW := d.lOracle()
+		if v, eliminated := d.lElim.Remove(h.tid); eliminated {
+			h.Eliminated++
+			return v, true
+		}
+		if v, empty, done := d.popLeftTransitions(h, edge, idx, hintW); done {
+			return v, !empty
+		}
+		if v, ok := d.lElim.Scan(h.tid, elim.Pop, 0); ok {
+			h.Eliminated++
+			return v, true
+		}
+		d.lElim.Insert(h.tid, elim.Pop, 0)
+		h.bo.Spin()
+	}
+}
+
+// elimFirst implements the naive on-critical-path placement for the A4
+// ablation: linger in the array hoping for a partner before touching the
+// deque. Reports whether the operation was eliminated.
+func (d *Deque) elimFirst(h *Handle, a *elim.Array, op elim.Op, v uint32) bool {
+	a.Insert(h.tid, op, v)
+	spin(d.cfg.ElimSpins)
+	if _, eliminated := a.Remove(h.tid); eliminated {
+		h.Eliminated++
+		return true
+	}
+	if _, ok := a.Scan(h.tid, op, v); ok {
+		h.Eliminated++
+		return true
+	}
+	return false
+}
+
+// elimFirstPop is elimFirst for pops, which carry a value back.
+func (d *Deque) elimFirstPop(h *Handle, a *elim.Array) (uint32, bool) {
+	a.Insert(h.tid, elim.Pop, 0)
+	spin(d.cfg.ElimSpins)
+	if v, eliminated := a.Remove(h.tid); eliminated {
+		h.Eliminated++
+		return v, true
+	}
+	if v, ok := a.Scan(h.tid, elim.Pop, 0); ok {
+		h.Eliminated++
+		return v, true
+	}
+	return 0, false
+}
+
+// spin burns roughly n cycles without entering the scheduler.
+//
+//go:noinline
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"repro/internal/word"
+)
+
+// This file implements l_oracle and r_oracle (Fig. 5 lines 52-55). An oracle
+// returns a (node, index) pair that identified the side's edge at some point
+// during the call; staleness is tolerated because every transition
+// re-validates through its two-CAS protocol. Oracles are also the traversal
+// engine: they walk off sealed nodes back to the active chain (sealed nodes
+// always link inward toward nodes sealed no earlier — Theorem 2's argument)
+// and walk across straddles so the returned node actually contains the
+// outermost datum.
+//
+// Dead territory: a walk can stand on a removed node whose inward link ID
+// no longer resolves. Each removed node carries an escape pointer to the
+// node that was the edge at its removal (see core.go), so the walk can
+// always move inward — but pointer-chasing removal history one node at a
+// time is a trap under churn: with nodes retiring every few operations, a
+// lagging walker can chase history at the same rate others create it, and
+// the slowdown feeds itself (slower walks → staler hints → longer walks).
+// Two measures keep dead-territory excursions O(1) amortized:
+//
+//   - hint-freshness restart: before following an escape, re-read the
+//     side's hint word; if it changed since this walk began, some operation
+//     completed and republished a near-edge hint — restart from it instead
+//     of chasing. (A lone thread sees an unchanged hint and must follow the
+//     escape chain once; with no concurrent churn the chain is static and
+//     finite, preserving obstruction freedom.)
+//   - path compression: when an escape's target is itself dead, splice the
+//     target's escape into the current node, collapsing history chains for
+//     every later traverser, union-find style.
+
+// advanceShadow repairs a hint whose shadow node is dead: it publishes the
+// shadow's (compressed) escape target back into the hint, so one walker's
+// progress through removal history is shared by every later reader instead
+// of each privately re-walking the same chain. Returns the node to walk
+// from.
+func (d *Deque) advanceShadow(side *sideHint, nd *node) *node {
+	for i := 0; i < maxShadowAdvance; i++ {
+		if d.resolve(nd.id) != nil {
+			return nd // live: a fine walk start
+		}
+		esc := nd.escape.Load()
+		if esc == nil {
+			return nd
+		}
+		if d.resolve(esc.id) == nil {
+			if nn := esc.escape.Load(); nn != nil && nn != esc {
+				nd.escape.Store(nn) // compress
+			}
+		}
+		side.nd.CompareAndSwap(nd, esc) // share the progress
+		nd = esc
+	}
+	return nd
+}
+
+// maxShadowAdvance bounds the per-restart shadow repair; combined with path
+// compression the chain collapses geometrically across restarts.
+const maxShadowAdvance = 32
+
+// escapeFrom decides how a walk leaves removed node nd: restart from the
+// hint when it has moved (restart == true), otherwise follow — and
+// shorten — the escape chain.
+func (d *Deque) escapeFrom(side *sideHint, hintW uint64, nd *node) (next *node, restart bool) {
+	if side.w.Load() != hintW {
+		return nil, true // a fresher hint exists; chasing history is wasted work
+	}
+	next = nd.escape.Load()
+	if next == nil {
+		return nil, true
+	}
+	if d.resolve(next.id) == nil {
+		if nn := next.escape.Load(); nn != nil && nn != next {
+			nd.escape.Store(nn) // compress: skip next on future walks
+		}
+	}
+	return next, false
+}
+
+// followInward resolves an inward link ID from nd, falling back to the
+// escape protocol when the ID no longer resolves. restart tells the caller
+// to re-read the hint and start over.
+func (d *Deque) followInward(side *sideHint, hintW uint64, nd *node, id uint32) (next *node, restart bool) {
+	if next := d.resolve(id); next != nil {
+		return next, false
+	}
+	return d.escapeFrom(side, hintW, nd)
+}
+
+// scanLeft finds the leftmost non-LN slot index in [1, sz-1], seeded by the
+// node's left slot hint. Concurrent edits can skew the answer; callers
+// validate.
+func (d *Deque) scanLeft(n *node) int {
+	i := clamp(int(n.leftSlotHint.Load()), 1, d.sz-1)
+	for i < d.sz-1 && word.Val(n.slots[i].Load()) == word.LN {
+		i++
+	}
+	for i > 1 && word.Val(n.slots[i-1].Load()) != word.LN {
+		i--
+	}
+	return i
+}
+
+// scanRight finds the rightmost non-RN slot index in [0, sz-2].
+func (d *Deque) scanRight(n *node) int {
+	i := clamp(int(n.rightSlotHint.Load()), 0, d.sz-2)
+	for i > 0 && word.Val(n.slots[i].Load()) == word.RN {
+		i--
+	}
+	for i < d.sz-2 && word.Val(n.slots[i+1].Load()) != word.RN {
+		i++
+	}
+	return i
+}
+
+// lOracle locates the left edge: the node and index of the leftmost non-LN
+// slot on the active chain (a datum; or RN/a link when the deque is empty).
+// It also returns the hint word it started from, which callers thread into
+// their hint updates.
+func (d *Deque) lOracle() (*node, int, uint64) {
+	sz := d.sz
+	for {
+		nd, hintW := d.left.get()
+		nd = d.advanceShadow(&d.left, nd)
+	walk:
+		for hops := 0; hops <= maxOracleHops; hops++ {
+			idx := d.scanLeft(nd)
+			v := word.Val(nd.slots[idx].Load())
+			switch {
+			case v == word.LN:
+				// Raced: the slot scanLeft chose just became LN. Rescan.
+				continue walk
+
+			case idx == sz-1 && !word.IsReserved(v):
+				// Every data slot is LN and the right border links onward:
+				// the edge lies somewhere to the right (an inward move).
+				next, restart := d.followInward(&d.left, hintW, nd, v)
+				if restart {
+					break walk
+				}
+				nd = next
+
+			case v == word.LS:
+				// A left-sealed node lies left of the active chain; its
+				// right link leads inward.
+				rv := word.Val(nd.slots[sz-1].Load())
+				if word.IsReserved(rv) {
+					break walk
+				}
+				next, restart := d.followInward(&d.left, hintW, nd, rv)
+				if restart {
+					break walk
+				}
+				nd = next
+
+			case v == word.RS:
+				// A right-sealed node. If its left neighbor holds data,
+				// the left edge is inside the neighbor; walk there. If the
+				// neighbor is empty (or sealed), this straddle IS the left
+				// edge: pop_left's E2 reports EMPTY from it and pushes can
+				// straddle-push over it — so return it. If the link is
+				// dead, the node was removed: take the escape protocol.
+				lv := word.Val(nd.slots[0].Load())
+				if word.IsReserved(lv) {
+					break walk
+				}
+				if nbr := d.resolve(lv); nbr != nil {
+					fv := word.Val(nbr.slots[sz-2].Load())
+					if !word.IsReserved(fv) {
+						nd = nbr
+						continue walk
+					}
+					if word.Val(nbr.slots[sz-1].Load()) == nd.id {
+						return nd, 1, hintW
+					}
+					// The neighbor no longer points back: nd was removed.
+				}
+				next, restart := d.escapeFrom(&d.left, hintW, nd)
+				if restart {
+					break walk
+				}
+				nd = next
+
+			case idx == 1:
+				// Outermost data slot. If a left neighbor exists and holds
+				// data in its innermost slot, the span straddles into it
+				// and the true edge is further left.
+				lv := word.Val(nd.slots[0].Load())
+				if !word.IsReserved(lv) {
+					if nbr := d.resolve(lv); nbr != nil {
+						fv := word.Val(nbr.slots[sz-2].Load())
+						if !word.IsReserved(fv) {
+							nd = nbr
+							continue walk
+						}
+					}
+				}
+				return nd, 1, hintW
+
+			default:
+				return nd, idx, hintW
+			}
+		}
+		// Hops exhausted or the walk chose to restart: re-read the global
+		// hint and start over.
+	}
+}
+
+// rOracle locates the right edge, mirroring lOracle.
+func (d *Deque) rOracle() (*node, int, uint64) {
+	sz := d.sz
+	for {
+		nd, hintW := d.right.get()
+		nd = d.advanceShadow(&d.right, nd)
+	walk:
+		for hops := 0; hops <= maxOracleHops; hops++ {
+			idx := d.scanRight(nd)
+			v := word.Val(nd.slots[idx].Load())
+			switch {
+			case v == word.RN:
+				continue walk
+
+			case idx == 0 && !word.IsReserved(v):
+				next, restart := d.followInward(&d.right, hintW, nd, v)
+				if restart {
+					break walk
+				}
+				nd = next
+
+			case v == word.RS:
+				lv := word.Val(nd.slots[0].Load())
+				if word.IsReserved(lv) {
+					break walk
+				}
+				next, restart := d.followInward(&d.right, hintW, nd, lv)
+				if restart {
+					break walk
+				}
+				nd = next
+
+			case v == word.LS:
+				// Mirror of lOracle's RS case: a left-sealed node whose
+				// right neighbor holds data sends the walk inward;
+				// otherwise the straddle is the right edge itself.
+				rv := word.Val(nd.slots[sz-1].Load())
+				if word.IsReserved(rv) {
+					break walk
+				}
+				if nbr := d.resolve(rv); nbr != nil {
+					fv := word.Val(nbr.slots[1].Load())
+					if !word.IsReserved(fv) {
+						nd = nbr
+						continue walk
+					}
+					if word.Val(nbr.slots[0].Load()) == nd.id {
+						return nd, sz - 2, hintW
+					}
+				}
+				next, restart := d.escapeFrom(&d.right, hintW, nd)
+				if restart {
+					break walk
+				}
+				nd = next
+
+			case idx == sz-2:
+				rv := word.Val(nd.slots[sz-1].Load())
+				if !word.IsReserved(rv) {
+					if nbr := d.resolve(rv); nbr != nil {
+						fv := word.Val(nbr.slots[1].Load())
+						if !word.IsReserved(fv) {
+							nd = nbr
+							continue walk
+						}
+					}
+				}
+				return nd, sz - 2, hintW
+
+			default:
+				return nd, idx, hintW
+			}
+		}
+	}
+}
+
+// maxOracleHops bounds a single walk before the oracle refreshes its view of
+// the global hint. Long walks mean the hint is badly stale (or the chain is
+// long); restarting from a fresh hint is both the fast and the simple way
+// out.
+const maxOracleHops = 1 << 16

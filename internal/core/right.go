@@ -1,0 +1,299 @@
+package core
+
+import (
+	"repro/internal/elim"
+	"repro/internal/word"
+)
+
+// This file mirrors left.go for the right side ("symmetric code" — Figs. 6
+// and 12 captions). The mirror swaps LN↔RN and LS↔RS, reflects indices
+// (1 ↔ sz-2, 0 ↔ sz-1, idx-1 ↔ idx+1), and swaps the hint sides.
+
+// PushRight inserts v at the right end. The only possible error is
+// ErrReserved; the deque is unbounded.
+func (d *Deque) PushRight(h *Handle, v uint32) error {
+	if word.IsReserved(v) {
+		return ErrReserved
+	}
+	if d.rElim != nil {
+		d.pushRightElim(h, v)
+		return nil
+	}
+	for {
+		edge, idx, hintW := d.rOracle()
+		if d.pushRightTransitions(h, v, edge, idx, hintW) {
+			h.bo.Reset()
+			return nil
+		}
+		h.Retries++
+		h.bo.Spin()
+	}
+}
+
+// PopRight removes and returns the rightmost value; ok is false when the
+// deque was empty.
+func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
+	if d.rElim != nil {
+		return d.popRightElim(h)
+	}
+	for {
+		edge, idx, hintW := d.rOracle()
+		if v, empty, done := d.popRightTransitions(h, edge, idx, hintW); done {
+			h.bo.Reset()
+			return v, !empty
+		}
+		h.Retries++
+		h.bo.Spin()
+	}
+}
+
+// spareRight returns a node shaped for a right append — every slot RN, the
+// new datum in the innermost data slot, the left link aimed back at edge.
+func (h *Handle) spareRight(v uint32, edge *node) *node {
+	d := h.d
+	n := h.spareR
+	if n == nil {
+		n = d.newNode(0) // all RN
+		h.spareR = n
+	}
+	n.slots[1].Store(word.Pack(v, 0))
+	n.slots[0].Store(word.Pack(edge.id, 0))
+	n.leftSlotHint.Store(1)
+	n.rightSlotHint.Store(1)
+	return n
+}
+
+// pushRightTransitions runs one push attempt against the oracle's edge.
+func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, hintW uint64) bool {
+	sz := d.sz
+	in := &edge.slots[idx]
+	inCpy := in.Load()
+	inVal := word.Val(inCpy)
+	out := &edge.slots[idx+1]
+	outCpy := out.Load()
+	outVal := word.Val(outCpy)
+
+	// Check the oracle's edge: reject the same-side seal (RS) and let LS
+	// flow into the straddling branch (see left.go for why this deviates
+	// from the published check).
+	if inVal == word.RN || inVal == word.RS ||
+		(idx != sz-2 && outVal != word.RN) ||
+		(idx == 0 && inVal != word.LN) {
+		return false
+	}
+
+	// Interior push, transition L1.
+	if idx != sz-2 {
+		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			out.CompareAndSwap(outCpy, word.With(outCpy, v)) {
+			edge.rightSlotHint.Store(int64(idx + 1))
+			d.right.set(hintW, edge)
+			return true
+		}
+		return false
+	}
+
+	// Boundary edge: append a new node, transition L6.
+	if outVal == word.RN {
+		if inVal == word.LS {
+			return false // stale: a left-sealed node with no right neighbor
+		}
+		nw := h.spareRight(v, edge)
+		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			out.CompareAndSwap(outCpy, word.With(outCpy, nw.id)) {
+			h.spareR = nil
+			h.Appends++
+			d.right.set(hintW, nw)
+			return true
+		}
+		return false
+	}
+
+	// Straddling edge: outVal is the right neighbor's ID.
+	outNd := d.resolve(outVal)
+	if outNd == nil {
+		return false
+	}
+	far := &outNd.slots[1]
+	farCpy := far.Load()
+	// Ensure the right neighbor points back.
+	if word.Val(outNd.slots[0].Load()) != edge.id {
+		return false
+	}
+	switch word.Val(farCpy) {
+	case word.RN:
+		// Straddling push, transition L3.
+		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			far.CompareAndSwap(farCpy, word.With(farCpy, v)) {
+			outNd.rightSlotHint.Store(1)
+			d.right.set(hintW, outNd)
+			return true
+		}
+	case word.RS:
+		// Remove the sealed right neighbor, transition L7.
+		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			out.CompareAndSwap(outCpy, word.With(outCpy, word.RN)) {
+			h.Removes++
+			edge.rightSlotHint.Store(int64(sz - 2))
+			d.right.set(hintW, edge)
+			d.refreshLeftHint()
+			d.unregisterRight(outNd, edge)
+		}
+	}
+	return false
+}
+
+// popRightTransitions runs one pop attempt against the oracle's edge.
+func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64) (v uint32, empty, done bool) {
+	sz := d.sz
+	in := &edge.slots[idx]
+	inCpy := in.Load()
+	inVal := word.Val(inCpy)
+	out := &edge.slots[idx+1]
+	outCpy := out.Load()
+	outVal := word.Val(outCpy)
+
+	// Check the oracle's edge (LS allowed through; see left.go).
+	if inVal == word.RN || inVal == word.RS ||
+		(idx != sz-2 && outVal != word.RN) ||
+		(idx == 0 && inVal != word.LN) {
+		return 0, false, false
+	}
+
+	// Interior edge: empty check E1 or interior pop L2.
+	if idx != sz-2 {
+		if inVal == word.LN {
+			if in.Load() == inCpy {
+				return 0, true, true
+			}
+			return 0, false, false
+		}
+		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
+			in.CompareAndSwap(inCpy, word.With(inCpy, word.RN)) {
+			edge.rightSlotHint.Store(int64(idx - 1))
+			d.right.set(hintW, edge)
+			return inVal, false, true
+		}
+		return 0, false, false
+	}
+
+	// Straddling edge: seal L5, remove L7, then boundary pop.
+	if outVal != word.RN {
+		outNd := d.resolve(outVal)
+		if outNd == nil {
+			return 0, false, false
+		}
+		far := &outNd.slots[1]
+		farCpy := far.Load()
+		if word.Val(outNd.slots[0].Load()) != edge.id {
+			return 0, false, false
+		}
+
+		if word.Val(farCpy) == word.RN {
+			// Straddling empty check E2.
+			if (inVal == word.LN || inVal == word.LS) && in.Load() == inCpy {
+				return 0, true, true
+			}
+			// Seal the right neighbor, transition L5.
+			if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+				far.CompareAndSwap(farCpy, word.With(farCpy, word.RS)) {
+				farCpy = word.With(farCpy, word.RS)
+				inCpy = word.Bump(inCpy)
+			}
+		}
+
+		if word.Val(farCpy) == word.RS {
+			// Straddling empty check on a sealed neighbor (LS also
+			// certifies emptiness; see left.go).
+			iv := word.Val(inCpy)
+			if (iv == word.LN || iv == word.LS) && in.Load() == inCpy {
+				return 0, true, true
+			}
+			// Remove the sealed neighbor, transition L7.
+			if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+				out.CompareAndSwap(outCpy, word.With(outCpy, word.RN)) {
+				h.Removes++
+				edge.rightSlotHint.Store(int64(sz - 2))
+				hintW = d.right.set(hintW, edge)
+				d.refreshLeftHint()
+				d.unregisterRight(outNd, edge)
+				inCpy = word.Bump(inCpy)
+				outCpy = word.With(outCpy, word.RN)
+				outVal = word.RN
+			}
+		}
+	}
+
+	// Boundary edge: empty check E3 or boundary pop L4.
+	if outVal == word.RN {
+		inVal = word.Val(inCpy)
+		if inVal == word.LN || inVal == word.LS {
+			if in.Load() == inCpy {
+				return 0, true, true
+			}
+			return 0, false, false
+		}
+		if word.IsReserved(inVal) {
+			return 0, false, false // seals are never popped
+		}
+		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
+			in.CompareAndSwap(inCpy, word.With(inCpy, word.RN)) {
+			edge.rightSlotHint.Store(int64(sz - 3))
+			d.right.set(hintW, edge)
+			return inVal, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// pushRightElim is push_right wrapped in the Fig. 13 elimination protocol.
+func (d *Deque) pushRightElim(h *Handle, v uint32) {
+	if d.cfg.ElimPlacement == ElimOnCriticalPath {
+		if d.elimFirst(h, d.rElim, elim.Push, v) {
+			return
+		}
+	}
+	d.rElim.Insert(h.tid, elim.Push, v)
+	for {
+		edge, idx, hintW := d.rOracle()
+		if _, eliminated := d.rElim.Remove(h.tid); eliminated {
+			h.Eliminated++
+			return
+		}
+		if d.pushRightTransitions(h, v, edge, idx, hintW) {
+			return
+		}
+		if _, ok := d.rElim.Scan(h.tid, elim.Push, v); ok {
+			h.Eliminated++
+			return
+		}
+		d.rElim.Insert(h.tid, elim.Push, v)
+		h.bo.Spin()
+	}
+}
+
+// popRightElim is pop_right wrapped in the Fig. 13 elimination protocol.
+func (d *Deque) popRightElim(h *Handle) (uint32, bool) {
+	if d.cfg.ElimPlacement == ElimOnCriticalPath {
+		if v, ok := d.elimFirstPop(h, d.rElim); ok {
+			return v, true
+		}
+	}
+	d.rElim.Insert(h.tid, elim.Pop, 0)
+	for {
+		edge, idx, hintW := d.rOracle()
+		if v, eliminated := d.rElim.Remove(h.tid); eliminated {
+			h.Eliminated++
+			return v, true
+		}
+		if v, empty, done := d.popRightTransitions(h, edge, idx, hintW); done {
+			return v, !empty
+		}
+		if v, ok := d.rElim.Scan(h.tid, elim.Pop, 0); ok {
+			h.Eliminated++
+			return v, true
+		}
+		d.rElim.Insert(h.tid, elim.Pop, 0)
+		h.bo.Spin()
+	}
+}

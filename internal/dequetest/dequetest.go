@@ -1,0 +1,438 @@
+// Package dequetest is a reusable conformance battery for every concurrent
+// deque in this repository. Each implementation package adapts itself to
+// the Instance/Session interfaces and calls the Run* helpers from its tests,
+// so all structures face identical sequential-semantics checks, concurrent
+// conservation stress, and quiescent accounting.
+package dequetest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lincheck"
+	"repro/internal/xrand"
+)
+
+// Session is one goroutine's view of a deque. Implementations whose
+// operations need per-thread state (handles, elimination slots) bind it
+// inside the session; the others return a shared object.
+type Session interface {
+	PushLeft(v uint32)
+	PushRight(v uint32)
+	PopLeft() (uint32, bool)
+	PopRight() (uint32, bool)
+}
+
+// Instance is a deque under test. Session must be safe to call from
+// multiple goroutines; each returned Session is used by one goroutine only.
+type Instance interface {
+	Session() Session
+	// Len returns the element count; called only in quiescence.
+	Len() int
+}
+
+// Factory creates a fresh Instance per subtest.
+type Factory func() Instance
+
+// RunAll runs the full battery. Under -short (the recommended mode for
+// -race runs on small machines) the concurrent volumes shrink ~4x.
+func RunAll(t *testing.T, f Factory) {
+	t.Helper()
+	stress, trials := 15000, 60
+	if testing.Short() {
+		stress, trials = 4000, 20
+	}
+	t.Run("EmptyPops", func(t *testing.T) { RunEmptyPops(t, f) })
+	t.Run("StackOrderLeft", func(t *testing.T) { RunStackOrderLeft(t, f) })
+	t.Run("StackOrderRight", func(t *testing.T) { RunStackOrderRight(t, f) })
+	t.Run("QueueOrder", func(t *testing.T) { RunQueueOrder(t, f) })
+	t.Run("MixedEnds", func(t *testing.T) { RunMixedEnds(t, f) })
+	t.Run("SequentialModel", func(t *testing.T) { RunSequentialModel(t, f) })
+	t.Run("StressDeque", func(t *testing.T) { RunStress(t, f, 8, stress, "deque") })
+	t.Run("StressStack", func(t *testing.T) { RunStress(t, f, 8, stress, "stack") })
+	t.Run("StressQueue", func(t *testing.T) { RunStress(t, f, 8, stress, "queue") })
+	t.Run("ProducerConsumerDrain", func(t *testing.T) { RunProducerConsumerDrain(t, f) })
+	t.Run("SPSCOrder", func(t *testing.T) { RunSPSCOrder(t, f) })
+	t.Run("Linearizability", func(t *testing.T) { RunLinearizability(t, f, trials) })
+}
+
+// RunSPSCOrder runs one producer (push left) against one concurrent
+// consumer (pop right). Each push completes before the next begins, so
+// linearizability forces exact FIFO order at the consumer.
+func RunSPSCOrder(t *testing.T, f Factory) {
+	t.Helper()
+	inst := f()
+	n := uint32(30000)
+	if testing.Short() {
+		n = 8000
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s := inst.Session()
+		for i := uint32(0); i < n; i++ {
+			s.PushLeft(i)
+		}
+	}()
+	s := inst.Session()
+	next := uint32(0)
+	for next < n {
+		v, ok := s.PopRight()
+		if !ok {
+			continue
+		}
+		if v != next {
+			t.Fatalf("SPSC order violated: got %d, want %d", v, next)
+		}
+		next++
+	}
+	<-done
+	if inst.Len() != 0 {
+		t.Fatalf("Len = %d after drain", inst.Len())
+	}
+}
+
+// RunLinearizability records many small concurrent histories (3 workers ×
+// 5 ops) and checks each against sequential deque semantics with the
+// Wing–Gong style checker. Small histories with heavy overlap probe the
+// interesting interleavings while keeping checking cheap.
+func RunLinearizability(t *testing.T, f Factory, trials int) {
+	t.Helper()
+	const workers = 3
+	const opsPer = 5
+	for trial := 0; trial < trials; trial++ {
+		inst := f()
+		rec := lincheck.NewRecorder()
+		logs := make([]*lincheck.WorkerLog, workers)
+		done := make(chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			logs[w] = rec.Worker()
+			go func(w int) {
+				defer func() { done <- struct{}{} }()
+				s := inst.Session()
+				l := logs[w]
+				rng := xrand.NewXoshiro256(uint64(trial)*131 + uint64(w) + 1)
+				for i := 0; i < opsPer; i++ {
+					v := uint32(trial)<<10 | uint32(w)<<5 | uint32(i)
+					switch rng.Intn(4) {
+					case 0:
+						l.Push(lincheck.PushLeft, v, func() { s.PushLeft(v) })
+					case 1:
+						l.Push(lincheck.PushRight, v, func() { s.PushRight(v) })
+					case 2:
+						l.Pop(lincheck.PopLeft, s.PopLeft)
+					case 3:
+						l.Pop(lincheck.PopRight, s.PopRight)
+					}
+				}
+			}(w)
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		h := lincheck.Merge(logs...)
+		if !lincheck.Check(h) {
+			for _, op := range h {
+				t.Logf("  %v", op)
+			}
+			t.Fatalf("trial %d: history not linearizable", trial)
+		}
+	}
+}
+
+// RunEmptyPops checks EMPTY semantics on a fresh deque, after traffic, and
+// repeatedly.
+func RunEmptyPops(t *testing.T, f Factory) {
+	t.Helper()
+	inst := f()
+	s := inst.Session()
+	for i := 0; i < 3; i++ {
+		if _, ok := s.PopLeft(); ok {
+			t.Fatal("PopLeft on empty succeeded")
+		}
+		if _, ok := s.PopRight(); ok {
+			t.Fatal("PopRight on empty succeeded")
+		}
+	}
+	s.PushLeft(1)
+	s.PushRight(2)
+	s.PopLeft()
+	s.PopLeft()
+	if _, ok := s.PopLeft(); ok {
+		t.Fatal("PopLeft after drain succeeded")
+	}
+	if _, ok := s.PopRight(); ok {
+		t.Fatal("PopRight after drain succeeded")
+	}
+	if inst.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", inst.Len())
+	}
+}
+
+// RunStackOrderLeft checks LIFO behavior on the left end.
+func RunStackOrderLeft(t *testing.T, f Factory) {
+	t.Helper()
+	s := f().Session()
+	const n = 200
+	for i := uint32(0); i < n; i++ {
+		s.PushLeft(i)
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		v, ok := s.PopLeft()
+		if !ok || v != uint32(i) {
+			t.Fatalf("PopLeft = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+// RunStackOrderRight checks LIFO behavior on the right end.
+func RunStackOrderRight(t *testing.T, f Factory) {
+	t.Helper()
+	s := f().Session()
+	const n = 200
+	for i := uint32(0); i < n; i++ {
+		s.PushRight(i)
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		v, ok := s.PopRight()
+		if !ok || v != uint32(i) {
+			t.Fatalf("PopRight = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+// RunQueueOrder checks FIFO behavior across ends, both directions.
+func RunQueueOrder(t *testing.T, f Factory) {
+	t.Helper()
+	s := f().Session()
+	const n = 200
+	for i := uint32(0); i < n; i++ {
+		s.PushLeft(i)
+	}
+	for i := uint32(0); i < n; i++ {
+		v, ok := s.PopRight()
+		if !ok || v != i {
+			t.Fatalf("PopRight = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		s.PushRight(i)
+	}
+	for i := uint32(0); i < n; i++ {
+		v, ok := s.PopLeft()
+		if !ok || v != i {
+			t.Fatalf("PopLeft = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+// RunMixedEnds builds a known arrangement from both ends and verifies it.
+func RunMixedEnds(t *testing.T, f Factory) {
+	t.Helper()
+	s := f().Session()
+	s.PushLeft(11)
+	s.PushLeft(10)
+	s.PushRight(12)
+	s.PushRight(13)
+	want := []uint32{10, 11, 12, 13}
+	for _, w := range want {
+		v, ok := s.PopLeft()
+		if !ok || v != w {
+			t.Fatalf("PopLeft = (%d,%v), want (%d,true)", v, ok, w)
+		}
+	}
+}
+
+// RunSequentialModel mirrors random single-threaded op sequences against a
+// slice model via testing/quick.
+func RunSequentialModel(t *testing.T, f Factory) {
+	t.Helper()
+	prop := func(ops []uint8) bool {
+		s := f().Session()
+		var model []uint32
+		next := uint32(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				s.PushLeft(next)
+				model = append([]uint32{next}, model...)
+				next++
+			case 1:
+				s.PushRight(next)
+				model = append(model, next)
+				next++
+			case 2:
+				v, ok := s.PopLeft()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				v, ok := s.PopRight()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RunStress launches workers doing randomized operations in the given
+// access pattern and verifies conservation in quiescence: no duplicate
+// pops, no pops of never-pushed values, pushes == pops + residue.
+func RunStress(t *testing.T, f Factory, workers, opsPer int, pattern string) {
+	t.Helper()
+	inst := f()
+	popped := make([][]uint32, workers)
+	pushedCount := make([]int, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			s := inst.Session()
+			rng := xrand.NewXoshiro256(uint64(w)*2957 + 5)
+			for i := 0; i < opsPer; i++ {
+				id := uint32(w)<<22 | uint32(i)
+				isPush := rng.Bool()
+				var left bool
+				switch pattern {
+				case "stack":
+					left = true
+				case "queue":
+					left = isPush
+				default:
+					left = rng.Bool()
+				}
+				if isPush {
+					if left {
+						s.PushLeft(id)
+					} else {
+						s.PushRight(id)
+					}
+					pushedCount[w]++
+				} else {
+					var v uint32
+					var ok bool
+					if left {
+						v, ok = s.PopLeft()
+					} else {
+						v, ok = s.PopRight()
+					}
+					if ok {
+						popped[w] = append(popped[w], v)
+					}
+				}
+			}
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	seen := make(map[uint32]bool)
+	for _, ps := range popped {
+		for _, v := range ps {
+			if seen[v] {
+				t.Fatalf("value %#x popped twice", v)
+			}
+			seen[v] = true
+			if int(v&0x3fffff) >= opsPer || int(v>>22) >= workers {
+				t.Fatalf("popped value %#x was never pushed", v)
+			}
+		}
+	}
+	totalPushed := 0
+	for _, n := range pushedCount {
+		totalPushed += n
+	}
+	if len(seen)+inst.Len() != totalPushed {
+		t.Fatalf("conservation: %d popped + %d residue != %d pushed",
+			len(seen), inst.Len(), totalPushed)
+	}
+}
+
+// RunProducerConsumerDrain checks that consumers observe every produced
+// value exactly once when they drain after producers stop.
+func RunProducerConsumerDrain(t *testing.T, f Factory) {
+	t.Helper()
+	inst := f()
+	producers, consumers, perProducer := 3, 3, 8000
+	if testing.Short() {
+		perProducer = 2500
+	}
+	prodDone := make(chan struct{})
+	var produced int
+	pdone := make(chan int, producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			s := inst.Session()
+			for i := 0; i < perProducer; i++ {
+				s.PushLeft(uint32(p)<<22 | uint32(i))
+			}
+			pdone <- perProducer
+		}(p)
+	}
+	counts := make(chan int, consumers)
+	for c := 0; c < consumers; c++ {
+		go func(c int) {
+			s := inst.Session()
+			n := 0
+			for {
+				var ok bool
+				if c%2 == 0 {
+					_, ok = s.PopRight()
+				} else {
+					_, ok = s.PopLeft()
+				}
+				if ok {
+					n++
+					continue
+				}
+				select {
+				case <-prodDone:
+					if _, ok := s.PopLeft(); ok {
+						n++
+						continue
+					}
+					if _, ok := s.PopRight(); ok {
+						n++
+						continue
+					}
+					counts <- n
+					return
+				default:
+				}
+			}
+		}(c)
+	}
+	for p := 0; p < producers; p++ {
+		produced += <-pdone
+	}
+	close(prodDone)
+	consumed := 0
+	for c := 0; c < consumers; c++ {
+		consumed += <-counts
+	}
+	if consumed != produced {
+		t.Fatalf("consumed %d, want %d", consumed, produced)
+	}
+	if inst.Len() != 0 {
+		t.Fatalf("Len = %d after drain", inst.Len())
+	}
+}

@@ -1,0 +1,159 @@
+// Package elim implements the elimination arrays of Section II-D (Fig. 13).
+//
+// A deque, like a stack, can eliminate a same-side push/pop pair that
+// overlaps in time: the pair "cancels out" without touching the deque. The
+// paper attaches one elimination array to each side and moves the expensive
+// scan off the critical path:
+//
+//	insert(op)            // advertise, then go look for the edge
+//	... oracle ...
+//	remove()              // found the edge; withdraw — unless already matched
+//	... try transitions on the real deque ...
+//	scan(op)              // transitions failed (contention): hunt for a partner
+//	insert(op); retry     // no partner either: re-advertise and start over
+//
+// Each thread owns one slot, a single 64-bit word holding
+// (state, tag, value). Partners match by CASing a waiting slot to Matched;
+// the 26-bit tag is bumped on every transition by the owner so a scanner
+// acting on a stale read cannot match a later operation (ABA).
+package elim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Op identifies the operation class advertised in a slot.
+type Op uint8
+
+// Operation classes. Push carries the value being pushed; Pop carries none.
+const (
+	Push Op = 1
+	Pop  Op = 2
+)
+
+// slot states, stored in bits 32..33 of the slot word.
+const (
+	stEmpty uint64 = iota
+	stWaitPush
+	stWaitPop
+	stMatched
+)
+
+// Slot word layout: bits 0-31 value, bits 32-37 state (6 bits, 2 used),
+// bits 38-63 tag (26 bits, wraps).
+func packWord(state uint64, tag uint64, val uint32) uint64 {
+	return (tag&0x03ffffff)<<38 | (state&0x3f)<<32 | uint64(val)
+}
+func wordState(w uint64) uint64 { return (w >> 32) & 0x3f }
+func wordTag(w uint64) uint64   { return w >> 38 }
+func wordVal(w uint64) uint32   { return uint32(w) }
+
+// Array is one side's elimination array. Slot i belongs exclusively to the
+// thread registered with ID i; only the owner stores to its slot, partners
+// only CAS waiting→matched.
+type Array struct {
+	slots []paddedSlot
+}
+
+type paddedSlot struct {
+	w atomic.Uint64
+	_ [7]uint64 // one slot per cache line: scans are reads, matches rare
+}
+
+// New returns an Array with capacity for maxThreads participants.
+func New(maxThreads int) *Array {
+	if maxThreads <= 0 {
+		panic("elim: need at least one thread slot")
+	}
+	return &Array{slots: make([]paddedSlot, maxThreads)}
+}
+
+// Size returns the number of thread slots.
+func (a *Array) Size() int { return len(a.slots) }
+
+// Insert advertises operation op with value val (ignored for Pop) in tid's
+// slot. The slot must be vacant, i.e. the owner must have called Remove (or
+// consumed a match) since its last Insert; violating this panics, since it
+// always indicates a protocol bug in the caller.
+func (a *Array) Insert(tid int, op Op, val uint32) {
+	s := &a.slots[tid].w
+	w := s.Load()
+	if wordState(w) != stEmpty {
+		panic(fmt.Sprintf("elim: Insert into occupied slot %d (state %d)", tid, wordState(w)))
+	}
+	st := stWaitPush
+	if op == Pop {
+		st = stWaitPop
+	}
+	s.Store(packWord(st, wordTag(w)+1, val))
+}
+
+// Remove withdraws tid's advertisement. If a partner already matched it,
+// Remove consumes the match instead: eliminated is true and, when the owner
+// was a popper, val holds the partner's pushed value.
+func (a *Array) Remove(tid int) (val uint32, eliminated bool) {
+	s := &a.slots[tid].w
+	w := s.Load()
+	switch wordState(w) {
+	case stMatched:
+		s.Store(packWord(stEmpty, wordTag(w)+1, 0))
+		return wordVal(w), true
+	case stWaitPush, stWaitPop:
+		if s.CompareAndSwap(w, packWord(stEmpty, wordTag(w)+1, 0)) {
+			return 0, false
+		}
+		// The only transition another thread can make is waiting→matched.
+		w = s.Load()
+		if wordState(w) != stMatched {
+			panic("elim: slot changed under owner to non-matched state")
+		}
+		s.Store(packWord(stEmpty, wordTag(w)+1, 0))
+		return wordVal(w), true
+	default:
+		panic(fmt.Sprintf("elim: Remove from vacant slot %d", tid))
+	}
+}
+
+// Scan searches the array for a waiting opposite operation and tries to
+// match it. For a popping scanner, success returns the partner's value; for
+// a pushing scanner, success means val was handed to a popper.
+//
+// Scan visits slots starting just after tid so concurrent scanners spread
+// out instead of all fighting over slot 0.
+func (a *Array) Scan(tid int, op Op, val uint32) (uint32, bool) {
+	n := len(a.slots)
+	wantState := stWaitPop
+	if op == Pop {
+		wantState = stWaitPush
+	}
+	for k := 1; k < n; k++ {
+		j := tid + k
+		if j >= n {
+			j -= n
+		}
+		s := &a.slots[j].w
+		w := s.Load()
+		if wordState(w) != wantState {
+			continue
+		}
+		if op == Pop {
+			// Partner is a pusher: take its value, leave a plain match.
+			if s.CompareAndSwap(w, packWord(stMatched, wordTag(w), 0)) {
+				return wordVal(w), true
+			}
+		} else {
+			// Partner is a popper: hand it our value.
+			if s.CompareAndSwap(w, packWord(stMatched, wordTag(w), val)) {
+				return 0, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Vacant reports whether tid's slot is empty; used by tests to verify the
+// insert/remove protocol and by assertions in the deque glue.
+func (a *Array) Vacant(tid int) bool {
+	return wordState(a.slots[tid].w.Load()) == stEmpty
+}

@@ -1,0 +1,236 @@
+package elim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordPackingProperty(t *testing.T) {
+	f := func(state8 uint8, tag uint32, val uint32) bool {
+		state := uint64(state8 % 4)
+		tg := uint64(tag) & 0x03ffffff
+		w := packWord(state, tg, val)
+		return wordState(w) == state && wordTag(w) == tg && wordVal(w) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertRemoveNoPartner(t *testing.T) {
+	a := New(4)
+	a.Insert(0, Push, 42)
+	if a.Vacant(0) {
+		t.Fatal("slot vacant after Insert")
+	}
+	v, elim := a.Remove(0)
+	if elim {
+		t.Fatalf("Remove reported elimination with no partner (v=%d)", v)
+	}
+	if !a.Vacant(0) {
+		t.Fatal("slot occupied after Remove")
+	}
+}
+
+func TestPopScannerTakesPushValue(t *testing.T) {
+	a := New(4)
+	a.Insert(0, Push, 99) // pusher waits in slot 0
+	v, ok := a.Scan(1, Pop, 0)
+	if !ok || v != 99 {
+		t.Fatalf("Scan = (%d,%v), want (99,true)", v, ok)
+	}
+	// Pusher discovers the match on Remove.
+	_, elim := a.Remove(0)
+	if !elim {
+		t.Fatal("pusher's Remove did not report elimination")
+	}
+	if !a.Vacant(0) {
+		t.Fatal("slot not vacated after consuming match")
+	}
+}
+
+func TestPushScannerHandsValueToPopper(t *testing.T) {
+	a := New(4)
+	a.Insert(2, Pop, 0) // popper waits in slot 2
+	_, ok := a.Scan(3, Push, 1234)
+	if !ok {
+		t.Fatal("push Scan failed to match waiting pop")
+	}
+	v, elim := a.Remove(2)
+	if !elim || v != 1234 {
+		t.Fatalf("popper Remove = (%d,%v), want (1234,true)", v, elim)
+	}
+}
+
+func TestScanIgnoresSameOp(t *testing.T) {
+	a := New(4)
+	a.Insert(0, Push, 1)
+	if _, ok := a.Scan(1, Push, 2); ok {
+		t.Fatal("push matched push")
+	}
+	if _, elim := a.Remove(0); elim {
+		t.Fatal("unexpected elimination")
+	}
+	a.Insert(2, Pop, 0)
+	if _, ok := a.Scan(3, Pop, 0); ok {
+		t.Fatal("pop matched pop")
+	}
+	if _, elim := a.Remove(2); elim {
+		t.Fatal("unexpected elimination")
+	}
+}
+
+func TestScanSkipsOwnSlot(t *testing.T) {
+	a := New(2)
+	a.Insert(0, Push, 7)
+	if _, ok := a.Scan(0, Pop, 0); ok {
+		t.Fatal("scanner matched its own slot")
+	}
+	a.Remove(0)
+}
+
+func TestScanEmptyArrayFails(t *testing.T) {
+	a := New(8)
+	if _, ok := a.Scan(0, Pop, 0); ok {
+		t.Fatal("Scan matched in empty array")
+	}
+	if _, ok := a.Scan(0, Push, 5); ok {
+		t.Fatal("Scan matched in empty array")
+	}
+}
+
+func TestDoubleInsertPanics(t *testing.T) {
+	a := New(2)
+	a.Insert(0, Push, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Insert did not panic")
+		}
+	}()
+	a.Insert(0, Push, 2)
+}
+
+func TestRemoveVacantPanics(t *testing.T) {
+	a := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove from vacant slot did not panic")
+		}
+	}()
+	a.Remove(0)
+}
+
+func TestReinsertionAfterMatch(t *testing.T) {
+	a := New(4)
+	for round := 0; round < 100; round++ {
+		a.Insert(0, Push, uint32(round))
+		if v, ok := a.Scan(1, Pop, 0); !ok || v != uint32(round) {
+			t.Fatalf("round %d: Scan = (%d,%v)", round, v, ok)
+		}
+		if _, elim := a.Remove(0); !elim {
+			t.Fatalf("round %d: pusher not eliminated", round)
+		}
+	}
+}
+
+// TestConcurrentPairing runs pushers and poppers that only use the
+// elimination array; every pushed value must be consumed by exactly one
+// popper or retained by its pusher.
+func TestConcurrentPairing(t *testing.T) {
+	const pairs = 4
+	const rounds = 5000
+	a := New(2 * pairs)
+	var consumed sync.Map
+	var wg sync.WaitGroup
+	var popped atomic.Int64
+
+	// linger gives partners a window to match an advertised operation.
+	linger := func() {
+		for s := 0; s < 128; s++ {
+			if s&31 == 31 {
+				runtime.Gosched()
+			}
+		}
+	}
+
+	// Pushers occupy slots 0..pairs-1 and wait to be matched; they retry
+	// insert/remove until eliminated.
+	for p := 0; p < pairs; p++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				v := uint32(tid)<<20 | uint32(r)
+				for {
+					a.Insert(tid, Push, v)
+					linger()
+					if _, elim := a.Remove(tid); elim {
+						break
+					}
+					// Also try active matching against waiting poppers.
+					if _, ok := a.Scan(tid, Push, v); ok {
+						break
+					}
+				}
+			}
+		}(p)
+	}
+	// Poppers scan actively and also advertise.
+	for p := 0; p < pairs; p++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var got uint32
+				for {
+					if v, ok := a.Scan(tid, Pop, 0); ok {
+						got = v
+						break
+					}
+					a.Insert(tid, Pop, 0)
+					linger()
+					if v, elim := a.Remove(tid); elim {
+						got = v
+						break
+					}
+				}
+				if _, dup := consumed.LoadOrStore(got, tid); dup {
+					t.Errorf("value %#x consumed twice", got)
+					return
+				}
+				popped.Add(1)
+			}
+		}(pairs + p)
+	}
+	wg.Wait()
+	if popped.Load() != pairs*rounds {
+		t.Fatalf("popped %d values, want %d", popped.Load(), pairs*rounds)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func BenchmarkInsertRemoveUnmatched(b *testing.B) {
+	a := New(2)
+	for i := 0; i < b.N; i++ {
+		a.Insert(0, Push, uint32(i))
+		a.Remove(0)
+	}
+}
+
+func BenchmarkScanMiss(b *testing.B) {
+	a := New(32)
+	for i := 0; i < b.N; i++ {
+		a.Scan(0, Pop, 0)
+	}
+}

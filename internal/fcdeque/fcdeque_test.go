@@ -1,0 +1,78 @@
+package fcdeque
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dequetest"
+)
+
+type inst struct{ d *Deque }
+
+func (i inst) Session() dequetest.Session { return &sess{d: i.d, h: i.d.Register()} }
+func (i inst) Len() int                   { return i.d.Len() }
+
+type sess struct {
+	d *Deque
+	h *Handle
+}
+
+func (s *sess) PushLeft(v uint32)        { s.d.PushLeft(s.h, v) }
+func (s *sess) PushRight(v uint32)       { s.d.PushRight(s.h, v) }
+func (s *sess) PopLeft() (uint32, bool)  { return s.d.PopLeft(s.h) }
+func (s *sess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }
+
+func TestConformance(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance { return inst{New(64)} })
+}
+
+func TestCombinerServesOthers(t *testing.T) {
+	// Many goroutines push concurrently; the final size must be exact,
+	// which requires every published request to be served exactly once.
+	d := New(64)
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := d.Register()
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					d.PushLeft(h, uint32(i))
+				} else {
+					d.PushRight(h, uint32(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := d.Len(); n != goroutines*perG {
+		t.Fatalf("Len = %d, want %d", n, goroutines*perG)
+	}
+}
+
+func TestRegisterManyHandles(t *testing.T) {
+	d := New(8)
+	hs := make([]*Handle, 100)
+	for i := range hs {
+		hs[i] = d.Register()
+	}
+	// All records must be reachable from the publication list: use each
+	// handle once and verify the count.
+	for i, h := range hs {
+		d.PushRight(h, uint32(i))
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+}
+
+func BenchmarkUncontended(b *testing.B) {
+	d := New(1024)
+	h := d.Register()
+	for i := 0; i < b.N; i++ {
+		d.PushLeft(h, 7)
+		d.PopLeft(h)
+	}
+}

@@ -1,0 +1,299 @@
+// Package hlm implements the bounded, array-based, obstruction-free deque of
+// Herlihy, Luchangco, and Moir (ICDCS 2003), in the linear form described in
+// Section II-A1 and Figures 1–3 of the paper this repository reproduces.
+//
+// The deque is a single array of CAS-able (value, counter) slots. Nontrivial
+// data occupies a contiguous span; LN tuples fill every slot left of the
+// span, RN tuples every slot right of it. A push or pop at an edge is a pair
+// of CASes: the first bumps the counter of the slot just inside the edge
+// ("in"), the second replaces the slot just outside the edge ("out"). Any
+// concurrent operation on the same edge must change the counter of one of
+// those slots, so at most one of two racing edge operations can see both
+// CASes succeed — the entire correctness argument in one sentence.
+//
+// Slots 0 and len-1 are permanent LN/RN sentinels; data lives in slots
+// 1..len-2. This matches the node layout of the unbounded deque, where the
+// same two positions become link slots.
+//
+// The structure is obstruction-free: an operation retries only when a
+// concurrent operation changed an edge slot under it.
+package hlm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/word"
+)
+
+// ErrFull is returned by pushes when no slot is available on that side.
+// Unlike a Go channel, a bounded deque distinguishes "full" per side: a
+// deque whose span is pressed against the left wall fails PushLeft while
+// PushRight may still succeed.
+var ErrFull = errors.New("hlm: deque side full")
+
+// ErrReserved is returned when a caller tries to push one of the four
+// reserved slot values (see package word).
+var ErrReserved = errors.New("hlm: value is reserved")
+
+// Deque is a bounded concurrent double-ended queue of uint32 values.
+// All methods are safe for concurrent use.
+type Deque struct {
+	slots []atomic.Uint64
+	// Edge hints; any value is correct (the oracles re-validate), stale
+	// values only cost scan steps.
+	leftHint  atomic.Int64
+	rightHint atomic.Int64
+}
+
+// New returns a Deque with room for capacity values. The initial span sits
+// in the middle of the array, giving both sides equal room, matching the
+// split constructor of Figure 5.
+func New(capacity int) *Deque {
+	if capacity < 1 {
+		panic("hlm: capacity must be positive")
+	}
+	n := capacity + 2 // two permanent sentinel slots
+	d := &Deque{slots: make([]atomic.Uint64, n)}
+	split := n / 2
+	for i := 0; i < split; i++ {
+		d.slots[i].Store(word.Pack(word.LN, 0))
+	}
+	for i := split; i < n; i++ {
+		d.slots[i].Store(word.Pack(word.RN, 0))
+	}
+	d.leftHint.Store(int64(split - 1))
+	d.rightHint.Store(int64(split))
+	return d
+}
+
+// Capacity returns the number of values the deque can hold.
+func (d *Deque) Capacity() int { return len(d.slots) - 2 }
+
+// lOracle returns an index i such that, at some point during the call,
+// slots[i] held the leftmost non-LN value (a datum, or RN when the deque is
+// empty). Concurrent operations may invalidate the answer immediately; the
+// caller's two-CAS protocol detects that.
+func (d *Deque) lOracle() int {
+	i := int(d.leftHint.Load())
+	if i < 1 {
+		i = 1
+	}
+	if i > len(d.slots)-1 {
+		i = len(d.slots) - 1
+	}
+	// Walk right past LNs, then left while the left neighbor is non-LN.
+	for i < len(d.slots)-1 && word.Val(d.slots[i].Load()) == word.LN {
+		i++
+	}
+	for i > 1 && word.Val(d.slots[i-1].Load()) != word.LN {
+		i--
+	}
+	return i
+}
+
+// rOracle is the mirror image of lOracle: leftmost... rather, it returns an
+// index i such that slots[i] held the rightmost non-RN value.
+func (d *Deque) rOracle() int {
+	i := int(d.rightHint.Load())
+	if i < 0 {
+		i = 0
+	}
+	if i > len(d.slots)-2 {
+		i = len(d.slots) - 2
+	}
+	for i > 0 && word.Val(d.slots[i].Load()) == word.RN {
+		i--
+	}
+	for i < len(d.slots)-2 && word.Val(d.slots[i+1].Load()) != word.RN {
+		i++
+	}
+	return i
+}
+
+// PushLeft inserts v at the left end. It returns ErrFull when the left side
+// has no room and ErrReserved when v collides with a reserved slot value.
+func (d *Deque) PushLeft(v uint32) error {
+	if word.IsReserved(v) {
+		return ErrReserved
+	}
+	for {
+		i := d.lOracle()
+		in := d.slots[i].Load()
+		if word.Val(in) == word.LN {
+			continue // oracle answer already stale
+		}
+		// The span (or the empty position) touches the left wall: out would
+		// be the sentinel, so there is no room on this side. FULL
+		// linearizes at the stable re-read: slot 0 is permanently LN, so a
+		// non-LN slot 1 is the leftmost non-LN at that instant.
+		if i == 1 {
+			if d.slots[1].Load() == in {
+				return ErrFull
+			}
+			continue
+		}
+		out := d.slots[i-1].Load()
+		if word.Val(out) != word.LN {
+			continue
+		}
+		// Two-CAS: bump in, then write the datum over the rightmost LN.
+		if d.slots[i].CompareAndSwap(in, word.Bump(in)) &&
+			d.slots[i-1].CompareAndSwap(out, word.With(out, v)) {
+			d.leftHint.Store(int64(i - 1))
+			return nil
+		}
+	}
+}
+
+// PushRight inserts v at the right end; symmetric to PushLeft.
+func (d *Deque) PushRight(v uint32) error {
+	if word.IsReserved(v) {
+		return ErrReserved
+	}
+	for {
+		i := d.rOracle()
+		in := d.slots[i].Load()
+		if word.Val(in) == word.RN {
+			continue
+		}
+		if i == len(d.slots)-2 {
+			if d.slots[i].Load() == in {
+				return ErrFull
+			}
+			continue
+		}
+		out := d.slots[i+1].Load()
+		if word.Val(out) != word.RN {
+			continue
+		}
+		if d.slots[i].CompareAndSwap(in, word.Bump(in)) &&
+			d.slots[i+1].CompareAndSwap(out, word.With(out, v)) {
+			d.rightHint.Store(int64(i + 1))
+			return nil
+		}
+	}
+}
+
+// PopLeft removes and returns the leftmost value. ok is false when the
+// deque was empty (the paper's EMPTY return).
+func (d *Deque) PopLeft() (v uint32, ok bool) {
+	for {
+		i := d.lOracle()
+		in := d.slots[i].Load()
+		inVal := word.Val(in)
+		if inVal == word.LN {
+			continue
+		}
+		out := d.slots[i-1].Load()
+		if word.Val(out) != word.LN {
+			continue
+		}
+		if inVal == word.RN {
+			// Empty check (transition E1). We observed out = LN, then
+			// re-read in unchanged: at the moment out was read, the
+			// adjacent (LN, RN) pair proves the whole span was empty —
+			// that read is the linearization point.
+			if d.slots[i].Load() == in {
+				return 0, false
+			}
+			continue
+		}
+		// Two-CAS, mirrored: bump out, then clear the datum to LN.
+		if d.slots[i-1].CompareAndSwap(out, word.Bump(out)) &&
+			d.slots[i].CompareAndSwap(in, word.With(in, word.LN)) {
+			d.leftHint.Store(int64(i + 1))
+			return inVal, true
+		}
+	}
+}
+
+// PopRight removes and returns the rightmost value; symmetric to PopLeft.
+func (d *Deque) PopRight() (v uint32, ok bool) {
+	for {
+		i := d.rOracle()
+		in := d.slots[i].Load()
+		inVal := word.Val(in)
+		if inVal == word.RN {
+			continue
+		}
+		out := d.slots[i+1].Load()
+		if word.Val(out) != word.RN {
+			continue
+		}
+		if inVal == word.LN {
+			if d.slots[i].Load() == in {
+				return 0, false
+			}
+			continue
+		}
+		if d.slots[i+1].CompareAndSwap(out, word.Bump(out)) &&
+			d.slots[i].CompareAndSwap(in, word.With(in, word.RN)) {
+			d.rightHint.Store(int64(i - 1))
+			return inVal, true
+		}
+	}
+}
+
+// Len returns a racy estimate of the number of stored values; exact only in
+// quiescence. Tests use it after workers join.
+func (d *Deque) Len() int {
+	n := 0
+	for i := 1; i < len(d.slots)-1; i++ {
+		if !word.IsReserved(word.Val(d.slots[i].Load())) {
+			n++
+		}
+	}
+	return n
+}
+
+// dump formats the slot array for debugging and test failure messages.
+func (d *Deque) dump() string {
+	s := "["
+	for i := range d.slots {
+		w := d.slots[i].Load()
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s/%d", word.Name(word.Val(w)), word.Ct(w))
+	}
+	return s + "]"
+}
+
+// CheckInvariant verifies the LN* data* RN* shape, returning an error
+// describing the first violation. Only meaningful in quiescence; tests call
+// it after joining workers.
+func (d *Deque) CheckInvariant() error {
+	const (
+		phaseLN = iota
+		phaseData
+		phaseRN
+	)
+	phase := phaseLN
+	for i := range d.slots {
+		v := word.Val(d.slots[i].Load())
+		switch {
+		case v == word.LN:
+			if phase != phaseLN {
+				return fmt.Errorf("hlm: LN at %d after span started: %s", i, d.dump())
+			}
+		case v == word.RN:
+			phase = phaseRN
+		case word.IsSeal(v):
+			return fmt.Errorf("hlm: seal value at %d in bounded deque: %s", i, d.dump())
+		default: // datum
+			if phase == phaseRN {
+				return fmt.Errorf("hlm: datum at %d after RN: %s", i, d.dump())
+			}
+			phase = phaseData
+		}
+	}
+	if word.Val(d.slots[0].Load()) != word.LN {
+		return fmt.Errorf("hlm: left sentinel overwritten: %s", d.dump())
+	}
+	if word.Val(d.slots[len(d.slots)-1].Load()) != word.RN {
+		return fmt.Errorf("hlm: right sentinel overwritten: %s", d.dump())
+	}
+	return nil
+}

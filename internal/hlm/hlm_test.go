@@ -1,0 +1,395 @@
+package hlm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+	"repro/internal/xrand"
+)
+
+func TestNewInvariant(t *testing.T) {
+	for _, c := range []int{1, 2, 3, 10, 1024} {
+		d := New(c)
+		if d.Capacity() != c {
+			t.Fatalf("Capacity() = %d, want %d", d.Capacity(), c)
+		}
+		if err := d.CheckInvariant(); err != nil {
+			t.Fatal(err)
+		}
+		if d.Len() != 0 {
+			t.Fatalf("fresh deque Len = %d", d.Len())
+		}
+	}
+}
+
+func TestNewInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestEmptyPops(t *testing.T) {
+	d := New(8)
+	if _, ok := d.PopLeft(); ok {
+		t.Fatal("PopLeft on empty succeeded")
+	}
+	if _, ok := d.PopRight(); ok {
+		t.Fatal("PopRight on empty succeeded")
+	}
+}
+
+func TestReservedValuesRejected(t *testing.T) {
+	d := New(8)
+	for _, v := range []uint32{word.LN, word.RN, word.LS, word.RS} {
+		if err := d.PushLeft(v); !errors.Is(err, ErrReserved) {
+			t.Fatalf("PushLeft(%#x) = %v, want ErrReserved", v, err)
+		}
+		if err := d.PushRight(v); !errors.Is(err, ErrReserved) {
+			t.Fatalf("PushRight(%#x) = %v, want ErrReserved", v, err)
+		}
+	}
+	if err := d.PushLeft(word.MaxValue); err != nil {
+		t.Fatalf("PushLeft(MaxValue) = %v, want nil", err)
+	}
+}
+
+func TestStackSemanticsLeft(t *testing.T) {
+	d := New(64)
+	for i := uint32(0); i < 30; i++ {
+		if err := d.PushLeft(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(29); i >= 0; i-- {
+		v, ok := d.PopLeft()
+		if !ok || v != uint32(i) {
+			t.Fatalf("PopLeft = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueSemantics(t *testing.T) {
+	d := New(64)
+	for i := uint32(0); i < 30; i++ {
+		if err := d.PushLeft(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < 30; i++ {
+		v, ok := d.PopRight()
+		if !ok || v != i {
+			t.Fatalf("PopRight = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestFullLeft(t *testing.T) {
+	// Capacity 4: initial split leaves 2 slots on each side of center.
+	d := New(4)
+	pushed := 0
+	for {
+		err := d.PushLeft(uint32(pushed))
+		if errors.Is(err, ErrFull) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pushed++
+		if pushed > 10 {
+			t.Fatal("never filled")
+		}
+	}
+	if pushed == 0 {
+		t.Fatal("no pushes succeeded")
+	}
+	// Right side may still have room.
+	if err := d.PushRight(100); err != nil {
+		t.Fatalf("PushRight on left-full deque: %v", err)
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullBothSides(t *testing.T) {
+	d := New(4)
+	for {
+		if err := d.PushLeft(1); err != nil {
+			break
+		}
+	}
+	for {
+		if err := d.PushRight(2); err != nil {
+			break
+		}
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d at both-sides-full, want capacity 4", d.Len())
+	}
+	if err := d.PushLeft(9); !errors.Is(err, ErrFull) {
+		t.Fatalf("PushLeft = %v, want ErrFull", err)
+	}
+	if err := d.PushRight(9); !errors.Is(err, ErrFull) {
+		t.Fatalf("PushRight = %v, want ErrFull", err)
+	}
+}
+
+func TestLinearDriftFullOnEmpty(t *testing.T) {
+	// The linear (non-circular) HLM deque lets the span drift: push left
+	// then pop right shifts the span left. After enough drift an *empty*
+	// deque can be full on the left — the documented linear-deque behavior.
+	// Capacity 4 splits 2|2, so the span can drift left exactly twice.
+	d := New(4)
+	for i := 0; i < 2; i++ {
+		if err := d.PushLeft(uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.PopRight(); !ok {
+			t.Fatal("PopRight failed")
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+	if err := d.PushLeft(7); !errors.Is(err, ErrFull) {
+		t.Fatalf("PushLeft after full left drift = %v, want ErrFull", err)
+	}
+	// The other side still works and recovers the capacity.
+	if err := d.PushRight(8); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d.PopLeft(); !ok || v != 8 {
+		t.Fatalf("PopLeft = (%d,%v), want (8,true)", v, ok)
+	}
+}
+
+func TestMixedEndsOrdering(t *testing.T) {
+	d := New(16)
+	// Build c b a | d e f reading left to right: a b ... wait — construct
+	// explicitly: PushLeft(b), PushLeft(a), PushRight(c): contents a b c.
+	d.PushLeft(11)
+	d.PushLeft(10)
+	d.PushRight(12)
+	want := []uint32{10, 11, 12}
+	for _, w := range want {
+		v, ok := d.PopLeft()
+		if !ok || v != w {
+			t.Fatalf("PopLeft = (%d,%v), want (%d,true)", v, ok, w)
+		}
+	}
+}
+
+// TestPropertySequentialModel drives the HLM deque single-threaded against
+// the obvious slice model, including Full and Empty outcomes.
+func TestPropertySequentialModel(t *testing.T) {
+	f := func(ops []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		d := New(capacity)
+		var model []uint32
+		next := uint32(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				err := d.PushLeft(next)
+				if err == nil {
+					model = append([]uint32{next}, model...)
+				} else if !errors.Is(err, ErrFull) {
+					return false
+				}
+				// ErrFull is allowed whenever the span touches the wall,
+				// which the model cannot see (drift); accept either, but
+				// a successful push must never exceed capacity.
+				if len(model) > capacity {
+					return false
+				}
+				next++
+			case 1:
+				err := d.PushRight(next)
+				if err == nil {
+					model = append(model, next)
+				} else if !errors.Is(err, ErrFull) {
+					return false
+				}
+				if len(model) > capacity {
+					return false
+				}
+				next++
+			case 2:
+				v, ok := d.PopLeft()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				v, ok := d.PopRight()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+			if err := d.CheckInvariant(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// concurrentHarness runs pushers and poppers and validates conservation:
+// every popped value was pushed, no value popped twice, and in quiescence
+// pops + residue == pushes.
+func concurrentHarness(t *testing.T, workers, opsPer int, pattern string) {
+	t.Helper()
+	d := New(1 << 14)
+	var wg sync.WaitGroup
+	popped := make([][]uint32, workers)
+	pushedCount := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewXoshiro256(uint64(w) + 1)
+			for i := 0; i < opsPer; i++ {
+				id := uint32(w)<<20 | uint32(i)
+				var isPush bool
+				var left bool
+				switch pattern {
+				case "stack":
+					isPush, left = rng.Bool(), true
+				case "queue":
+					isPush = rng.Bool()
+					left = isPush // push left, pop right
+				default: // deque
+					isPush, left = rng.Bool(), rng.Bool()
+				}
+				if isPush {
+					var err error
+					if left {
+						err = d.PushLeft(id)
+					} else {
+						err = d.PushRight(id)
+					}
+					if err == nil {
+						pushedCount[w]++
+					} else if !errors.Is(err, ErrFull) {
+						t.Errorf("push error: %v", err)
+						return
+					}
+				} else {
+					var v uint32
+					var ok bool
+					if left {
+						v, ok = d.PopLeft()
+					} else {
+						v, ok = d.PopRight()
+					}
+					if ok {
+						popped[w] = append(popped[w], v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint32]bool)
+	for _, ps := range popped {
+		for _, v := range ps {
+			if seen[v] {
+				t.Fatalf("value %#x popped twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	totalPushed := 0
+	for _, n := range pushedCount {
+		totalPushed += n
+	}
+	if len(seen)+d.Len() != totalPushed {
+		t.Fatalf("conservation: %d popped + %d residue != %d pushed",
+			len(seen), d.Len(), totalPushed)
+	}
+}
+
+func TestConcurrentDequePattern(t *testing.T) { concurrentHarness(t, 8, 20000, "deque") }
+func TestConcurrentStackPattern(t *testing.T) { concurrentHarness(t, 8, 20000, "stack") }
+func TestConcurrentQueuePattern(t *testing.T) { concurrentHarness(t, 8, 20000, "queue") }
+
+func TestConcurrentTwoSidesNoInterference(t *testing.T) {
+	// One goroutine owns the left end, one the right; with a large buffer
+	// they must both complete all operations without ever observing Full.
+	d := New(1 << 12)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	run := func(push func(uint32) error, pop func() (uint32, bool)) {
+		defer wg.Done()
+		for i := uint32(0); i < 1000; i++ {
+			if err := push(i); err != nil {
+				errs <- err
+				return
+			}
+			// A pop may transiently find the deque empty (the other side
+			// can consume the single shared element), but the combined
+			// push/pop accounting guarantees retrying terminates.
+			for {
+				if _, ok := pop(); ok {
+					break
+				}
+			}
+		}
+	}
+	wg.Add(2)
+	go run(d.PushLeft, d.PopLeft)
+	go run(d.PushRight, d.PopRight)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+}
+
+func BenchmarkUncontendedPushPopLeft(b *testing.B) {
+	d := New(1024)
+	for i := 0; i < b.N; i++ {
+		if err := d.PushLeft(5); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := d.PopLeft(); !ok {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package hlm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/lincheck"
+	"repro/internal/xrand"
+)
+
+// TestLinearizability records small concurrent histories against the
+// bounded deque and checks them with the Wing–Gong checker. Capacity is
+// large enough that Full cannot occur within a history, so the unbounded
+// sequential model applies.
+func TestLinearizability(t *testing.T) {
+	const trials = 150
+	const workers = 3
+	const opsPer = 5
+	for trial := 0; trial < trials; trial++ {
+		d := New(1 << 10)
+		rec := lincheck.NewRecorder()
+		logs := make([]*lincheck.WorkerLog, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			logs[w] = rec.Worker()
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				l := logs[w]
+				rng := xrand.NewXoshiro256(uint64(trial)*691 + uint64(w) + 3)
+				for i := 0; i < opsPer; i++ {
+					v := uint32(trial)<<10 | uint32(w)<<5 | uint32(i)
+					switch rng.Intn(4) {
+					case 0:
+						l.Push(lincheck.PushLeft, v, func() {
+							if err := d.PushLeft(v); err != nil {
+								t.Errorf("PushLeft: %v", err)
+							}
+						})
+					case 1:
+						l.Push(lincheck.PushRight, v, func() {
+							if err := d.PushRight(v); err != nil {
+								t.Errorf("PushRight: %v", err)
+							}
+						})
+					case 2:
+						l.Pop(lincheck.PopLeft, d.PopLeft)
+					case 3:
+						l.Pop(lincheck.PopRight, d.PopRight)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		h := lincheck.Merge(logs...)
+		if !lincheck.Check(h) {
+			for _, op := range h {
+				t.Logf("  %v", op)
+			}
+			t.Fatalf("trial %d: HLM history not linearizable", trial)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package lincheck
+
+import (
+	"testing"
+
+	"repro/internal/seqdeque"
+)
+
+// FuzzCheckerAcceptsSequentialHistories generates a genuinely sequential
+// history by replaying fuzz-chosen ops on the model and recording truthful
+// outcomes; the checker must accept every such history. It also corrupts
+// one successful pop's return value to a never-pushed sentinel and asserts
+// rejection — both directions of the checker's judgement get fuzzed.
+func FuzzCheckerAcceptsSequentialHistories(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 2, 3})
+	f.Add([]byte{0, 0, 0, 3, 3, 3, 3})
+	f.Add([]byte{2, 3, 0, 2, 1, 3})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 24 {
+			ops = ops[:24] // keep checking cheap
+		}
+		model := seqdeque.New[uint32](8)
+		var h History
+		ts := int64(0)
+		next := uint32(0)
+		firstPopIdx := -1
+		for _, op := range ops {
+			ts++
+			o := Op{Call: ts}
+			switch op % 4 {
+			case 0:
+				o.Kind, o.Arg = PushLeft, next
+				model.PushLeft(next)
+				next++
+			case 1:
+				o.Kind, o.Arg = PushRight, next
+				model.PushRight(next)
+				next++
+			case 2:
+				o.Kind = PopLeft
+				o.Ret, o.RetOK = model.PopLeft()
+			case 3:
+				o.Kind = PopRight
+				o.Ret, o.RetOK = model.PopRight()
+			}
+			ts++
+			o.Return = ts
+			if firstPopIdx < 0 && (o.Kind == PopLeft || o.Kind == PopRight) && o.RetOK {
+				firstPopIdx = len(h)
+			}
+			h = append(h, o)
+		}
+		if !Check(h) {
+			t.Fatalf("sequential history rejected: %v", h)
+		}
+		if firstPopIdx >= 0 {
+			bad := append(History(nil), h...)
+			bad[firstPopIdx].Ret = 0xDEAD0000 // never pushed
+			if Check(bad) {
+				t.Fatalf("history with invented pop value accepted: %v", bad)
+			}
+		}
+	})
+}

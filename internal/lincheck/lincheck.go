@@ -1,0 +1,235 @@
+// Package lincheck is an offline linearizability checker for deque
+// histories, in the style of Wing & Gong's algorithm with Lowe's
+// memoization: a depth-first search over linearization orders, pruning by
+// (linearized-set, abstract-state) pairs already proven dead.
+//
+// The paper's correctness argument (Section III-A) identifies linearization
+// points inside the implementation; this checker approaches from the
+// outside: it records concurrent histories of the real structure and
+// verifies that SOME assignment of linearization points — each between its
+// operation's call and return — replays correctly against the sequential
+// deque semantics of Section III-A1. Every concurrent structure in this
+// repository is run through it in its tests.
+//
+// Checking is exponential in the worst case; histories are capped at 64
+// operations, and the stress tests run many small randomized histories
+// instead of one big one, which is the standard practice.
+package lincheck
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/seqdeque"
+)
+
+// OpKind enumerates deque operations.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	PushLeft OpKind = iota
+	PushRight
+	PopLeft
+	PopRight
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case PushLeft:
+		return "push_left"
+	case PushRight:
+		return "push_right"
+	case PopLeft:
+		return "pop_left"
+	case PopRight:
+		return "pop_right"
+	}
+	return "?"
+}
+
+// Op is one completed operation in a history. Call and Return are logical
+// timestamps drawn from one atomic counter, so all are distinct and
+// real-time precedence is exactly Return(a) < Call(b).
+type Op struct {
+	Kind   OpKind
+	Arg    uint32 // pushes: value pushed
+	Ret    uint32 // pops: value returned (when RetOK)
+	RetOK  bool   // pops: false means the operation reported EMPTY
+	Call   int64
+	Return int64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case PushLeft, PushRight:
+		return fmt.Sprintf("%s(%d)@[%d,%d]", o.Kind, o.Arg, o.Call, o.Return)
+	default:
+		if o.RetOK {
+			return fmt.Sprintf("%s()=%d@[%d,%d]", o.Kind, o.Ret, o.Call, o.Return)
+		}
+		return fmt.Sprintf("%s()=EMPTY@[%d,%d]", o.Kind, o.Call, o.Return)
+	}
+}
+
+// History is a set of completed operations.
+type History []Op
+
+// MaxOps bounds history size (the memo mask is a uint64).
+const MaxOps = 64
+
+// Check reports whether h is linearizable with respect to sequential deque
+// semantics. It panics if len(h) > MaxOps.
+func Check(h History) bool {
+	n := len(h)
+	if n > MaxOps {
+		panic(fmt.Sprintf("lincheck: history of %d ops exceeds MaxOps", n))
+	}
+	if n == 0 {
+		return true
+	}
+	full := uint64(1)<<n - 1
+	visited := make(map[string]struct{})
+	model := seqdeque.New[uint32](n)
+	return dfs(h, 0, full, model, visited)
+}
+
+// dfs explores linearization orders. mask holds already-linearized ops.
+func dfs(h History, mask, full uint64, model *seqdeque.Deque[uint32], visited map[string]struct{}) bool {
+	if mask == full {
+		return true
+	}
+	key := stateKey(mask, model)
+	if _, seen := visited[key]; seen {
+		return false
+	}
+	visited[key] = struct{}{}
+
+	// minRet: the earliest return among unlinearized ops. An op may be
+	// linearized next only if its call precedes every unlinearized return —
+	// otherwise some completed op would be ordered after an op that started
+	// after it finished.
+	minRet := int64(1) << 62
+	for i := 0; i < len(h); i++ {
+		if mask&(1<<i) == 0 && h[i].Return < minRet {
+			minRet = h[i].Return
+		}
+	}
+	for i := 0; i < len(h); i++ {
+		if mask&(1<<i) != 0 || h[i].Call > minRet {
+			continue
+		}
+		m2, ok := apply(h[i], model)
+		if !ok {
+			continue
+		}
+		if dfs(h, mask|1<<i, full, m2, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// apply replays op on a copy of the model, reporting whether the recorded
+// outcome matches sequential semantics.
+func apply(op Op, model *seqdeque.Deque[uint32]) (*seqdeque.Deque[uint32], bool) {
+	switch op.Kind {
+	case PushLeft:
+		m := model.Clone()
+		m.PushLeft(op.Arg)
+		return m, true
+	case PushRight:
+		m := model.Clone()
+		m.PushRight(op.Arg)
+		return m, true
+	case PopLeft:
+		if !op.RetOK {
+			if model.Empty() {
+				return model, true
+			}
+			return nil, false
+		}
+		if v, ok := model.PeekLeft(); !ok || v != op.Ret {
+			return nil, false
+		}
+		m := model.Clone()
+		m.PopLeft()
+		return m, true
+	case PopRight:
+		if !op.RetOK {
+			if model.Empty() {
+				return model, true
+			}
+			return nil, false
+		}
+		if v, ok := model.PeekRight(); !ok || v != op.Ret {
+			return nil, false
+		}
+		m := model.Clone()
+		m.PopRight()
+		return m, true
+	}
+	return nil, false
+}
+
+// stateKey serializes (mask, model contents) for memoization.
+func stateKey(mask uint64, model *seqdeque.Deque[uint32]) string {
+	vals := model.Slice()
+	buf := make([]byte, 8+4*len(vals))
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(mask >> (8 * i))
+	}
+	for i, v := range vals {
+		buf[8+4*i] = byte(v)
+		buf[8+4*i+1] = byte(v >> 8)
+		buf[8+4*i+2] = byte(v >> 16)
+		buf[8+4*i+3] = byte(v >> 24)
+	}
+	return string(buf)
+}
+
+// Recorder hands out logical timestamps and collects per-worker logs.
+type Recorder struct {
+	clk atomic.Int64
+}
+
+// NewRecorder returns a fresh Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// WorkerLog is one goroutine's private operation log.
+type WorkerLog struct {
+	r   *Recorder
+	ops []Op
+}
+
+// Worker returns a log for one goroutine.
+func (r *Recorder) Worker() *WorkerLog { return &WorkerLog{r: r} }
+
+// Push records a push operation around exec.
+func (w *WorkerLog) Push(kind OpKind, arg uint32, exec func()) {
+	call := w.r.clk.Add(1)
+	exec()
+	ret := w.r.clk.Add(1)
+	w.ops = append(w.ops, Op{Kind: kind, Arg: arg, Call: call, Return: ret})
+}
+
+// Pop records a pop operation around exec.
+func (w *WorkerLog) Pop(kind OpKind, exec func() (uint32, bool)) (uint32, bool) {
+	call := w.r.clk.Add(1)
+	v, ok := exec()
+	ret := w.r.clk.Add(1)
+	w.ops = append(w.ops, Op{Kind: kind, Ret: v, RetOK: ok, Call: call, Return: ret})
+	return v, ok
+}
+
+// Ops returns the worker's log.
+func (w *WorkerLog) Ops() []Op { return w.ops }
+
+// Merge combines worker logs into one history.
+func Merge(logs ...*WorkerLog) History {
+	var h History
+	for _, l := range logs {
+		h = append(h, l.ops...)
+	}
+	return h
+}

@@ -1,0 +1,230 @@
+package lincheck
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/seqdeque"
+)
+
+// seq builds a strictly sequential history from (kind, arg/ret, ok) triples.
+func seq(ops ...Op) History {
+	ts := int64(0)
+	h := make(History, len(ops))
+	for i, o := range ops {
+		ts++
+		o.Call = ts
+		ts++
+		o.Return = ts
+		h[i] = o
+	}
+	return h
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(nil) {
+		t.Fatal("empty history rejected")
+	}
+}
+
+func TestSequentialValid(t *testing.T) {
+	h := seq(
+		Op{Kind: PushLeft, Arg: 1},
+		Op{Kind: PushRight, Arg: 2},
+		Op{Kind: PopLeft, Ret: 1, RetOK: true},
+		Op{Kind: PopLeft, Ret: 2, RetOK: true},
+		Op{Kind: PopLeft, RetOK: false},
+	)
+	if !Check(h) {
+		t.Fatal("valid sequential history rejected")
+	}
+}
+
+func TestSequentialWrongValue(t *testing.T) {
+	h := seq(
+		Op{Kind: PushLeft, Arg: 1},
+		Op{Kind: PushLeft, Arg: 2},
+		Op{Kind: PopLeft, Ret: 1, RetOK: true}, // should be 2
+	)
+	if Check(h) {
+		t.Fatal("wrong LIFO order accepted")
+	}
+}
+
+func TestSequentialBogusEmpty(t *testing.T) {
+	h := seq(
+		Op{Kind: PushLeft, Arg: 1},
+		Op{Kind: PopRight, RetOK: false}, // deque is nonempty
+	)
+	if Check(h) {
+		t.Fatal("bogus EMPTY accepted")
+	}
+}
+
+func TestSequentialPopNeverPushed(t *testing.T) {
+	h := seq(
+		Op{Kind: PushLeft, Arg: 1},
+		Op{Kind: PopLeft, Ret: 99, RetOK: true},
+	)
+	if Check(h) {
+		t.Fatal("pop of never-pushed value accepted")
+	}
+}
+
+func TestConcurrentReorderAllowed(t *testing.T) {
+	// Two overlapping pushes; a later pop can see either order.
+	h := History{
+		{Kind: PushLeft, Arg: 1, Call: 1, Return: 4},
+		{Kind: PushLeft, Arg: 2, Call: 2, Return: 3},
+		{Kind: PopLeft, Ret: 1, RetOK: true, Call: 5, Return: 6}, // 1 pushed last
+		{Kind: PopLeft, Ret: 2, RetOK: true, Call: 7, Return: 8},
+	}
+	if !Check(h) {
+		t.Fatal("legal overlap-order rejected")
+	}
+	// And the other resolution too.
+	h[2].Ret, h[3].Ret = 2, 1
+	if !Check(h) {
+		t.Fatal("other legal overlap-order rejected")
+	}
+}
+
+func TestConcurrentEmptyDuringOverlap(t *testing.T) {
+	// A pop overlapping a push may return EMPTY (linearized before the
+	// push) — but only while it overlaps.
+	h := History{
+		{Kind: PushLeft, Arg: 1, Call: 1, Return: 4},
+		{Kind: PopLeft, RetOK: false, Call: 2, Return: 3},
+	}
+	if !Check(h) {
+		t.Fatal("EMPTY during overlapping push rejected")
+	}
+	// Strictly after the push, EMPTY is wrong.
+	h[1].Call, h[1].Return = 5, 6
+	if Check(h) {
+		t.Fatal("EMPTY after completed push accepted")
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// push(1) completes before push(2) starts; pops disagree.
+	h := History{
+		{Kind: PushRight, Arg: 1, Call: 1, Return: 2},
+		{Kind: PushRight, Arg: 2, Call: 3, Return: 4},
+		{Kind: PopLeft, Ret: 2, RetOK: true, Call: 5, Return: 6},
+		{Kind: PopLeft, Ret: 1, RetOK: true, Call: 7, Return: 8},
+	}
+	if Check(h) {
+		t.Fatal("history violating real-time order accepted")
+	}
+}
+
+func TestDoublePopRejected(t *testing.T) {
+	h := seq(
+		Op{Kind: PushLeft, Arg: 7},
+		Op{Kind: PopLeft, Ret: 7, RetOK: true},
+		Op{Kind: PopRight, Ret: 7, RetOK: true},
+	)
+	if Check(h) {
+		t.Fatal("double pop accepted")
+	}
+}
+
+func TestRecorderProducesCheckableHistories(t *testing.T) {
+	// Run a real (locked, hence trivially linearizable) deque under the
+	// recorder and check the history.
+	var mu sync.Mutex
+	d := seqdeque.New[uint32](8)
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	logs := make([]*WorkerLog, 4)
+	for w := 0; w < 4; w++ {
+		logs[w] = rec.Worker()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := logs[w]
+			for i := 0; i < 8; i++ {
+				v := uint32(w*100 + i)
+				if i%2 == 0 {
+					l.Push(PushLeft, v, func() {
+						mu.Lock()
+						d.PushLeft(v)
+						mu.Unlock()
+					})
+				} else {
+					l.Pop(PopRight, func() (uint32, bool) {
+						mu.Lock()
+						defer mu.Unlock()
+						return d.PopRight()
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := Merge(logs...)
+	if len(h) != 32 {
+		t.Fatalf("history has %d ops, want 32", len(h))
+	}
+	if !Check(h) {
+		t.Fatal("history of a locked deque not linearizable — checker bug")
+	}
+}
+
+func TestBrokenDequeCaught(t *testing.T) {
+	// A "deque" whose PopLeft returns the RIGHTMOST element must produce
+	// non-linearizable histories under mixed use... sequentially it is
+	// simply wrong, which the checker must flag.
+	d := seqdeque.New[uint32](8)
+	rec := NewRecorder()
+	l := rec.Worker()
+	l.Push(PushLeft, 1, func() { d.PushLeft(1) })
+	l.Push(PushLeft, 2, func() { d.PushLeft(2) })
+	l.Pop(PopLeft, func() (uint32, bool) { return d.PopRight() }) // broken: pops 1
+	h := Merge(l)
+	if Check(h) {
+		t.Fatal("broken pop direction accepted")
+	}
+}
+
+func TestOversizeHistoryPanics(t *testing.T) {
+	h := make(History, MaxOps+1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on oversize history")
+		}
+	}()
+	Check(h)
+}
+
+func TestOpString(t *testing.T) {
+	o := Op{Kind: PushLeft, Arg: 5, Call: 1, Return: 2}
+	if o.String() == "" {
+		t.Fatal("empty String()")
+	}
+	o = Op{Kind: PopRight, RetOK: false, Call: 3, Return: 4}
+	if o.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkCheck24Ops(b *testing.B) {
+	// A realistic small concurrent history.
+	var h History
+	ts := int64(0)
+	for i := 0; i < 12; i++ {
+		h = append(h, Op{Kind: PushLeft, Arg: uint32(i), Call: ts, Return: ts + 3})
+		ts += 2
+	}
+	for i := 0; i < 12; i++ {
+		h = append(h, Op{Kind: PopRight, Ret: uint32(i), RetOK: true, Call: ts, Return: ts + 3})
+		ts += 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Check(h) {
+			b.Fatal("valid history rejected")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package mmdeque
+
+import (
+	"testing"
+
+	"repro/internal/dequetest"
+)
+
+type inst struct{ d *Deque }
+
+func (i inst) Session() dequetest.Session { return &sess{d: i.d, h: i.d.Register()} }
+func (i inst) Len() int                   { return i.d.Len() }
+
+type sess struct {
+	d *Deque
+	h *Handle
+}
+
+func (s *sess) PushLeft(v uint32)        { s.d.PushLeft(s.h, v) }
+func (s *sess) PushRight(v uint32)       { s.d.PushRight(s.h, v) }
+func (s *sess) PopLeft() (uint32, bool)  { return s.d.PopLeft(s.h) }
+func (s *sess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }
+
+func TestConformance(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return inst{New(Config{})}
+	})
+}
+
+func TestConformanceWithElimination(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return inst{New(Config{Elimination: true, MaxThreads: 64})}
+	})
+}
+
+func TestSliceOrder(t *testing.T) {
+	d := New(Config{})
+	h := d.Register()
+	d.PushLeft(h, 2)
+	d.PushLeft(h, 1)
+	d.PushRight(h, 3)
+	got := d.Slice()
+	want := []uint32{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("Slice = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSingleElementBothEnds(t *testing.T) {
+	d := New(Config{})
+	h := d.Register()
+	d.PushLeft(h, 42)
+	if v, ok := d.PopRight(h); !ok || v != 42 {
+		t.Fatalf("PopRight = (%d,%v)", v, ok)
+	}
+	d.PushRight(h, 43)
+	if v, ok := d.PopLeft(h); !ok || v != 43 {
+		t.Fatalf("PopLeft = (%d,%v)", v, ok)
+	}
+	if d.Len() != 0 {
+		t.Fatal("not empty")
+	}
+}
+
+func TestRegisterOverflowPanics(t *testing.T) {
+	d := New(Config{MaxThreads: 1})
+	d.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic past MaxThreads")
+		}
+	}()
+	d.Register()
+}
+
+func BenchmarkUncontended(b *testing.B) {
+	d := New(Config{})
+	h := d.Register()
+	for i := 0; i < b.N; i++ {
+		d.PushLeft(h, 7)
+		d.PopLeft(h)
+	}
+}

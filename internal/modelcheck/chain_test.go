@@ -1,0 +1,238 @@
+package modelcheck
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChainAllPairs exhaustively explores every ordered pair of operations
+// on two-node chains in the states where linking transitions fire:
+// straddles, seals, removals, and cross-node empty checks.
+func TestChainAllPairs(t *testing.T) {
+	ops := []OpKind{PushLeft, PushRight, PopLeft, PopRight}
+	initials := []struct {
+		name string
+		a, b []uint32
+	}{
+		{"empty", nil, nil},
+		{"a-one", []uint32{7}, nil},
+		{"b-one", nil, []uint32{7}},
+		{"straddle", []uint32{7}, []uint32{8}},
+		{"a-full", []uint32{6, 7, 8}, nil},
+		{"both", []uint32{6, 7}, []uint32{8, 9}},
+	}
+	for _, init := range initials {
+		for _, x := range ops {
+			for _, y := range ops {
+				name := fmt.Sprintf("%s/%v+%v", init.name, x, y)
+				t.Run(name, func(t *testing.T) {
+					res, err := ChainCheck(ChainConfig{
+						InitialA: init.a,
+						InitialB: init.b,
+						Seqs:     [][]OpKind{{x}, {y}},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Interleaved == 0 {
+						t.Fatal("no interleavings explored")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChainSealRaces covers the races today's fixes address: operations on
+// both sides of a chain whose drained node is about to be (or already is)
+// sealed.
+func TestChainSealRaces(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ChainConfig
+	}{
+		// Both sides pop a single straddle-adjacent value: the left pop's
+		// progression (seal A, remove A, boundary pop) races the right
+		// pop's interior pop.
+		{"popLR-on-b", ChainConfig{InitialB: []uint32{7},
+			Seqs: [][]OpKind{{PopLeft}, {PopRight}}}},
+		// Mirror: datum on A, right pop must seal/remove B... B holds
+		// nothing, so the right pop's progression seals B while the left
+		// pop works the same datum.
+		{"popLR-on-a", ChainConfig{InitialA: []uint32{7},
+			Seqs: [][]OpKind{{PopLeft}, {PopRight}}}},
+		// Two left pops race the whole progression on the same seal.
+		{"popLL", ChainConfig{InitialB: []uint32{7},
+			Seqs: [][]OpKind{{PopLeft}, {PopLeft}}}},
+		// A pushes race a pop's seal of their target node.
+		{"pushL-vs-popL", ChainConfig{InitialB: []uint32{7},
+			Seqs: [][]OpKind{{PushLeft}, {PopLeft}}}},
+		// Cross-side seal attempt with pushes refilling.
+		{"popR-vs-pushR-on-a", ChainConfig{InitialA: []uint32{7},
+			Seqs: [][]OpKind{{PopRight}, {PushRight}}}},
+		// Empty chain: both sides certify emptiness through the straddle.
+		{"empty-popLR", ChainConfig{
+			Seqs: [][]OpKind{{PopLeft}, {PopRight}}}},
+		// Program order: pop then push on one side racing the other side's
+		// progression.
+		{"seq-vs-progression", ChainConfig{InitialB: []uint32{7},
+			Seqs: [][]OpKind{{PopLeft, PushLeft}, {PopRight}}}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := ChainCheck(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Interleaved == 0 {
+				t.Fatal("no interleavings explored")
+			}
+		})
+	}
+}
+
+// TestChainPendingSealStates stages the stalled-sealer states directly (the
+// regression behind DESIGN.md §3.12) and exhaustively checks every pair of
+// operations against them.
+func TestChainPendingSealStates(t *testing.T) {
+	ops := []OpKind{PushLeft, PushRight, PopLeft, PopRight}
+	for _, staged := range []struct {
+		name string
+		cfg  ChainConfig
+	}{
+		{"pending-LS", ChainConfig{SealA: true}},
+		{"pending-LS-with-data", ChainConfig{SealA: true, InitialB: []uint32{7}}},
+		{"pending-RS", ChainConfig{SealB: true}},
+		{"pending-RS-with-data", ChainConfig{SealB: true, InitialA: []uint32{7}}},
+	} {
+		for _, x := range ops {
+			for _, y := range ops {
+				name := fmt.Sprintf("%s/%v+%v", staged.name, x, y)
+				t.Run(name, func(t *testing.T) {
+					cfg := staged.cfg
+					cfg.Seqs = [][]OpKind{{x}, {y}}
+					res, err := ChainCheck(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Interleaved == 0 {
+						t.Fatal("no interleavings explored")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChainSoloProgress: a single operation on a pending-seal state must be
+// able to complete (Theorem 2's obstruction freedom) — at least one oracle
+// choice leads to a completed outcome. The literal published validation
+// fails exactly this for pops on pending-RS (the left side could never
+// reach its empty check).
+func TestChainSoloProgress(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ChainConfig
+	}{
+		{"popL-under-RS", ChainConfig{SealB: true, Seqs: [][]OpKind{{PopLeft}}}},
+		{"popR-under-LS", ChainConfig{SealA: true, Seqs: [][]OpKind{{PopRight}}}},
+		{"pushL-under-RS", ChainConfig{SealB: true, InitialA: nil, Seqs: [][]OpKind{{PushLeft}}}},
+		{"pushR-under-LS", ChainConfig{SealA: true, Seqs: [][]OpKind{{PushRight}}}},
+		{"popL-drains-straddle", ChainConfig{InitialB: []uint32{7}, Seqs: [][]OpKind{{PopLeft}}}},
+		{"popR-drains-straddle", ChainConfig{InitialA: []uint32{7}, Seqs: [][]OpKind{{PopRight}}}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := ChainCheck(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Linearized == 0 {
+				t.Fatalf("no oracle choice lets the operation complete: %+v", res)
+			}
+		})
+	}
+}
+
+// TestChainTriples spot-checks three-way races around the progression.
+func TestChainTriples(t *testing.T) {
+	cases := [][]OpKind{
+		{PopLeft, PopLeft, PushLeft},
+		{PopLeft, PopRight, PushRight},
+		{PopLeft, PopRight, PopLeft},
+	}
+	for _, ops := range cases {
+		ops := ops
+		t.Run(fmt.Sprintf("%v", ops), func(t *testing.T) {
+			res, err := ChainCheck(ChainConfig{
+				InitialB: []uint32{7},
+				Seqs:     [][]OpKind{{ops[0]}, {ops[1]}, {ops[2]}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("states=%d interleavings=%d", res.States, res.Interleaved)
+		})
+	}
+}
+
+// TestChainValidation exercises config errors.
+func TestChainValidation(t *testing.T) {
+	if _, err := ChainCheck(ChainConfig{InitialA: []uint32{1, 2, 3, 4},
+		Seqs: [][]OpKind{{PopLeft}}}); err == nil {
+		t.Fatal("no error for overflowing InitialA")
+	}
+	if _, err := ChainCheck(ChainConfig{SealA: true, InitialA: []uint32{1},
+		Seqs: [][]OpKind{{PopLeft}}}); err == nil {
+		t.Fatal("no error for SealA with data")
+	}
+	if _, err := ChainCheck(ChainConfig{Seqs: [][]OpKind{{}}}); err == nil {
+		t.Fatal("no error for empty sequence")
+	}
+}
+
+// TestChainTeethLiteralValidation runs the chain model with the paper's
+// LITERAL validation (reject the opposite seal) and shows the consequence
+// mechanically: on a pending-RS state a lone left pop can never complete —
+// the livelock our stress tests hit, now reproduced by exhaustive search.
+func TestChainTeethLiteralValidation(t *testing.T) {
+	literal := func(s chainState, ti int) ([]chainState, error) {
+		t := s.threads[ti]
+		d, isPush := dirOf(t.kind)
+		// Re-run the normal machine, but at the validation step reject the
+		// opposite seal as the published pseudocode does.
+		if t.pc == cpcLoadOut {
+			inV := wordVal64(t.in)
+			if inV == d.oppSeal {
+				return []chainState{chainAbort(s, ti)}, nil
+			}
+		}
+		if isPush {
+			return chainPushStep(s, ti, t, d)
+		}
+		return chainPopStep(s, ti, t, d)
+	}
+	res, err := ChainCheck(ChainConfig{
+		SealB:  true,
+		Seqs:   [][]OpKind{{PopLeft}},
+		stepFn: literal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearized != 0 {
+		t.Fatalf("literal validation unexpectedly let the pop complete: %+v", res)
+	}
+	// Sanity: with the reconstructed validation the same pop completes.
+	res, err = ChainCheck(ChainConfig{SealB: true, Seqs: [][]OpKind{{PopLeft}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearized == 0 {
+		t.Fatal("reconstructed validation no longer completes the pop")
+	}
+}
+
+func wordVal64(w uint64) uint32 { return uint32(w) }

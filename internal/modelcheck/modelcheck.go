@@ -1,0 +1,398 @@
+// Package modelcheck exhaustively explores thread interleavings of the
+// two-CAS edge protocol at the heart of both the HLM bounded deque and the
+// paper's unbounded deque (transitions L1/L2 and empty checks E1).
+//
+// The protocol is modeled as explicit step machines: every shared-memory
+// access (slot load, slot CAS) is one atomic step, and the scheduler (a
+// depth-first search) enumerates every possible interleaving of the
+// threads' steps. Two adversarial powers make the exploration stronger
+// than testing:
+//
+//   - The oracle is demonic: instead of scanning, an operation may begin
+//     at ANY slot index. This over-approximates every possible stale-hint
+//     scenario; the protocol's validation reads and CAS counters must
+//     reject all bad choices.
+//   - Every state is checked against the well-formedness invariant
+//     (LN* data* RN*), and every complete interleaving's outcomes must be
+//     linearizable: some permutation of the completed operations replays
+//     sequentially from the initial state.
+//
+// Operations abort (report RETRY) instead of looping when a validation or
+// CAS fails, keeping the state space finite; an aborted attempt's
+// first-CAS counter bump remains in the state, so the "harmless bump"
+// property is itself verified. The checker proves the protocol correct for
+// all small configurations — the standard bounded model-checking argument
+// for why the full structure is trustworthy at scale.
+package modelcheck
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// OpKind enumerates modeled operations.
+type OpKind uint8
+
+// The four deque operations.
+const (
+	PushLeft OpKind = iota
+	PushRight
+	PopLeft
+	PopRight
+)
+
+func (k OpKind) String() string {
+	return [...]string{"push_left", "push_right", "pop_left", "pop_right"}[k]
+}
+
+// Outcome is the result of one thread's single operation attempt.
+type Outcome struct {
+	Kind  OpKind
+	Arg   uint32 // for pushes
+	Done  bool   // completed (succeeded or returned EMPTY)
+	Empty bool   // pop observed EMPTY
+	Val   uint32 // pop's value when Done && !Empty
+}
+
+func (o Outcome) String() string {
+	switch {
+	case !o.Done:
+		return fmt.Sprintf("%v:RETRY", o.Kind)
+	case o.Empty:
+		return fmt.Sprintf("%v:EMPTY", o.Kind)
+	case o.Kind == PushLeft || o.Kind == PushRight:
+		return fmt.Sprintf("%v(%d):OK", o.Kind, o.Arg)
+	default:
+		return fmt.Sprintf("%v:=%d", o.Kind, o.Val)
+	}
+}
+
+// program counters for the step machines.
+const (
+	pcChooseIdx = iota // demonic oracle: pick any index
+	pcLoadIn
+	pcLoadOut
+	pcEmptyReread // pops only, when in-value is the far null
+	pcCAS1
+	pcCAS2
+	pcDone
+)
+
+// thread is one sequence of operation attempts; ops run in program order.
+type thread struct {
+	ops   []OpKind
+	args  []uint32 // pre-assigned push arguments per op
+	opIdx int
+	kind  OpKind // ops[opIdx], cached
+	arg   uint32
+	pc    uint8
+	idx   int // oracle's choice
+	in    uint64
+	out   uint64
+	res   Outcome   // current attempt
+	done  []Outcome // finished attempts, in program order
+}
+
+// state is a full system configuration. Slot words pack (value, counter)
+// exactly as the real implementation does.
+type state struct {
+	slots   []uint64
+	threads []thread
+}
+
+func (s state) clone() state {
+	ns := state{
+		slots:   append([]uint64(nil), s.slots...),
+		threads: append([]thread(nil), s.threads...),
+	}
+	return ns
+}
+
+// key serializes the state for memoization.
+func (s state) key() string {
+	b := make([]byte, 0, len(s.slots)*8+len(s.threads)*24)
+	for _, w := range s.slots {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(w>>(8*i)))
+		}
+	}
+	for _, t := range s.threads {
+		b = append(b, byte(t.kind), t.pc, byte(t.idx), byte(t.opIdx))
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(t.in>>(8*i)))
+		}
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(t.out>>(8*i)))
+		}
+		b = append(b, byte(t.res.Val), boolByte(t.res.Done), boolByte(t.res.Empty))
+		for _, o := range t.done {
+			b = append(b, byte(o.Kind), byte(o.Arg), byte(o.Val),
+				boolByte(o.Done), boolByte(o.Empty))
+		}
+	}
+	return string(b)
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Config parameterizes one exploration.
+type Config struct {
+	// Initial holds the initial data values, placed contiguously starting
+	// at StartAt (1-based data slots).
+	Initial []uint32
+	StartAt int
+	// Slots is the array length including the two border sentinels.
+	Slots int
+	// Ops are the concurrent operations, one per thread (each thread runs
+	// a single operation). For multi-operation threads use Seqs instead.
+	Ops []OpKind
+	// Seqs gives each thread a program-ordered operation sequence; the
+	// leaf check then respects program order, which is what catches bugs
+	// like unverified empty checks. Overrides Ops when non-nil.
+	Seqs [][]OpKind
+	// stepFn overrides the protocol's step function; tests use it to prove
+	// the checker detects broken protocols.
+	stepFn func(state, int) ([]state, error)
+}
+
+// beginOp initializes the thread's registers for ops[opIdx], with the
+// pre-assigned push argument so replays are unambiguous on every path.
+func (t *thread) beginOp() {
+	k := t.ops[t.opIdx]
+	t.kind = k
+	t.pc = pcChooseIdx
+	t.idx = 0
+	t.in, t.out = 0, 0
+	t.res = Outcome{Kind: k}
+	t.arg = t.args[t.opIdx]
+	t.res.Arg = t.arg
+}
+
+// finishOp records the current attempt's outcome and advances program
+// order; the thread parks at pcDone after its last op.
+func (t *thread) finishOp() {
+	t.done = append(t.done, t.res)
+	t.opIdx++
+	if t.opIdx < len(t.ops) {
+		t.beginOp()
+	} else {
+		t.pc = pcDone
+	}
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	States       int // distinct states visited
+	Interleaved  int // complete interleavings checked
+	Linearized   int // interleavings with at least one completed op
+	RetryAborted int // thread-attempts that ended in RETRY
+}
+
+// Check explores every interleaving of cfg and returns an error describing
+// the first violation found (invariant break or non-linearizable outcome).
+func Check(cfg Config) (Result, error) {
+	if cfg.Slots < 4 {
+		return Result{}, fmt.Errorf("modelcheck: need at least 4 slots")
+	}
+	init := state{slots: make([]uint64, cfg.Slots)}
+	for i := range init.slots {
+		init.slots[i] = word.Pack(word.RN, 0)
+	}
+	for i := 0; i < cfg.StartAt; i++ {
+		init.slots[i] = word.Pack(word.LN, 0)
+	}
+	for i, v := range cfg.Initial {
+		if cfg.StartAt+i >= cfg.Slots-1 {
+			return Result{}, fmt.Errorf("modelcheck: initial values overflow")
+		}
+		init.slots[cfg.StartAt+i] = word.Pack(v, 0)
+	}
+	seqs := cfg.Seqs
+	if seqs == nil {
+		for _, k := range cfg.Ops {
+			seqs = append(seqs, []OpKind{k})
+		}
+	}
+	// Pre-assign push arguments per (thread, opIdx) so every exploration
+	// path sees the same deterministic values.
+	arg := uint32(100)
+	var argPlan [][]uint32
+	for _, ops := range seqs {
+		if len(ops) == 0 {
+			return Result{}, fmt.Errorf("modelcheck: empty op sequence")
+		}
+		plan := make([]uint32, len(ops))
+		for i, k := range ops {
+			if k == PushLeft || k == PushRight {
+				plan[i] = arg
+				arg++
+			}
+		}
+		argPlan = append(argPlan, plan)
+	}
+	for i, ops := range seqs {
+		th := thread{ops: ops, args: argPlan[i]}
+		th.beginOp()
+		init.threads = append(init.threads, th)
+	}
+	if err := wellFormed(init.slots); err != nil {
+		return Result{}, fmt.Errorf("modelcheck: bad initial state: %w", err)
+	}
+	stepFn := cfg.stepFn
+	if stepFn == nil {
+		stepFn = step
+	}
+	e := &explorer{
+		initial: append([]uint32(nil), cfg.Initial...),
+		visited: make(map[string]struct{}),
+		stepFn:  stepFn,
+	}
+	err := e.dfs(init)
+	return e.res, err
+}
+
+type explorer struct {
+	initial []uint32
+	visited map[string]struct{}
+	stepFn  func(state, int) ([]state, error)
+	res     Result
+}
+
+func (e *explorer) dfs(s state) error {
+	k := s.key()
+	if _, seen := e.visited[k]; seen {
+		return nil
+	}
+	e.visited[k] = struct{}{}
+	e.res.States++
+
+	if err := wellFormed(s.slots); err != nil {
+		return fmt.Errorf("invariant violated: %w\nstate: %s", err, dump(s))
+	}
+
+	allDone := true
+	for ti := range s.threads {
+		if s.threads[ti].pc == pcDone {
+			continue
+		}
+		allDone = false
+		succs, err := e.stepFn(s, ti)
+		if err != nil {
+			return err
+		}
+		for _, ns := range succs {
+			if err := e.dfs(ns); err != nil {
+				return err
+			}
+		}
+	}
+	if allDone {
+		e.res.Interleaved++
+		return e.checkLeaf(s)
+	}
+	return nil
+}
+
+// checkLeaf verifies the completed outcomes are linearizable: some
+// interleaving of the threads' completed-outcome sequences — respecting
+// each thread's program order — replays on a sequential deque from the
+// initial contents and ends exactly in the leaf's slot contents.
+func (e *explorer) checkLeaf(s state) error {
+	var seqs [][]Outcome
+	total := 0
+	for _, t := range s.threads {
+		var completed []Outcome
+		for _, o := range t.done {
+			if o.Done {
+				completed = append(completed, o)
+			} else {
+				e.res.RetryAborted++
+			}
+		}
+		if len(completed) > 0 {
+			seqs = append(seqs, completed)
+			total += len(completed)
+		}
+	}
+	if total > 0 {
+		e.res.Linearized++
+	}
+	final := contents(s.slots)
+	if mergeReplay(e.initial, seqs, final) {
+		return nil
+	}
+	return fmt.Errorf("non-linearizable leaf: outcomes %v, initial %v, final %v\nstate: %s",
+		seqs, e.initial, final, dump(s))
+}
+
+// mergeReplay tries every program-order-respecting interleaving of the
+// threads' outcome sequences on the model.
+func mergeReplay(model []uint32, seqs [][]Outcome, final []uint32) bool {
+	allEmpty := true
+	for _, q := range seqs {
+		if len(q) > 0 {
+			allEmpty = false
+			break
+		}
+	}
+	if allEmpty {
+		if len(model) != len(final) {
+			return false
+		}
+		for i := range model {
+			if model[i] != final[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i, q := range seqs {
+		if len(q) == 0 {
+			continue
+		}
+		next, ok := apply(model, q[0])
+		if !ok {
+			continue
+		}
+		rest := make([][]Outcome, len(seqs))
+		copy(rest, seqs)
+		rest[i] = q[1:]
+		if mergeReplay(next, rest, final) {
+			return true
+		}
+	}
+	return false
+}
+
+// apply replays one outcome on the abstract deque contents.
+func apply(model []uint32, o Outcome) ([]uint32, bool) {
+	switch o.Kind {
+	case PushLeft:
+		return append([]uint32{o.Arg}, model...), true
+	case PushRight:
+		return append(append([]uint32(nil), model...), o.Arg), true
+	case PopLeft:
+		if o.Empty {
+			return model, len(model) == 0
+		}
+		if len(model) == 0 || model[0] != o.Val {
+			return nil, false
+		}
+		return append([]uint32(nil), model[1:]...), true
+	case PopRight:
+		if o.Empty {
+			return model, len(model) == 0
+		}
+		if len(model) == 0 || model[len(model)-1] != o.Val {
+			return nil, false
+		}
+		return append([]uint32(nil), model[:len(model)-1]...), true
+	}
+	return nil, false
+}

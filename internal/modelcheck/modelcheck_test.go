@@ -1,0 +1,255 @@
+package modelcheck
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// TestAllPairsExhaustive model-checks every ordered pair of operations on a
+// spread of initial states: this is the core verification artifact — every
+// interleaving of every two-operation combination on the two-CAS protocol
+// is linearizable and preserves the invariant.
+func TestAllPairsExhaustive(t *testing.T) {
+	ops := []OpKind{PushLeft, PushRight, PopLeft, PopRight}
+	initials := []struct {
+		name    string
+		vals    []uint32
+		startAt int
+		slots   int
+	}{
+		{"empty-center", nil, 3, 6},
+		{"empty-leftwall", nil, 1, 6},
+		{"empty-rightwall", nil, 5, 6},
+		{"one", []uint32{7}, 2, 6},
+		{"one-leftwall", []uint32{7}, 1, 6},
+		{"two", []uint32{7, 8}, 2, 6},
+		{"nearfull", []uint32{7, 8, 9}, 1, 5},
+	}
+	for _, init := range initials {
+		for _, a := range ops {
+			for _, b := range ops {
+				name := fmt.Sprintf("%s/%v+%v", init.name, a, b)
+				t.Run(name, func(t *testing.T) {
+					res, err := Check(Config{
+						Initial: init.vals,
+						StartAt: init.startAt,
+						Slots:   init.slots,
+						Ops:     []OpKind{a, b},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Interleaved == 0 {
+						t.Fatal("no interleavings explored")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTripleThreads explores three concurrent operations on the states
+// where all three can interact.
+func TestTripleThreads(t *testing.T) {
+	combos := [][]OpKind{
+		{PushLeft, PopLeft, PopRight},
+		{PushLeft, PushRight, PopLeft},
+		{PopLeft, PopLeft, PushRight},
+		{PopLeft, PopRight, PopLeft},
+		{PushLeft, PushLeft, PopRight},
+	}
+	for _, ops := range combos {
+		ops := ops
+		t.Run(fmt.Sprintf("%v", ops), func(t *testing.T) {
+			res, err := Check(Config{
+				Initial: []uint32{7},
+				StartAt: 2,
+				Slots:   6,
+				Ops:     ops,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.States < 100 {
+				t.Fatalf("suspiciously small exploration: %+v", res)
+			}
+		})
+	}
+}
+
+// TestSequencesExhaustive explores program-ordered multi-op threads with
+// the correct protocol: the strongest configuration (order-sensitive leaf
+// checking) must still verify clean.
+func TestSequencesExhaustive(t *testing.T) {
+	combos := [][][]OpKind{
+		{{PushLeft, PopLeft}, {PopLeft}},
+		{{PushRight, PopLeft}, {PopLeft}},
+		{{PopLeft, PushLeft}, {PushRight}},
+		{{PushLeft, PushRight}, {PopLeft, PopRight}},
+		{{PopRight, PopRight}, {PushLeft, PushLeft}},
+	}
+	for _, seqs := range combos {
+		seqs := seqs
+		t.Run(fmt.Sprintf("%v", seqs), func(t *testing.T) {
+			res, err := Check(Config{
+				Initial: []uint32{7},
+				StartAt: 2,
+				Slots:   6,
+				Seqs:    seqs,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Interleaved == 0 || res.Linearized == 0 {
+				t.Fatalf("thin exploration: %+v", res)
+			}
+		})
+	}
+}
+
+func TestSingleOpAlwaysCompletesOrAborts(t *testing.T) {
+	// A lone operation with a correct oracle choice must complete: check
+	// that at least one interleaving completes each op on a one-element
+	// deque.
+	for _, op := range []OpKind{PushLeft, PushRight, PopLeft, PopRight} {
+		res, err := Check(Config{
+			Initial: []uint32{5},
+			StartAt: 2,
+			Slots:   6,
+			Ops:     []OpKind{op},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Linearized == 0 {
+			t.Fatalf("%v never completed on any oracle choice", op)
+		}
+	}
+}
+
+func TestEmptyPopsReportEmpty(t *testing.T) {
+	res, err := Check(Config{
+		StartAt: 3,
+		Slots:   6,
+		Ops:     []OpKind{PopLeft, PopRight},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearized == 0 {
+		t.Fatal("no completed interleavings on empty deque")
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	if _, err := Check(Config{Slots: 3, StartAt: 1, Ops: []OpKind{PushLeft}}); err == nil {
+		t.Fatal("no error for too few slots")
+	}
+	if _, err := Check(Config{Slots: 4, StartAt: 1, Initial: []uint32{1, 2, 3}, Ops: nil}); err == nil {
+		t.Fatal("no error for overflowing initial values")
+	}
+}
+
+func TestWellFormedCatchesViolations(t *testing.T) {
+	mkSlots := func(vals ...uint32) []uint64 {
+		out := make([]uint64, len(vals))
+		for i, v := range vals {
+			out[i] = word.Pack(v, 0)
+		}
+		return out
+	}
+	bad := [][]uint64{
+		mkSlots(word.RN, word.RN, word.RN),    // left sentinel broken
+		mkSlots(word.LN, word.LN, word.LN),    // right sentinel broken
+		mkSlots(word.LN, 5, word.LN, word.RN), // LN after span
+		mkSlots(word.LN, word.RN, 5, word.RN), // datum after RN
+		mkSlots(word.LN, word.LS, word.RN),    // seal in bounded protocol
+	}
+	for i, s := range bad {
+		if err := wellFormed(s); err == nil {
+			t.Errorf("case %d: invariant violation not caught", i)
+		}
+	}
+	if err := wellFormed(mkSlots(word.LN, 5, 6, word.RN)); err != nil {
+		t.Errorf("valid state rejected: %v", err)
+	}
+}
+
+func TestMergeReplay(t *testing.T) {
+	// pushLeft(9) then popLeft=9 explains initial [7] -> final [7].
+	ok := mergeReplay([]uint32{7}, [][]Outcome{
+		{{Kind: PushLeft, Arg: 9, Done: true}},
+		{{Kind: PopLeft, Val: 9, Done: true}},
+	}, []uint32{7})
+	if !ok {
+		t.Fatal("valid replay rejected")
+	}
+	// popLeft returning a never-present value must fail.
+	if mergeReplay([]uint32{7}, [][]Outcome{{{Kind: PopLeft, Val: 42, Done: true}}}, []uint32{7}) {
+		t.Fatal("invalid replay accepted")
+	}
+	// EMPTY against a nonempty model must fail.
+	if mergeReplay([]uint32{7}, [][]Outcome{{{Kind: PopLeft, Empty: true, Done: true}}}, []uint32{7}) {
+		t.Fatal("bogus EMPTY accepted")
+	}
+	// Program order within one thread must be respected: a thread that
+	// pushed 9 and THEN popped cannot have its pop linearized first.
+	// Thread: [popLeft=EMPTY, pushLeft(9)] on initial []: valid.
+	if !mergeReplay(nil, [][]Outcome{{
+		{Kind: PopLeft, Empty: true, Done: true},
+		{Kind: PushLeft, Arg: 9, Done: true},
+	}}, []uint32{9}) {
+		t.Fatal("valid ordered replay rejected")
+	}
+	// Thread: [pushLeft(9), popLeft=EMPTY] on initial []: the pop runs
+	// after the push in program order, so EMPTY is invalid.
+	if mergeReplay(nil, [][]Outcome{{
+		{Kind: PushLeft, Arg: 9, Done: true},
+		{Kind: PopLeft, Empty: true, Done: true},
+	}}, []uint32{9}) {
+		t.Fatal("program-order violation accepted")
+	}
+}
+
+// TestCheckerDetectsBrokenProtocol gives the checker a corrupted initial
+// state that no execution repair: it must flag it rather than explore.
+func TestCheckerDetectsBrokenProtocol(t *testing.T) {
+	// An initial layout violating the invariant (datum right of RN) can be
+	// staged via StartAt=0, which breaks the left sentinel.
+	_, err := Check(Config{StartAt: 0, Slots: 5, Ops: []OpKind{PushLeft}})
+	if err == nil {
+		t.Fatal("broken initial state accepted")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{
+		{Kind: PushLeft, Arg: 1, Done: true},
+		{Kind: PopRight, Done: true, Empty: true},
+		{Kind: PopLeft, Done: true, Val: 3},
+		{Kind: PushRight},
+	} {
+		if o.String() == "" {
+			t.Fatal("empty outcome string")
+		}
+	}
+}
+
+func TestStateCountsReported(t *testing.T) {
+	res, err := Check(Config{
+		Initial: []uint32{7, 8},
+		StartAt: 2,
+		Slots:   6,
+		Ops:     []OpKind{PopLeft, PopRight},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("states=%d interleavings=%d linearized=%d aborted=%d",
+		res.States, res.Interleaved, res.Linearized, res.RetryAborted)
+	if res.States == 0 || res.Interleaved == 0 {
+		t.Fatal("empty exploration")
+	}
+}

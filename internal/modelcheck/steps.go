@@ -1,0 +1,343 @@
+package modelcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/word"
+)
+
+// step executes thread ti's next atomic step in s, returning every
+// successor state (several when the step is nondeterministic, i.e. the
+// demonic oracle's index choice).
+func step(s state, ti int) ([]state, error) {
+	t := s.threads[ti]
+	switch t.kind {
+	case PushLeft:
+		return stepPushLeft(s, ti, t)
+	case PushRight:
+		return stepPushRight(s, ti, t)
+	case PopLeft:
+		return stepPopLeft(s, ti, t)
+	case PopRight:
+		return stepPopRight(s, ti, t)
+	}
+	return nil, fmt.Errorf("modelcheck: unknown op %v", t.kind)
+}
+
+// abort ends the current attempt with a RETRY outcome and moves the thread
+// to its next program-order operation.
+func abort(s state, ti int) state {
+	ns := s.clone()
+	t := &ns.threads[ti]
+	t.res.Done = false
+	t.finishOp()
+	return ns
+}
+
+// advance moves the thread to pc with updated registers.
+func advance(s state, ti int, f func(t *thread)) state {
+	ns := s.clone()
+	f(&ns.threads[ti])
+	return ns
+}
+
+func stepPushLeft(s state, ti int, t thread) ([]state, error) {
+	n := len(s.slots)
+	switch t.pc {
+	case pcChooseIdx:
+		// Demonic oracle: any index a stale scan could ever produce.
+		var out []state
+		for idx := 1; idx <= n-1; idx++ {
+			idx := idx
+			out = append(out, advance(s, ti, func(t *thread) {
+				t.idx = idx
+				t.pc = pcLoadIn
+			}))
+		}
+		return out, nil
+	case pcLoadIn:
+		in := s.slots[t.idx]
+		if word.Val(in) == word.LN {
+			return []state{abort(s, ti)}, nil // stale oracle answer
+		}
+		if t.idx == 1 {
+			// The span touches the wall: FULL. Modeled as an abort (no
+			// state change, no completed operation).
+			return []state{abort(s, ti)}, nil
+		}
+		if t.idx == n-1 && word.Val(in) != word.RN {
+			return []state{abort(s, ti)}, nil
+		}
+		return []state{advance(s, ti, func(t *thread) { t.in = in; t.pc = pcLoadOut })}, nil
+	case pcLoadOut:
+		out := s.slots[t.idx-1]
+		if word.Val(out) != word.LN {
+			return []state{abort(s, ti)}, nil
+		}
+		return []state{advance(s, ti, func(t *thread) { t.out = out; t.pc = pcCAS1 })}, nil
+	case pcCAS1:
+		if s.slots[t.idx] != t.in {
+			return []state{abort(s, ti)}, nil
+		}
+		ns := advance(s, ti, func(t *thread) { t.pc = pcCAS2 })
+		ns.slots[t.idx] = word.Bump(t.in)
+		return []state{ns}, nil
+	case pcCAS2:
+		if s.slots[t.idx-1] != t.out {
+			return []state{abort(s, ti)}, nil
+		}
+		ns := advance(s, ti, func(t *thread) {
+			t.res.Done = true
+			t.finishOp()
+		})
+		ns.slots[t.idx-1] = word.With(t.out, t.arg)
+		return []state{ns}, nil
+	}
+	return nil, fmt.Errorf("modelcheck: pushLeft bad pc %d", t.pc)
+}
+
+func stepPushRight(s state, ti int, t thread) ([]state, error) {
+	n := len(s.slots)
+	switch t.pc {
+	case pcChooseIdx:
+		var out []state
+		for idx := 0; idx <= n-2; idx++ {
+			idx := idx
+			out = append(out, advance(s, ti, func(t *thread) {
+				t.idx = idx
+				t.pc = pcLoadIn
+			}))
+		}
+		return out, nil
+	case pcLoadIn:
+		in := s.slots[t.idx]
+		if word.Val(in) == word.RN {
+			return []state{abort(s, ti)}, nil
+		}
+		if t.idx == n-2 {
+			return []state{abort(s, ti)}, nil // FULL
+		}
+		if t.idx == 0 && word.Val(in) != word.LN {
+			return []state{abort(s, ti)}, nil
+		}
+		return []state{advance(s, ti, func(t *thread) { t.in = in; t.pc = pcLoadOut })}, nil
+	case pcLoadOut:
+		out := s.slots[t.idx+1]
+		if word.Val(out) != word.RN {
+			return []state{abort(s, ti)}, nil
+		}
+		return []state{advance(s, ti, func(t *thread) { t.out = out; t.pc = pcCAS1 })}, nil
+	case pcCAS1:
+		if s.slots[t.idx] != t.in {
+			return []state{abort(s, ti)}, nil
+		}
+		ns := advance(s, ti, func(t *thread) { t.pc = pcCAS2 })
+		ns.slots[t.idx] = word.Bump(t.in)
+		return []state{ns}, nil
+	case pcCAS2:
+		if s.slots[t.idx+1] != t.out {
+			return []state{abort(s, ti)}, nil
+		}
+		ns := advance(s, ti, func(t *thread) {
+			t.res.Done = true
+			t.finishOp()
+		})
+		ns.slots[t.idx+1] = word.With(t.out, t.arg)
+		return []state{ns}, nil
+	}
+	return nil, fmt.Errorf("modelcheck: pushRight bad pc %d", t.pc)
+}
+
+func stepPopLeft(s state, ti int, t thread) ([]state, error) {
+	n := len(s.slots)
+	switch t.pc {
+	case pcChooseIdx:
+		var out []state
+		for idx := 1; idx <= n-1; idx++ {
+			idx := idx
+			out = append(out, advance(s, ti, func(t *thread) {
+				t.idx = idx
+				t.pc = pcLoadIn
+			}))
+		}
+		return out, nil
+	case pcLoadIn:
+		in := s.slots[t.idx]
+		if word.Val(in) == word.LN {
+			return []state{abort(s, ti)}, nil
+		}
+		if t.idx == n-1 && word.Val(in) != word.RN {
+			return []state{abort(s, ti)}, nil
+		}
+		return []state{advance(s, ti, func(t *thread) { t.in = in; t.pc = pcLoadOut })}, nil
+	case pcLoadOut:
+		out := s.slots[t.idx-1]
+		if word.Val(out) != word.LN {
+			return []state{abort(s, ti)}, nil
+		}
+		next := uint8(pcCAS1)
+		if word.Val(t.in) == word.RN {
+			next = pcEmptyReread
+		}
+		return []state{advance(s, ti, func(t *thread) { t.out = out; t.pc = next })}, nil
+	case pcEmptyReread:
+		// E1: the re-read linearizes EMPTY if in is unchanged.
+		if s.slots[t.idx] != t.in {
+			return []state{abort(s, ti)}, nil
+		}
+		return []state{advance(s, ti, func(t *thread) {
+			t.res.Done = true
+			t.res.Empty = true
+			t.finishOp()
+		})}, nil
+	case pcCAS1:
+		// Pop order is mirrored: bump out first.
+		if s.slots[t.idx-1] != t.out {
+			return []state{abort(s, ti)}, nil
+		}
+		ns := advance(s, ti, func(t *thread) { t.pc = pcCAS2 })
+		ns.slots[t.idx-1] = word.Bump(t.out)
+		return []state{ns}, nil
+	case pcCAS2:
+		if s.slots[t.idx] != t.in {
+			return []state{abort(s, ti)}, nil
+		}
+		val := word.Val(t.in)
+		ns := advance(s, ti, func(t *thread) {
+			t.res.Done = true
+			t.res.Val = val
+			t.finishOp()
+		})
+		ns.slots[t.idx] = word.With(t.in, word.LN)
+		return []state{ns}, nil
+	}
+	return nil, fmt.Errorf("modelcheck: popLeft bad pc %d", t.pc)
+}
+
+func stepPopRight(s state, ti int, t thread) ([]state, error) {
+	n := len(s.slots)
+	switch t.pc {
+	case pcChooseIdx:
+		var out []state
+		for idx := 0; idx <= n-2; idx++ {
+			idx := idx
+			out = append(out, advance(s, ti, func(t *thread) {
+				t.idx = idx
+				t.pc = pcLoadIn
+			}))
+		}
+		return out, nil
+	case pcLoadIn:
+		in := s.slots[t.idx]
+		if word.Val(in) == word.RN {
+			return []state{abort(s, ti)}, nil
+		}
+		if t.idx == 0 && word.Val(in) != word.LN {
+			return []state{abort(s, ti)}, nil
+		}
+		return []state{advance(s, ti, func(t *thread) { t.in = in; t.pc = pcLoadOut })}, nil
+	case pcLoadOut:
+		out := s.slots[t.idx+1]
+		if word.Val(out) != word.RN {
+			return []state{abort(s, ti)}, nil
+		}
+		next := uint8(pcCAS1)
+		if word.Val(t.in) == word.LN {
+			next = pcEmptyReread
+		}
+		return []state{advance(s, ti, func(t *thread) { t.out = out; t.pc = next })}, nil
+	case pcEmptyReread:
+		if s.slots[t.idx] != t.in {
+			return []state{abort(s, ti)}, nil
+		}
+		return []state{advance(s, ti, func(t *thread) {
+			t.res.Done = true
+			t.res.Empty = true
+			t.finishOp()
+		})}, nil
+	case pcCAS1:
+		if s.slots[t.idx+1] != t.out {
+			return []state{abort(s, ti)}, nil
+		}
+		ns := advance(s, ti, func(t *thread) { t.pc = pcCAS2 })
+		ns.slots[t.idx+1] = word.Bump(t.out)
+		return []state{ns}, nil
+	case pcCAS2:
+		if s.slots[t.idx] != t.in {
+			return []state{abort(s, ti)}, nil
+		}
+		val := word.Val(t.in)
+		ns := advance(s, ti, func(t *thread) {
+			t.res.Done = true
+			t.res.Val = val
+			t.finishOp()
+		})
+		ns.slots[t.idx] = word.With(t.in, word.RN)
+		return []state{ns}, nil
+	}
+	return nil, fmt.Errorf("modelcheck: popRight bad pc %d", t.pc)
+}
+
+// wellFormed validates the LN* data* RN* shape with intact sentinels.
+func wellFormed(slots []uint64) error {
+	if word.Val(slots[0]) != word.LN {
+		return fmt.Errorf("left sentinel is %s", word.Name(word.Val(slots[0])))
+	}
+	if word.Val(slots[len(slots)-1]) != word.RN {
+		return fmt.Errorf("right sentinel is %s", word.Name(word.Val(slots[len(slots)-1])))
+	}
+	const (
+		phLN = iota
+		phData
+		phRN
+	)
+	ph := phLN
+	for i, w := range slots {
+		v := word.Val(w)
+		switch {
+		case v == word.LN:
+			if ph != phLN {
+				return fmt.Errorf("LN at %d after span", i)
+			}
+		case v == word.RN:
+			ph = phRN
+		case word.IsSeal(v):
+			return fmt.Errorf("seal value at %d", i)
+		default:
+			if ph == phRN {
+				return fmt.Errorf("datum at %d after RN", i)
+			}
+			ph = phData
+		}
+	}
+	return nil
+}
+
+// contents extracts the data values, left to right.
+func contents(slots []uint64) []uint32 {
+	var out []uint32
+	for _, w := range slots {
+		if v := word.Val(w); !word.IsReserved(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dump renders a state for error messages.
+func dump(s state) string {
+	var b strings.Builder
+	b.WriteString("slots [")
+	for i, w := range s.slots {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s/%d", word.Name(word.Val(w)), word.Ct(w))
+	}
+	b.WriteString("]")
+	for i, t := range s.threads {
+		fmt.Fprintf(&b, "\n  t%d %v pc=%d idx=%d %v", i, t.kind, t.pc, t.idx, t.res)
+	}
+	return b.String()
+}

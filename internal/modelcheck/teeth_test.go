@@ -1,0 +1,150 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// These tests prove the checker has teeth: deliberately broken variants of
+// the protocol must produce detectable violations under exhaustive
+// exploration. Each breakage models a classic implementation mistake.
+
+// brokenNoBump skips the first CAS's counter bump for pushLeft: the push
+// writes its value without invalidating concurrent edge operations. The
+// original HLM insight is precisely that this bump is what serializes edge
+// operations; without it two concurrent operations can both "succeed".
+func brokenNoBump(s state, ti int) ([]state, error) {
+	t := s.threads[ti]
+	if t.kind == PushLeft && t.pc == pcCAS1 {
+		// Skip the bump entirely: jump straight to CAS2.
+		return []state{advance(s, ti, func(t *thread) { t.pc = pcCAS2 })}, nil
+	}
+	return step(s, ti)
+}
+
+func TestCheckerCatchesMissingBump(t *testing.T) {
+	// push_left racing pop_left on a one-element deque: without the bump,
+	// an interleaving exists where the pop pops the old edge value while
+	// the push also succeeds, leaving outcomes inconsistent with any
+	// sequential order, or corrupting the span shape.
+	var lastErr error
+	for _, ops := range [][]OpKind{
+		{PushLeft, PopLeft},
+		{PushLeft, PushLeft},
+		{PushLeft, PopLeft, PopLeft},
+	} {
+		_, err := Check(Config{
+			Initial: []uint32{7},
+			StartAt: 2,
+			Slots:   6,
+			Ops:     ops,
+			stepFn:  brokenNoBump,
+		})
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("missing-bump protocol passed exhaustive checking — checker has no teeth")
+	}
+	t.Logf("caught: %v", firstLine(lastErr.Error()))
+}
+
+// brokenPopOrder runs pop_left's two CASes in push order (in first, out
+// second) instead of the mirrored order the algorithm specifies.
+func brokenPopOrder(s state, ti int) ([]state, error) {
+	t := s.threads[ti]
+	if t.kind != PopLeft || (t.pc != pcCAS1 && t.pc != pcCAS2) {
+		return step(s, ti)
+	}
+	switch t.pc {
+	case pcCAS1: // do the in-slot write first (wrong)
+		if s.slots[t.idx] != t.in {
+			return []state{abort(s, ti)}, nil
+		}
+		ns := advance(s, ti, func(t *thread) { t.pc = pcCAS2 })
+		ns.slots[t.idx] = word.With(t.in, word.LN)
+		return []state{ns}, nil
+	default: // pcCAS2: then the out bump
+		if s.slots[t.idx-1] != t.out {
+			return []state{abort(s, ti)}, nil
+		}
+		val := word.Val(t.in)
+		ns := advance(s, ti, func(t *thread) {
+			t.res.Done = true
+			t.res.Val = val
+			t.finishOp()
+		})
+		ns.slots[t.idx-1] = word.Bump(t.out)
+		return []state{ns}, nil
+	}
+}
+
+func TestCheckerCatchesWrongPopOrder(t *testing.T) {
+	var lastErr error
+	for _, cfg := range []Config{
+		{Initial: []uint32{7}, StartAt: 2, Slots: 6, Ops: []OpKind{PopLeft, PopLeft}, stepFn: brokenPopOrder},
+		{Initial: []uint32{7}, StartAt: 2, Slots: 6, Ops: []OpKind{PopLeft, PushLeft}, stepFn: brokenPopOrder},
+		{Initial: []uint32{7, 8}, StartAt: 2, Slots: 6, Ops: []OpKind{PopLeft, PopLeft, PushLeft}, stepFn: brokenPopOrder},
+	} {
+		if _, err := Check(cfg); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("wrong-CAS-order pop passed exhaustive checking — checker has no teeth")
+	}
+	t.Logf("caught: %v", firstLine(lastErr.Error()))
+}
+
+// brokenEmptyNoReread returns EMPTY without the stabilizing re-read: the
+// classic bug where a pop concludes emptiness from a single stale read.
+func brokenEmptyNoReread(s state, ti int) ([]state, error) {
+	t := s.threads[ti]
+	if t.kind == PopLeft && t.pc == pcEmptyReread {
+		return []state{advance(s, ti, func(t *thread) {
+			t.res.Done = true
+			t.res.Empty = true
+			t.finishOp()
+		})}, nil
+	}
+	return step(s, ti)
+}
+
+func TestCheckerCatchesUnverifiedEmpty(t *testing.T) {
+	// Exposing this bug needs program order: a second thread pushes and
+	// THEN pops, so the deque is verifiably nonempty for the whole window
+	// in which the broken pop claims EMPTY. (With single-op threads the
+	// permutation freedom of the leaf check can always place an EMPTY
+	// after the pop — the history stays linearizable — which is precisely
+	// why the checker supports per-thread sequences.)
+	var lastErr error
+	for _, cfg := range []Config{
+		{Initial: []uint32{7}, StartAt: 2, Slots: 6,
+			Seqs:   [][]OpKind{{PopLeft}, {PushRight, PopLeft}},
+			stepFn: brokenEmptyNoReread},
+		{Initial: []uint32{7}, StartAt: 2, Slots: 6,
+			Seqs:   [][]OpKind{{PopLeft}, {PushLeft, PopLeft}},
+			stepFn: brokenEmptyNoReread},
+	} {
+		if _, err := Check(cfg); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("unverified EMPTY passed exhaustive checking — checker has no teeth")
+	}
+	t.Logf("caught: %v", firstLine(lastErr.Error()))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

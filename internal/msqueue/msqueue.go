@@ -1,0 +1,85 @@
+// Package msqueue implements the Michael & Scott nonblocking FIFO queue
+// (PODC 1996), the classic specialized structure the paper's introduction
+// cites. It exists here as a reference point for the repository's extension
+// experiment: how much does the general deque's flexibility cost against a
+// dedicated queue under the Queue access pattern?
+//
+// The Go port keeps the original's two-location design (head, tail, helped
+// tail swing) and relies on the garbage collector instead of counted
+// pointers; fresh nodes per enqueue rule out ABA.
+package msqueue
+
+import "sync/atomic"
+
+type node struct {
+	val  uint32
+	next atomic.Pointer[node]
+}
+
+// Queue is a lock-free multi-producer multi-consumer FIFO queue of uint32.
+type Queue struct {
+	head atomic.Pointer[node] // sentinel; head.next is the front
+	tail atomic.Pointer[node]
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	q := &Queue{}
+	sentinel := &node{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enqueue appends v at the back.
+func (q *Queue) Enqueue(v uint32) {
+	nd := &node{val: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved under us; re-read
+		}
+		if next != nil {
+			// Tail is lagging; help swing it and retry.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, nd) {
+			q.tail.CompareAndSwap(tail, nd) // best-effort swing
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the front value; ok is false when empty.
+func (q *Queue) Dequeue() (v uint32, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return 0, false // empty: linearizes at the next read
+			}
+			// Tail lagging behind a concurrent enqueue; help.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if q.head.CompareAndSwap(head, next) {
+			return next.val, true
+		}
+	}
+}
+
+// Len counts elements; quiescent use only.
+func (q *Queue) Len() int {
+	n := 0
+	for nd := q.head.Load().next.Load(); nd != nil; nd = nd.next.Load() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,169 @@
+package msqueue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New()
+	for i := uint32(0); i < 1000; i++ {
+		q.Enqueue(i)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty succeeded")
+	}
+}
+
+func TestEmptyAfterDrain(t *testing.T) {
+	q := New()
+	q.Enqueue(1)
+	q.Dequeue()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Dequeue(); ok {
+			t.Fatal("Dequeue on drained succeeded")
+		}
+	}
+	q.Enqueue(2)
+	if v, ok := q.Dequeue(); !ok || v != 2 {
+		t.Fatal("queue unusable after drain")
+	}
+}
+
+func TestSequentialModelProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := New()
+		var model []uint32
+		next := uint32(0)
+		for _, op := range ops {
+			if op%2 == 0 {
+				q.Enqueue(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMPMCConservation(t *testing.T) {
+	q := New()
+	const producers, consumers, perP = 4, 4, 20000
+	var wg sync.WaitGroup
+	consumed := make([][]uint32, consumers)
+	done := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Enqueue(uint32(p)<<24 | uint32(i))
+			}
+		}(p)
+	}
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			for {
+				if v, ok := q.Dequeue(); ok {
+					consumed[c] = append(consumed[c], v)
+					continue
+				}
+				select {
+				case <-done:
+					if v, ok := q.Dequeue(); ok {
+						consumed[c] = append(consumed[c], v)
+						continue
+					}
+					return
+				default:
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	seen := make(map[uint32]bool)
+	perProducerLast := make(map[uint32]uint32)
+	total := 0
+	for _, cs := range consumed {
+		for _, v := range cs {
+			if seen[v] {
+				t.Fatalf("value %#x consumed twice", v)
+			}
+			seen[v] = true
+			total++
+			_ = perProducerLast
+		}
+	}
+	if total != producers*perP {
+		t.Fatalf("consumed %d, want %d", total, producers*perP)
+	}
+}
+
+func TestPerProducerOrderPreserved(t *testing.T) {
+	// FIFO per producer: one consumer must see each producer's values in
+	// increasing order.
+	q := New()
+	const producers, perP = 4, 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Enqueue(uint32(p)<<24 | uint32(i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	last := map[uint32]int32{}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		p := v >> 24
+		seq := int32(v & 0xFFFFFF)
+		if prev, ok := last[p]; ok && seq <= prev {
+			t.Fatalf("producer %d order violated: %d after %d", p, seq, prev)
+		}
+		last[p] = seq
+	}
+}
+
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	q := New()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(uint32(i))
+		q.Dequeue()
+	}
+}

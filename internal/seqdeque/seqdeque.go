@@ -1,0 +1,148 @@
+// Package seqdeque implements a sequential, unbounded double-ended queue on
+// a growable ring buffer.
+//
+// It serves three roles in this repository: the data structure under the
+// global lock in SGLDeque, the data structure the combiner applies operations
+// to in FCDeque, and the reference model the linearizability checker replays
+// histories against. All three need exactly the paper's abstract deque
+// semantics (Section III-A): push_left/push_right concatenate, pops from an
+// empty deque return EMPTY and leave the state unchanged.
+package seqdeque
+
+// Deque is an unbounded sequential double-ended queue of T. The zero value
+// is an empty deque ready for use. Deque is not safe for concurrent use.
+type Deque[T any] struct {
+	buf  []T
+	head int // index of leftmost element, valid when size > 0
+	size int
+}
+
+const minCap = 8
+
+// New returns an empty deque with capacity for at least capHint elements.
+func New[T any](capHint int) *Deque[T] {
+	if capHint < minCap {
+		capHint = minCap
+	}
+	return &Deque[T]{buf: make([]T, ceilPow2(capHint))}
+}
+
+func ceilPow2(n int) int {
+	c := minCap
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Len returns the number of elements currently stored.
+func (d *Deque[T]) Len() int { return d.size }
+
+// Empty reports whether the deque holds no elements.
+func (d *Deque[T]) Empty() bool { return d.size == 0 }
+
+func (d *Deque[T]) grow() {
+	newBuf := make([]T, max(minCap, 2*len(d.buf)))
+	d.copyOut(newBuf)
+	d.buf = newBuf
+	d.head = 0
+}
+
+// copyOut copies the elements, left to right, into dst.
+func (d *Deque[T]) copyOut(dst []T) {
+	if d.size == 0 {
+		return
+	}
+	n := copy(dst, d.buf[d.head:min(d.head+d.size, len(d.buf))])
+	if n < d.size {
+		copy(dst[n:], d.buf[:d.size-n])
+	}
+}
+
+// PushLeft inserts v at the left end.
+func (d *Deque[T]) PushLeft(v T) {
+	if len(d.buf) == 0 || d.size == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = v
+	d.size++
+}
+
+// PushRight inserts v at the right end.
+func (d *Deque[T]) PushRight(v T) {
+	if len(d.buf) == 0 || d.size == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.size)%len(d.buf)] = v
+	d.size++
+}
+
+// PopLeft removes and returns the leftmost element. ok is false (and v the
+// zero value) when the deque is empty.
+func (d *Deque[T]) PopLeft() (v T, ok bool) {
+	if d.size == 0 {
+		return v, false
+	}
+	v = d.buf[d.head]
+	var zero T
+	d.buf[d.head] = zero // release for GC
+	d.head = (d.head + 1) % len(d.buf)
+	d.size--
+	return v, true
+}
+
+// PopRight removes and returns the rightmost element. ok is false (and v the
+// zero value) when the deque is empty.
+func (d *Deque[T]) PopRight() (v T, ok bool) {
+	if d.size == 0 {
+		return v, false
+	}
+	i := (d.head + d.size - 1) % len(d.buf)
+	v = d.buf[i]
+	var zero T
+	d.buf[i] = zero
+	d.size--
+	return v, true
+}
+
+// PeekLeft returns the leftmost element without removing it.
+func (d *Deque[T]) PeekLeft() (v T, ok bool) {
+	if d.size == 0 {
+		return v, false
+	}
+	return d.buf[d.head], true
+}
+
+// PeekRight returns the rightmost element without removing it.
+func (d *Deque[T]) PeekRight() (v T, ok bool) {
+	if d.size == 0 {
+		return v, false
+	}
+	return d.buf[(d.head+d.size-1)%len(d.buf)], true
+}
+
+// Slice returns the contents, left to right, as a fresh slice. Intended for
+// tests and the linearizability model's state snapshotting.
+func (d *Deque[T]) Slice() []T {
+	out := make([]T, d.size)
+	d.copyOut(out)
+	return out
+}
+
+// Clone returns a deep copy of the deque. The linearizability checker clones
+// model states while exploring interleavings.
+func (d *Deque[T]) Clone() *Deque[T] {
+	c := &Deque[T]{buf: make([]T, len(d.buf)), size: d.size}
+	d.copyOut(c.buf)
+	return c
+}
+
+// Clear removes all elements, retaining capacity.
+func (d *Deque[T]) Clear() {
+	var zero T
+	for i := range d.buf {
+		d.buf[i] = zero
+	}
+	d.head, d.size = 0, 0
+}

@@ -1,0 +1,249 @@
+package seqdeque
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var d Deque[int]
+	if !d.Empty() || d.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	if _, ok := d.PopLeft(); ok {
+		t.Fatal("PopLeft on empty succeeded")
+	}
+	if _, ok := d.PopRight(); ok {
+		t.Fatal("PopRight on empty succeeded")
+	}
+	d.PushLeft(1)
+	if v, ok := d.PopRight(); !ok || v != 1 {
+		t.Fatalf("got (%v,%v), want (1,true)", v, ok)
+	}
+}
+
+func TestLIFOLeft(t *testing.T) {
+	d := New[int](4)
+	for i := 0; i < 100; i++ {
+		d.PushLeft(i)
+	}
+	for i := 99; i >= 0; i-- {
+		v, ok := d.PopLeft()
+		if !ok || v != i {
+			t.Fatalf("PopLeft = (%v,%v), want (%v,true)", v, ok, i)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("not empty after draining")
+	}
+}
+
+func TestLIFORight(t *testing.T) {
+	d := New[int](4)
+	for i := 0; i < 100; i++ {
+		d.PushRight(i)
+	}
+	for i := 99; i >= 0; i-- {
+		v, ok := d.PopRight()
+		if !ok || v != i {
+			t.Fatalf("PopRight = (%v,%v), want (%v,true)", v, ok, i)
+		}
+	}
+}
+
+func TestFIFOAcross(t *testing.T) {
+	d := New[int](4)
+	for i := 0; i < 100; i++ {
+		d.PushLeft(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := d.PopRight()
+		if !ok || v != i {
+			t.Fatalf("PopRight = (%v,%v), want (%v,true)", v, ok, i)
+		}
+	}
+}
+
+func TestInterleavedEnds(t *testing.T) {
+	d := New[string](2)
+	d.PushLeft("b")
+	d.PushRight("c")
+	d.PushLeft("a")
+	d.PushRight("d")
+	want := []string{"a", "b", "c", "d"}
+	got := d.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	d := New[int](4)
+	if _, ok := d.PeekLeft(); ok {
+		t.Fatal("PeekLeft on empty succeeded")
+	}
+	if _, ok := d.PeekRight(); ok {
+		t.Fatal("PeekRight on empty succeeded")
+	}
+	d.PushRight(1)
+	d.PushRight(2)
+	if v, _ := d.PeekLeft(); v != 1 {
+		t.Fatalf("PeekLeft = %v, want 1", v)
+	}
+	if v, _ := d.PeekRight(); v != 2 {
+		t.Fatalf("PeekRight = %v, want 2", v)
+	}
+	if d.Len() != 2 {
+		t.Fatal("Peek mutated the deque")
+	}
+}
+
+func TestGrowthPreservesOrder(t *testing.T) {
+	d := New[int](4)
+	// Interleave to force head to a nonzero offset before growth.
+	for i := 0; i < 3; i++ {
+		d.PushRight(i)
+	}
+	d.PopLeft()
+	d.PopLeft()
+	for i := 100; i < 160; i++ { // force several growths with wrapped head
+		d.PushRight(i)
+	}
+	d.PushLeft(-1)
+	got := d.Slice()
+	if got[0] != -1 || got[1] != 2 || got[2] != 100 || got[len(got)-1] != 159 {
+		t.Fatalf("order broken after growth: %v...", got[:4])
+	}
+}
+
+func TestWraparoundStress(t *testing.T) {
+	d := New[int](8)
+	// Rotate many times through a small buffer without growth.
+	for i := 0; i < 4; i++ {
+		d.PushRight(i)
+	}
+	for i := 0; i < 10000; i++ {
+		v, ok := d.PopLeft()
+		if !ok {
+			t.Fatal("unexpected empty")
+		}
+		d.PushRight(v + 4)
+		if d.Len() != 4 {
+			t.Fatalf("Len = %d, want 4", d.Len())
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	d := New[int](4)
+	for i := 0; i < 20; i++ {
+		d.PushLeft(i)
+	}
+	d.Clear()
+	if !d.Empty() {
+		t.Fatal("Clear left elements")
+	}
+	d.PushRight(7)
+	if v, _ := d.PopLeft(); v != 7 {
+		t.Fatal("deque unusable after Clear")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := New[int](4)
+	d.PushRight(1)
+	d.PushRight(2)
+	c := d.Clone()
+	d.PopLeft()
+	d.PushRight(3)
+	if c.Len() != 2 {
+		t.Fatalf("clone Len = %d, want 2", c.Len())
+	}
+	if v, _ := c.PopLeft(); v != 1 {
+		t.Fatalf("clone PopLeft = %v, want 1", v)
+	}
+}
+
+// TestPropertyMirrorsSliceModel drives the deque with random operation
+// sequences and mirrors every operation on a plain-slice model.
+func TestPropertyMirrorsSliceModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := New[int](2)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				d.PushLeft(next)
+				model = append([]int{next}, model...)
+				next++
+			case 1:
+				d.PushRight(next)
+				model = append(model, next)
+				next++
+			case 2:
+				v, ok := d.PopLeft()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				v, ok := d.PopRight()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+		}
+		got := d.Slice()
+		for i := range model {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPopRight(b *testing.B) {
+	d := New[int](1024)
+	for i := 0; i < b.N; i++ {
+		d.PushRight(i)
+		d.PopRight()
+	}
+}
+
+func BenchmarkQueueCycle(b *testing.B) {
+	d := New[int](1024)
+	for i := 0; i < 512; i++ {
+		d.PushLeft(i)
+	}
+	for i := 0; i < b.N; i++ {
+		d.PushLeft(i)
+		d.PopRight()
+	}
+}

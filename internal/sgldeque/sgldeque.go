@@ -1,0 +1,62 @@
+// Package sgldeque implements the paper's SGLDeque baseline: "a deque
+// protected by a single global test-and-test_and_set lock" (Section IV).
+//
+// The underlying container is the unbounded sequential ring-buffer deque
+// from internal/seqdeque; every operation takes the one lock. This is the
+// classic coarse-grained strawman: excellent single-thread latency, total
+// collapse under contention.
+package sgldeque
+
+import (
+	"repro/internal/seqdeque"
+	"repro/internal/spin"
+)
+
+// Deque is an unbounded concurrent deque of uint32 behind one TATAS lock.
+type Deque struct {
+	lock spin.TATAS
+	seq  *seqdeque.Deque[uint32]
+}
+
+// New returns an empty deque with capacity hint capHint.
+func New(capHint int) *Deque {
+	return &Deque{seq: seqdeque.New[uint32](capHint)}
+}
+
+// PushLeft inserts v at the left end.
+func (d *Deque) PushLeft(v uint32) {
+	d.lock.Lock()
+	d.seq.PushLeft(v)
+	d.lock.Unlock()
+}
+
+// PushRight inserts v at the right end.
+func (d *Deque) PushRight(v uint32) {
+	d.lock.Lock()
+	d.seq.PushRight(v)
+	d.lock.Unlock()
+}
+
+// PopLeft removes and returns the leftmost value; ok is false when empty.
+func (d *Deque) PopLeft() (v uint32, ok bool) {
+	d.lock.Lock()
+	v, ok = d.seq.PopLeft()
+	d.lock.Unlock()
+	return v, ok
+}
+
+// PopRight removes and returns the rightmost value; ok is false when empty.
+func (d *Deque) PopRight() (v uint32, ok bool) {
+	d.lock.Lock()
+	v, ok = d.seq.PopRight()
+	d.lock.Unlock()
+	return v, ok
+}
+
+// Len returns the current size (takes the lock).
+func (d *Deque) Len() int {
+	d.lock.Lock()
+	n := d.seq.Len()
+	d.lock.Unlock()
+	return n
+}

@@ -1,0 +1,41 @@
+package sgldeque
+
+import (
+	"testing"
+
+	"repro/internal/dequetest"
+)
+
+type inst struct{ d *Deque }
+
+func (i inst) Session() dequetest.Session { return sess{i.d} }
+func (i inst) Len() int                   { return i.d.Len() }
+
+type sess struct{ d *Deque }
+
+func (s sess) PushLeft(v uint32)        { s.d.PushLeft(v) }
+func (s sess) PushRight(v uint32)       { s.d.PushRight(v) }
+func (s sess) PopLeft() (uint32, bool)  { return s.d.PopLeft() }
+func (s sess) PopRight() (uint32, bool) { return s.d.PopRight() }
+
+func TestConformance(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance { return inst{New(64)} })
+}
+
+func TestLenTracksSize(t *testing.T) {
+	d := New(4)
+	for i := uint32(0); i < 100; i++ {
+		d.PushLeft(i)
+		if d.Len() != int(i)+1 {
+			t.Fatalf("Len = %d, want %d", d.Len(), i+1)
+		}
+	}
+}
+
+func BenchmarkUncontended(b *testing.B) {
+	d := New(1024)
+	for i := 0; i < b.N; i++ {
+		d.PushLeft(7)
+		d.PopLeft()
+	}
+}

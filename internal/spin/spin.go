@@ -1,0 +1,100 @@
+// Package spin provides the spin locks used by the lock-based baselines in
+// the paper's evaluation: a plain test-and-test_and_set (TATAS) lock for
+// SGLDeque and an exponential-backoff variant for the flat-combining deque.
+package spin
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/backoff"
+)
+
+// TATAS is a test-and-test_and_set spin lock. Readers spin on a plain load
+// until the lock looks free, then attempt the atomic swap; this keeps the
+// cache line in shared state while waiting, which is the property the paper's
+// "single global test-and-test_and_set lock" baseline relies on.
+//
+// The zero value is an unlocked lock.
+type TATAS struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock, spinning until it is available.
+func (l *TATAS) Lock() {
+	for {
+		if l.state.Load() == 0 && l.state.Swap(1) == 0 {
+			return
+		}
+		spinWait()
+	}
+}
+
+// TryLock attempts to acquire the lock without spinning. It reports whether
+// the lock was acquired.
+func (l *TATAS) TryLock() bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
+// Unlock releases the lock. Calling Unlock on an unlocked TATAS panics, as
+// that always indicates a caller bug.
+func (l *TATAS) Unlock() {
+	if l.state.Swap(0) != 1 {
+		panic("spin: Unlock of unlocked TATAS")
+	}
+}
+
+// Locked reports whether the lock is currently held (by anyone). It is a
+// racy snapshot, useful only for tests and stats.
+func (l *TATAS) Locked() bool { return l.state.Load() != 0 }
+
+// BackoffLock is a TATAS lock whose waiters back off exponentially between
+// attempts, as in the flat-combining paper's "exponential backoff lock".
+// Unlike TATAS, BackoffLock keeps per-acquisition backoff state on the
+// caller's stack, so the zero value is ready to use and the lock itself stays
+// a single word.
+type BackoffLock struct {
+	state atomic.Uint32
+	seed  atomic.Uint64 // per-acquire backoff seed stream
+}
+
+// Lock acquires the lock, backing off exponentially between attempts.
+func (l *BackoffLock) Lock() {
+	if l.state.Load() == 0 && l.state.Swap(1) == 0 {
+		return // fast path: uncontended
+	}
+	var bo backoff.Backoff
+	bo.Init(backoff.DefaultMinSpins, backoff.DefaultMaxSpins, l.seed.Add(0x9e3779b97f4a7c15))
+	for {
+		if l.state.Load() == 0 && l.state.Swap(1) == 0 {
+			return
+		}
+		bo.Spin()
+	}
+}
+
+// TryLock attempts to acquire the lock without waiting. It reports whether
+// the lock was acquired.
+func (l *BackoffLock) TryLock() bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
+// Unlock releases the lock. Calling Unlock on an unlocked BackoffLock panics.
+func (l *BackoffLock) Unlock() {
+	if l.state.Swap(0) != 1 {
+		panic("spin: Unlock of unlocked BackoffLock")
+	}
+}
+
+// Locked reports whether the lock is currently held. Racy; tests only.
+func (l *BackoffLock) Locked() bool { return l.state.Load() != 0 }
+
+// spinWait is one polite busy-wait iteration for TATAS waiters.
+func spinWait() {
+	// A handful of empty iterations then a scheduler yield: under Go, a
+	// preempted lock holder can only run again if waiters yield the P.
+	for i := 0; i < 32; i++ {
+		_ = i
+	}
+	runtime.Gosched()
+}

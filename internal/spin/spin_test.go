@@ -1,0 +1,129 @@
+package spin
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTATASBasic(t *testing.T) {
+	var l TATAS
+	if l.Locked() {
+		t.Fatal("zero value reports locked")
+	}
+	l.Lock()
+	if !l.Locked() {
+		t.Fatal("Lock did not set state")
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Fatal("Unlock did not clear state")
+	}
+}
+
+func TestTATASTryLock(t *testing.T) {
+	var l TATAS
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestTATASUnlockUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked lock did not panic")
+		}
+	}()
+	var l TATAS
+	l.Unlock()
+}
+
+func TestBackoffLockUnlockUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked lock did not panic")
+		}
+	}()
+	var l BackoffLock
+	l.Unlock()
+}
+
+// counterTest verifies mutual exclusion by incrementing a plain int under the
+// lock from many goroutines; -race plus a final count check catches misses.
+func counterTest(t *testing.T, lock sync.Locker) {
+	t.Helper()
+	const goroutines = 8
+	const perG = 20000
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lock.Lock()
+				counter++
+				lock.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*perG)
+	}
+}
+
+func TestTATASMutualExclusion(t *testing.T)       { counterTest(t, new(TATAS)) }
+func TestBackoffLockMutualExclusion(t *testing.T) { counterTest(t, new(BackoffLock)) }
+
+func TestBackoffLockTryLock(t *testing.T) {
+	var l BackoffLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+}
+
+func TestLocksAreSyncLockers(t *testing.T) {
+	// Compile-time-ish check that both locks satisfy sync.Locker.
+	var _ sync.Locker = (*TATAS)(nil)
+	var _ sync.Locker = (*BackoffLock)(nil)
+}
+
+func BenchmarkTATASUncontended(b *testing.B) {
+	var l TATAS
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkTATASContended(b *testing.B) {
+	var l TATAS
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			l.Unlock()
+		}
+	})
+}
+
+func BenchmarkBackoffLockContended(b *testing.B) {
+	var l BackoffLock
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			l.Unlock()
+		}
+	})
+}

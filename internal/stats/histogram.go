@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log-bucketed latency histogram in the HdrHistogram style:
+// geometric buckets spanning 1ns to ~17.6s with bounded relative error.
+// It supports single-writer recording (each benchmark worker owns one) and
+// merging for aggregation. The paper's latency discussion — OFDeque keeps
+// latency low, TSDeque trades latency for throughput — is quantified with
+// these.
+type Histogram struct {
+	counts [nBuckets]uint64
+	total  uint64
+	sum    float64
+	min    uint64
+	max    uint64
+}
+
+// Bucket geometry: 64 major (power-of-two) buckets × subBuckets minor
+// buckets each gives ~1.6% relative error.
+const (
+	subBucketBits = 5
+	subBuckets    = 1 << subBucketBits
+	nBuckets      = 64 * subBuckets
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxUint64}
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	// Position of the highest set bit.
+	lz := 63 - bits64LeadingZeros(v)
+	shift := lz - subBucketBits
+	idx := (shift+1)*subBuckets + int(v>>uint(shift)) - subBuckets
+	if idx >= nBuckets {
+		return nBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the smallest value mapping to bucket i (its reported
+// representative).
+func bucketLow(i int) uint64 {
+	if i < subBuckets {
+		return uint64(i)
+	}
+	shift := i/subBuckets - 1
+	sub := i % subBuckets
+	return (uint64(subBuckets) + uint64(sub)) << uint(shift)
+}
+
+func bits64LeadingZeros(v uint64) int {
+	n := 0
+	for mask := uint64(1) << 63; mask != 0 && v&mask == 0; mask >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Record adds one observation (e.g. nanoseconds).
+func (h *Histogram) Record(v uint64) {
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1), with
+// the bucket's lower bound as the representative. Empty histograms return
+// 0. Out-of-range q panics: that is always a harness bug.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile(%v) out of [0,1]", q))
+	}
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > target {
+			return bucketLow(i)
+		}
+	}
+	return bucketLow(nBuckets - 1)
+}
+
+// String formats the standard percentile line used in EXPERIMENTS.md.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "empty histogram"
+	}
+	return fmt.Sprintf("n=%d mean=%.0fns p50=%d p90=%d p99=%d p99.9=%d max=%d",
+		h.total, h.Mean(), h.Quantile(0.50), h.Quantile(0.90),
+		h.Quantile(0.99), h.Quantile(0.999), h.Max())
+}
+
+// Ascii renders a crude log-scale bar chart of the distribution between the
+// p1 and p99.9 buckets, for terminal inspection.
+func (h *Histogram) Ascii(width int) string {
+	if h.total == 0 {
+		return "empty histogram"
+	}
+	lo, hi := bucketIndex(h.Quantile(0.01)), bucketIndex(h.Quantile(0.999))
+	// Coarsen into at most 20 rows.
+	rows := 20
+	if hi-lo+1 < rows {
+		rows = hi - lo + 1
+	}
+	if rows <= 0 {
+		rows = 1
+	}
+	per := (hi - lo + 1 + rows - 1) / rows
+	var b strings.Builder
+	maxCount := uint64(0)
+	agg := make([]uint64, rows)
+	for i := lo; i <= hi; i++ {
+		agg[(i-lo)/per] += h.counts[i]
+	}
+	for _, c := range agg {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for r := 0; r < rows; r++ {
+		low := bucketLow(lo + r*per)
+		bar := 0
+		if maxCount > 0 {
+			bar = int(uint64(width) * agg[r] / maxCount)
+		}
+		fmt.Fprintf(&b, "%12dns %s\n", low, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram misbehaves")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("quantile of empty != 0")
+	}
+	if h.String() != "empty histogram" {
+		t.Fatalf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100)
+	if h.Count() != 1 || h.Min() != 100 || h.Max() != 100 {
+		t.Fatalf("bad stats: %v", h)
+	}
+	if h.Mean() != 100 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	q := h.Quantile(0.5)
+	if q < 96 || q > 100 {
+		t.Fatalf("Quantile(0.5) = %d, want ~100 within bucket error", q)
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	// Values below subBuckets land in exact unit buckets.
+	h := NewHistogram()
+	for v := uint64(0); v < subBuckets; v++ {
+		h.Record(v)
+	}
+	for q, want := range map[float64]uint64{0.0: 0, 0.5: subBuckets / 2} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// Any recorded value's bucket representative must be within ~2x
+	// subBucket resolution of the value.
+	f := func(raw uint32) bool {
+		v := uint64(raw)
+		h := NewHistogram()
+		h.Record(v)
+		got := h.Quantile(0.5)
+		if v < subBuckets {
+			return got == v
+		}
+		rel := math.Abs(float64(got)-float64(v)) / float64(v)
+		return got <= v && rel <= 1.0/float64(subBuckets)*2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantilesOrdered(t *testing.T) {
+	h := NewHistogram()
+	for i := uint64(1); i <= 100000; i += 7 {
+		h.Record(i)
+	}
+	last := uint64(0)
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		v := h.Quantile(q)
+		if v < last {
+			t.Fatalf("quantiles not monotone: q=%v gives %d < %d", q, v, last)
+		}
+		last = v
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	for i := uint64(1); i <= 10000; i++ {
+		h.Record(i)
+	}
+	p50 := float64(h.Quantile(0.5))
+	if p50 < 4500 || p50 > 5500 {
+		t.Fatalf("p50 = %v, want ~5000", p50)
+	}
+	p99 := float64(h.Quantile(0.99))
+	if p99 < 9300 || p99 > 10000 {
+		t.Fatalf("p99 = %v, want ~9900", p99)
+	}
+}
+
+func TestHistogramQuantileOutOfRangePanics(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1)
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", q)
+				}
+			}()
+			h.Quantile(q)
+		}()
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := uint64(0); i < 1000; i++ {
+		a.Record(10)
+		b.Record(1000)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 10 || a.Max() != 1000 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	mid := a.Mean()
+	if mid < 500 || mid > 510 {
+		t.Fatalf("merged mean = %v, want 505", mid)
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(5)
+	a.Merge(b) // merging empty must not clobber min
+	if a.Min() != 5 {
+		t.Fatalf("Min = %d after merging empty", a.Min())
+	}
+}
+
+func TestHistogramHugeValues(t *testing.T) {
+	h := NewHistogram()
+	h.Record(math.MaxUint64)
+	h.Record(1 << 60)
+	if h.Count() != 2 {
+		t.Fatal("lost observations")
+	}
+	if h.Quantile(1) == 0 {
+		t.Fatal("huge values vanished")
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	last := -1
+	for _, v := range []uint64{0, 1, 2, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1 << 40, 1 << 62} {
+		i := bucketIndex(v)
+		if i < last {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		if low := bucketLow(i); low > v {
+			t.Fatalf("bucketLow(%d) = %d exceeds value %d", i, low, v)
+		}
+		last = i
+	}
+}
+
+func TestAsciiRendering(t *testing.T) {
+	h := NewHistogram()
+	for i := uint64(100); i < 10000; i += 3 {
+		h.Record(i)
+	}
+	out := h.Ascii(40)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars rendered:\n%s", out)
+	}
+	if NewHistogram().Ascii(40) != "empty histogram" {
+		t.Fatal("empty rendering wrong")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	h := NewHistogram()
+	for i := uint64(1); i <= 100; i++ {
+		h.Record(i * 10)
+	}
+	s := h.String()
+	for _, frag := range []string{"n=100", "p50=", "p99=", "max="} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i) & 0xFFFFF)
+	}
+}

@@ -1,0 +1,343 @@
+// Package stdeque implements the paper's STDeque baseline: the lock-free
+// doubly linked list deque of Sundell and Tsigas (OPODIS 2004), adapted to
+// Go, optionally wrapped with exponential-backoff elimination arrays as in
+// the paper's evaluation.
+//
+// # Adaptation
+//
+// Sundell–Tsigas build a general doubly linked list from single-word CAS:
+// the next-chain carries deletion marks and is authoritative; prev pointers
+// are unreliable hints repaired by helping routines (HelpInsert/HelpDelete).
+// A deque only ever mutates at its two ends, which collapses the general
+// helping machinery into its end-local cases:
+//
+//   - A pop logically deletes the end node by CASing a mark into its next
+//     link — the same single transition both ends race on, so a value can
+//     be returned exactly once.
+//   - Physical unlinking is best-effort at the pop and completed by helping
+//     during later traversals (the Harris-style snip in findLast and the
+//     head-link swing in PopLeft), which is exactly the role HelpDelete
+//     plays in the original.
+//   - tail.prev (and per-node prev) are hints corrected on use, as in the
+//     original's prev-chain.
+//
+// The original packs (pointer, mark) into one CAS word and reclaims memory
+// with reference counting. This port boxes each link in an immutable record
+// behind an atomic pointer — single-word CAS semantics preserved — and lets
+// Go's GC replace reference counting; fresh records rule out ABA.
+//
+// The property the paper's evaluation highlights survives the adaptation:
+// operations on opposite ends of a long deque do not contend, but helping
+// cascades (a popped node whose unlink lags) can put cleanup work on other
+// threads' critical paths, and contention "can happen after linearization",
+// which is why elimination helps it less than it helps OFDeque.
+package stdeque
+
+import (
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/elim"
+)
+
+// link is an immutable (pointer, deletion-mark) pair; nodes' next fields
+// hold *link and are updated by CAS on the pointer.
+type link struct {
+	p   *node
+	del bool
+}
+
+type node struct {
+	val  uint32
+	next atomic.Pointer[link]
+	// prev is a navigation hint (the original's unreliable prev-chain);
+	// never trusted, only used to seed searches.
+	prev atomic.Pointer[node]
+}
+
+// Deque is the Sundell–Tsigas-style lock-free deque over uint32.
+type Deque struct {
+	head, tail *node
+	// lastHint approximates the rightmost live node (the original's
+	// tail.prev); corrected on use.
+	lastHint atomic.Pointer[node]
+
+	lElim, rElim *elim.Array
+	maxThreads   int
+	nextTID      atomic.Int32
+}
+
+// Config parameterizes a Deque.
+type Config struct {
+	// Elimination adds per-side exponential-backoff elimination arrays.
+	Elimination bool
+	// MaxThreads bounds registered handles.
+	MaxThreads int
+}
+
+// Handle carries a worker's elimination slot and backoff state.
+type Handle struct {
+	d   *Deque
+	tid int
+	bo  backoff.Backoff
+	// Eliminated counts operations completed via elimination.
+	Eliminated uint64
+}
+
+// New returns an empty deque.
+func New(cfg Config) *Deque {
+	if cfg.MaxThreads == 0 {
+		cfg.MaxThreads = 256
+	}
+	d := &Deque{head: &node{}, tail: &node{}, maxThreads: cfg.MaxThreads}
+	d.head.next.Store(&link{p: d.tail})
+	d.tail.prev.Store(d.head)
+	d.lastHint.Store(d.head)
+	if cfg.Elimination {
+		d.lElim = elim.New(cfg.MaxThreads)
+		d.rElim = elim.New(cfg.MaxThreads)
+	}
+	return d
+}
+
+// Register allocates a Handle for the calling goroutine.
+func (d *Deque) Register() *Handle {
+	tid := int(d.nextTID.Add(1)) - 1
+	if tid >= d.maxThreads {
+		panic("stdeque: more than MaxThreads handles")
+	}
+	h := &Handle{d: d, tid: tid}
+	h.bo.Init(backoff.DefaultMinSpins, backoff.DefaultMaxSpins, uint64(tid)*0x9e3779b9+7)
+	return h
+}
+
+// findLast returns (prev, last) where last is a node whose next link read
+// <tail, unmarked> during the walk and prev is the node the walk reached it
+// from. When the deque is empty it returns (head, head). The walk starts at
+// the hint and snips marked nodes it encounters (helping, as HelpDelete
+// does in the original); a stuck walk restarts from head, where progress is
+// guaranteed.
+func (d *Deque) findLast() (prev, last *node) {
+	start := d.lastHint.Load()
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			start = d.head // hints led nowhere: authoritative walk
+		}
+		pv, cur := start, start
+		steps := 0
+		for {
+			ln := cur.next.Load()
+			if ln == nil {
+				// Only the sentinel tail has nil next; a hint can hand us
+				// tail itself. Restart from head.
+				break
+			}
+			if ln.del {
+				// cur is logically deleted; snip it out of pv's chain when
+				// possible, otherwise restart.
+				if pv != cur {
+					pvln := pv.next.Load()
+					if pvln != nil && !pvln.del && pvln.p == cur {
+						pv.next.CompareAndSwap(pvln, &link{p: ln.p})
+						cur = pv // re-examine pv's new successor
+						continue
+					}
+				}
+				break
+			}
+			if ln.p == d.tail {
+				return pv, cur
+			}
+			pv, cur = cur, ln.p
+			steps++
+			if steps > 1<<24 {
+				break // absurdly long walk: hint cycle guard
+			}
+		}
+	}
+}
+
+// pushLeft is the elimination-free core operation.
+func (d *Deque) pushLeft(h *Handle, v uint32) {
+	nd := &node{val: v}
+	nd.prev.Store(d.head)
+	for {
+		first := d.head.next.Load() // head is never marked
+		nd.next.Store(&link{p: first.p})
+		if d.head.next.CompareAndSwap(first, &link{p: nd}) {
+			first.p.prev.Store(nd)
+			return
+		}
+		h.bo.Spin()
+	}
+}
+
+func (d *Deque) pushRight(h *Handle, v uint32) {
+	nd := &node{val: v}
+	nd.next.Store(&link{p: d.tail})
+	for {
+		_, last := d.findLast()
+		nd.prev.Store(last)
+		lastLn := last.next.Load()
+		if lastLn.del || lastLn.p != d.tail {
+			h.bo.Spin()
+			continue
+		}
+		if last.next.CompareAndSwap(lastLn, &link{p: nd}) {
+			d.lastHint.Store(nd)
+			return
+		}
+		h.bo.Spin()
+	}
+}
+
+func (d *Deque) popLeft(h *Handle) (uint32, bool) {
+	for {
+		hd := d.head.next.Load()
+		first := hd.p
+		if first == d.tail {
+			return 0, false // EMPTY linearizes at the hd read
+		}
+		ln := first.next.Load()
+		if ln.del {
+			// first is logically gone; help unlink and retry.
+			d.head.next.CompareAndSwap(hd, &link{p: ln.p})
+			continue
+		}
+		// Logical deletion: mark first's next. Both ends delete via this
+		// same transition, so the value is handed out exactly once.
+		if first.next.CompareAndSwap(ln, &link{p: ln.p, del: true}) {
+			// Best-effort physical unlink; helpers finish stragglers.
+			d.head.next.CompareAndSwap(hd, &link{p: ln.p})
+			ln.p.prev.Store(d.head)
+			return first.val, true
+		}
+		h.bo.Spin()
+	}
+}
+
+func (d *Deque) popRight(h *Handle) (uint32, bool) {
+	for {
+		prev, last := d.findLast()
+		if last == d.head {
+			// Confirm emptiness with an authoritative read: the deque is
+			// empty iff head links straight to tail, unmarked.
+			hd := d.head.next.Load()
+			if hd.p == d.tail {
+				return 0, false
+			}
+			continue
+		}
+		ln := last.next.Load()
+		if ln.del || ln.p != d.tail {
+			h.bo.Spin()
+			continue
+		}
+		if last.next.CompareAndSwap(ln, &link{p: d.tail, del: true}) {
+			// Best-effort unlink through the walk predecessor.
+			if prev != last {
+				pvln := prev.next.Load()
+				if pvln != nil && !pvln.del && pvln.p == last {
+					prev.next.CompareAndSwap(pvln, &link{p: d.tail})
+				}
+				d.lastHint.Store(prev)
+			} else {
+				d.lastHint.Store(d.head)
+			}
+			return last.val, true
+		}
+		h.bo.Spin()
+	}
+}
+
+// PushLeft inserts v at the left end.
+func (d *Deque) PushLeft(h *Handle, v uint32) {
+	if d.lElim != nil && d.tryElimPush(h, d.lElim, v) {
+		return
+	}
+	d.pushLeft(h, v)
+}
+
+// PushRight inserts v at the right end.
+func (d *Deque) PushRight(h *Handle, v uint32) {
+	if d.rElim != nil && d.tryElimPush(h, d.rElim, v) {
+		return
+	}
+	d.pushRight(h, v)
+}
+
+// PopLeft removes and returns the leftmost value; ok is false when empty.
+func (d *Deque) PopLeft(h *Handle) (uint32, bool) {
+	if d.lElim != nil {
+		if v, ok := d.tryElimPop(h, d.lElim); ok {
+			return v, true
+		}
+	}
+	return d.popLeft(h)
+}
+
+// PopRight removes and returns the rightmost value; ok is false when empty.
+func (d *Deque) PopRight(h *Handle) (uint32, bool) {
+	if d.rElim != nil {
+		if v, ok := d.tryElimPop(h, d.rElim); ok {
+			return v, true
+		}
+	}
+	return d.popRight(h)
+}
+
+// tryElimPush advertises briefly under backoff before falling through to
+// the deque (the "exponential backoff elimination array" of Section IV).
+func (d *Deque) tryElimPush(h *Handle, a *elim.Array, v uint32) bool {
+	a.Insert(h.tid, elim.Push, v)
+	h.bo.Spin()
+	if _, eliminated := a.Remove(h.tid); eliminated {
+		h.Eliminated++
+		return true
+	}
+	if _, ok := a.Scan(h.tid, elim.Push, v); ok {
+		h.Eliminated++
+		return true
+	}
+	return false
+}
+
+func (d *Deque) tryElimPop(h *Handle, a *elim.Array) (uint32, bool) {
+	a.Insert(h.tid, elim.Pop, 0)
+	h.bo.Spin()
+	if v, eliminated := a.Remove(h.tid); eliminated {
+		h.Eliminated++
+		return v, true
+	}
+	if v, ok := a.Scan(h.tid, elim.Pop, 0); ok {
+		h.Eliminated++
+		return v, true
+	}
+	return 0, false
+}
+
+// Len counts live (unmarked) nodes. Quiescent use only.
+func (d *Deque) Len() int {
+	n := 0
+	for cur := d.head.next.Load().p; cur != d.tail; {
+		ln := cur.next.Load()
+		if !ln.del {
+			n++
+		}
+		cur = ln.p
+	}
+	return n
+}
+
+// Slice returns live values left to right. Quiescent use only.
+func (d *Deque) Slice() []uint32 {
+	var out []uint32
+	for cur := d.head.next.Load().p; cur != d.tail; {
+		ln := cur.next.Load()
+		if !ln.del {
+			out = append(out, cur.val)
+		}
+		cur = ln.p
+	}
+	return out
+}

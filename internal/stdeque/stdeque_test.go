@@ -1,0 +1,103 @@
+package stdeque
+
+import (
+	"testing"
+
+	"repro/internal/dequetest"
+)
+
+type inst struct{ d *Deque }
+
+func (i inst) Session() dequetest.Session { return &sess{d: i.d, h: i.d.Register()} }
+func (i inst) Len() int                   { return i.d.Len() }
+
+type sess struct {
+	d *Deque
+	h *Handle
+}
+
+func (s *sess) PushLeft(v uint32)        { s.d.PushLeft(s.h, v) }
+func (s *sess) PushRight(v uint32)       { s.d.PushRight(s.h, v) }
+func (s *sess) PopLeft() (uint32, bool)  { return s.d.PopLeft(s.h) }
+func (s *sess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }
+
+func TestConformance(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance { return inst{New(Config{})} })
+}
+
+func TestConformanceWithElimination(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return inst{New(Config{Elimination: true, MaxThreads: 64})}
+	})
+}
+
+func TestSliceOrder(t *testing.T) {
+	d := New(Config{})
+	h := d.Register()
+	d.PushLeft(h, 2)
+	d.PushLeft(h, 1)
+	d.PushRight(h, 3)
+	got := d.Slice()
+	want := []uint32{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMarkedNodeCleanup(t *testing.T) {
+	// Pop from the right through pushes from the left: every pop walks via
+	// findLast; the list must not accumulate marked nodes unboundedly.
+	d := New(Config{})
+	h := d.Register()
+	for i := uint32(0); i < 2000; i++ {
+		d.PushLeft(h, i)
+		if _, ok := d.PopRight(h); !ok {
+			t.Fatal("unexpected empty")
+		}
+	}
+	// Count physical nodes between the sentinels.
+	n := 0
+	for cur := d.head.next.Load().p; cur != d.tail; cur = cur.next.Load().p {
+		n++
+	}
+	if n > 8 {
+		t.Fatalf("%d physical nodes linger after full drain", n)
+	}
+}
+
+func TestHintRecovery(t *testing.T) {
+	// Force the last-hint badly stale: drain from the left so the hinted
+	// node is marked, then operate on the right.
+	d := New(Config{})
+	h := d.Register()
+	for i := uint32(0); i < 50; i++ {
+		d.PushRight(h, i) // hint tracks the rightmost
+	}
+	for i := uint32(0); i < 50; i++ {
+		if _, ok := d.PopLeft(h); !ok {
+			t.Fatal("unexpected empty")
+		}
+	}
+	// hint now points at a popped node; right ops must still work.
+	d.PushRight(h, 99)
+	if v, ok := d.PopRight(h); !ok || v != 99 {
+		t.Fatalf("PopRight = (%d,%v), want (99,true)", v, ok)
+	}
+	if _, ok := d.PopRight(h); ok {
+		t.Fatal("deque should be empty")
+	}
+}
+
+func BenchmarkUncontended(b *testing.B) {
+	d := New(Config{})
+	h := d.Register()
+	for i := 0; i < b.N; i++ {
+		d.PushLeft(h, 7)
+		d.PopLeft(h)
+	}
+}

@@ -1,0 +1,338 @@
+// Package tsdeque implements the paper's TSDeque baseline: the time-stamped
+// deque of Dodds, Haas, and Kirsch ("Fast concurrent data-structures
+// through explicit timestamping"), in the two flavors the evaluation runs —
+// TSDeque-FAI (fetch-and-increment counter) and TSDeque-HW (hardware cycle
+// counter, here the monotonic clock).
+//
+// # Design
+//
+// Each thread owns a single-producer pool, itself a tiny deque: the owner
+// inserts at either end; any thread may take any element by CASing its
+// taken flag. An element's position in the abstract deque is encoded by a
+// signed timestamp interval: a left-push at interval [a,b] gets key
+// [-b,-a], a right-push gets [a,b]. Later left-pushes are further left
+// (more negative), later right-pushes further right, so key order is
+// consistent with deque geometry. pop_left scans all pools for each pool's
+// leftmost untaken element and takes a candidate with minimal upper key —
+// no other candidate can be strictly to its left. Overlapping intervals are
+// unordered, so overlapping operations may resolve in either order: that
+// slack is the structure's built-in elimination, and widening intervals
+// (the Delay knob) trades latency for reduced contention — the
+// "intentionally elevated latency" the paper contrasts OFDeque against.
+//
+// TSDeque-FAI draws degenerate intervals [v,v] from a shared counter
+// (total order, no elimination slack, contention on the counter);
+// TSDeque-HW brackets an optional delay with two monotonic-clock reads.
+package tsdeque
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TimestampSource selects how intervals are generated.
+type TimestampSource uint8
+
+const (
+	// FAI uses a shared fetch-and-increment counter: unique, totally
+	// ordered, degenerate intervals.
+	FAI TimestampSource = iota
+	// HW uses the monotonic clock (the stdlib's stand-in for RDTSC),
+	// bracketing Delay to widen intervals.
+	HW
+)
+
+// Config parameterizes a Deque.
+type Config struct {
+	// Source selects FAI or HW timestamping.
+	Source TimestampSource
+	// Delay widens HW intervals (ignored for FAI). Zero means the interval
+	// is just the two back-to-back clock reads.
+	Delay time.Duration
+	// MaxThreads bounds registered handles (one pool each).
+	MaxThreads int
+}
+
+// poolNode is one element in a thread's pool.
+type poolNode struct {
+	val          uint32
+	keyLo, keyHi int64
+	taken        atomic.Bool
+	left, right  atomic.Pointer[poolNode]
+	owner        *pool
+}
+
+// pool is a single-producer deque: only the owner links/unlinks; anyone may
+// take. leftEnd/rightEnd are sentinels.
+type pool struct {
+	leftEnd, rightEnd *poolNode
+	// version counts inserts and takes; the emptiness double-collect
+	// (below) uses it to certify that a scan observed a consistent
+	// all-empty snapshot.
+	version atomic.Uint64
+	_       [5]uint64
+}
+
+func newPool() *pool {
+	p := &pool{leftEnd: &poolNode{}, rightEnd: &poolNode{}}
+	p.leftEnd.right.Store(p.rightEnd)
+	p.rightEnd.left.Store(p.leftEnd)
+	return p
+}
+
+// Deque is the time-stamped deque over uint32.
+type Deque struct {
+	cfg     Config
+	pools   []atomic.Pointer[pool]
+	nPools  atomic.Int32
+	counter atomic.Int64 // FAI source
+	epoch   time.Time    // HW source base
+}
+
+// Handle is a worker's registration: its pool and identity.
+type Handle struct {
+	d    *Deque
+	pool *pool
+	// Takes counts elements this handle popped from other threads' pools,
+	// for tests and stats.
+	Takes uint64
+}
+
+// New returns an empty deque.
+func New(cfg Config) *Deque {
+	if cfg.MaxThreads == 0 {
+		cfg.MaxThreads = 256
+	}
+	return &Deque{
+		cfg:   cfg,
+		pools: make([]atomic.Pointer[pool], cfg.MaxThreads),
+		epoch: time.Now(),
+	}
+}
+
+// Register allocates a Handle (and its pool) for the calling goroutine.
+func (d *Deque) Register() *Handle {
+	i := int(d.nPools.Add(1)) - 1
+	if i >= len(d.pools) {
+		panic("tsdeque: more than MaxThreads handles")
+	}
+	p := newPool()
+	d.pools[i].Store(p)
+	return &Handle{d: d, pool: p}
+}
+
+// interval draws a timestamp interval [lo, hi].
+func (d *Deque) interval() (lo, hi int64) {
+	if d.cfg.Source == FAI {
+		v := d.counter.Add(1)
+		return v, v
+	}
+	lo = int64(time.Since(d.epoch))
+	if d.cfg.Delay > 0 {
+		target := lo + int64(d.cfg.Delay)
+		for int64(time.Since(d.epoch)) < target {
+		}
+	}
+	hi = int64(time.Since(d.epoch))
+	return lo, hi
+}
+
+// cleanLeft advances past taken elements at the pool's left edge,
+// owner-only physical cleanup.
+func (p *pool) cleanLeft() {
+	for {
+		n := p.leftEnd.right.Load()
+		if n == p.rightEnd || !n.taken.Load() {
+			return
+		}
+		nn := n.right.Load()
+		p.leftEnd.right.Store(nn)
+		nn.left.Store(p.leftEnd)
+	}
+}
+
+func (p *pool) cleanRight() {
+	for {
+		n := p.rightEnd.left.Load()
+		if n == p.leftEnd || !n.taken.Load() {
+			return
+		}
+		pn := n.left.Load()
+		p.rightEnd.left.Store(pn)
+		pn.right.Store(p.rightEnd)
+	}
+}
+
+// insertLeft links n at the pool's left end (owner-only).
+func (p *pool) insertLeft(n *poolNode) {
+	p.cleanLeft()
+	first := p.leftEnd.right.Load()
+	n.right.Store(first)
+	n.left.Store(p.leftEnd)
+	first.left.Store(n)
+	p.leftEnd.right.Store(n) // publish last: readers traverse from leftEnd
+}
+
+func (p *pool) insertRight(n *poolNode) {
+	p.cleanRight()
+	last := p.rightEnd.left.Load()
+	n.left.Store(last)
+	n.right.Store(p.rightEnd)
+	last.right.Store(n)
+	p.rightEnd.left.Store(n)
+}
+
+// leftCandidate returns the pool's leftmost untaken element, or nil.
+func (p *pool) leftCandidate() *poolNode {
+	for n := p.leftEnd.right.Load(); n != nil && n != p.rightEnd; n = n.right.Load() {
+		if !n.taken.Load() {
+			return n
+		}
+	}
+	return nil
+}
+
+func (p *pool) rightCandidate() *poolNode {
+	for n := p.rightEnd.left.Load(); n != nil && n != p.leftEnd; n = n.left.Load() {
+		if !n.taken.Load() {
+			return n
+		}
+	}
+	return nil
+}
+
+// PushLeft inserts v at the left end.
+func (d *Deque) PushLeft(h *Handle, v uint32) {
+	lo, hi := d.interval()
+	n := &poolNode{val: v, keyLo: -hi, keyHi: -lo, owner: h.pool}
+	h.pool.insertLeft(n)
+	h.pool.version.Add(1)
+}
+
+// PushRight inserts v at the right end.
+func (d *Deque) PushRight(h *Handle, v uint32) {
+	lo, hi := d.interval()
+	n := &poolNode{val: v, keyLo: lo, keyHi: hi, owner: h.pool}
+	h.pool.insertRight(n)
+	h.pool.version.Add(1)
+}
+
+// PopLeft removes and returns the leftmost value; ok is false when a full
+// scan found every pool empty.
+func (d *Deque) PopLeft(h *Handle) (uint32, bool) {
+	vers := make([]uint64, len(d.pools))
+	for {
+		var best *poolNode
+		n := int(d.nPools.Load())
+		for i := n; i < len(vers); i++ {
+			vers[i] = 0 // pools registered mid-scan start at version 0
+		}
+		for i := 0; i < n; i++ {
+			p := d.pools[i].Load()
+			if p == nil {
+				vers[i] = 0
+				continue
+			}
+			vers[i] = p.version.Load()
+			c := p.leftCandidate()
+			if c == nil {
+				continue
+			}
+			if best == nil || c.keyHi < best.keyHi {
+				best = c
+			}
+		}
+		if best == nil {
+			if d.confirmEmpty(vers) {
+				return 0, false
+			}
+			continue
+		}
+		if best.taken.CompareAndSwap(false, true) {
+			best.owner.version.Add(1)
+			h.Takes++
+			h.pool.cleanLeft()
+			h.pool.cleanRight()
+			return best.val, true
+		}
+		// Lost the race for the candidate; rescan.
+	}
+}
+
+// confirmEmpty re-reads every pool's version: if none changed since the
+// failed scan began, the scan was a consistent snapshot of an empty deque
+// (the standard double-collect argument) and EMPTY is linearizable at any
+// instant inside the window.
+func (d *Deque) confirmEmpty(vers []uint64) bool {
+	n := int(d.nPools.Load())
+	for i := 0; i < n; i++ {
+		p := d.pools[i].Load()
+		var v uint64
+		if p != nil {
+			v = p.version.Load()
+		}
+		if v != vers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PopRight removes and returns the rightmost value; ok is false when a full
+// scan found every pool empty.
+func (d *Deque) PopRight(h *Handle) (uint32, bool) {
+	vers := make([]uint64, len(d.pools))
+	for {
+		var best *poolNode
+		n := int(d.nPools.Load())
+		for i := n; i < len(vers); i++ {
+			vers[i] = 0 // pools registered mid-scan start at version 0
+		}
+		for i := 0; i < n; i++ {
+			p := d.pools[i].Load()
+			if p == nil {
+				vers[i] = 0
+				continue
+			}
+			vers[i] = p.version.Load()
+			c := p.rightCandidate()
+			if c == nil {
+				continue
+			}
+			if best == nil || c.keyLo > best.keyLo {
+				best = c
+			}
+		}
+		if best == nil {
+			if d.confirmEmpty(vers) {
+				return 0, false
+			}
+			continue
+		}
+		if best.taken.CompareAndSwap(false, true) {
+			best.owner.version.Add(1)
+			h.Takes++
+			h.pool.cleanLeft()
+			h.pool.cleanRight()
+			return best.val, true
+		}
+	}
+}
+
+// Len counts untaken elements across pools. Quiescent use only.
+func (d *Deque) Len() int {
+	total := 0
+	n := int(d.nPools.Load())
+	for i := 0; i < n; i++ {
+		p := d.pools[i].Load()
+		if p == nil {
+			continue
+		}
+		for nd := p.leftEnd.right.Load(); nd != nil && nd != p.rightEnd; nd = nd.right.Load() {
+			if !nd.taken.Load() {
+				total++
+			}
+		}
+	}
+	return total
+}

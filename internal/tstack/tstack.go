@@ -1,0 +1,128 @@
+// Package tstack implements the Treiber stack (IBM TR RJ5118, 1986),
+// optionally wrapped with a Hendler–Shavit–Yerushalmi elimination array
+// (SPAA 2004) — the two ancestral designs behind the paper's stack-pattern
+// evaluation. It serves the repository's extension experiment: the cost of
+// the general deque against a dedicated stack under the Stack pattern.
+package tstack
+
+import (
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/elim"
+)
+
+type node struct {
+	val  uint32
+	next *node
+}
+
+// Stack is a lock-free LIFO stack of uint32.
+type Stack struct {
+	top        atomic.Pointer[node]
+	elim       *elim.Array
+	maxThreads int
+	nextTID    atomic.Int32
+}
+
+// Config parameterizes a Stack.
+type Config struct {
+	// Elimination adds the exchange array for colliding push/pop pairs.
+	Elimination bool
+	// MaxThreads bounds registered handles (elimination slots).
+	MaxThreads int
+}
+
+// Handle carries a worker's elimination slot and backoff state.
+type Handle struct {
+	s   *Stack
+	tid int
+	bo  backoff.Backoff
+	// Eliminated counts operations completed by elimination.
+	Eliminated uint64
+}
+
+// New returns an empty stack.
+func New(cfg Config) *Stack {
+	if cfg.MaxThreads == 0 {
+		cfg.MaxThreads = 256
+	}
+	s := &Stack{maxThreads: cfg.MaxThreads}
+	if cfg.Elimination {
+		s.elim = elim.New(cfg.MaxThreads)
+	}
+	return s
+}
+
+// Register allocates a Handle for the calling goroutine.
+func (s *Stack) Register() *Handle {
+	tid := int(s.nextTID.Add(1)) - 1
+	if tid >= s.maxThreads {
+		panic("tstack: more than MaxThreads handles")
+	}
+	h := &Handle{s: s, tid: tid}
+	h.bo.Init(backoff.DefaultMinSpins, backoff.DefaultMaxSpins, uint64(tid)*40503+11)
+	return h
+}
+
+// Push adds v on top.
+func (s *Stack) Push(h *Handle, v uint32) {
+	nd := &node{val: v}
+	for {
+		top := s.top.Load()
+		nd.next = top
+		if s.top.CompareAndSwap(top, nd) {
+			return
+		}
+		if s.elim != nil {
+			s.elim.Insert(h.tid, elim.Push, v)
+			h.bo.Spin()
+			if _, eliminated := s.elim.Remove(h.tid); eliminated {
+				h.Eliminated++
+				return
+			}
+			if _, ok := s.elim.Scan(h.tid, elim.Push, v); ok {
+				h.Eliminated++
+				return
+			}
+		} else {
+			h.bo.Spin()
+		}
+	}
+}
+
+// Pop removes and returns the top value; ok is false when empty.
+func (s *Stack) Pop(h *Handle) (uint32, bool) {
+	for {
+		top := s.top.Load()
+		if top == nil {
+			return 0, false
+		}
+		if s.top.CompareAndSwap(top, top.next) {
+			return top.val, true
+		}
+		if s.elim != nil {
+			s.elim.Insert(h.tid, elim.Pop, 0)
+			h.bo.Spin()
+			if v, eliminated := s.elim.Remove(h.tid); eliminated {
+				h.Eliminated++
+				return v, true
+			}
+			if v, ok := s.elim.Scan(h.tid, elim.Pop, 0); ok {
+				h.Eliminated++
+				return v, true
+			}
+		} else {
+			h.bo.Spin()
+		}
+	}
+}
+
+// Len counts elements; quiescent use only.
+func (s *Stack) Len() int {
+	n := 0
+	for nd := s.top.Load(); nd != nil; nd = nd.next {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+package tstack
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLIFOOrder(t *testing.T) {
+	s := New(Config{})
+	h := s.Register()
+	for i := uint32(0); i < 1000; i++ {
+		s.Push(h, i)
+	}
+	for i := int32(999); i >= 0; i-- {
+		v, ok := s.Pop(h)
+		if !ok || v != uint32(i) {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := s.Pop(h); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+}
+
+func TestSequentialModelProperty(t *testing.T) {
+	f := func(ops []uint8, withElim bool) bool {
+		s := New(Config{Elimination: withElim, MaxThreads: 4})
+		h := s.Register()
+		var model []uint32
+		next := uint32(0)
+		for _, op := range ops {
+			if op%2 == 0 {
+				s.Push(h, next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := s.Pop(h)
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func concurrentConservation(t *testing.T, cfg Config) {
+	t.Helper()
+	s := New(cfg)
+	const workers, perW = 8, 15000
+	pushed := make([]int, workers)
+	popped := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			for i := 0; i < perW; i++ {
+				if i%2 == 0 {
+					s.Push(h, uint32(w)<<24|uint32(i))
+					pushed[w]++
+				} else if v, ok := s.Pop(h); ok {
+					popped[w] = append(popped[w], v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint32]bool)
+	totPop := 0
+	for _, ps := range popped {
+		for _, v := range ps {
+			if seen[v] {
+				t.Fatalf("value %#x popped twice", v)
+			}
+			seen[v] = true
+			totPop++
+		}
+	}
+	totPush := 0
+	for _, n := range pushed {
+		totPush += n
+	}
+	if totPop+s.Len() != totPush {
+		t.Fatalf("conservation: %d + %d != %d", totPop, s.Len(), totPush)
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) { concurrentConservation(t, Config{}) }
+func TestConcurrentConservationElim(t *testing.T) {
+	concurrentConservation(t, Config{Elimination: true, MaxThreads: 16})
+}
+
+func TestRegisterOverflowPanics(t *testing.T) {
+	s := New(Config{MaxThreads: 1})
+	s.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic past MaxThreads")
+		}
+	}()
+	s.Register()
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	s := New(Config{})
+	h := s.Register()
+	for i := 0; i < b.N; i++ {
+		s.Push(h, uint32(i))
+		s.Pop(h)
+	}
+}

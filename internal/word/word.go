@@ -1,0 +1,90 @@
+// Package word defines the 64-bit CAS-able slot tuple shared by the bounded
+// HLM deque and the unbounded deque built on it.
+//
+// The paper (Fig. 2/5) makes every slot a single CAS-able value holding a
+// 32-bit payload and a 32-bit counter; every transition's two-CAS protocol
+// works by bumping counters so concurrent edge operations invalidate each
+// other. We pack the tuple as ct<<32 | val in a sync/atomic Uint64.
+//
+// The top four values of the 32-bit payload space are reserved:
+//
+//	LN  "left null"  — empty slot on the left side
+//	RN  "right null" — empty slot on the right side
+//	LS  "left seal"  — written into the rightmost data slot of a node being
+//	                   retired from the left
+//	RS  "right seal" — symmetric, leftmost data slot, retired from the right
+//
+// Payloads must therefore be <= MaxValue. Link slots reuse the same space
+// for 32-bit node IDs (resolved via internal/arena), which the node registry
+// keeps below MaxValue by construction.
+package word
+
+// Reserved 32-bit payload constants (paper Fig. 2 and Fig. 5, lines 1/11).
+const (
+	LN uint32 = 0xFFFFFFFF
+	RN uint32 = 0xFFFFFFFE
+	LS uint32 = 0xFFFFFFFD
+	RS uint32 = 0xFFFFFFFC
+
+	// MaxValue is the largest payload (or node ID) a slot may carry.
+	MaxValue uint32 = 0xFFFFFFFB
+)
+
+// Pack builds a slot word from a payload and a counter.
+func Pack(val, ct uint32) uint64 { return uint64(ct)<<32 | uint64(val) }
+
+// Val extracts the payload of a slot word.
+func Val(w uint64) uint32 { return uint32(w) }
+
+// Ct extracts the counter of a slot word.
+func Ct(w uint64) uint32 { return uint32(w >> 32) }
+
+// Bump returns w with the same payload and the counter incremented; this is
+// the "first CAS" new value of every two-CAS transition (e.g. line 91:
+// CAS(in, in_cpy, <in_cpy.val, in_cpy.ct+1>)).
+func Bump(w uint64) uint64 { return w + 1<<32 }
+
+// With returns w with payload replaced by val and the counter incremented;
+// this is the "second CAS" new value (e.g. line 92: <o, out_cpy.ct+1>).
+func With(w uint64, val uint32) uint64 {
+	return Pack(val, Ct(w)+1)
+}
+
+// IsReserved reports whether v is one of the four reserved payloads.
+func IsReserved(v uint32) bool { return v > MaxValue }
+
+// IsNull reports whether v is LN or RN.
+func IsNull(v uint32) bool { return v == LN || v == RN }
+
+// IsSeal reports whether v is LS or RS.
+func IsSeal(v uint32) bool { return v == LS || v == RS }
+
+// Name returns a short human-readable name for reserved payloads and the
+// decimal form otherwise; used by debug dumps and test failure messages.
+func Name(v uint32) string {
+	switch v {
+	case LN:
+		return "LN"
+	case RN:
+		return "RN"
+	case LS:
+		return "LS"
+	case RS:
+		return "RS"
+	}
+	return itoa(v)
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,85 @@
+package word
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	f := func(val, ct uint32) bool {
+		w := Pack(val, ct)
+		return Val(w) == val && Ct(w) == ct
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBumpKeepsValue(t *testing.T) {
+	f := func(val, ct uint32) bool {
+		w := Bump(Pack(val, ct))
+		return Val(w) == val && Ct(w) == ct+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBumpWrapsCounter(t *testing.T) {
+	w := Pack(5, 0xFFFFFFFF)
+	b := Bump(w)
+	if Val(b) != 5 || Ct(b) != 0 {
+		t.Fatalf("Bump at counter max = (%d, %d), want (5, 0)", Val(b), Ct(b))
+	}
+}
+
+func TestWithReplacesAndBumps(t *testing.T) {
+	f := func(val, ct, nv uint32) bool {
+		w := With(Pack(val, ct), nv)
+		return Val(w) == nv && Ct(w) == ct+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservedConstantsDistinctAndOrdered(t *testing.T) {
+	vals := []uint32{LN, RN, LS, RS}
+	seen := map[uint32]bool{}
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("duplicate reserved constant %#x", v)
+		}
+		seen[v] = true
+		if !IsReserved(v) {
+			t.Fatalf("IsReserved(%#x) = false", v)
+		}
+	}
+	if IsReserved(MaxValue) {
+		t.Fatal("MaxValue must not be reserved")
+	}
+	if MaxValue+1 != RS {
+		t.Fatal("MaxValue must sit just below the reserved range")
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	if !IsNull(LN) || !IsNull(RN) || IsNull(LS) || IsNull(RS) || IsNull(0) {
+		t.Fatal("IsNull misclassifies")
+	}
+	if IsSeal(LN) || IsSeal(RN) || !IsSeal(LS) || !IsSeal(RS) || IsSeal(7) {
+		t.Fatal("IsSeal misclassifies")
+	}
+}
+
+func TestName(t *testing.T) {
+	cases := map[uint32]string{
+		LN: "LN", RN: "RN", LS: "LS", RS: "RS",
+		0: "0", 7: "7", 123456: "123456",
+	}
+	for v, want := range cases {
+		if got := Name(v); got != want {
+			t.Errorf("Name(%#x) = %q, want %q", v, got, want)
+		}
+	}
+}

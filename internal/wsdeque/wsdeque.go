@@ -1,0 +1,115 @@
+// Package wsdeque implements a Chase–Lev work-stealing deque (SPAA 2005,
+// with the C11 memory-model corrections of Lê et al.), the restricted deque
+// the paper's related-work section contrasts general deques against: one
+// owner pushes and pops at the bottom; other threads only steal from the
+// top. The examples/workstealing program uses it as the per-worker queue
+// and the paper's general deque as a drop-in alternative.
+package wsdeque
+
+import (
+	"sync/atomic"
+)
+
+// Deque is a growable Chase–Lev deque of uint64 task IDs. The zero value is
+// not ready; use New. Bottom operations (Push/PopBottom) belong to one owner
+// goroutine; Steal may be called by anyone.
+type Deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[ring]
+}
+
+type ring struct {
+	mask int64
+	a    []atomic.Uint64
+}
+
+func newRing(capacity int64) *ring {
+	return &ring{mask: capacity - 1, a: make([]atomic.Uint64, capacity)}
+}
+
+func (r *ring) get(i int64) uint64    { return r.a[i&r.mask].Load() }
+func (r *ring) put(i int64, v uint64) { r.a[i&r.mask].Store(v) }
+func (r *ring) grow(b, t int64) *ring {
+	nr := newRing((r.mask + 1) * 2)
+	for i := t; i < b; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+// New returns an empty deque with the given initial capacity (rounded up to
+// a power of two, minimum 8).
+func New(capacity int) *Deque {
+	c := int64(8)
+	for c < int64(capacity) {
+		c <<= 1
+	}
+	d := &Deque{}
+	d.buf.Store(newRing(c))
+	return d
+}
+
+// Push adds v at the bottom (owner only).
+func (d *Deque) Push(v uint64) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.buf.Load()
+	if b-t > r.mask {
+		r = r.grow(b, t)
+		d.buf.Store(r)
+	}
+	r.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes the most recently pushed value (owner only); ok is
+// false when the deque is empty.
+func (d *Deque) PopBottom() (v uint64, ok bool) {
+	b := d.bottom.Load() - 1
+	r := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	switch {
+	case t > b:
+		// Empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return 0, false
+	case t == b:
+		// Last element: race stealers via top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			// A stealer won.
+			d.bottom.Store(b + 1)
+			return 0, false
+		}
+		d.bottom.Store(b + 1)
+		return r.get(b), true
+	default:
+		return r.get(b), true
+	}
+}
+
+// Steal removes the oldest value (any thread); ok is false when the deque
+// was empty or the steal lost a race (callers typically just try elsewhere).
+func (d *Deque) Steal() (v uint64, ok bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, false
+	}
+	r := d.buf.Load()
+	v = r.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return 0, false
+	}
+	return v, true
+}
+
+// Len is a racy size estimate.
+func (d *Deque) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,131 @@
+package wsdeque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLIFOOwner(t *testing.T) {
+	d := New(8)
+	for i := uint64(0); i < 100; i++ {
+		d.Push(i)
+	}
+	for i := int64(99); i >= 0; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v != uint64(i) {
+			t.Fatalf("PopBottom = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := New(8)
+	for i := uint64(0); i < 50; i++ {
+		d.Push(i)
+	}
+	for i := uint64(0); i < 50; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("Steal = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("steal on empty succeeded")
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	d := New(8)
+	for i := uint64(0); i < 10000; i++ {
+		d.Push(i)
+	}
+	if d.Len() != 10000 {
+		t.Fatalf("Len = %d, want 10000", d.Len())
+	}
+	for i := uint64(0); i < 10000; i++ {
+		if v, ok := d.Steal(); !ok || v != i {
+			t.Fatalf("Steal = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestOwnerVsStealers(t *testing.T) {
+	// Owner pushes and pops; stealers pull from the top. Every task must be
+	// executed exactly once.
+	d := New(64)
+	const tasks = 100000
+	const stealers = 4
+	var executed sync.Map
+	var count atomic.Int64
+	record := func(v uint64) {
+		if _, dup := executed.LoadOrStore(v, true); dup {
+			t.Errorf("task %d executed twice", v)
+		}
+		count.Add(1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < stealers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					record(v)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	for i := uint64(0); i < tasks; i++ {
+		d.Push(i)
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				record(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(stop)
+	wg.Wait()
+	// Drain anything the last PopBottom race returned to the deque.
+	for {
+		if v, ok := d.Steal(); ok {
+			record(v)
+			continue
+		}
+		break
+	}
+	if count.Load() != tasks {
+		t.Fatalf("executed %d tasks, want %d", count.Load(), tasks)
+	}
+}
+
+func BenchmarkPushPopBottom(b *testing.B) {
+	d := New(1024)
+	for i := 0; i < b.N; i++ {
+		d.Push(uint64(i))
+		d.PopBottom()
+	}
+}

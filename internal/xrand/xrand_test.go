@@ -1,0 +1,150 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownSequence(t *testing.T) {
+	// Reference values for seed 1234567, from the public-domain reference
+	// implementation of splitmix64.
+	s := NewSplitMix64(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85,
+		0x2c73f08458540fa5,
+		0x883ebce5a3f27c77,
+	}
+	for i, w := range want {
+		if g := s.Next(); g != w {
+			t.Fatalf("Next()[%d] = %#x, want %#x", i, g, w)
+		}
+	}
+}
+
+func TestSplitMix64DistinctSeedsDistinctStreams(t *testing.T) {
+	a, b := NewSplitMix64(1), NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("streams from different seeds collided %d/100 times", same)
+	}
+}
+
+func TestXoshiroZeroSeedNonZeroState(t *testing.T) {
+	x := NewXoshiro256(0)
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		t.Fatal("zero seed produced all-zero state")
+	}
+	// Must still produce varying output.
+	a, b := x.Next(), x.Next()
+	if a == b {
+		t.Fatalf("consecutive outputs equal: %#x", a)
+	}
+}
+
+func TestXoshiroIntnBounds(t *testing.T) {
+	x := NewXoshiro256(42)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestXoshiroIntnPanicsOnNonPositive(t *testing.T) {
+	x := NewXoshiro256(1)
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			x.Intn(n)
+		}()
+	}
+}
+
+func TestXoshiroIntnRoughlyUniform(t *testing.T) {
+	x := NewXoshiro256(7)
+	const n, draws = 8, 80000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[x.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d: %d draws, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestXoshiroFloat64Range(t *testing.T) {
+	x := NewXoshiro256(9)
+	for i := 0; i < 10000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestXoshiroBoolBalance(t *testing.T) {
+	x := NewXoshiro256(11)
+	trues := 0
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		if x.Bool() {
+			trues++
+		}
+	}
+	if trues < draws*45/100 || trues > draws*55/100 {
+		t.Fatalf("Bool() returned true %d/%d times, badly unbalanced", trues, draws)
+	}
+}
+
+func TestXoshiroNoShortCycle(t *testing.T) {
+	x := NewXoshiro256(3)
+	first := x.Next()
+	for i := 0; i < 100000; i++ {
+		if x.Next() == first && i < 10 {
+			t.Fatalf("suspiciously early repeat after %d draws", i)
+		}
+	}
+}
+
+func TestIntnQuickProperty(t *testing.T) {
+	// Property: Intn(n) is always in range for arbitrary seeds and n.
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		x := NewXoshiro256(seed)
+		for i := 0; i < 50; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXoshiroNext(b *testing.B) {
+	x := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Next()
+	}
+	_ = sink
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Collects every figure and ablation into figures_out/ with the settings
+# used for EXPERIMENTS.md. On a laptop-class machine this takes roughly
+# (structures × threads × trials × duration) ≈ 15–30 minutes at the
+# defaults below; pass a shorter -duration for a smoke pass.
+set -e
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-1s}"
+TRIALS="${TRIALS:-5}"
+THREADS="${THREADS:-}"
+
+ARGS="-duration $DURATION -trials $TRIALS"
+if [ -n "$THREADS" ]; then
+    ARGS="$ARGS -threads $THREADS"
+fi
+
+echo "== figures + ablations ($ARGS) =="
+go run ./cmd/figures $ARGS | tee figures_out/figures.log
+
+echo "== validation campaigns =="
+go run ./cmd/stress -structure of -mode conservation -workers 8 -duration 10s
+go run ./cmd/stress -structure of-elim -mode conservation -workers 8 -duration 10s
+go run ./cmd/stress -structure of -mode lincheck -histories 2000
+go run ./cmd/stress -structure of-elim -mode lincheck -histories 2000

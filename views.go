@@ -1,0 +1,73 @@
+package deque
+
+// Stack and Queue are restricted views over the deque, for callers that
+// want the conventional container vocabulary. They correspond exactly to
+// the Stack and Queue access patterns of the paper's evaluation: a Stack
+// works one end (LIFO, where elimination shines); a Queue pushes on the
+// left and pops on the right (FIFO).
+//
+// Both views share the deque's guarantees: unbounded, obstruction-free,
+// linearizable. They are just method subsets — a Stack view and a Queue
+// view of the same Deque observe the same elements.
+
+// Stack is a LIFO view. Obtain one with AsStack.
+type Stack[T any] struct {
+	d *Deque[T]
+}
+
+// AsStack returns a stack view of d (the left end).
+func AsStack[T any](d *Deque[T]) Stack[T] { return Stack[T]{d: d} }
+
+// NewStack returns a fresh stack (backed by a dedicated deque).
+func NewStack[T any](opts ...Option) Stack[T] { return Stack[T]{d: New[T](opts...)} }
+
+// Register returns a per-goroutine handle for the stack.
+func (s Stack[T]) Register() *StackHandle[T] {
+	return &StackHandle[T]{h: s.d.Register()}
+}
+
+// Len returns the element count; exact only in quiescence.
+func (s Stack[T]) Len() int { return s.d.Len() }
+
+// StackHandle is a per-goroutine accessor to a Stack.
+type StackHandle[T any] struct {
+	h *Handle[T]
+}
+
+// Push adds v to the top of the stack.
+func (h *StackHandle[T]) Push(v T) { h.h.PushLeft(v) }
+
+// Pop removes and returns the most recently pushed value; ok is false when
+// the stack is empty.
+func (h *StackHandle[T]) Pop() (T, bool) { return h.h.PopLeft() }
+
+// Queue is a FIFO view. Obtain one with AsQueue.
+type Queue[T any] struct {
+	d *Deque[T]
+}
+
+// AsQueue returns a queue view of d (enqueue left, dequeue right).
+func AsQueue[T any](d *Deque[T]) Queue[T] { return Queue[T]{d: d} }
+
+// NewQueue returns a fresh queue (backed by a dedicated deque).
+func NewQueue[T any](opts ...Option) Queue[T] { return Queue[T]{d: New[T](opts...)} }
+
+// Register returns a per-goroutine handle for the queue.
+func (q Queue[T]) Register() *QueueHandle[T] {
+	return &QueueHandle[T]{h: q.d.Register()}
+}
+
+// Len returns the element count; exact only in quiescence.
+func (q Queue[T]) Len() int { return q.d.Len() }
+
+// QueueHandle is a per-goroutine accessor to a Queue.
+type QueueHandle[T any] struct {
+	h *Handle[T]
+}
+
+// Enqueue adds v at the back of the queue.
+func (h *QueueHandle[T]) Enqueue(v T) { h.h.PushLeft(v) }
+
+// Dequeue removes and returns the oldest value; ok is false when the queue
+// is empty.
+func (h *QueueHandle[T]) Dequeue() (T, bool) { return h.h.PopRight() }

@@ -1,0 +1,131 @@
+package deque
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStackLIFO(t *testing.T) {
+	s := NewStack[int]()
+	h := s.Register()
+	for i := 0; i < 100; i++ {
+		h.Push(i)
+	}
+	for i := 99; i >= 0; i-- {
+		v, ok := h.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[string](WithNodeSize(8))
+	h := q.Register()
+	h.Enqueue("a")
+	h.Enqueue("b")
+	h.Enqueue("c")
+	for _, want := range []string{"a", "b", "c"} {
+		v, ok := h.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = (%q,%v), want (%q,true)", v, ok, want)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("Dequeue on empty succeeded")
+	}
+}
+
+func TestViewsShareUnderlyingDeque(t *testing.T) {
+	d := New[int]()
+	s := AsStack(d)
+	q := AsQueue(d)
+	sh := s.Register()
+	qh := q.Register()
+	// Stack pushes left; queue dequeues right: FIFO across the views.
+	sh.Push(1)
+	sh.Push(2)
+	if v, ok := qh.Dequeue(); !ok || v != 1 {
+		t.Fatalf("Dequeue = (%d,%v), want (1,true)", v, ok)
+	}
+	// Queue enqueues left too, so the stack sees it on top.
+	qh.Enqueue(9)
+	if v, ok := sh.Pop(); !ok || v != 9 {
+		t.Fatalf("Pop = (%d,%v), want (9,true)", v, ok)
+	}
+	if v, ok := sh.Pop(); !ok || v != 2 {
+		t.Fatalf("Pop = (%d,%v), want (2,true)", v, ok)
+	}
+}
+
+func TestStackConcurrentConservation(t *testing.T) {
+	s := NewStack[uint64](WithNodeSize(16), WithElimination(true))
+	const workers, perW = 8, 10000
+	var pushed, popped [workers]uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			for i := 0; i < perW; i++ {
+				if i%2 == 0 {
+					h.Push(uint64(w)<<32 | uint64(i))
+					pushed[w]++
+				} else if _, ok := h.Pop(); ok {
+					popped[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var totPush, totPop uint64
+	for w := 0; w < workers; w++ {
+		totPush += pushed[w]
+		totPop += popped[w]
+	}
+	if totPop+uint64(s.Len()) != totPush {
+		t.Fatalf("conservation: %d popped + %d residue != %d pushed",
+			totPop, s.Len(), totPush)
+	}
+}
+
+func TestQueueConcurrentOrderPerProducer(t *testing.T) {
+	// With one producer and one consumer, FIFO order must be exact.
+	q := NewQueue[int](WithNodeSize(8))
+	const n = 20000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		h := q.Register()
+		for i := 0; i < n; i++ {
+			h.Enqueue(i)
+		}
+	}()
+	errs := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		h := q.Register()
+		next := 0
+		for next < n {
+			v, ok := h.Dequeue()
+			if !ok {
+				continue
+			}
+			if v != next {
+				t.Errorf("dequeued %d, want %d", v, next)
+				return
+			}
+			next++
+		}
+	}()
+	wg.Wait()
+	close(errs)
+}
