@@ -1,0 +1,178 @@
+package deque
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestGenericBatchRoundTrip drives the public batch API over a struct type:
+// values must round-trip through the slab in order on both ends.
+func TestGenericBatchRoundTrip(t *testing.T) {
+	type item struct {
+		ID   int
+		Name string
+	}
+	d := New[item](WithNodeSize(8))
+	h := d.Register()
+	in := make([]item, 20)
+	for i := range in {
+		in[i] = item{ID: i, Name: fmt.Sprintf("v%d", i)}
+	}
+	h.PushRightN(in)
+	if d.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(in))
+	}
+	out := make([]item, 7)
+	got := 0
+	for {
+		n := h.PopLeftN(out)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if out[i] != in[got] {
+				t.Fatalf("element %d = %+v, want %+v", got, out[i], in[got])
+			}
+			got++
+		}
+	}
+	if got != len(in) {
+		t.Fatalf("popped %d, want %d", got, len(in))
+	}
+	// Left pushes reverse; right pops reverse again: identity.
+	h.PushLeftN(in)
+	for i := len(in) - 1; i >= 0; i-- {
+		n := h.PopLeftN(out[:1])
+		if n != 1 || out[0] != in[i] {
+			t.Fatalf("left-pushed pop = %+v (n=%d), want %+v", out[0], n, in[i])
+		}
+	}
+	h.Flush()
+}
+
+// TestUint32BatchAndReserved covers the raw-payload batch API including the
+// all-or-nothing reserved check.
+func TestUint32BatchAndReserved(t *testing.T) {
+	d := NewUint32(WithNodeSize(8))
+	h := d.Register()
+	if err := h.PushRightN([]uint32{1, 2, MaxUint32Value + 1}); err != ErrReserved {
+		t.Fatalf("reserved batch = %v, want ErrReserved", err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("rejected batch left %d values", d.Len())
+	}
+	if err := h.PushRightN([]uint32{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint32, 8)
+	if n := h.PopRightN(dst[:2]); n != 2 || dst[0] != 5 || dst[1] != 4 {
+		t.Fatalf("PopRightN = %d %v", n, dst[:2])
+	}
+	if n := h.PopLeftN(dst); n != 3 || dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatalf("PopLeftN = %d %v", n, dst[:3])
+	}
+	if err := h.PushLeftN(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotPathToggleEquivalence checks the legacy construction behaves
+// identically (functionally) and keeps the edge cache cold, while the
+// default construction uses it.
+func TestHotPathToggleEquivalence(t *testing.T) {
+	for _, on := range []bool{true, false} {
+		d := New[int](WithNodeSize(8), WithHotPathOptimizations(on))
+		h := d.Register()
+		for i := 0; i < 500; i++ {
+			h.PushRight(i)
+		}
+		for i := 0; i < 500; i++ {
+			v, ok := h.PopLeft()
+			if !ok || v != i {
+				t.Fatalf("on=%v: pop %d = (%d,%v)", on, i, v, ok)
+			}
+		}
+		hits := h.Stats().EdgeCacheHits
+		if on && hits == 0 {
+			t.Fatal("optimized handle recorded no edge-cache hits")
+		}
+		if !on && hits != 0 {
+			t.Fatalf("legacy handle recorded %d edge-cache hits", hits)
+		}
+	}
+}
+
+// TestConcurrentBatchNoValueLoss is the public-API conservation check under
+// concurrency: batched pushes and pops from several goroutines, then a
+// drain, must account for every value exactly once.
+func TestConcurrentBatchNoValueLoss(t *testing.T) {
+	d := New[uint64](WithNodeSize(8), WithMaxThreads(32))
+	const workers = 6
+	iters := 2000
+	if testing.Short() {
+		iters = 500
+	}
+	popped := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.Register()
+			defer h.Flush()
+			buf := make([]uint64, 5)
+			dst := make([]uint64, 5)
+			for i := 0; i < iters; i++ {
+				if i%2 == 0 {
+					for j := range buf {
+						buf[j] = uint64(w)<<32 | uint64(i*8+j) + 1
+					}
+					if w%2 == 0 {
+						h.PushLeftN(buf)
+					} else {
+						h.PushRightN(buf)
+					}
+				} else {
+					var n int
+					if w%2 == 0 {
+						n = h.PopRightN(dst)
+					} else {
+						n = h.PopLeftN(dst)
+					}
+					popped[w] = append(popped[w], dst[:n]...)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	total := 0
+	record := func(v uint64) {
+		if seen[v] {
+			t.Fatalf("value %#x seen twice", v)
+		}
+		seen[v] = true
+		total++
+	}
+	for _, vs := range popped {
+		for _, v := range vs {
+			record(v)
+		}
+	}
+	h := d.Register()
+	dst := make([]uint64, 64)
+	for {
+		n := h.PopLeftN(dst)
+		if n == 0 {
+			break
+		}
+		for _, v := range dst[:n] {
+			record(v)
+		}
+	}
+	want := workers * (iters / 2) * 5
+	if total != want {
+		t.Fatalf("recovered %d values, want %d", total, want)
+	}
+}

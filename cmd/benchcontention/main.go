@@ -1,0 +1,208 @@
+// Command benchcontention measures the hot-path contention benchmarks and
+// writes BENCH_contention.json: the mixed 4-way push/pop workload on the
+// generic Deque[uint32] across a goroutine sweep, in "current" mode (the
+// optimized hot path) and "legacy" mode (per-handle slab caching and edge
+// caching disabled), plus batch-API runs. See scripts/bench_contention.sh.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/contbench"
+)
+
+// run is one sweep's numbers, keyed by goroutine count.
+type run struct {
+	Label      string             `json:"label"`
+	Mode       string             `json:"mode"`
+	Batch      int                `json:"batch,omitempty"`
+	OpsPerSec  map[string]float64 `json:"ops_per_sec"`
+	RelStddev  map[string]float64 `json:"rel_stddev"`
+	TrialsUsed int                `json:"trials"`
+}
+
+type report struct {
+	Generated  string             `json:"generated"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Workload   string             `json:"workload"`
+	DurationS  float64            `json:"duration_s"`
+	Threads    []int              `json:"threads"`
+	Baseline   run                `json:"baseline"`
+	Current    run                `json:"current"`
+	Batches    []run              `json:"batch_runs,omitempty"`
+	Speedup    map[string]float64 `json:"speedup_current_over_baseline"`
+}
+
+func main() {
+	var (
+		duration     = flag.Duration("duration", 500*time.Millisecond, "measured run length per trial")
+		trials       = flag.Int("trials", 3, "trials per configuration")
+		threadsFlag  = flag.String("threads", "1,4,16", "comma-separated goroutine counts")
+		prefill      = flag.Int("prefill", 1024, "elements inserted before measuring")
+		batchesFlag  = flag.String("batches", "8", "comma-separated batch sizes for batch-API runs (empty to skip)")
+		out          = flag.String("out", "BENCH_contention.json", "output path")
+		baselineFile = flag.String("baseline-file", "", "JSON file with a measured pre-PR baseline run to embed instead of the in-binary legacy mode")
+		baselineOnly = flag.Bool("baseline-only", false, "measure only the current tree's single-op sweep and write it as a baseline run file")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
+	)
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("create -cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("start profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		fatalf("bad -threads: %v", err)
+	}
+	batches, err := parseInts(*batchesFlag)
+	if err != nil {
+		fatalf("bad -batches: %v", err)
+	}
+
+	sweep := func(mode contbench.ContentionMode, batch int, label string) run {
+		r := run{
+			Label:      label,
+			Mode:       string(mode),
+			Batch:      batch,
+			OpsPerSec:  map[string]float64{},
+			RelStddev:  map[string]float64{},
+			TrialsUsed: *trials,
+		}
+		for _, t := range threads {
+			res := contbench.RunContention(contbench.ContentionConfig{
+				Threads:  t,
+				Duration: *duration,
+				Trials:   *trials,
+				Prefill:  *prefill,
+				Batch:    batch,
+				Mode:     mode,
+				Seed:     0x9E3779B97F4A7C15,
+			})
+			key := strconv.Itoa(t)
+			r.OpsPerSec[key] = res.Throughput()
+			r.RelStddev[key] = res.Summary.RelStddev()
+			fmt.Fprintf(os.Stderr, "  %-24s t=%-3d %14.0f ops/s (±%.1f%%)\n",
+				label, t, res.Throughput(), 100*res.Summary.RelStddev())
+		}
+		return r
+	}
+
+	if *baselineOnly {
+		r := sweep(contbench.ModeCurrent, 0, "measured baseline")
+		writeJSON(*out, r)
+		fmt.Fprintf(os.Stderr, "wrote baseline run to %s\n", *out)
+		return
+	}
+
+	var baseline run
+	if *baselineFile != "" {
+		data, err := os.ReadFile(*baselineFile)
+		if err != nil {
+			fatalf("read -baseline-file: %v", err)
+		}
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fatalf("parse -baseline-file: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "embedding measured baseline %q\n", baseline.Label)
+	} else {
+		fmt.Fprintln(os.Stderr, "== baseline (legacy mode: per-handle caches disabled) ==")
+		baseline = sweep(contbench.ModeLegacy, 0, "legacy (in-binary approx)")
+	}
+
+	fmt.Fprintln(os.Stderr, "== current (optimized hot path) ==")
+	current := sweep(contbench.ModeCurrent, 0, "current")
+
+	var batchRuns []run
+	for _, b := range batches {
+		if b <= 1 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "== current, batch=%d ==\n", b)
+		batchRuns = append(batchRuns, sweep(contbench.ModeCurrent, b, fmt.Sprintf("current batch=%d", b)))
+	}
+
+	speedup := map[string]float64{}
+	for _, t := range threads {
+		key := strconv.Itoa(t)
+		if base := baseline.OpsPerSec[key]; base > 0 {
+			speedup[key] = current.OpsPerSec[key] / base
+		}
+	}
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   fmt.Sprintf("mixed 4-way push/pop on deque.Deque[uint32], prefill %d", *prefill),
+		DurationS:  duration.Seconds(),
+		Threads:    threads,
+		Baseline:   baseline,
+		Current:    current,
+		Batches:    batchRuns,
+		Speedup:    speedup,
+	}
+	writeJSON(*out, rep)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	for _, t := range threads {
+		key := strconv.Itoa(t)
+		if s, ok := speedup[key]; ok {
+			fmt.Fprintf(os.Stderr, "  speedup t=%-3s %.2fx\n", key, s)
+		} else {
+			fmt.Fprintf(os.Stderr, "  speedup t=%-3s n/a (no baseline point)\n", key)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -40,6 +40,7 @@ type options struct {
 	maxThreads  int
 	elimination bool
 	capacity    uint32
+	noHotPath   bool
 }
 
 // Option configures New and NewUint32.
@@ -65,6 +66,15 @@ func WithElimination(on bool) Option { return func(o *options) { o.elimination =
 // value slab's handle space. NewUint32 ignores it.
 func WithCapacity(n int) Option { return func(o *options) { o.capacity = uint32(n) } }
 
+// WithHotPathOptimizations toggles the contention-engineering layer added on
+// top of the paper's algorithm: per-handle edge caching with throttled
+// global-hint publication, and per-handle slab freelist caches. On by
+// default; turning it off reproduces the paper-faithful hot path (every
+// operation reads and republishes the shared hints, every Deque[T] value
+// allocation goes through the shared freelist), which is what the
+// contention benchmark uses as its baseline.
+func WithHotPathOptimizations(on bool) Option { return func(o *options) { o.noHotPath = !on } }
+
 func buildOptions(opts []Option) options {
 	o := options{capacity: 1 << 22}
 	for _, f := range opts {
@@ -78,28 +88,35 @@ func (o options) coreConfig() core.Config {
 		NodeSize:    o.nodeSize,
 		MaxThreads:  o.maxThreads,
 		Elimination: o.elimination,
+		NoEdgeCache: o.noHotPath,
 	}
 }
 
 // Deque is an unbounded concurrent double-ended queue of T.
 type Deque[T any] struct {
-	core *core.Deque
-	slab *arena.Slab[T]
+	core      *core.Deque
+	slab      *arena.Slab[T]
+	noHotPath bool
 }
 
 // New returns an empty Deque[T].
 func New[T any](opts ...Option) *Deque[T] {
 	o := buildOptions(opts)
 	return &Deque[T]{
-		core: core.New(o.coreConfig()),
-		slab: arena.NewSlab[T](o.capacity),
+		core:      core.New(o.coreConfig()),
+		slab:      arena.NewSlab[T](o.capacity),
+		noHotPath: o.noHotPath,
 	}
 }
 
 // Register returns a Handle for the calling goroutine. It panics when more
 // than MaxThreads handles are registered.
 func (d *Deque[T]) Register() *Handle[T] {
-	return &Handle[T]{d: d, h: d.core.Register()}
+	h := &Handle[T]{d: d, h: d.core.Register()}
+	if !d.noHotPath {
+		h.sh = d.slab.NewHandle()
+	}
+	return h
 }
 
 // Len returns the number of stored values. It is exact only in quiescence
@@ -109,25 +126,43 @@ func (d *Deque[T]) Len() int { return d.core.Len() }
 // Handle is a per-goroutine accessor to a Deque[T]. Not safe for concurrent
 // use; register one per goroutine.
 type Handle[T any] struct {
-	d *Deque[T]
-	h *core.Handle
+	d       *Deque[T]
+	h       *core.Handle
+	sh      *arena.SlabHandle[T] // nil when hot-path optimizations are off
+	scratch []uint32             // reusable slab-handle buffer for batch ops
+}
+
+// put parks v in the value slab through the handle's freelist cache.
+func (h *Handle[T]) put(v T) uint32 {
+	if h.sh != nil {
+		return h.sh.Put(v)
+	}
+	return h.d.slab.Put(v)
+}
+
+// take retrieves and frees the slab entry hv.
+func (h *Handle[T]) take(hv uint32) T {
+	if h.sh != nil {
+		return h.sh.Take(hv)
+	}
+	return h.d.slab.Take(hv)
 }
 
 // PushLeft inserts v at the left end.
 func (h *Handle[T]) PushLeft(v T) {
-	hv := h.d.slab.Put(v)
+	hv := h.put(v)
 	if err := h.d.core.PushLeft(h.h, hv); err != nil {
 		// Unreachable: slab handles are below the reserved range.
-		h.d.slab.Take(hv)
+		h.take(hv)
 		panic(err)
 	}
 }
 
 // PushRight inserts v at the right end.
 func (h *Handle[T]) PushRight(v T) {
-	hv := h.d.slab.Put(v)
+	hv := h.put(v)
 	if err := h.d.core.PushRight(h.h, hv); err != nil {
-		h.d.slab.Take(hv)
+		h.take(hv)
 		panic(err)
 	}
 }
@@ -139,7 +174,7 @@ func (h *Handle[T]) PopLeft() (v T, ok bool) {
 	if !ok {
 		return v, false
 	}
-	return h.d.slab.Take(hv), true
+	return h.take(hv), true
 }
 
 // PopRight removes and returns the rightmost value; ok is false when the
@@ -149,12 +184,101 @@ func (h *Handle[T]) PopRight() (v T, ok bool) {
 	if !ok {
 		return v, false
 	}
-	return h.d.slab.Take(hv), true
+	return h.take(hv), true
+}
+
+// buf returns the handle's scratch buffer with room for n slab handles.
+func (h *Handle[T]) buf(n int) []uint32 {
+	if cap(h.scratch) < n {
+		h.scratch = make([]uint32, n)
+	}
+	return h.scratch[:n]
+}
+
+// PushLeftN pushes the elements of vs in order, each becoming the new
+// leftmost — equivalent to calling PushLeft per element, but the slab
+// allocations and edge transitions are batched.
+func (h *Handle[T]) PushLeftN(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	hvs := h.buf(len(vs))
+	for i, v := range vs {
+		hvs[i] = h.put(v)
+	}
+	if err := h.d.core.PushLeftN(h.h, hvs); err != nil {
+		for _, hv := range hvs {
+			h.take(hv)
+		}
+		panic(err)
+	}
+}
+
+// PushRightN pushes the elements of vs in order, each becoming the new
+// rightmost — equivalent to calling PushRight per element.
+func (h *Handle[T]) PushRightN(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	hvs := h.buf(len(vs))
+	for i, v := range vs {
+		hvs[i] = h.put(v)
+	}
+	if err := h.d.core.PushRightN(h.h, hvs); err != nil {
+		for _, hv := range hvs {
+			h.take(hv)
+		}
+		panic(err)
+	}
+}
+
+// PopLeftN pops up to len(dst) values from the left end into dst in pop
+// order, stopping early when the deque is empty. Returns the count popped.
+func (h *Handle[T]) PopLeftN(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	hvs := h.buf(len(dst))
+	n := h.d.core.PopLeftN(h.h, hvs)
+	for i := 0; i < n; i++ {
+		dst[i] = h.take(hvs[i])
+	}
+	return n
+}
+
+// PopRightN pops up to len(dst) values from the right end into dst in pop
+// order. Returns the count popped.
+func (h *Handle[T]) PopRightN(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	hvs := h.buf(len(dst))
+	n := h.d.core.PopRightN(h.h, hvs)
+	for i := 0; i < n; i++ {
+		dst[i] = h.take(hvs[i])
+	}
+	return n
+}
+
+// Flush returns the handle's cached slab capacity to the shared freelists.
+// Call it when a goroutine is done with its handle for good; a dropped
+// unflushed handle only strands its cached indices (bounded), it does not
+// leak values.
+func (h *Handle[T]) Flush() {
+	if h.sh != nil {
+		h.sh.Flush()
+	}
 }
 
 // Eliminated reports how many of this handle's operations completed via
 // elimination (always 0 unless WithElimination was set).
 func (h *Handle[T]) Eliminated() uint64 { return h.h.Eliminated }
+
+// Stats is a snapshot of a handle's operation counters.
+type Stats = core.Stats
+
+// Stats returns a copy of this handle's counters.
+func (h *Handle[T]) Stats() Stats { return h.h.Stats() }
 
 // Uint32 is the paper-faithful deque over raw uint32 payloads: no value
 // slab, values live directly in the 64-bit CAS slots. Values must be at
@@ -202,6 +326,25 @@ func (h *Uint32Handle) PopLeft() (uint32, bool) { return h.d.core.PopLeft(h.h) }
 // PopRight removes and returns the rightmost value; ok is false when empty.
 func (h *Uint32Handle) PopRight() (uint32, bool) { return h.d.core.PopRight(h.h) }
 
+// PushLeftN pushes the elements of vs in order, each becoming the new
+// leftmost; ErrReserved (pushing nothing) if any exceeds MaxUint32Value.
+func (h *Uint32Handle) PushLeftN(vs []uint32) error { return h.d.core.PushLeftN(h.h, vs) }
+
+// PushRightN pushes the elements of vs in order, each becoming the new
+// rightmost; ErrReserved (pushing nothing) if any exceeds MaxUint32Value.
+func (h *Uint32Handle) PushRightN(vs []uint32) error { return h.d.core.PushRightN(h.h, vs) }
+
+// PopLeftN pops up to len(dst) values from the left end into dst in pop
+// order, stopping early when the deque is empty. Returns the count popped.
+func (h *Uint32Handle) PopLeftN(dst []uint32) int { return h.d.core.PopLeftN(h.h, dst) }
+
+// PopRightN pops up to len(dst) values from the right end into dst in pop
+// order. Returns the count popped.
+func (h *Uint32Handle) PopRightN(dst []uint32) int { return h.d.core.PopRightN(h.h, dst) }
+
 // Eliminated reports how many of this handle's operations completed via
 // elimination.
 func (h *Uint32Handle) Eliminated() uint64 { return h.h.Eliminated }
+
+// Stats returns a copy of this handle's counters.
+func (h *Uint32Handle) Stats() Stats { return h.h.Stats() }

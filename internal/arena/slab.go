@@ -1,8 +1,11 @@
 package arena
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/pad"
 )
 
 // Slab chunk geometry mirrors the registry's.
@@ -11,6 +14,29 @@ const (
 	slabChunkSize = 1 << slabChunkBits
 	slabChunkMask = slabChunkSize - 1
 )
+
+// Freelist sharding geometry. The shard count is a fixed power of two: high
+// enough that handles spread across shards rarely collide, low enough that a
+// steal scan stays cheap. Per-handle caches mean shards are only touched
+// once per batchMove operations, so 16 shards comfortably decouple hundreds
+// of handles.
+const (
+	slabShards    = 16
+	slabShardMask = slabShards - 1
+	// localCap bounds a handle's private freelist; batchMove is the
+	// refill/flush transfer size (mcache/mcentral style: steady-state
+	// Put/Take touches no shared word, and a full or empty cache moves
+	// batchMove handles in one CAS).
+	localCap  = 64
+	batchMove = 32
+)
+
+// ErrSlabFull reports that a Put found no recycled handle and the bump
+// allocator is exhausted: the number of simultaneously live handles reached
+// the slab's limit. Unlike the old panic-on-overflow, hitting the limit is
+// reported without burning an index, so the slab keeps working once handles
+// are recycled.
+var ErrSlabFull = errors.New("arena: slab occupancy limit exceeded")
 
 // freelist head encoding: tag in the high 32 bits, (index+1) in the low 32,
 // so 0 means "empty list" and index 0 is representable.
@@ -23,22 +49,54 @@ func headIdx(h uint64) (uint32, bool)      { return uint32(h) - 1, uint32(h) != 
 // value and recycles the handle. Handles flow through the deque's 32-bit
 // data slots; a handle's value is only ever read by the single thread that
 // popped it, so plain loads/stores on the value cells are safe — the
-// happens-before edges run through the deque's CASes and the free list.
+// happens-before edges run through the deque's CASes and the free lists.
+//
+// Recycled handles live on slabShards tagged Treiber lists, each head alone
+// on its cache line, plus per-SlabHandle private caches (NewHandle). The
+// hot path — a worker cycling Put/Take through its own SlabHandle — runs
+// entirely on the private cache and touches no shared word; the shared
+// shard heads absorb one batched CAS per batchMove operations.
 type Slab[T any] struct {
 	chunks []atomic.Pointer[slabChunk[T]]
-	next   atomic.Uint32
-	free   atomic.Uint64 // tagged Treiber head of recycled handles
 	limit  uint32
+
+	_ pad.Spacer
+	// next is the bump allocator for never-used indices. It is advanced by
+	// CAS, never blind Add: two racing allocations at the limit must not
+	// burn indices (the old Add-then-check protocol made the loser leak an
+	// index and panic even though a retry could have found a recycled one).
+	next atomic.Uint32
+	_    pad.Spacer
+
+	shards [slabShards]slabShard
+
+	nextHandle atomic.Uint32 // round-robin SlabHandle→shard assignment
 }
 
+// slabShard is one global freelist: a tagged Treiber head alone on its
+// cache line so pushes to one shard never invalidate another's.
+type slabShard struct {
+	head pad.Uint64
+}
+
+// slabChunk holds the value cells and the free-list links for one index
+// range. They are separate arrays with a cache line of padding between
+// them, so a Take publishing a link (a next write) can never false-share
+// with a Put's value write in an adjacent cell of the other array. Within
+// the vals array, batched bump allocation hands each SlabHandle a
+// contiguous run of indices, so neighboring value cells usually belong to
+// the same goroutine.
 type slabChunk[T any] struct {
 	vals [slabChunkSize]T
+	_    pad.Spacer
 	next [slabChunkSize]atomic.Uint32 // free-list links
 }
 
 // NewSlab returns a slab whose live-handle count may reach limit (rounded up
 // to whole chunks). Unlike Registry IDs, handles are recycled, so limit
-// bounds concurrent occupancy, not total throughput.
+// bounds concurrent occupancy, not total throughput. Handles parked in
+// SlabHandle private caches count against occupancy (at most localCap per
+// SlabHandle).
 func NewSlab[T any](limit uint32) *Slab[T] {
 	if limit == 0 {
 		panic("arena: NewSlab with zero limit")
@@ -53,17 +111,34 @@ func NewSlab[T any](limit uint32) *Slab[T] {
 // Limit returns the maximum number of simultaneously live handles.
 func (s *Slab[T]) Limit() uint32 { return s.limit }
 
-// Put stores v and returns a handle for it.
+// Put stores v and returns a handle for it. It panics when the slab is
+// full; use TryPut to observe ErrSlabFull instead.
 func (s *Slab[T]) Put(v T) uint32 {
-	idx, ok := s.popFree()
+	idx, err := s.TryPut(v)
+	if err != nil {
+		panic(fmt.Sprintf("arena: %v (limit %d)", err, s.limit))
+	}
+	return idx
+}
+
+// TryPut stores v and returns a handle for it, or ErrSlabFull when every
+// index is live. This is the sharded, handle-less slow path; workers with a
+// SlabHandle should go through it instead.
+func (s *Slab[T]) TryPut(v T) (uint32, error) {
+	idx, ok := s.popFreeAny(0)
 	if !ok {
-		idx = s.next.Add(1) - 1
-		if idx >= s.limit {
-			panic(fmt.Sprintf("arena: slab occupancy limit exceeded (limit %d)", s.limit))
+		idx, ok = s.bumpAlloc()
+		if !ok {
+			// The bump space is gone; recycled handles may have been
+			// pushed since the scan — one re-scan before reporting full.
+			idx, ok = s.popFreeAny(0)
+			if !ok {
+				return 0, ErrSlabFull
+			}
 		}
 	}
 	s.chunk(idx).vals[idx&slabChunkMask] = v
-	return idx
+	return idx, nil
 }
 
 // Take returns the value stored under h and recycles the handle. Calling
@@ -76,30 +151,126 @@ func (s *Slab[T]) Take(h uint32) T {
 	v := c.vals[i]
 	var zero T
 	c.vals[i] = zero // drop references so GC can reclaim the payload
-	s.pushFree(h)
+	s.pushFree(&s.shards[h&slabShardMask], h)
 	return v
 }
 
-func (s *Slab[T]) popFree() (uint32, bool) {
+// bumpAlloc claims one never-used index, or reports exhaustion. CAS-based:
+// a loser retries, a racer at the limit burns nothing.
+func (s *Slab[T]) bumpAlloc() (uint32, bool) {
 	for {
-		h := s.free.Load()
+		n := s.next.Load()
+		if n >= s.limit {
+			return 0, false
+		}
+		if s.next.CompareAndSwap(n, n+1) {
+			return n, true
+		}
+	}
+}
+
+// bumpAllocBatch claims up to want contiguous never-used indices, returning
+// the first index and the count (0 when exhausted).
+func (s *Slab[T]) bumpAllocBatch(want uint32) (uint32, uint32) {
+	for {
+		n := s.next.Load()
+		if n >= s.limit {
+			return 0, 0
+		}
+		k := want
+		if rest := s.limit - n; k > rest {
+			k = rest
+		}
+		if s.next.CompareAndSwap(n, n+k) {
+			return n, k
+		}
+	}
+}
+
+// popFreeAny pops one recycled index, scanning shards starting at from.
+func (s *Slab[T]) popFreeAny(from uint32) (uint32, bool) {
+	for i := uint32(0); i < slabShards; i++ {
+		if idx, ok := s.popFree(&s.shards[(from+i)&slabShardMask]); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Slab[T]) popFree(sh *slabShard) (uint32, bool) {
+	for {
+		h := sh.head.Load()
 		idx, ok := headIdx(h)
 		if !ok {
 			return 0, false
 		}
 		next := s.chunk(idx).next[idx&slabChunkMask].Load()
-		if s.free.CompareAndSwap(h, packHead(headTag(h)+1, next)) {
+		if sh.head.CompareAndSwap(h, packHead(headTag(h)+1, next)) {
 			return idx, true
 		}
 	}
 }
 
-func (s *Slab[T]) pushFree(idx uint32) {
+func (s *Slab[T]) pushFree(sh *slabShard, idx uint32) {
 	c := s.chunk(idx)
 	for {
-		h := s.free.Load()
+		h := sh.head.Load()
 		c.next[idx&slabChunkMask].Store(uint32(h)) // current head's idx+1 encoding
-		if s.free.CompareAndSwap(h, packHead(headTag(h)+1, idx+1)) {
+		if sh.head.CompareAndSwap(h, packHead(headTag(h)+1, idx+1)) {
+			return
+		}
+	}
+}
+
+// popFreeBatch pops up to max indices from sh in one head CAS, appending
+// them to dst. The walk over the links is validated by the tagged head: any
+// concurrent push or pop bumps the tag and fails our CAS, so a committed
+// batch was a stable prefix of the list.
+func (s *Slab[T]) popFreeBatch(sh *slabShard, dst []uint32, max int) []uint32 {
+	for {
+		h := sh.head.Load()
+		idx, ok := headIdx(h)
+		if !ok {
+			return dst
+		}
+		start := len(dst)
+		cur := idx
+		tail := uint32(0) // head encoding of the remainder
+		for n := 0; n < max; n++ {
+			if cur >= s.limit {
+				break // stale link read; the CAS below will fail
+			}
+			dst = append(dst, cur)
+			enc := s.chunk(cur).next[cur&slabChunkMask].Load() // idx+1 encoding
+			if enc == 0 {
+				tail = 0
+				break
+			}
+			tail = enc
+			cur = enc - 1
+		}
+		if sh.head.CompareAndSwap(h, packHead(headTag(h)+1, tail)) {
+			return dst
+		}
+		dst = dst[:start]
+	}
+}
+
+// pushFreeBatch pushes idxs onto sh in one head CAS, linking them in order
+// (idxs[0] becomes the new head).
+func (s *Slab[T]) pushFreeBatch(sh *slabShard, idxs []uint32) {
+	if len(idxs) == 0 {
+		return
+	}
+	for i := 0; i < len(idxs)-1; i++ {
+		s.chunk(idxs[i]).next[idxs[i]&slabChunkMask].Store(idxs[i+1] + 1)
+	}
+	last := idxs[len(idxs)-1]
+	lc := &s.chunk(last).next[last&slabChunkMask]
+	for {
+		h := sh.head.Load()
+		lc.Store(uint32(h))
+		if sh.head.CompareAndSwap(h, packHead(headTag(h)+1, idxs[0]+1)) {
 			return
 		}
 	}
@@ -116,4 +287,112 @@ func (s *Slab[T]) chunk(idx uint32) *slabChunk[T] {
 		return fresh
 	}
 	return slot.Load()
+}
+
+// SlabHandle is one worker's private view of a Slab: a local freelist cache
+// refilled from (and flushed to) the worker's home shard in batches. Not
+// safe for concurrent use; create one per goroutine. A SlabHandle may pin
+// up to localCap recycled indices while idle; they are reclaimed by other
+// workers only through shard stealing once flushed, so size the slab's
+// limit with headroom for localCap×handles (the default deque capacity of
+// 1<<22 dwarfs it).
+type SlabHandle[T any] struct {
+	s     *Slab[T]
+	shard *slabShard
+	local []uint32 // LIFO stack of free indices, top at the tail
+}
+
+// NewHandle returns a SlabHandle bound to the next shard round-robin.
+func (s *Slab[T]) NewHandle() *SlabHandle[T] {
+	n := s.nextHandle.Add(1) - 1
+	return &SlabHandle[T]{
+		s:     s,
+		shard: &s.shards[n&slabShardMask],
+		local: make([]uint32, 0, localCap),
+	}
+}
+
+// Put stores v and returns a handle for it, panicking when the slab is
+// full; use TryPut to observe ErrSlabFull instead.
+func (h *SlabHandle[T]) Put(v T) uint32 {
+	idx, err := h.TryPut(v)
+	if err != nil {
+		panic(fmt.Sprintf("arena: %v (limit %d)", err, h.s.limit))
+	}
+	return idx
+}
+
+// TryPut stores v and returns a handle for it, or ErrSlabFull. The fast
+// path pops the private cache; a miss refills from the home shard, then the
+// bump allocator (a contiguous run, keeping one worker's live values on
+// neighboring cache lines), then steals from other shards.
+func (h *SlabHandle[T]) TryPut(v T) (uint32, error) {
+	n := len(h.local)
+	if n == 0 {
+		if !h.refill() {
+			return 0, ErrSlabFull
+		}
+		n = len(h.local)
+	}
+	idx := h.local[n-1]
+	h.local = h.local[:n-1]
+	h.s.chunk(idx).vals[idx&slabChunkMask] = v
+	return idx, nil
+}
+
+// Take returns the value stored under idx and recycles it into the private
+// cache, flushing the cold half to the home shard when the cache fills.
+// The same double-free contract as Slab.Take applies.
+func (h *SlabHandle[T]) Take(idx uint32) T {
+	s := h.s
+	c := s.chunk(idx)
+	i := idx & slabChunkMask
+	v := c.vals[i]
+	var zero T
+	c.vals[i] = zero
+	h.local = append(h.local, idx)
+	if len(h.local) >= localCap {
+		// Flush the bottom (coldest) half in one CAS; keep the hot top.
+		s.pushFreeBatch(h.shard, h.local[:batchMove])
+		h.local = append(h.local[:0], h.local[batchMove:]...)
+	}
+	return v
+}
+
+// Cached returns the number of free indices parked in the private cache
+// (diagnostics and tests).
+func (h *SlabHandle[T]) Cached() int { return len(h.local) }
+
+// Flush pushes every privately cached index back to the home shard, e.g.
+// before a worker retires its handle.
+func (h *SlabHandle[T]) Flush() {
+	h.s.pushFreeBatch(h.shard, h.local)
+	h.local = h.local[:0]
+}
+
+// refill populates the empty private cache: home shard first, then a
+// contiguous bump run, then stealing a batch from any other shard.
+func (h *SlabHandle[T]) refill() bool {
+	s := h.s
+	h.local = s.popFreeBatch(h.shard, h.local[:0], batchMove)
+	if len(h.local) > 0 {
+		return true
+	}
+	if first, k := s.bumpAllocBatch(batchMove); k > 0 {
+		for i := uint32(0); i < k; i++ {
+			h.local = append(h.local, first+i)
+		}
+		return true
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh == h.shard {
+			continue
+		}
+		h.local = s.popFreeBatch(sh, h.local[:0], batchMove)
+		if len(h.local) > 0 {
+			return true
+		}
+	}
+	return false
 }

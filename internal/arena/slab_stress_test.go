@@ -1,0 +1,232 @@
+package arena
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSlabStressNoDoubleLive hammers Put/Take through recycled handles from
+// many goroutines — each through its own SlabHandle — and asserts that no
+// index is ever live in two goroutines at once. Designed to run under
+// -race: the owner array CASes give the detector real synchronization
+// points to check the freelist's publication edges against.
+func TestSlabStressNoDoubleLive(t *testing.T) {
+	const goroutines = 8
+	iters := 30000
+	if testing.Short() {
+		iters = 8000
+	}
+	s := NewSlab[uint64](1 << 15)
+	owner := make([]atomic.Int32, s.Limit())
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int32) {
+			defer wg.Done()
+			h := s.NewHandle()
+			live := make([]uint32, 0, 128)
+			rng := uint64(g)*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < iters; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				// Bias toward puts until a window of handles is live, then
+				// churn: recycled indices flow through local caches and
+				// shard lists continuously.
+				if len(live) < 64 || (rng&1 == 0 && len(live) < 120) {
+					want := uint64(g)<<32 | uint64(i)
+					idx := h.Put(want)
+					if !owner[idx].CompareAndSwap(0, g+1) {
+						t.Errorf("index %d live twice (owners %d and %d)", idx, owner[idx].Load(), g+1)
+						return
+					}
+					live = append(live, idx)
+				} else {
+					k := int(rng>>8) % len(live)
+					idx := live[k]
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+					if !owner[idx].CompareAndSwap(g+1, 0) {
+						t.Errorf("index %d not owned by %d at Take", idx, g+1)
+						return
+					}
+					got := h.Take(idx)
+					if uint32(got>>32) != uint32(g) {
+						t.Errorf("index %d returned value %#x from another goroutine", idx, got)
+						return
+					}
+				}
+			}
+			for _, idx := range live {
+				owner[idx].CompareAndSwap(g+1, 0)
+				h.Take(idx)
+			}
+			h.Flush()
+		}(int32(g))
+	}
+	wg.Wait()
+	// Quiescent reclamation check: everything taken and flushed, so the
+	// full occupancy must be reachable again through the shared path.
+	seen := make(map[uint32]bool)
+	for {
+		idx, err := s.TryPut(0)
+		if err != nil {
+			break
+		}
+		if seen[idx] {
+			t.Fatalf("index %d handed out twice during drain", idx)
+		}
+		seen[idx] = true
+	}
+	if uint32(len(seen)) != s.Limit() {
+		t.Fatalf("drained %d indices, want full limit %d", len(seen), s.Limit())
+	}
+}
+
+// TestSlabOverflowRaceBurnsNothing is the regression test for the old
+// Put overflow race: two racing next.Add(1) calls at the limit both
+// panicked, and the loser had already burned an index, shrinking the slab
+// forever. The CAS-advanced bump allocator must hand out exactly limit
+// distinct indices, report ErrSlabFull without panicking, and recover as
+// soon as one handle is recycled.
+func TestSlabOverflowRaceBurnsNothing(t *testing.T) {
+	s := NewSlab[int](1) // rounds up to one chunk
+	limit := int(s.Limit())
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	var allocated atomic.Int64
+	var full atomic.Int64
+	idxs := make([][]uint32, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < limit; i++ { // over-subscribe on purpose
+				idx, err := s.TryPut(g)
+				if err != nil {
+					full.Add(1)
+					continue
+				}
+				allocated.Add(1)
+				idxs[g] = append(idxs[g], idx)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := allocated.Load(); got != int64(limit) {
+		t.Fatalf("allocated %d indices, want exactly %d (burned or duplicated)", got, limit)
+	}
+	if full.Load() == 0 {
+		t.Fatal("over-subscribed run never observed ErrSlabFull")
+	}
+	seen := make(map[uint32]bool)
+	for _, hs := range idxs {
+		for _, idx := range hs {
+			if seen[idx] {
+				t.Fatalf("index %d allocated twice", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	// Exhausted: one more TryPut must fail cleanly, not panic.
+	if _, err := s.TryPut(0); err == nil {
+		t.Fatal("TryPut on full slab succeeded")
+	}
+	// Recycle one handle; allocation must work again.
+	var recycled uint32
+	for _, hs := range idxs {
+		if len(hs) > 0 {
+			recycled = hs[0]
+			break
+		}
+	}
+	s.Take(recycled)
+	if _, err := s.TryPut(7); err != nil {
+		t.Fatalf("TryPut after recycle failed: %v", err)
+	}
+}
+
+// TestSlabHandleBatchRefillFlush pins down the mcache-style movement: a
+// fresh SlabHandle bump-allocates a contiguous run, a filling cache flushes
+// half to the home shard, and a second handle on the same shard can refill
+// from what the first flushed.
+func TestSlabHandleBatchRefillFlush(t *testing.T) {
+	s := NewSlab[int](1 << 14)
+	h1 := s.NewHandle()
+
+	// First Put refills from the bump allocator: contiguous run cached.
+	idx := h1.Put(1)
+	if h1.Cached() != batchMove-1 {
+		t.Fatalf("after first Put, cached = %d, want %d", h1.Cached(), batchMove-1)
+	}
+	if got := h1.Take(idx); got != 1 {
+		t.Fatalf("Take = %d, want 1", got)
+	}
+
+	// Puts hand back the most recently freed index first (LIFO locality).
+	a := h1.Put(10)
+	if a != idx {
+		t.Fatalf("LIFO violated: freed %d, Put returned %d", idx, a)
+	}
+	h1.Take(a)
+
+	// Fill the cache past capacity; the cold half must flush to the shard.
+	live := make([]uint32, 0, 4*localCap)
+	for i := 0; i < 4*localCap; i++ {
+		live = append(live, h1.Put(i))
+	}
+	for _, idx := range live {
+		h1.Take(idx)
+	}
+	if h1.Cached() >= localCap {
+		t.Fatalf("cache never flushed: %d cached, cap %d", h1.Cached(), localCap)
+	}
+
+	// Handles are assigned shards round-robin mod slabShards; advance to a
+	// handle sharing h1's shard and verify it refills from h1's flushes.
+	var h2 *SlabHandle[int]
+	for i := 0; i < slabShards; i++ {
+		h2 = s.NewHandle()
+	}
+	if h2.shard != h1.shard {
+		t.Fatalf("shard assignment not round-robin: %p vs %p", h2.shard, h1.shard)
+	}
+	before := s.next.Load()
+	h2.Put(99)
+	if s.next.Load() != before {
+		t.Fatal("second handle bump-allocated instead of refilling from shared shard")
+	}
+}
+
+// TestSlabHandleStealsFromOtherShards verifies the refill fallback: when a
+// handle's home shard and the bump space are both empty, it must steal
+// recycled indices from other shards rather than report full.
+func TestSlabHandleStealsFromOtherShards(t *testing.T) {
+	s := NewSlab[int](1)
+	limit := int(s.Limit())
+	h1 := s.NewHandle()
+	live := make([]uint32, 0, limit)
+	for {
+		idx, err := h1.TryPut(1)
+		if err != nil {
+			break
+		}
+		live = append(live, idx)
+	}
+	if len(live) != limit {
+		t.Fatalf("filled %d, want %d", len(live), limit)
+	}
+	// Free everything through the handle-less path, scattering indices
+	// across all shards (shard = idx mod slabShards).
+	for _, idx := range live {
+		s.Take(idx)
+	}
+	h2 := s.NewHandle() // home shard differs from most indices' shards
+	for i := 0; i < limit; i++ {
+		if _, err := h2.TryPut(i); err != nil {
+			t.Fatalf("TryPut %d failed with recycled indices available: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package contbench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	deque "repro"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// This file measures the hot-path contention work that sits in front of the
+// paper's algorithm: the generic Deque[T] wrapper's slab traffic, the global
+// hint words, and (after this PR) the batch APIs. The headline number for
+// BENCH_contention.json is the mixed 4-way push/pop workload on
+// Deque[uint32] across a goroutine sweep; scripts/bench_contention.sh runs
+// it via cmd/benchcontention.
+
+// ContentionMode selects the deque construction for a contention run.
+type ContentionMode string
+
+// Contention run modes. ModeLegacy disables the per-handle hot-path
+// optimizations (slab freelist caching, edge caching) to approximate the
+// pre-optimization structure inside one binary; cache-line padding cannot be
+// toggled at runtime, so a measured pre-PR baseline is still the gold
+// standard (the checked-in BENCH_contention.json embeds one).
+const (
+	ModeCurrent ContentionMode = "current"
+	ModeLegacy  ContentionMode = "legacy"
+)
+
+// ContentionConfig is one contention benchmark point.
+type ContentionConfig struct {
+	Threads  int
+	Duration time.Duration
+	Trials   int
+	Prefill  int
+	Batch    int // <=1: single-op API; >1: PushLeftN/PopLeftN etc. in runs of Batch
+	Mode     ContentionMode
+	Seed     uint64
+}
+
+// ContentionResult is the outcome of all trials of one ContentionConfig.
+type ContentionResult struct {
+	Config  ContentionConfig
+	Trials  []float64 // element-ops/sec per trial
+	Summary stats.Summary
+}
+
+// Throughput returns the mean element-operations per second.
+func (r ContentionResult) Throughput() float64 { return r.Summary.Mean }
+
+// RunContention executes cfg and returns its result. Operations are counted
+// per element: a batch push of k counts k, a batch pop counts the number of
+// elements returned (or 1 when it reports empty), so batch and single-op
+// modes are directly comparable.
+func RunContention(cfg ContentionConfig) ContentionResult {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 3
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 500 * time.Millisecond
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeCurrent
+	}
+	trials := make([]float64, 0, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		ops := runContentionTrial(cfg, uint64(trial))
+		trials = append(trials, float64(ops)/cfg.Duration.Seconds())
+	}
+	return ContentionResult{Config: cfg, Trials: trials, Summary: stats.Summarize(trials)}
+}
+
+// newContentionDeque builds the Deque[uint32] under test for the given mode.
+func newContentionDeque(mode ContentionMode, maxThreads int) *deque.Deque[uint32] {
+	opts := []deque.Option{deque.WithMaxThreads(maxThreads)}
+	if mode == ModeLegacy {
+		opts = append(opts, legacyOptions()...)
+	}
+	return deque.New[uint32](opts...)
+}
+
+func runContentionTrial(cfg ContentionConfig, trial uint64) uint64 {
+	d := newContentionDeque(cfg.Mode, cfg.Threads+1)
+	if cfg.Prefill > 0 {
+		h := d.Register()
+		for i := 0; i < cfg.Prefill; i++ {
+			if i%2 == 0 {
+				h.PushLeft(uint32(i))
+			} else {
+				h.PushRight(uint32(i))
+			}
+		}
+	}
+
+	var (
+		start sync.WaitGroup
+		gate  = make(chan struct{})
+		stop  atomic.Bool
+		total atomic.Uint64
+		wg    sync.WaitGroup
+	)
+	start.Add(cfg.Threads)
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.Register()
+			rng := xrand.NewXoshiro256(cfg.Seed ^ (trial*1315423911 + uint64(w) + 1))
+			start.Done()
+			<-gate
+			var ops uint64
+			if cfg.Batch > 1 {
+				ops = contentionBatchLoop(h, rng, &stop, cfg.Batch)
+			} else {
+				ops = contentionSingleLoop(h, rng, &stop)
+			}
+			total.Add(ops)
+		}(w)
+	}
+	start.Wait()
+	close(gate)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	runtime.KeepAlive(d)
+	return total.Load()
+}
+
+// contentionSingleLoop is the mixed 4-way workload: each iteration picks
+// uniformly among PushLeft/PushRight/PopLeft/PopRight. It checks the stop
+// flag every 64 ops to keep it off the hot path.
+func contentionSingleLoop(h *deque.Handle[uint32], rng *xrand.Xoshiro256, stop *atomic.Bool) uint64 {
+	ops := uint64(0)
+	for !stop.Load() {
+		for i := 0; i < 64; i++ {
+			v := uint32(ops) & 0x00FFFFFF
+			switch rng.Intn(4) {
+			case 0:
+				h.PushLeft(v)
+			case 1:
+				h.PushRight(v)
+			case 2:
+				h.PopLeft()
+			case 3:
+				h.PopRight()
+			}
+			ops++
+		}
+	}
+	return ops
+}

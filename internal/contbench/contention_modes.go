@@ -1,0 +1,55 @@
+package contbench
+
+import (
+	"sync/atomic"
+
+	deque "repro"
+	"repro/internal/xrand"
+)
+
+// legacyOptions returns the construction options that disable the
+// per-handle hot-path optimizations.
+func legacyOptions() []deque.Option {
+	return []deque.Option{deque.WithHotPathOptimizations(false)}
+}
+
+// contentionBatchLoop is the mixed workload driven through the batch APIs:
+// each iteration pushes or pops a run of `batch` elements on a random end.
+// Ops are counted per element so the result is comparable with the
+// single-op loop.
+func contentionBatchLoop(h *deque.Handle[uint32], rng *xrand.Xoshiro256, stop *atomic.Bool, batch int) uint64 {
+	vals := make([]uint32, batch)
+	dst := make([]uint32, batch)
+	ops := uint64(0)
+	for !stop.Load() {
+		for i := 0; i < 16; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				for j := range vals {
+					vals[j] = uint32(ops+uint64(j)) & 0x00FFFFFF
+				}
+				h.PushLeftN(vals)
+				ops += uint64(batch)
+			case 1:
+				for j := range vals {
+					vals[j] = uint32(ops+uint64(j)) & 0x00FFFFFF
+				}
+				h.PushRightN(vals)
+				ops += uint64(batch)
+			case 2:
+				n := h.PopLeftN(dst)
+				if n == 0 {
+					n = 1 // an empty pop is still one completed operation
+				}
+				ops += uint64(n)
+			case 3:
+				n := h.PopRightN(dst)
+				if n == 0 {
+					n = 1
+				}
+				ops += uint64(n)
+			}
+		}
+	}
+	return ops
+}

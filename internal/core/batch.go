@@ -1,0 +1,346 @@
+package core
+
+import (
+	"repro/internal/word"
+)
+
+// This file implements the batch operations PushLeftN/PopLeftN and their
+// right-side mirrors. A batch is linearizable PER ELEMENT — it is exactly a
+// sequence of individual pushes (pops) by the same thread, with no atomicity
+// claimed across the batch — but the elements after the first ride a "run":
+// once the full protocol (oracle walk, edge checks, transition dispatch) has
+// located the edge and moved it, each subsequent element repeats only the
+// two-CAS interior transition at the slot the previous element just
+// determined, skipping the oracle entirely and publishing the shared hint
+// once per run instead of once per element.
+//
+// Safety: every run step performs the paper's interior transition verbatim
+// (push L1: bump in, write out; pop L2: bump out, clear in) with full
+// validation of both slot copies — in holds a non-reserved datum, out holds
+// the side's null. Interference of any kind (a CAS failure or an unexpected
+// slot value) breaks the run and the remaining elements fall back to the
+// full per-element protocol, so a batch degrades under contention to exactly
+// the sequence of individual operations it is equivalent to. A run never
+// crosses a node border: border slots need the append/straddle/remove
+// machinery, which only the full protocol carries.
+
+// PushLeftN pushes the elements of vals in slice order, each becoming the
+// new leftmost, so after the call the deque reads vals[len-1], ..., vals[0],
+// <previous contents> from the left. It is equivalent to calling PushLeft
+// for each element in order. Returns ErrReserved (pushing nothing) if any
+// value is reserved.
+func (d *Deque) PushLeftN(h *Handle, vals []uint32) error {
+	for _, v := range vals {
+		if word.IsReserved(v) {
+			return ErrReserved
+		}
+	}
+	if d.lElim != nil {
+		for _, v := range vals {
+			d.pushLeftElim(h, v)
+		}
+		return nil
+	}
+	for i := 0; i < len(vals); {
+		i += d.pushLeftRun(h, vals[i:])
+	}
+	return nil
+}
+
+// pushLeftRun pushes vals[0] through the full protocol, then extends the run
+// with interior transitions while the left edge stays where the previous
+// element put it. Returns the number of elements pushed (>= 1).
+func (d *Deque) pushLeftRun(h *Handle, vals []uint32) int {
+	var idx int
+	for {
+		e, ix, hw, cached := d.lOracleSeeded(h)
+		if d.pushLeftTransitions(h, vals[0], e, ix, hw) {
+			if cached {
+				h.EdgeCacheHits++
+			}
+			h.bo.Reset()
+			idx = ix
+			break
+		}
+		if cached {
+			h.edgeL = nil // stale cache: rerun the real oracle
+		}
+		h.Retries++
+		h.bo.Spin()
+	}
+
+	// The transition left the new outermost datum in h.edgeL: at idx-1 for
+	// an interior push, at sz-2 for an append or straddle (both place the
+	// datum in the new node's innermost data slot).
+	nd := h.edgeL
+	j := d.sz - 2
+	if idx != 1 {
+		j = idx - 1
+	}
+	n := 1
+	for n < len(vals) && j >= 2 {
+		in := &nd.slots[j]
+		out := &nd.slots[j-1]
+		inCpy := in.Load()
+		outCpy := out.Load()
+		if word.IsReserved(word.Val(inCpy)) || word.Val(outCpy) != word.LN {
+			break // edge moved or sealed: back to the full protocol
+		}
+		if !in.CompareAndSwap(inCpy, word.Bump(inCpy)) {
+			break
+		}
+		if !out.CompareAndSwap(outCpy, word.With(outCpy, vals[n])) {
+			break
+		}
+		n++
+		j--
+	}
+	if n > 1 {
+		nd.leftSlotHint.Store(int64(j))
+		h.edgeL = nd
+		h.idxL = j
+		d.left.set(d.left.w.Load(), nd)
+	}
+	return n
+}
+
+// PopLeftN pops up to len(dst) values from the left end into dst in pop
+// order (dst[0] was the leftmost). It is equivalent to calling PopLeft
+// repeatedly, stopping early when the deque reports EMPTY. Returns the
+// number of values popped.
+func (d *Deque) PopLeftN(h *Handle, dst []uint32) int {
+	if d.lElim != nil {
+		for i := range dst {
+			v, ok := d.PopLeft(h)
+			if !ok {
+				return i
+			}
+			dst[i] = v
+		}
+		return len(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		got, empty := d.popLeftRun(h, dst[n:])
+		n += got
+		if empty {
+			break
+		}
+	}
+	return n
+}
+
+// popLeftRun pops dst[0] through the full protocol, then extends the run
+// with interior transitions walking inward. Returns the count popped and
+// whether the deque reported EMPTY.
+func (d *Deque) popLeftRun(h *Handle, dst []uint32) (int, bool) {
+	var idx int
+	for {
+		e, ix, hw, cached := d.lOracleSeeded(h)
+		if v, empty, done := d.popLeftTransitions(h, e, ix, hw); done {
+			if cached {
+				h.EdgeCacheHits++
+			}
+			h.bo.Reset()
+			if empty {
+				return 0, true
+			}
+			dst[0] = v
+			idx = ix
+			break
+		}
+		if cached {
+			h.edgeL = nil // stale cache: rerun the real oracle
+		}
+		h.Retries++
+		h.bo.Spin()
+	}
+
+	// The popped datum sat at edge.slots[idx]; the next-leftmost, if any,
+	// sits one slot inward in the same node.
+	nd := h.edgeL
+	j := idx + 1
+	n := 1
+	for n < len(dst) && j <= d.sz-2 {
+		in := &nd.slots[j]
+		out := &nd.slots[j-1]
+		inCpy := in.Load()
+		outCpy := out.Load()
+		inVal := word.Val(inCpy)
+		if word.IsReserved(inVal) || word.Val(outCpy) != word.LN {
+			break // empty span, straddle, or interference: full protocol decides
+		}
+		if !out.CompareAndSwap(outCpy, word.Bump(outCpy)) {
+			break
+		}
+		if !in.CompareAndSwap(inCpy, word.With(inCpy, word.LN)) {
+			break
+		}
+		dst[n] = inVal
+		n++
+		j++
+	}
+	if n > 1 {
+		nd.leftSlotHint.Store(int64(j))
+		h.edgeL = nd
+		h.idxL = j
+		if j == d.sz-1 {
+			h.edgeL = nil // drained node: border slot holds a link
+		}
+		d.left.set(d.left.w.Load(), nd)
+	}
+	return n, false
+}
+
+// PushRightN mirrors PushLeftN: elements are pushed in slice order, each
+// becoming the new rightmost, equivalent to calling PushRight per element.
+func (d *Deque) PushRightN(h *Handle, vals []uint32) error {
+	for _, v := range vals {
+		if word.IsReserved(v) {
+			return ErrReserved
+		}
+	}
+	if d.rElim != nil {
+		for _, v := range vals {
+			d.pushRightElim(h, v)
+		}
+		return nil
+	}
+	for i := 0; i < len(vals); {
+		i += d.pushRightRun(h, vals[i:])
+	}
+	return nil
+}
+
+// pushRightRun mirrors pushLeftRun.
+func (d *Deque) pushRightRun(h *Handle, vals []uint32) int {
+	var idx int
+	for {
+		e, ix, hw, cached := d.rOracleSeeded(h)
+		if d.pushRightTransitions(h, vals[0], e, ix, hw) {
+			if cached {
+				h.EdgeCacheHits++
+			}
+			h.bo.Reset()
+			idx = ix
+			break
+		}
+		if cached {
+			h.edgeR = nil // stale cache: rerun the real oracle
+		}
+		h.Retries++
+		h.bo.Spin()
+	}
+
+	nd := h.edgeR
+	j := 1
+	if idx != d.sz-2 {
+		j = idx + 1
+	}
+	n := 1
+	for n < len(vals) && j <= d.sz-3 {
+		in := &nd.slots[j]
+		out := &nd.slots[j+1]
+		inCpy := in.Load()
+		outCpy := out.Load()
+		if word.IsReserved(word.Val(inCpy)) || word.Val(outCpy) != word.RN {
+			break
+		}
+		if !in.CompareAndSwap(inCpy, word.Bump(inCpy)) {
+			break
+		}
+		if !out.CompareAndSwap(outCpy, word.With(outCpy, vals[n])) {
+			break
+		}
+		n++
+		j++
+	}
+	if n > 1 {
+		nd.rightSlotHint.Store(int64(j))
+		h.edgeR = nd
+		h.idxR = j
+		d.right.set(d.right.w.Load(), nd)
+	}
+	return n
+}
+
+// PopRightN mirrors PopLeftN for the right end.
+func (d *Deque) PopRightN(h *Handle, dst []uint32) int {
+	if d.rElim != nil {
+		for i := range dst {
+			v, ok := d.PopRight(h)
+			if !ok {
+				return i
+			}
+			dst[i] = v
+		}
+		return len(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		got, empty := d.popRightRun(h, dst[n:])
+		n += got
+		if empty {
+			break
+		}
+	}
+	return n
+}
+
+// popRightRun mirrors popLeftRun.
+func (d *Deque) popRightRun(h *Handle, dst []uint32) (int, bool) {
+	var idx int
+	for {
+		e, ix, hw, cached := d.rOracleSeeded(h)
+		if v, empty, done := d.popRightTransitions(h, e, ix, hw); done {
+			if cached {
+				h.EdgeCacheHits++
+			}
+			h.bo.Reset()
+			if empty {
+				return 0, true
+			}
+			dst[0] = v
+			idx = ix
+			break
+		}
+		if cached {
+			h.edgeR = nil // stale cache: rerun the real oracle
+		}
+		h.Retries++
+		h.bo.Spin()
+	}
+
+	nd := h.edgeR
+	j := idx - 1
+	n := 1
+	for n < len(dst) && j >= 1 {
+		in := &nd.slots[j]
+		out := &nd.slots[j+1]
+		inCpy := in.Load()
+		outCpy := out.Load()
+		inVal := word.Val(inCpy)
+		if word.IsReserved(inVal) || word.Val(outCpy) != word.RN {
+			break
+		}
+		if !out.CompareAndSwap(outCpy, word.Bump(outCpy)) {
+			break
+		}
+		if !in.CompareAndSwap(inCpy, word.With(inCpy, word.RN)) {
+			break
+		}
+		dst[n] = inVal
+		n++
+		j--
+	}
+	if n > 1 {
+		nd.rightSlotHint.Store(int64(j))
+		h.edgeR = nd
+		h.idxR = j
+		if j == 0 {
+			h.edgeR = nil // drained node: border slot holds a link
+		}
+		d.right.set(d.right.w.Load(), nd)
+	}
+	return n, false
+}

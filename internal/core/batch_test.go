@@ -1,0 +1,364 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/lincheck"
+	"repro/internal/word"
+)
+
+// modelDeque is the obvious sequential deque the batch operations must match
+// element-for-element when driven single-threaded.
+type modelDeque struct{ vs []uint32 }
+
+func (m *modelDeque) pushLeft(v uint32)  { m.vs = append([]uint32{v}, m.vs...) }
+func (m *modelDeque) pushRight(v uint32) { m.vs = append(m.vs, v) }
+func (m *modelDeque) popLeft() (uint32, bool) {
+	if len(m.vs) == 0 {
+		return 0, false
+	}
+	v := m.vs[0]
+	m.vs = m.vs[1:]
+	return v, true
+}
+func (m *modelDeque) popRight() (uint32, bool) {
+	if len(m.vs) == 0 {
+		return 0, false
+	}
+	v := m.vs[len(m.vs)-1]
+	m.vs = m.vs[:len(m.vs)-1]
+	return v, true
+}
+
+// TestBatchVsSequentialModel drives random batch and single operations
+// single-threaded against the model, across node sizes (tiny nodes force a
+// run to break on every border) and the elimination fallback path.
+func TestBatchVsSequentialModel(t *testing.T) {
+	configs := []Config{
+		{NodeSize: MinNodeSize, MaxThreads: 4},
+		{NodeSize: 16, MaxThreads: 4},
+		{NodeSize: 16, MaxThreads: 4, Elimination: true},
+	}
+	for ci, cfg := range configs {
+		d := New(cfg)
+		h := d.Register()
+		m := &modelDeque{}
+		rng := rand.New(rand.NewSource(int64(42 + ci)))
+		next := uint32(1)
+		buf := make([]uint32, 0, 16)
+		dst := make([]uint32, 16)
+		for step := 0; step < 4000; step++ {
+			k := 1 + rng.Intn(12)
+			switch rng.Intn(4) {
+			case 0, 1: // batch push (left or right)
+				buf = buf[:0]
+				for i := 0; i < k; i++ {
+					buf = append(buf, next)
+					next++
+				}
+				if rng.Intn(2) == 0 {
+					if err := d.PushLeftN(h, buf); err != nil {
+						t.Fatal(err)
+					}
+					for _, v := range buf {
+						m.pushLeft(v)
+					}
+				} else {
+					if err := d.PushRightN(h, buf); err != nil {
+						t.Fatal(err)
+					}
+					for _, v := range buf {
+						m.pushRight(v)
+					}
+				}
+			case 2: // batch pop left
+				got := d.PopLeftN(h, dst[:k])
+				for i := 0; i < got; i++ {
+					mv, ok := m.popLeft()
+					if !ok || mv != dst[i] {
+						t.Fatalf("cfg %d step %d: PopLeftN[%d] = %d, model = (%d,%v)",
+							ci, step, i, dst[i], mv, ok)
+					}
+				}
+				if got < k {
+					if _, ok := m.popLeft(); ok {
+						t.Fatalf("cfg %d step %d: PopLeftN stopped at %d with model non-empty", ci, step, got)
+					}
+				}
+			case 3: // batch pop right
+				got := d.PopRightN(h, dst[:k])
+				for i := 0; i < got; i++ {
+					mv, ok := m.popRight()
+					if !ok || mv != dst[i] {
+						t.Fatalf("cfg %d step %d: PopRightN[%d] = %d, model = (%d,%v)",
+							ci, step, i, dst[i], mv, ok)
+					}
+				}
+				if got < k {
+					if _, ok := m.popRight(); ok {
+						t.Fatalf("cfg %d step %d: PopRightN stopped at %d with model non-empty", ci, step, got)
+					}
+				}
+			}
+			if d.Len() != len(m.vs) {
+				t.Fatalf("cfg %d step %d: Len = %d, model %d", ci, step, d.Len(), len(m.vs))
+			}
+		}
+		if err := d.CheckInvariant(); err != nil {
+			t.Fatalf("cfg %d: %v", ci, err)
+		}
+		// Drain and compare the full remaining sequence.
+		for {
+			v, ok := d.PopLeft(h)
+			mv, mok := m.popLeft()
+			if ok != mok || v != mv {
+				t.Fatalf("cfg %d drain: deque (%d,%v), model (%d,%v)", ci, v, ok, mv, mok)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}
+
+// TestBatchReservedAndEmpty pins the edge contracts: a reserved value
+// anywhere in the slice rejects the whole batch before pushing anything, and
+// pops against an empty deque return 0.
+func TestBatchReservedAndEmpty(t *testing.T) {
+	d := tiny()
+	h := d.Register()
+	if err := d.PushLeftN(h, []uint32{1, 2, word.LN}); !errors.Is(err, ErrReserved) {
+		t.Fatalf("PushLeftN with reserved = %v, want ErrReserved", err)
+	}
+	if err := d.PushRightN(h, []uint32{word.RS}); !errors.Is(err, ErrReserved) {
+		t.Fatalf("PushRightN with reserved = %v, want ErrReserved", err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("rejected batch pushed %d elements", d.Len())
+	}
+	dst := make([]uint32, 8)
+	if n := d.PopLeftN(h, dst); n != 0 {
+		t.Fatalf("PopLeftN on empty = %d", n)
+	}
+	if n := d.PopRightN(h, dst); n != 0 {
+		t.Fatalf("PopRightN on empty = %d", n)
+	}
+	if n := d.PopLeftN(h, nil); n != 0 {
+		t.Fatalf("PopLeftN(nil) = %d", n)
+	}
+	if err := d.PushLeftN(h, nil); err != nil {
+		t.Fatalf("PushLeftN(nil) = %v", err)
+	}
+	// A short pop: batch larger than the deque returns what's there.
+	if err := d.PushRightN(h, []uint32{10, 11, 12}); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.PopLeftN(h, dst); n != 3 || dst[0] != 10 || dst[1] != 11 || dst[2] != 12 {
+		t.Fatalf("short PopLeftN = %d %v", n, dst[:3])
+	}
+}
+
+// TestBatchSPSCOrder runs one producer pushing batches on the right against
+// one consumer popping batches on the left: the consumed stream must be the
+// produced stream in order — per-element linearizability plus single
+// producer/consumer means batching must not reorder anything.
+func TestBatchSPSCOrder(t *testing.T) {
+	d := New(Config{NodeSize: 16, MaxThreads: 4})
+	const total = 60000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := d.Register()
+		buf := make([]uint32, 0, 16)
+		v := uint32(1)
+		rng := rand.New(rand.NewSource(7))
+		for v <= total {
+			buf = buf[:0]
+			k := 1 + rng.Intn(16)
+			for i := 0; i < k && v <= total; i++ {
+				buf = append(buf, v)
+				v++
+			}
+			if err := d.PushRightN(h, buf); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	h := d.Register()
+	dst := make([]uint32, 16)
+	rng := rand.New(rand.NewSource(8))
+	want := uint32(1)
+	for want <= total {
+		n := d.PopLeftN(h, dst[:1+rng.Intn(16)])
+		for i := 0; i < n; i++ {
+			if dst[i] != want {
+				t.Fatalf("consumed %d, want %d", dst[i], want)
+			}
+			want++
+		}
+	}
+	wg.Wait()
+	if d.Len() != 0 {
+		t.Fatalf("residue: %d", d.Len())
+	}
+}
+
+// TestBatchConservationStress hammers batch operations from many goroutines
+// on both ends and checks conservation: every pushed value is popped exactly
+// once (during the run or the final drain), none invented, none lost.
+func TestBatchConservationStress(t *testing.T) {
+	d := New(Config{NodeSize: MinNodeSize, MaxThreads: 16})
+	const workers = 8
+	iters := 3000
+	if testing.Short() {
+		iters = 800
+	}
+	popped := make([][]uint32, workers)
+	var pushed atomic64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.Register()
+			rng := rand.New(rand.NewSource(int64(w)))
+			buf := make([]uint32, 0, 8)
+			dst := make([]uint32, 8)
+			for i := 0; i < iters; i++ {
+				k := 1 + rng.Intn(8)
+				switch rng.Intn(4) {
+				case 0, 1:
+					buf = buf[:0]
+					for j := 0; j < k; j++ {
+						// Unique value: worker in high bits, sequence low.
+						buf = append(buf, uint32(w)<<24|uint32(i*8+j)+1)
+					}
+					pushed.add(uint64(len(buf)))
+					var err error
+					if rng.Intn(2) == 0 {
+						err = d.PushLeftN(h, buf)
+					} else {
+						err = d.PushRightN(h, buf)
+					}
+					if err != nil {
+						panic(err)
+					}
+				case 2:
+					n := d.PopLeftN(h, dst[:k])
+					popped[w] = append(popped[w], dst[:n]...)
+				case 3:
+					n := d.PopRightN(h, dst[:k])
+					popped[w] = append(popped[w], dst[:n]...)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint32]bool)
+	var count uint64
+	record := func(v uint32) {
+		if seen[v] {
+			t.Fatalf("value %#x popped twice", v)
+		}
+		seen[v] = true
+		count++
+	}
+	for _, vs := range popped {
+		for _, v := range vs {
+			record(v)
+		}
+	}
+	h := d.Register()
+	dst := make([]uint32, 64)
+	for {
+		n := d.PopLeftN(h, dst)
+		if n == 0 {
+			break
+		}
+		for _, v := range dst[:n] {
+			record(v)
+		}
+	}
+	if count != pushed.load() {
+		t.Fatalf("conservation violated: pushed %d, recovered %d", pushed.load(), count)
+	}
+}
+
+// TestBatchLinearizability runs concurrent batch operations under the
+// Wing-Gong checker, logging each batch element as its own operation over
+// the batch's interval.
+func TestBatchLinearizability(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 40
+	}
+	for trial := 0; trial < trials; trial++ {
+		d := New(Config{NodeSize: MinNodeSize, MaxThreads: 8})
+		rec := lincheck.NewRecorder()
+		const workers = 3
+		logs := make([]*lincheck.WorkerLog, workers)
+		var start, wg sync.WaitGroup
+		start.Add(1)
+		for w := 0; w < workers; w++ {
+			logs[w] = rec.Worker()
+			wg.Add(1)
+			go func(w int, l *lincheck.WorkerLog) {
+				defer wg.Done()
+				h := d.Register()
+				rng := rand.New(rand.NewSource(int64(trial*31 + w)))
+				start.Wait()
+				for i := 0; i < 3; i++ {
+					k := 1 + rng.Intn(2)
+					switch rng.Intn(4) {
+					case 0:
+						vs := batchVals(w, i, k)
+						l.PushN(lincheck.PushLeft, vs, func() { d.PushLeftN(h, vs) })
+					case 1:
+						vs := batchVals(w, i, k)
+						l.PushN(lincheck.PushRight, vs, func() { d.PushRightN(h, vs) })
+					case 2:
+						l.PopN(lincheck.PopLeft, func() []uint32 {
+							dst := make([]uint32, k)
+							return dst[:d.PopLeftN(h, dst)]
+						})
+					case 3:
+						l.PopN(lincheck.PopRight, func() []uint32 {
+							dst := make([]uint32, k)
+							return dst[:d.PopRightN(h, dst)]
+						})
+					}
+				}
+			}(w, logs[w])
+		}
+		start.Done()
+		wg.Wait()
+		h := lincheck.Merge(logs...)
+		if !lincheck.Check(h) {
+			t.Fatalf("trial %d: history not linearizable:\n%v", trial, h)
+		}
+	}
+}
+
+func batchVals(w, i, k int) []uint32 {
+	vs := make([]uint32, k)
+	for j := range vs {
+		vs[j] = uint32(w+1)<<16 | uint32(i)<<8 | uint32(j+1)
+	}
+	return vs
+}
+
+// atomic64 is a tiny padding-free counter helper for tests.
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) add(n uint64) { a.mu.Lock(); a.v += n; a.mu.Unlock() }
+func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

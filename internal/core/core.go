@@ -62,6 +62,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/backoff"
 	"repro/internal/elim"
+	"repro/internal/pad"
 	"repro/internal/word"
 )
 
@@ -115,6 +116,11 @@ type Config struct {
 	// ElimSpins is how long ElimOnCriticalPath lingers waiting for a
 	// partner before trying the deque (ignored by the paper's placement).
 	ElimSpins int
+	// NoEdgeCache disables the per-handle edge cache and the hint-publish
+	// throttling that rides on it, restoring the publish-every-op behavior.
+	// It exists for benchmarking the optimization (see internal/bench's
+	// contention modes); production configs leave it false.
+	NoEdgeCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +149,13 @@ type Deque struct {
 
 	reg *arena.Registry[node]
 
+	// The side hints are the two hottest global words: every structural
+	// transition CASes one of them. Each sideHint is padded to a full
+	// cache line (see its definition) and a leading spacer keeps left.w
+	// off the line holding the read-only fields above, so a left-side
+	// publish never invalidates the right side's hint line or the
+	// config/registry reads on every oracle call.
+	_     pad.Spacer
 	left  sideHint
 	right sideHint
 
@@ -152,13 +165,15 @@ type Deque struct {
 }
 
 // node is one buffer in the doubly-linked chain (Fig. 5 lines 22-37).
+// When both ends operate inside one node, the two sides' slot-hint writes
+// are the only header words they both touch; spacers give each side's hint
+// its own cache line so opposite-end operations stay non-interfering (the
+// property §II-A3 buys with large buffers) down to the header metadata.
+// The ~128 bytes of padding are noise next to a default node's 8 KiB of
+// slots.
 type node struct {
 	id    uint32
 	slots []atomic.Uint64
-	// Slot hints (Fig. 5 lines 23-24): racy performance hints, stored
-	// atomically to keep the race detector honest.
-	leftSlotHint  atomic.Int64
-	rightSlotHint atomic.Int64
 	// escape is set by the remover just before the node's registry entry
 	// is cleared: a GC-safe pointer to the node that was the active edge at
 	// removal time. A traversal stranded on a removed node whose inward
@@ -168,6 +183,12 @@ type node struct {
 	// strictly toward nodes removed later (or still active), so following
 	// them terminates at the active chain.
 	escape atomic.Pointer[node]
+	// Slot hints (Fig. 5 lines 23-24): racy performance hints, stored
+	// atomically to keep the race detector honest.
+	_             pad.Spacer
+	leftSlotHint  atomic.Int64
+	_             pad.Spacer
+	rightSlotHint atomic.Int64
 }
 
 // sideHint is the node_hint tuple of Fig. 5: a CAS-able (buffer, ct) word so
@@ -176,9 +197,13 @@ type node struct {
 // resolve, even if the hinted node has since been removed and its registry
 // entry cleared. The shadow may briefly trail the word; any once-valid node
 // is an acceptable traversal start, so readers just take the shadow.
+// The trailing pad rounds the struct to one cache line, so the left and
+// right hints — adjacent fields in Deque — never share a line: the hot
+// words sit 64+ bytes apart with only inert padding between them.
 type sideHint struct {
 	w  atomic.Uint64
 	nd atomic.Pointer[node]
+	_  [pad.CacheLine - 16]byte
 }
 
 // get returns a traversal start node and the current hint word.
@@ -315,6 +340,28 @@ type Handle struct {
 	// differ, so they are not interchangeable).
 	spareL, spareR *node
 
+	// edgeL/edgeR + idxL/idxR remember exactly where this handle's last
+	// successful operation on each side left the edge: the node and the
+	// in-slot of the would-be next operation. The next operation hands the
+	// cached pair straight to the transition functions (after checking the
+	// node still resolves), skipping the global hint load AND the slot
+	// scan — on the common uncontended path an operation touches no shared
+	// hint state at all. Safety does not depend on the cache being right:
+	// transitions validate their (node, index) argument completely before
+	// CASing, exactly as they must for a stale oracle answer (the paper's
+	// central design point), so a wrong cache can only cost a failed
+	// attempt and a fall back to the real oracle.
+	edgeL, edgeR *node
+	idxL, idxR   int
+	// hintPubL/hintPubR count down interior-transition hint publishes.
+	// Structural transitions (append, remove, straddle) publish the global
+	// hint unconditionally — removal correctness depends on moving hints
+	// off retired nodes — but interior pushes and pops only move the edge
+	// one slot, so the handle publishes every hintPublishInterval-th one
+	// (and refreshes the node's slot hint on the same cadence; scans by
+	// other threads absorb the bounded staleness).
+	hintPubL, hintPubR uint8
+
 	// bo is the retry contention manager. The paper relies on scheduler
 	// randomization to break obstruction-freedom's livelocks (§I); a
 	// bounded exponential backoff is the textbook mechanism and is
@@ -325,12 +372,71 @@ type Handle struct {
 	// Appends and Removes count structural transitions performed through
 	// this handle; Eliminated counts operations completed by elimination;
 	// Retries counts failed attempts (stale oracle answers or lost CAS
-	// races) that forced a full re-run of the oracle+transition cycle.
-	// They feed tests, stats, and EXPERIMENTS.md.
-	Appends    uint64
-	Removes    uint64
-	Eliminated uint64
-	Retries    uint64
+	// races) that forced a full re-run of the oracle+transition cycle;
+	// EdgeCacheHits counts operation cycles completed from an oracle walk
+	// seeded by the per-handle edge cache. They feed tests, stats, and
+	// EXPERIMENTS.md. The counters share the handle's cache lines on
+	// purpose: a handle is single-threaded by contract, so its counters
+	// are never contended — what matters is that separately allocated
+	// handles never share lines, which Go's allocator guarantees for
+	// these >64-byte structs.
+	Appends       uint64
+	Removes       uint64
+	Eliminated    uint64
+	Retries       uint64
+	EdgeCacheHits uint64
+}
+
+// Stats is a copy of a Handle's operation counters.
+type Stats struct {
+	Appends       uint64
+	Removes       uint64
+	Eliminated    uint64
+	Retries       uint64
+	EdgeCacheHits uint64
+}
+
+// Stats returns a snapshot of the handle's counters. Like every Handle
+// method it must be called from the handle's own goroutine.
+func (h *Handle) Stats() Stats {
+	return Stats{
+		Appends:       h.Appends,
+		Removes:       h.Removes,
+		Eliminated:    h.Eliminated,
+		Retries:       h.Retries,
+		EdgeCacheHits: h.EdgeCacheHits,
+	}
+}
+
+// hintPublishInterval is how many interior transitions a handle completes
+// per global hint publish. 8 keeps worst-case hint staleness well under one
+// node's slot count while eliminating ~7/8 of the CASes on the hint line.
+const hintPublishInterval = 8
+
+// publishLeft is the throttled hint update for interior left-side
+// transitions; see the hintPubL field comment. The node's slot hint rides
+// the same throttle: an atomic store per operation costs a full fence on
+// the hot path, while a hint at most hintPublishInterval slots stale only
+// costs a scan walk over slots that share the edge's cache line. Structural
+// transitions (append, straddle, remove) bypass this and store both hints
+// unconditionally.
+func (h *Handle) publishLeft(hintW uint64, n *node, slotIdx int) {
+	h.hintPubL++
+	if h.hintPubL >= hintPublishInterval || h.d.cfg.NoEdgeCache {
+		h.hintPubL = 0
+		n.leftSlotHint.Store(int64(slotIdx))
+		h.d.left.set(hintW, n)
+	}
+}
+
+// publishRight mirrors publishLeft.
+func (h *Handle) publishRight(hintW uint64, n *node, slotIdx int) {
+	h.hintPubR++
+	if h.hintPubR >= hintPublishInterval || h.d.cfg.NoEdgeCache {
+		h.hintPubR = 0
+		n.rightSlotHint.Store(int64(slotIdx))
+		h.d.right.set(hintW, n)
+	}
 }
 
 // Register allocates a Handle. It panics once MaxThreads handles exist.

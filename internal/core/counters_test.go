@@ -19,6 +19,64 @@ func TestRetriesZeroSingleThreaded(t *testing.T) {
 	}
 }
 
+// TestStatsSnapshot checks that Stats returns a faithful copy of the
+// handle's counters rather than aliasing them.
+func TestStatsSnapshot(t *testing.T) {
+	d := New(Config{NodeSize: MinNodeSize, MaxThreads: 2})
+	h := d.Register()
+	for i := uint32(0); i < 100; i++ {
+		d.PushRight(h, i)
+	}
+	st := h.Stats()
+	if st.Appends == 0 {
+		t.Fatal("tiny-node pushes recorded no appends")
+	}
+	if st.Appends != h.Appends || st.Retries != h.Retries ||
+		st.Removes != h.Removes || st.Eliminated != h.Eliminated ||
+		st.EdgeCacheHits != h.EdgeCacheHits {
+		t.Fatalf("Stats() = %+v, counters = {%d %d %d %d %d}", st,
+			h.Appends, h.Removes, h.Eliminated, h.Retries, h.EdgeCacheHits)
+	}
+	h.Appends++ // mutating the handle must not move the snapshot
+	if st.Appends == h.Appends {
+		t.Fatal("Stats aliases the live counters")
+	}
+}
+
+// TestEdgeCacheHitsPingPong drives a single-threaded ping-pong — push one,
+// pop one, alternating ends — and requires the per-handle edge cache to
+// serve nearly every operation: with no concurrent movement the cached edge
+// node stays valid, so after warmup every cycle should seed from it.
+func TestEdgeCacheHitsPingPong(t *testing.T) {
+	d := New(Config{NodeSize: 16, MaxThreads: 2})
+	h := d.Register()
+	const cycles = 2000
+	for i := uint32(0); i < cycles; i++ {
+		if i%2 == 0 {
+			d.PushLeft(h, i+1)
+			d.PopLeft(h)
+		} else {
+			d.PushRight(h, i+1)
+			d.PopRight(h)
+		}
+	}
+	st := h.Stats()
+	total := uint64(2 * cycles)
+	if st.EdgeCacheHits < total*9/10 {
+		t.Fatalf("EdgeCacheHits = %d of %d ops; cache is not being used", st.EdgeCacheHits, total)
+	}
+	// Legacy mode: the cache must stay cold.
+	dn := New(Config{NodeSize: 16, MaxThreads: 2, NoEdgeCache: true})
+	hn := dn.Register()
+	for i := uint32(0); i < 100; i++ {
+		dn.PushLeft(hn, i+1)
+		dn.PopLeft(hn)
+	}
+	if got := hn.Stats().EdgeCacheHits; got != 0 {
+		t.Fatalf("NoEdgeCache run recorded %d cache hits", got)
+	}
+}
+
 func TestRetriesCountedUnderContention(t *testing.T) {
 	d := New(Config{NodeSize: MinNodeSize, MaxThreads: 8})
 	handles := make([]*Handle, 8)

@@ -19,10 +19,16 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 		return nil
 	}
 	for {
-		edge, idx, hintW := d.lOracle()
+		edge, idx, hintW, cached := d.lOracleSeeded(h)
 		if d.pushLeftTransitions(h, v, edge, idx, hintW) {
+			if cached {
+				h.EdgeCacheHits++
+			}
 			h.bo.Reset()
 			return nil
+		}
+		if cached {
+			h.edgeL = nil // cache was stale: next attempt runs the real oracle
 		}
 		h.Retries++
 		h.bo.Spin()
@@ -36,10 +42,16 @@ func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 		return d.popLeftElim(h)
 	}
 	for {
-		edge, idx, hintW := d.lOracle()
+		edge, idx, hintW, cached := d.lOracleSeeded(h)
 		if v, empty, done := d.popLeftTransitions(h, edge, idx, hintW); done {
+			if cached {
+				h.EdgeCacheHits++
+			}
 			h.bo.Reset()
 			return v, !empty
+		}
+		if cached {
+			h.edgeL = nil
 		}
 		h.Retries++
 		h.bo.Spin()
@@ -96,8 +108,9 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 	if idx != 1 {
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, v)) {
-			edge.leftSlotHint.Store(int64(idx - 1))
-			d.left.set(hintW, edge)
+			h.edgeL = edge
+			h.idxL = idx - 1
+			h.publishLeft(hintW, edge, idx-1)
 			return true
 		}
 		return false
@@ -115,6 +128,8 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 			out.CompareAndSwap(outCpy, word.With(outCpy, nw.id)) {
 			h.spareL = nil
 			h.Appends++
+			h.edgeL = nw
+			h.idxL = sz - 2
 			d.left.set(hintW, nw)
 			return true
 		}
@@ -138,6 +153,8 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			far.CompareAndSwap(farCpy, word.With(farCpy, v)) {
 			outNd.leftSlotHint.Store(int64(sz - 2))
+			h.edgeL = outNd
+			h.idxL = sz - 2
 			d.left.set(hintW, outNd)
 			return true
 		}
@@ -148,6 +165,8 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 			out.CompareAndSwap(outCpy, word.With(outCpy, word.LN)) {
 			h.Removes++
 			edge.leftSlotHint.Store(1)
+			h.edgeL = edge
+			h.idxL = 1
 			d.left.set(hintW, edge)
 			d.refreshRightHint()
 			d.unregisterLeft(outNd, edge) // retire: stale IDs now resolve to nil
@@ -184,14 +203,23 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 			// the adjacent (LN, RN) pair proves the span was empty when
 			// out was read — that read is EMPTY's linearization point.
 			if in.Load() == inCpy {
+				h.edgeL = edge
+				h.idxL = idx
 				return 0, true, true
 			}
 			return 0, false, false
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
 			in.CompareAndSwap(inCpy, word.With(inCpy, word.LN)) {
-			edge.leftSlotHint.Store(int64(idx + 1))
-			d.left.set(hintW, edge)
+			h.edgeL = edge
+			h.idxL = idx + 1
+			if idx+1 == sz-1 {
+				// The node is drained: its border slot holds a link, not a
+				// datum, so a cached attempt there can never validate. Let
+				// the next operation take the real oracle.
+				h.edgeL = nil
+			}
+			h.publishLeft(hintW, edge, idx+1)
 			return inVal, false, true
 		}
 		return 0, false, false
@@ -213,6 +241,8 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 		if word.Val(farCpy) == word.LN {
 			// Straddling empty check E2 (lines 193-196).
 			if (inVal == word.RN || inVal == word.RS) && in.Load() == inCpy {
+				h.edgeL = edge
+				h.idxL = idx
 				return 0, true, true
 			}
 			// Seal the left neighbor, transition L5 (lines 197-201); on
@@ -232,6 +262,8 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 			// nodes from ever pointing at each other.
 			iv := word.Val(inCpy)
 			if (iv == word.RN || iv == word.RS) && in.Load() == inCpy {
+				h.edgeL = edge
+				h.idxL = idx
 				return 0, true, true
 			}
 			// Remove the sealed neighbor, transition L7 (lines 208-216).
@@ -239,6 +271,8 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 				out.CompareAndSwap(outCpy, word.With(outCpy, word.LN)) {
 				h.Removes++
 				edge.leftSlotHint.Store(1)
+				h.edgeL = edge
+				h.idxL = 1
 				hintW = d.left.set(hintW, edge)
 				d.refreshRightHint()
 				d.unregisterLeft(outNd, edge)
@@ -256,6 +290,8 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 			// RS at a boundary means the right side certified the deque
 			// empty and is mid-removal; EMPTY is correct if stable.
 			if in.Load() == inCpy {
+				h.edgeL = edge
+				h.idxL = idx
 				return 0, true, true
 			}
 			return 0, false, false
@@ -265,8 +301,9 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
 			in.CompareAndSwap(inCpy, word.With(inCpy, word.LN)) {
-			edge.leftSlotHint.Store(2)
-			d.left.set(hintW, edge)
+			h.edgeL = edge
+			h.idxL = 2
+			h.publishLeft(hintW, edge, 2)
 			return inVal, false, true
 		}
 	}

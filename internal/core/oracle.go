@@ -121,168 +121,212 @@ func (d *Deque) scanRight(n *node) int {
 // It also returns the hint word it started from, which callers thread into
 // their hint updates.
 func (d *Deque) lOracle() (*node, int, uint64) {
-	sz := d.sz
 	for {
 		nd, hintW := d.left.get()
 		nd = d.advanceShadow(&d.left, nd)
-	walk:
-		for hops := 0; hops <= maxOracleHops; hops++ {
-			idx := d.scanLeft(nd)
-			v := word.Val(nd.slots[idx].Load())
-			switch {
-			case v == word.LN:
-				// Raced: the slot scanLeft chose just became LN. Rescan.
-				continue walk
-
-			case idx == sz-1 && !word.IsReserved(v):
-				// Every data slot is LN and the right border links onward:
-				// the edge lies somewhere to the right (an inward move).
-				next, restart := d.followInward(&d.left, hintW, nd, v)
-				if restart {
-					break walk
-				}
-				nd = next
-
-			case v == word.LS:
-				// A left-sealed node lies left of the active chain; its
-				// right link leads inward.
-				rv := word.Val(nd.slots[sz-1].Load())
-				if word.IsReserved(rv) {
-					break walk
-				}
-				next, restart := d.followInward(&d.left, hintW, nd, rv)
-				if restart {
-					break walk
-				}
-				nd = next
-
-			case v == word.RS:
-				// A right-sealed node. If its left neighbor holds data,
-				// the left edge is inside the neighbor; walk there. If the
-				// neighbor is empty (or sealed), this straddle IS the left
-				// edge: pop_left's E2 reports EMPTY from it and pushes can
-				// straddle-push over it — so return it. If the link is
-				// dead, the node was removed: take the escape protocol.
-				lv := word.Val(nd.slots[0].Load())
-				if word.IsReserved(lv) {
-					break walk
-				}
-				if nbr := d.resolve(lv); nbr != nil {
-					fv := word.Val(nbr.slots[sz-2].Load())
-					if !word.IsReserved(fv) {
-						nd = nbr
-						continue walk
-					}
-					if word.Val(nbr.slots[sz-1].Load()) == nd.id {
-						return nd, 1, hintW
-					}
-					// The neighbor no longer points back: nd was removed.
-				}
-				next, restart := d.escapeFrom(&d.left, hintW, nd)
-				if restart {
-					break walk
-				}
-				nd = next
-
-			case idx == 1:
-				// Outermost data slot. If a left neighbor exists and holds
-				// data in its innermost slot, the span straddles into it
-				// and the true edge is further left.
-				lv := word.Val(nd.slots[0].Load())
-				if !word.IsReserved(lv) {
-					if nbr := d.resolve(lv); nbr != nil {
-						fv := word.Val(nbr.slots[sz-2].Load())
-						if !word.IsReserved(fv) {
-							nd = nbr
-							continue walk
-						}
-					}
-				}
-				return nd, 1, hintW
-
-			default:
-				return nd, idx, hintW
-			}
+		if edge, idx, ok := d.lOracleWalk(nd, hintW); ok {
+			return edge, idx, hintW
 		}
 		// Hops exhausted or the walk chose to restart: re-read the global
 		// hint and start over.
 	}
 }
 
+// lOracleSeeded is lOracle with the per-handle edge cache in front: when the
+// handle's cached left-edge node still resolves, the cached (node, index)
+// pair is returned directly — no hint load, no slot scan. This is sound
+// because transitions validate their edge argument completely before
+// CASing; a stale pair fails the attempt and the caller falls back to the
+// real oracle (clearing the cache first, see the operation loops). cached
+// reports whether the answer came from the cache; it feeds EdgeCacheHits on
+// completion.
+func (d *Deque) lOracleSeeded(h *Handle) (edge *node, idx int, hintW uint64, cached bool) {
+	if c := h.edgeL; c != nil && !d.cfg.NoEdgeCache &&
+		h.idxL >= 1 && h.idxL <= d.sz-1 && d.resolve(c.id) == c {
+		return c, h.idxL, d.left.w.Load(), true
+	}
+	edge, idx, hintW = d.lOracle()
+	return edge, idx, hintW, false
+}
+
+// lOracleWalk runs one bounded walk from nd toward the left edge. ok=false
+// means the walk wants a restart from a fresh global hint.
+func (d *Deque) lOracleWalk(nd *node, hintW uint64) (*node, int, bool) {
+	sz := d.sz
+walk:
+	for hops := 0; hops <= maxOracleHops; hops++ {
+		idx := d.scanLeft(nd)
+		v := word.Val(nd.slots[idx].Load())
+		switch {
+		case v == word.LN:
+			// Raced: the slot scanLeft chose just became LN. Rescan.
+			continue walk
+
+		case idx == sz-1 && !word.IsReserved(v):
+			// Every data slot is LN and the right border links onward:
+			// the edge lies somewhere to the right (an inward move).
+			next, restart := d.followInward(&d.left, hintW, nd, v)
+			if restart {
+				break walk
+			}
+			nd = next
+
+		case v == word.LS:
+			// A left-sealed node lies left of the active chain; its
+			// right link leads inward.
+			rv := word.Val(nd.slots[sz-1].Load())
+			if word.IsReserved(rv) {
+				break walk
+			}
+			next, restart := d.followInward(&d.left, hintW, nd, rv)
+			if restart {
+				break walk
+			}
+			nd = next
+
+		case v == word.RS:
+			// A right-sealed node. If its left neighbor holds data,
+			// the left edge is inside the neighbor; walk there. If the
+			// neighbor is empty (or sealed), this straddle IS the left
+			// edge: pop_left's E2 reports EMPTY from it and pushes can
+			// straddle-push over it — so return it. If the link is
+			// dead, the node was removed: take the escape protocol.
+			lv := word.Val(nd.slots[0].Load())
+			if word.IsReserved(lv) {
+				break walk
+			}
+			if nbr := d.resolve(lv); nbr != nil {
+				fv := word.Val(nbr.slots[sz-2].Load())
+				if !word.IsReserved(fv) {
+					nd = nbr
+					continue walk
+				}
+				if word.Val(nbr.slots[sz-1].Load()) == nd.id {
+					return nd, 1, true
+				}
+				// The neighbor no longer points back: nd was removed.
+			}
+			next, restart := d.escapeFrom(&d.left, hintW, nd)
+			if restart {
+				break walk
+			}
+			nd = next
+
+		case idx == 1:
+			// Outermost data slot. If a left neighbor exists and holds
+			// data in its innermost slot, the span straddles into it
+			// and the true edge is further left.
+			lv := word.Val(nd.slots[0].Load())
+			if !word.IsReserved(lv) {
+				if nbr := d.resolve(lv); nbr != nil {
+					fv := word.Val(nbr.slots[sz-2].Load())
+					if !word.IsReserved(fv) {
+						nd = nbr
+						continue walk
+					}
+				}
+			}
+			return nd, 1, true
+
+		default:
+			return nd, idx, true
+		}
+	}
+	return nil, 0, false
+}
+
 // rOracle locates the right edge, mirroring lOracle.
 func (d *Deque) rOracle() (*node, int, uint64) {
-	sz := d.sz
 	for {
 		nd, hintW := d.right.get()
 		nd = d.advanceShadow(&d.right, nd)
-	walk:
-		for hops := 0; hops <= maxOracleHops; hops++ {
-			idx := d.scanRight(nd)
-			v := word.Val(nd.slots[idx].Load())
-			switch {
-			case v == word.RN:
-				continue walk
+		if edge, idx, ok := d.rOracleWalk(nd, hintW); ok {
+			return edge, idx, hintW
+		}
+	}
+}
 
-			case idx == 0 && !word.IsReserved(v):
-				next, restart := d.followInward(&d.right, hintW, nd, v)
-				if restart {
-					break walk
-				}
-				nd = next
+// rOracleSeeded mirrors lOracleSeeded for the right edge.
+func (d *Deque) rOracleSeeded(h *Handle) (edge *node, idx int, hintW uint64, cached bool) {
+	if c := h.edgeR; c != nil && !d.cfg.NoEdgeCache &&
+		h.idxR >= 0 && h.idxR <= d.sz-2 && d.resolve(c.id) == c {
+		return c, h.idxR, d.right.w.Load(), true
+	}
+	edge, idx, hintW = d.rOracle()
+	return edge, idx, hintW, false
+}
 
-			case v == word.RS:
-				lv := word.Val(nd.slots[0].Load())
-				if word.IsReserved(lv) {
-					break walk
-				}
-				next, restart := d.followInward(&d.right, hintW, nd, lv)
-				if restart {
-					break walk
-				}
-				nd = next
+// rOracleWalk mirrors lOracleWalk for the right edge.
+func (d *Deque) rOracleWalk(nd *node, hintW uint64) (*node, int, bool) {
+	sz := d.sz
+walk:
+	for hops := 0; hops <= maxOracleHops; hops++ {
+		idx := d.scanRight(nd)
+		v := word.Val(nd.slots[idx].Load())
+		switch {
+		case v == word.RN:
+			continue walk
 
-			case v == word.LS:
-				// Mirror of lOracle's RS case: a left-sealed node whose
-				// right neighbor holds data sends the walk inward;
-				// otherwise the straddle is the right edge itself.
-				rv := word.Val(nd.slots[sz-1].Load())
-				if word.IsReserved(rv) {
-					break walk
+		case idx == 0 && !word.IsReserved(v):
+			next, restart := d.followInward(&d.right, hintW, nd, v)
+			if restart {
+				break walk
+			}
+			nd = next
+
+		case v == word.RS:
+			lv := word.Val(nd.slots[0].Load())
+			if word.IsReserved(lv) {
+				break walk
+			}
+			next, restart := d.followInward(&d.right, hintW, nd, lv)
+			if restart {
+				break walk
+			}
+			nd = next
+
+		case v == word.LS:
+			// Mirror of lOracle's RS case: a left-sealed node whose
+			// right neighbor holds data sends the walk inward;
+			// otherwise the straddle is the right edge itself.
+			rv := word.Val(nd.slots[sz-1].Load())
+			if word.IsReserved(rv) {
+				break walk
+			}
+			if nbr := d.resolve(rv); nbr != nil {
+				fv := word.Val(nbr.slots[1].Load())
+				if !word.IsReserved(fv) {
+					nd = nbr
+					continue walk
 				}
+				if word.Val(nbr.slots[0].Load()) == nd.id {
+					return nd, sz - 2, true
+				}
+			}
+			next, restart := d.escapeFrom(&d.right, hintW, nd)
+			if restart {
+				break walk
+			}
+			nd = next
+
+		case idx == sz-2:
+			rv := word.Val(nd.slots[sz-1].Load())
+			if !word.IsReserved(rv) {
 				if nbr := d.resolve(rv); nbr != nil {
 					fv := word.Val(nbr.slots[1].Load())
 					if !word.IsReserved(fv) {
 						nd = nbr
 						continue walk
 					}
-					if word.Val(nbr.slots[0].Load()) == nd.id {
-						return nd, sz - 2, hintW
-					}
 				}
-				next, restart := d.escapeFrom(&d.right, hintW, nd)
-				if restart {
-					break walk
-				}
-				nd = next
-
-			case idx == sz-2:
-				rv := word.Val(nd.slots[sz-1].Load())
-				if !word.IsReserved(rv) {
-					if nbr := d.resolve(rv); nbr != nil {
-						fv := word.Val(nbr.slots[1].Load())
-						if !word.IsReserved(fv) {
-							nd = nbr
-							continue walk
-						}
-					}
-				}
-				return nd, sz - 2, hintW
-
-			default:
-				return nd, idx, hintW
 			}
+			return nd, sz - 2, true
+
+		default:
+			return nd, idx, true
 		}
 	}
+	return nil, 0, false
 }
 
 // maxOracleHops bounds a single walk before the oracle refreshes its view of

@@ -20,10 +20,16 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 		return nil
 	}
 	for {
-		edge, idx, hintW := d.rOracle()
+		edge, idx, hintW, cached := d.rOracleSeeded(h)
 		if d.pushRightTransitions(h, v, edge, idx, hintW) {
+			if cached {
+				h.EdgeCacheHits++
+			}
 			h.bo.Reset()
 			return nil
+		}
+		if cached {
+			h.edgeR = nil // cache was stale: next attempt runs the real oracle
 		}
 		h.Retries++
 		h.bo.Spin()
@@ -37,10 +43,16 @@ func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
 		return d.popRightElim(h)
 	}
 	for {
-		edge, idx, hintW := d.rOracle()
+		edge, idx, hintW, cached := d.rOracleSeeded(h)
 		if v, empty, done := d.popRightTransitions(h, edge, idx, hintW); done {
+			if cached {
+				h.EdgeCacheHits++
+			}
 			h.bo.Reset()
 			return v, !empty
+		}
+		if cached {
+			h.edgeR = nil
 		}
 		h.Retries++
 		h.bo.Spin()
@@ -86,8 +98,9 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 	if idx != sz-2 {
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, v)) {
-			edge.rightSlotHint.Store(int64(idx + 1))
-			d.right.set(hintW, edge)
+			h.edgeR = edge
+			h.idxR = idx + 1
+			h.publishRight(hintW, edge, idx+1)
 			return true
 		}
 		return false
@@ -103,6 +116,8 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 			out.CompareAndSwap(outCpy, word.With(outCpy, nw.id)) {
 			h.spareR = nil
 			h.Appends++
+			h.edgeR = nw
+			h.idxR = 1
 			d.right.set(hintW, nw)
 			return true
 		}
@@ -126,6 +141,8 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			far.CompareAndSwap(farCpy, word.With(farCpy, v)) {
 			outNd.rightSlotHint.Store(1)
+			h.edgeR = outNd
+			h.idxR = 1
 			d.right.set(hintW, outNd)
 			return true
 		}
@@ -135,6 +152,8 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 			out.CompareAndSwap(outCpy, word.With(outCpy, word.RN)) {
 			h.Removes++
 			edge.rightSlotHint.Store(int64(sz - 2))
+			h.edgeR = edge
+			h.idxR = sz - 2
 			d.right.set(hintW, edge)
 			d.refreshLeftHint()
 			d.unregisterRight(outNd, edge)
@@ -164,14 +183,21 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 	if idx != sz-2 {
 		if inVal == word.LN {
 			if in.Load() == inCpy {
+				h.edgeR = edge
+				h.idxR = idx
 				return 0, true, true
 			}
 			return 0, false, false
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
 			in.CompareAndSwap(inCpy, word.With(inCpy, word.RN)) {
-			edge.rightSlotHint.Store(int64(idx - 1))
-			d.right.set(hintW, edge)
+			h.edgeR = edge
+			h.idxR = idx - 1
+			if idx-1 == 0 {
+				// Drained node: the border slot holds a link (see left.go).
+				h.edgeR = nil
+			}
+			h.publishRight(hintW, edge, idx-1)
 			return inVal, false, true
 		}
 		return 0, false, false
@@ -192,6 +218,8 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 		if word.Val(farCpy) == word.RN {
 			// Straddling empty check E2.
 			if (inVal == word.LN || inVal == word.LS) && in.Load() == inCpy {
+				h.edgeR = edge
+				h.idxR = idx
 				return 0, true, true
 			}
 			// Seal the right neighbor, transition L5.
@@ -207,6 +235,8 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 			// certifies emptiness; see left.go).
 			iv := word.Val(inCpy)
 			if (iv == word.LN || iv == word.LS) && in.Load() == inCpy {
+				h.edgeR = edge
+				h.idxR = idx
 				return 0, true, true
 			}
 			// Remove the sealed neighbor, transition L7.
@@ -214,6 +244,8 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 				out.CompareAndSwap(outCpy, word.With(outCpy, word.RN)) {
 				h.Removes++
 				edge.rightSlotHint.Store(int64(sz - 2))
+				h.edgeR = edge
+				h.idxR = sz - 2
 				hintW = d.right.set(hintW, edge)
 				d.refreshLeftHint()
 				d.unregisterRight(outNd, edge)
@@ -229,6 +261,8 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 		inVal = word.Val(inCpy)
 		if inVal == word.LN || inVal == word.LS {
 			if in.Load() == inCpy {
+				h.edgeR = edge
+				h.idxR = idx
 				return 0, true, true
 			}
 			return 0, false, false
@@ -238,8 +272,9 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
 			in.CompareAndSwap(inCpy, word.With(inCpy, word.RN)) {
-			edge.rightSlotHint.Store(int64(sz - 3))
-			d.right.set(hintW, edge)
+			h.edgeR = edge
+			h.idxR = sz - 3
+			h.publishRight(hintW, edge, sz-3)
 			return inVal, false, true
 		}
 	}

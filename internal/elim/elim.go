@@ -21,6 +21,8 @@ package elim
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/pad"
 )
 
 // Op identifies the operation class advertised in a slot.
@@ -58,7 +60,7 @@ type Array struct {
 
 type paddedSlot struct {
 	w atomic.Uint64
-	_ [7]uint64 // one slot per cache line: scans are reads, matches rare
+	_ [pad.CacheLine - 8]byte // one slot per line: scans are reads, matches rare
 }
 
 // New returns an Array with capacity for maxThreads participants.

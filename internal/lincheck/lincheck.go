@@ -222,6 +222,33 @@ func (w *WorkerLog) Pop(kind OpKind, exec func() (uint32, bool)) (uint32, bool) 
 	return v, ok
 }
 
+// PushN records one push per element of args around a single exec — the
+// batch-API contract is per-element linearizability, so each element is its
+// own operation; they share the batch's [call, return] interval. Letting the
+// checker order same-batch elements freely is a sound relaxation: it can
+// only accept more histories, never reject a correct one.
+func (w *WorkerLog) PushN(kind OpKind, args []uint32, exec func()) {
+	call := w.r.clk.Add(1)
+	exec()
+	ret := w.r.clk.Add(1)
+	for _, a := range args {
+		w.ops = append(w.ops, Op{Kind: kind, Arg: a, Call: call, Return: ret})
+	}
+}
+
+// PopN records one pop per value returned by exec, sharing the batch's
+// interval like PushN. Only successful pops are logged; a short batch just
+// contributes fewer operations.
+func (w *WorkerLog) PopN(kind OpKind, exec func() []uint32) []uint32 {
+	call := w.r.clk.Add(1)
+	vs := exec()
+	ret := w.r.clk.Add(1)
+	for _, v := range vs {
+		w.ops = append(w.ops, Op{Kind: kind, Ret: v, RetOK: true, Call: call, Return: ret})
+	}
+	return vs
+}
+
 // Ops returns the worker's log.
 func (w *WorkerLog) Ops() []Op { return w.ops }
 

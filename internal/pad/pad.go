@@ -1,0 +1,36 @@
+// Package pad provides cache-line padding helpers shared by the hot-path
+// packages (core's side hints, arena's freelist shards, elim's slots).
+//
+// The paper's deque scales because opposite-end operations touch disjoint
+// slots (§II-A3); that property is thrown away if the surrounding metadata
+// words — the two global side hints, the slab freelist heads, the bump
+// allocator — are colocated on one cache line, because every CAS then
+// invalidates the line for everyone ("colocation forces all operations to
+// interfere", Shared-Memory Synchronization §8). Each frequently-CASed
+// global word gets its own line.
+package pad
+
+import "sync/atomic"
+
+// CacheLine is the assumed coherence granule. 64 bytes covers x86-64 and
+// most arm64 server parts; on the few 128-byte-line machines this halves the
+// isolation but never affects correctness.
+const CacheLine = 64
+
+// Spacer is inert filler inserted between struct fields that must not share
+// a cache line. Usage: declare a field `_ pad.Spacer` between the hot words.
+type Spacer [CacheLine]byte
+
+// Uint64 is an atomic.Uint64 alone on its cache line. The trailing pad
+// pushes the next field out of the line; pair with a leading Spacer (or
+// place the field first in an allocated struct) for full isolation.
+type Uint64 struct {
+	atomic.Uint64
+	_ [CacheLine - 8]byte
+}
+
+// Uint32 is an atomic.Uint32 alone on its cache line.
+type Uint32 struct {
+	atomic.Uint32
+	_ [CacheLine - 4]byte
+}

@@ -1,0 +1,45 @@
+package pad
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestSizes(t *testing.T) {
+	if s := unsafe.Sizeof(Spacer{}); s != CacheLine {
+		t.Fatalf("Spacer size = %d, want %d", s, CacheLine)
+	}
+	if s := unsafe.Sizeof(Uint64{}); s != CacheLine {
+		t.Fatalf("Uint64 size = %d, want %d", s, CacheLine)
+	}
+	if s := unsafe.Sizeof(Uint32{}); s != CacheLine {
+		t.Fatalf("Uint32 size = %d, want %d", s, CacheLine)
+	}
+}
+
+func TestPaddedAtomicsWork(t *testing.T) {
+	var u64 Uint64
+	u64.Store(41)
+	if !u64.CompareAndSwap(41, 42) || u64.Load() != 42 {
+		t.Fatal("padded Uint64 atomic ops broken")
+	}
+	var u32 Uint32
+	u32.Store(7)
+	if u32.Add(1) != 8 {
+		t.Fatal("padded Uint32 atomic ops broken")
+	}
+}
+
+// TestArrayElementsDistinctLines is the property the elimination array and
+// freelist shards rely on: consecutive array elements of a padded type never
+// share a cache line.
+func TestArrayElementsDistinctLines(t *testing.T) {
+	var arr [4]Uint64
+	for i := 1; i < len(arr); i++ {
+		a := uintptr(unsafe.Pointer(&arr[i-1]))
+		b := uintptr(unsafe.Pointer(&arr[i]))
+		if b-a < CacheLine {
+			t.Fatalf("elements %d and %d only %d bytes apart", i-1, i, b-a)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Regenerates BENCH_contention.json: the mixed 4-way push/pop workload on
+# deque.Deque[uint32] at 1/4/16 goroutines, current hot path vs. baseline,
+# plus batch-API (PushLeftN/PopRightN/...) runs at batch=8.
+#
+# By default the baseline is the measured pre-PR run checked in at
+# figures_out/baseline_pre_pr.json. Set BASELINE= (empty) to instead measure
+# the in-binary legacy mode (WithHotPathOptimizations(false)) — an
+# approximation, since legacy mode still carries this tree's code layout.
+set -e
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-1s}"
+TRIALS="${TRIALS:-4}"
+THREADS="${THREADS:-1,4,16}"
+BATCHES="${BATCHES:-8}"
+OUT="${OUT:-BENCH_contention.json}"
+BASELINE="${BASELINE:-figures_out/baseline_pre_pr.json}"
+
+ARGS="-duration $DURATION -trials $TRIALS -threads $THREADS -batches $BATCHES -out $OUT"
+if [ -n "$BASELINE" ]; then
+    ARGS="$ARGS -baseline-file $BASELINE"
+fi
+
+echo "== contention sweep ($ARGS) =="
+go run ./cmd/benchcontention $ARGS

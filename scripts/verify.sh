@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verification gate: build, vet, the full test suite, and a -race
+# pass over the packages with lock-free hot paths (including the slab
+# freelist stress test). Run before every commit; CI runs the same steps.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test (full) =="
+go test ./... -count=1
+
+echo "== go test -race -short (core, arena, root) =="
+go test -race -short -count=1 ./internal/core/ ./internal/arena/ .
+
+echo "verify: all gates green"
