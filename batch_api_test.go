@@ -56,13 +56,13 @@ func TestGenericBatchRoundTrip(t *testing.T) {
 func TestUint32BatchAndReserved(t *testing.T) {
 	d := NewUint32(WithNodeSize(8))
 	h := d.Register()
-	if err := h.PushRightN([]uint32{1, 2, MaxUint32Value + 1}); err != ErrReserved {
+	if _, err := h.PushRightN([]uint32{1, 2, MaxUint32Value + 1}); err != ErrReserved {
 		t.Fatalf("reserved batch = %v, want ErrReserved", err)
 	}
 	if d.Len() != 0 {
 		t.Fatalf("rejected batch left %d values", d.Len())
 	}
-	if err := h.PushRightN([]uint32{1, 2, 3, 4, 5}); err != nil {
+	if _, err := h.PushRightN([]uint32{1, 2, 3, 4, 5}); err != nil {
 		t.Fatal(err)
 	}
 	dst := make([]uint32, 8)
@@ -72,7 +72,7 @@ func TestUint32BatchAndReserved(t *testing.T) {
 	if n := h.PopLeftN(dst); n != 3 || dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
 		t.Fatalf("PopLeftN = %d %v", n, dst[:3])
 	}
-	if err := h.PushLeftN(nil); err != nil {
+	if _, err := h.PushLeftN(nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -7,9 +7,12 @@
 //
 //	stress -structure of -mode conservation -workers 8 -duration 10s
 //	stress -structure of-elim -mode lincheck -histories 5000
+//	stress -mode cancel -workers 8 -duration 10s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	dq "repro"
 	"repro/internal/bench"
 	"repro/internal/lincheck"
 	"repro/internal/xrand"
@@ -25,7 +29,7 @@ import (
 func main() {
 	var (
 		structure = flag.String("structure", "of", "structure under test (see benchdeque -list)")
-		mode      = flag.String("mode", "conservation", "conservation or lincheck")
+		mode      = flag.String("mode", "conservation", "conservation, lincheck, or cancel")
 		workers   = flag.Int("workers", 8, "concurrent workers")
 		duration  = flag.Duration("duration", 5*time.Second, "conservation: run length")
 		histories = flag.Int("histories", 2000, "lincheck: number of small histories")
@@ -33,6 +37,17 @@ func main() {
 		seed      = flag.Uint64("seed", uint64(time.Now().UnixNano()), "RNG seed")
 	)
 	flag.Parse()
+
+	if *mode == "cancel" {
+		// Cancellation stress runs against the deque's own Ctx/Try API, not
+		// the registry's common Session interface.
+		if cancelStress(*workers, *duration, *seed) {
+			fmt.Println("cancel: PASS")
+			return
+		}
+		fmt.Println("cancel: FAIL")
+		os.Exit(1)
+	}
 
 	factory, err := bench.Lookup(*structure)
 	if err != nil {
@@ -130,6 +145,150 @@ func conservation(factory bench.Factory, workers int, d time.Duration, seed uint
 	}
 	fmt.Printf("pushed=%d popped=%d residue=%d\n", totalPushed, totalPopped, residue)
 	return uint64(totalPopped)+uint64(residue) == totalPushed
+}
+
+// cancelStress hammers the cancellable (*Ctx) and bounded (Try*) operation
+// variants with aggressive deadlines and tiny attempt budgets, and verifies
+// that abort semantics are exact under real contention: an operation that
+// returned a context error or ErrContended had no effect, so conservation
+// holds when only nil-error pushes are counted and every popped value must
+// come from that set.
+func cancelStress(workers int, d time.Duration, seed uint64) bool {
+	deq := dq.NewUint32(dq.WithNodeSize(8), dq.WithMaxThreads(workers+1))
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	type wstate struct {
+		pushedOK []uint32
+		popped   []uint32
+		aborts   uint64
+	}
+	states := make([]wstate, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := deq.Register()
+			rng := xrand.NewXoshiro256(seed + uint64(w)*977)
+			var i uint32
+			st := &states[w]
+			note := func(err error) bool {
+				if err == nil {
+					return true
+				}
+				if errors.Is(err, context.DeadlineExceeded) ||
+					errors.Is(err, context.Canceled) ||
+					errors.Is(err, dq.ErrContended) {
+					st.aborts++
+					return false
+				}
+				fmt.Printf("worker %d: unexpected error %v\n", w, err)
+				stop.Store(true)
+				return false
+			}
+			for !stop.Load() {
+				// Every push attempt gets a fresh ID whether or not it lands:
+				// a cancelled push whose value later surfaces is then caught
+				// as "popped but never pushed".
+				id := uint32(w)<<24 | (i & 0x00FFFFFF)
+				i++
+				ctx, cancel := context.WithTimeout(context.Background(),
+					time.Duration(rng.Intn(40))*time.Microsecond)
+				attempts := 1 + rng.Intn(3)
+				switch rng.Intn(8) {
+				case 0:
+					if note(h.PushLeftCtx(ctx, id)) {
+						st.pushedOK = append(st.pushedOK, id)
+					}
+				case 1:
+					if note(h.PushRightCtx(ctx, id)) {
+						st.pushedOK = append(st.pushedOK, id)
+					}
+				case 2:
+					if note(h.TryPushLeft(id, attempts)) {
+						st.pushedOK = append(st.pushedOK, id)
+					}
+				case 3:
+					if note(h.TryPushRight(id, attempts)) {
+						st.pushedOK = append(st.pushedOK, id)
+					}
+				case 4:
+					if v, ok, err := h.PopLeftCtx(ctx); note(err) && ok {
+						st.popped = append(st.popped, v)
+					}
+				case 5:
+					if v, ok, err := h.PopRightCtx(ctx); note(err) && ok {
+						st.popped = append(st.popped, v)
+					}
+				case 6:
+					if v, ok, err := h.TryPopLeft(attempts); note(err) && ok {
+						st.popped = append(st.popped, v)
+					}
+				case 7:
+					if v, ok, err := h.TryPopRight(attempts); note(err) && ok {
+						st.popped = append(st.popped, v)
+					}
+				}
+				cancel()
+			}
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+
+	// Drain the residue, then check exactness: popped ∪ residue must equal
+	// the nil-error pushes, with no duplicates and no inventions.
+	h := deq.Register()
+	residue := []uint32{}
+	for {
+		v, ok := h.PopLeft()
+		if !ok {
+			break
+		}
+		residue = append(residue, v)
+	}
+	pushedOK := make(map[uint32]bool)
+	totalPushed, totalAborts := 0, uint64(0)
+	for w := range states {
+		totalAborts += states[w].aborts
+		for _, v := range states[w].pushedOK {
+			if pushedOK[v] {
+				fmt.Printf("value %#x pushed-ok twice\n", v)
+				return false
+			}
+			pushedOK[v] = true
+			totalPushed++
+		}
+	}
+	totalPopped := 0
+	recover := func(v uint32) bool {
+		if !pushedOK[v] {
+			fmt.Printf("value %#x popped but its push was aborted (or never ran)\n", v)
+			return false
+		}
+		delete(pushedOK, v)
+		totalPopped++
+		return true
+	}
+	for w := range states {
+		for _, v := range states[w].popped {
+			if !recover(v) {
+				return false
+			}
+		}
+	}
+	for _, v := range residue {
+		if !recover(v) {
+			return false
+		}
+	}
+	fmt.Printf("pushed-ok=%d popped=%d residue=%d aborts=%d\n",
+		totalPushed, totalPopped-len(residue), len(residue), totalAborts)
+	if len(pushedOK) != 0 {
+		fmt.Printf("%d successfully pushed values lost\n", len(pushedOK))
+		return false
+	}
+	return true
 }
 
 // linearizability records many small histories and checks each.

@@ -30,9 +30,24 @@
 package deque
 
 import (
+	"context"
+
 	"repro/internal/arena"
 	"repro/internal/core"
 )
+
+// ErrFull reports capacity exhaustion: for Deque[T], the value slab's
+// occupancy limit (WithCapacity) — a transient condition that clears as
+// values are popped — or the internal node registry's ID space, which is
+// permanent for the deque. For Uint32 only the registry applies. Pushes
+// that return ErrFull had no effect; treat it as backpressure.
+var ErrFull = core.ErrFull
+
+// ErrContended is returned by the Try* operations when their attempt budget
+// was exhausted by interference from other threads. The operation had no
+// effect; retrying (or falling back to the unbounded variant) is always
+// safe.
+var ErrContended = core.ErrContended
 
 // options collects construction parameters.
 type options struct {
@@ -132,12 +147,22 @@ type Handle[T any] struct {
 	scratch []uint32             // reusable slab-handle buffer for batch ops
 }
 
-// put parks v in the value slab through the handle's freelist cache.
-func (h *Handle[T]) put(v T) uint32 {
+// put parks v in the value slab through the handle's freelist cache,
+// reporting ErrFull when the slab's occupancy limit is reached.
+func (h *Handle[T]) put(v T) (uint32, error) {
+	var (
+		hv  uint32
+		err error
+	)
 	if h.sh != nil {
-		return h.sh.Put(v)
+		hv, err = h.sh.TryPut(v)
+	} else {
+		hv, err = h.d.slab.TryPut(v)
 	}
-	return h.d.slab.Put(v)
+	if err != nil {
+		return 0, ErrFull
+	}
+	return hv, nil
 }
 
 // take retrieves and frees the slab entry hv.
@@ -148,23 +173,36 @@ func (h *Handle[T]) take(hv uint32) T {
 	return h.d.slab.Take(hv)
 }
 
-// PushLeft inserts v at the left end.
-func (h *Handle[T]) PushLeft(v T) {
-	hv := h.put(v)
-	if err := h.d.core.PushLeft(h.h, hv); err != nil {
-		// Unreachable: slab handles are below the reserved range.
-		h.take(hv)
-		panic(err)
+// PushLeft inserts v at the left end. It returns nil on success or ErrFull
+// when the deque's value capacity (WithCapacity) or internal node registry
+// is exhausted; an ErrFull push has no effect. Earlier versions panicked
+// (or silently dropped the condition); callers that sized capacity
+// generously may still safely ignore the error.
+func (h *Handle[T]) PushLeft(v T) error {
+	hv, err := h.put(v)
+	if err != nil {
+		return err
 	}
+	if err := h.d.core.PushLeft(h.h, hv); err != nil {
+		// Only ErrFull is reachable: slab handles are below the
+		// reserved range, so ErrReserved cannot occur.
+		h.take(hv)
+		return err
+	}
+	return nil
 }
 
-// PushRight inserts v at the right end.
-func (h *Handle[T]) PushRight(v T) {
-	hv := h.put(v)
+// PushRight inserts v at the right end; errors as PushLeft.
+func (h *Handle[T]) PushRight(v T) error {
+	hv, err := h.put(v)
+	if err != nil {
+		return err
+	}
 	if err := h.d.core.PushRight(h.h, hv); err != nil {
 		h.take(hv)
-		panic(err)
+		return err
 	}
+	return nil
 }
 
 // PopLeft removes and returns the leftmost value; ok is false when the
@@ -187,6 +225,101 @@ func (h *Handle[T]) PopRight() (v T, ok bool) {
 	return h.take(hv), true
 }
 
+// PushLeftCtx is PushLeft, aborting with ctx.Err() once ctx is cancelled.
+// Cancellation is exact: a non-nil error means nothing was pushed.
+func (h *Handle[T]) PushLeftCtx(ctx context.Context, v T) error {
+	hv, err := h.put(v)
+	if err != nil {
+		return err
+	}
+	if err := h.d.core.PushLeftCtx(ctx, h.h, hv); err != nil {
+		h.take(hv)
+		return err
+	}
+	return nil
+}
+
+// PushRightCtx mirrors PushLeftCtx.
+func (h *Handle[T]) PushRightCtx(ctx context.Context, v T) error {
+	hv, err := h.put(v)
+	if err != nil {
+		return err
+	}
+	if err := h.d.core.PushRightCtx(ctx, h.h, hv); err != nil {
+		h.take(hv)
+		return err
+	}
+	return nil
+}
+
+// PopLeftCtx is PopLeft, aborting with ctx.Err() once ctx is cancelled.
+// ok is meaningful only when err is nil; err non-nil means nothing was
+// popped.
+func (h *Handle[T]) PopLeftCtx(ctx context.Context) (v T, ok bool, err error) {
+	hv, ok, err := h.d.core.PopLeftCtx(ctx, h.h)
+	if err != nil || !ok {
+		return v, false, err
+	}
+	return h.take(hv), true, nil
+}
+
+// PopRightCtx mirrors PopLeftCtx.
+func (h *Handle[T]) PopRightCtx(ctx context.Context) (v T, ok bool, err error) {
+	hv, ok, err := h.d.core.PopRightCtx(ctx, h.h)
+	if err != nil || !ok {
+		return v, false, err
+	}
+	return h.take(hv), true, nil
+}
+
+// TryPushLeft is PushLeft bounded to at most attempts retry cycles
+// (minimum 1), returning ErrContended — nothing pushed — when other
+// threads kept winning races for the whole budget.
+func (h *Handle[T]) TryPushLeft(v T, attempts int) error {
+	hv, err := h.put(v)
+	if err != nil {
+		return err
+	}
+	if err := h.d.core.TryPushLeft(h.h, hv, attempts); err != nil {
+		h.take(hv)
+		return err
+	}
+	return nil
+}
+
+// TryPushRight mirrors TryPushLeft.
+func (h *Handle[T]) TryPushRight(v T, attempts int) error {
+	hv, err := h.put(v)
+	if err != nil {
+		return err
+	}
+	if err := h.d.core.TryPushRight(h.h, hv, attempts); err != nil {
+		h.take(hv)
+		return err
+	}
+	return nil
+}
+
+// TryPopLeft is PopLeft bounded to at most attempts retry cycles; err is
+// ErrContended (nothing popped) when the budget is spent. ok is meaningful
+// only when err is nil.
+func (h *Handle[T]) TryPopLeft(attempts int) (v T, ok bool, err error) {
+	hv, ok, err := h.d.core.TryPopLeft(h.h, attempts)
+	if err != nil || !ok {
+		return v, false, err
+	}
+	return h.take(hv), true, nil
+}
+
+// TryPopRight mirrors TryPopLeft.
+func (h *Handle[T]) TryPopRight(attempts int) (v T, ok bool, err error) {
+	hv, ok, err := h.d.core.TryPopRight(h.h, attempts)
+	if err != nil || !ok {
+		return v, false, err
+	}
+	return h.take(hv), true, nil
+}
+
 // buf returns the handle's scratch buffer with room for n slab handles.
 func (h *Handle[T]) buf(n int) []uint32 {
 	if cap(h.scratch) < n {
@@ -195,41 +328,62 @@ func (h *Handle[T]) buf(n int) []uint32 {
 	return h.scratch[:n]
 }
 
+// putN parks vs[0:] in the slab, filling hvs. On exhaustion it takes back
+// every entry it already parked and returns ErrFull (nothing retained).
+func (h *Handle[T]) putN(vs []T, hvs []uint32) error {
+	for i, v := range vs {
+		hv, err := h.put(v)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				h.take(hvs[j])
+			}
+			return err
+		}
+		hvs[i] = hv
+	}
+	return nil
+}
+
 // PushLeftN pushes the elements of vs in order, each becoming the new
 // leftmost — equivalent to calling PushLeft per element, but the slab
-// allocations and edge transitions are batched.
-func (h *Handle[T]) PushLeftN(vs []T) {
+// allocations and edge transitions are batched. On ErrFull the returned
+// count reports how many elements landed; like the equivalent individual
+// pushes, the prefix vs[:n] stays pushed and vs[n:] had no effect.
+func (h *Handle[T]) PushLeftN(vs []T) (int, error) {
 	if len(vs) == 0 {
-		return
+		return 0, nil
 	}
 	hvs := h.buf(len(vs))
-	for i, v := range vs {
-		hvs[i] = h.put(v)
+	if err := h.putN(vs, hvs); err != nil {
+		return 0, err
 	}
-	if err := h.d.core.PushLeftN(h.h, hvs); err != nil {
-		for _, hv := range hvs {
+	n, err := h.d.core.PushLeftN(h.h, hvs)
+	if err != nil {
+		for _, hv := range hvs[n:] {
 			h.take(hv)
 		}
-		panic(err)
 	}
+	return n, err
 }
 
 // PushRightN pushes the elements of vs in order, each becoming the new
-// rightmost — equivalent to calling PushRight per element.
-func (h *Handle[T]) PushRightN(vs []T) {
+// rightmost — equivalent to calling PushRight per element; errors as
+// PushLeftN.
+func (h *Handle[T]) PushRightN(vs []T) (int, error) {
 	if len(vs) == 0 {
-		return
+		return 0, nil
 	}
 	hvs := h.buf(len(vs))
-	for i, v := range vs {
-		hvs[i] = h.put(v)
+	if err := h.putN(vs, hvs); err != nil {
+		return 0, err
 	}
-	if err := h.d.core.PushRightN(h.h, hvs); err != nil {
-		for _, hv := range hvs {
+	n, err := h.d.core.PushRightN(h.h, hvs)
+	if err != nil {
+		for _, hv := range hvs[n:] {
 			h.take(hv)
 		}
-		panic(err)
 	}
+	return n, err
 }
 
 // PopLeftN pops up to len(dst) values from the left end into dst in pop
@@ -314,10 +468,11 @@ type Uint32Handle struct {
 	h *core.Handle
 }
 
-// PushLeft inserts v at the left end; ErrReserved if v > MaxUint32Value.
+// PushLeft inserts v at the left end; ErrReserved if v > MaxUint32Value,
+// ErrFull (nothing pushed) if the node registry's ID space is exhausted.
 func (h *Uint32Handle) PushLeft(v uint32) error { return h.d.core.PushLeft(h.h, v) }
 
-// PushRight inserts v at the right end; ErrReserved if v > MaxUint32Value.
+// PushRight inserts v at the right end; errors as PushLeft.
 func (h *Uint32Handle) PushRight(v uint32) error { return h.d.core.PushRight(h.h, v) }
 
 // PopLeft removes and returns the leftmost value; ok is false when empty.
@@ -326,13 +481,60 @@ func (h *Uint32Handle) PopLeft() (uint32, bool) { return h.d.core.PopLeft(h.h) }
 // PopRight removes and returns the rightmost value; ok is false when empty.
 func (h *Uint32Handle) PopRight() (uint32, bool) { return h.d.core.PopRight(h.h) }
 
+// PushLeftCtx is PushLeft, aborting with ctx.Err() once ctx is cancelled;
+// a non-nil error means nothing was pushed.
+func (h *Uint32Handle) PushLeftCtx(ctx context.Context, v uint32) error {
+	return h.d.core.PushLeftCtx(ctx, h.h, v)
+}
+
+// PushRightCtx mirrors PushLeftCtx.
+func (h *Uint32Handle) PushRightCtx(ctx context.Context, v uint32) error {
+	return h.d.core.PushRightCtx(ctx, h.h, v)
+}
+
+// PopLeftCtx is PopLeft, aborting with ctx.Err() once ctx is cancelled.
+// ok is meaningful only when err is nil.
+func (h *Uint32Handle) PopLeftCtx(ctx context.Context) (uint32, bool, error) {
+	return h.d.core.PopLeftCtx(ctx, h.h)
+}
+
+// PopRightCtx mirrors PopLeftCtx.
+func (h *Uint32Handle) PopRightCtx(ctx context.Context) (uint32, bool, error) {
+	return h.d.core.PopRightCtx(ctx, h.h)
+}
+
+// TryPushLeft is PushLeft bounded to at most attempts retry cycles
+// (minimum 1); ErrContended means the budget was spent and nothing was
+// pushed.
+func (h *Uint32Handle) TryPushLeft(v uint32, attempts int) error {
+	return h.d.core.TryPushLeft(h.h, v, attempts)
+}
+
+// TryPushRight mirrors TryPushLeft.
+func (h *Uint32Handle) TryPushRight(v uint32, attempts int) error {
+	return h.d.core.TryPushRight(h.h, v, attempts)
+}
+
+// TryPopLeft is PopLeft bounded to at most attempts retry cycles; ok is
+// meaningful only when err is nil.
+func (h *Uint32Handle) TryPopLeft(attempts int) (uint32, bool, error) {
+	return h.d.core.TryPopLeft(h.h, attempts)
+}
+
+// TryPopRight mirrors TryPopLeft.
+func (h *Uint32Handle) TryPopRight(attempts int) (uint32, bool, error) {
+	return h.d.core.TryPopRight(h.h, attempts)
+}
+
 // PushLeftN pushes the elements of vs in order, each becoming the new
 // leftmost; ErrReserved (pushing nothing) if any exceeds MaxUint32Value.
-func (h *Uint32Handle) PushLeftN(vs []uint32) error { return h.d.core.PushLeftN(h.h, vs) }
+// On ErrFull the returned count reports how many elements landed; the
+// prefix vs[:n] stays pushed, exactly as individual pushes would have.
+func (h *Uint32Handle) PushLeftN(vs []uint32) (int, error) { return h.d.core.PushLeftN(h.h, vs) }
 
 // PushRightN pushes the elements of vs in order, each becoming the new
-// rightmost; ErrReserved (pushing nothing) if any exceeds MaxUint32Value.
-func (h *Uint32Handle) PushRightN(vs []uint32) error { return h.d.core.PushRightN(h.h, vs) }
+// rightmost; errors as PushLeftN.
+func (h *Uint32Handle) PushRightN(vs []uint32) (int, error) { return h.d.core.PushRightN(h.h, vs) }
 
 // PopLeftN pops up to len(dst) values from the left end into dst in pop
 // order, stopping early when the deque is empty. Returns the count popped.

@@ -1,0 +1,220 @@
+package deque
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// These tests pin the error-path contracts of the public API on the default
+// (chaos-free) build: cancellable and bounded variants succeed when
+// uncontended and honor pre-cancelled contexts exactly; slab capacity
+// exhaustion surfaces as ErrFull with nothing retained; and batch pushes
+// that cannot park the whole batch unwind completely. The forced-livelock
+// versions of these paths live in internal/chaostest.
+
+func TestCtxAndTryUncontended(t *testing.T) {
+	d := New[int]()
+	h := d.Register()
+	ctx := context.Background()
+
+	if err := h.PushLeftCtx(ctx, 1); err != nil {
+		t.Fatalf("PushLeftCtx: %v", err)
+	}
+	if err := h.PushRightCtx(ctx, 2); err != nil {
+		t.Fatalf("PushRightCtx: %v", err)
+	}
+	if v, ok, err := h.PopRightCtx(ctx); err != nil || !ok || v != 2 {
+		t.Fatalf("PopRightCtx = (%d, %v, %v), want (2, true, nil)", v, ok, err)
+	}
+	if err := h.TryPushRight(3, 1); err != nil {
+		t.Fatalf("TryPushRight: %v", err)
+	}
+	if v, ok, err := h.TryPopLeft(1); err != nil || !ok || v != 1 {
+		t.Fatalf("TryPopLeft = (%d, %v, %v), want (1, true, nil)", v, ok, err)
+	}
+	if err := h.TryPushLeft(4, 1); err != nil {
+		t.Fatalf("TryPushLeft: %v", err)
+	}
+	if v, ok, err := h.TryPopRight(1); err != nil || !ok || v != 3 {
+		t.Fatalf("TryPopRight = (%d, %v, %v), want (3, true, nil)", v, ok, err)
+	}
+	if v, ok, err := h.PopLeftCtx(ctx); err != nil || !ok || v != 4 {
+		t.Fatalf("PopLeftCtx = (%d, %v, %v), want (4, true, nil)", v, ok, err)
+	}
+	// Empty pops: completed, not errored.
+	if v, ok, err := h.PopLeftCtx(ctx); err != nil || ok {
+		t.Fatalf("PopLeftCtx on empty = (%d, %v, %v), want (_, false, nil)", v, ok, err)
+	}
+	if v, ok, err := h.TryPopRight(1); err != nil || ok {
+		t.Fatalf("TryPopRight on empty = (%d, %v, %v), want (_, false, nil)", v, ok, err)
+	}
+}
+
+func TestCtxPreCancelledExact(t *testing.T) {
+	d := New[int]()
+	h := d.Register()
+	if err := h.PushLeft(7); err != nil {
+		t.Fatalf("PushLeft: %v", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if err := h.PushLeftCtx(cancelled, 9); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PushLeftCtx = %v, want Canceled", err)
+	}
+	if err := h.PushRightCtx(cancelled, 9); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PushRightCtx = %v, want Canceled", err)
+	}
+	if _, _, err := h.PopLeftCtx(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PopLeftCtx = %v, want Canceled", err)
+	}
+	if _, _, err := h.PopRightCtx(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PopRightCtx = %v, want Canceled", err)
+	}
+	// Exactness: none of the aborted calls touched the deque, and the
+	// aborted pushes returned their slab entries (the subsequent drain sees
+	// exactly the one live value).
+	if got := d.Len(); got != 1 {
+		t.Fatalf("Len = %d after aborted ops, want 1", got)
+	}
+	if v, ok := h.PopLeft(); !ok || v != 7 {
+		t.Fatalf("PopLeft = (%d, %v), want (7, true)", v, ok)
+	}
+}
+
+func TestUint32CtxAndTry(t *testing.T) {
+	d := NewUint32()
+	h := d.Register()
+	ctx := context.Background()
+	if err := h.PushLeftCtx(ctx, 11); err != nil {
+		t.Fatalf("PushLeftCtx: %v", err)
+	}
+	if err := h.TryPushRight(12, 1); err != nil {
+		t.Fatalf("TryPushRight: %v", err)
+	}
+	if v, ok, err := h.TryPopLeft(1); err != nil || !ok || v != 11 {
+		t.Fatalf("TryPopLeft = (%d, %v, %v), want (11, true, nil)", v, ok, err)
+	}
+	if v, ok, err := h.PopRightCtx(ctx); err != nil || !ok || v != 12 {
+		t.Fatalf("PopRightCtx = (%d, %v, %v), want (12, true, nil)", v, ok, err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := h.PushRightCtx(cancelled, 9); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PushRightCtx = %v, want Canceled", err)
+	}
+	if _, _, err := h.PopLeftCtx(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PopLeftCtx = %v, want Canceled", err)
+	}
+}
+
+// fillToCapacity pushes ascending values on the right until ErrFull,
+// returning the count that landed.
+func fillToCapacity(t *testing.T, h *Handle[int]) int {
+	t.Helper()
+	for n := 0; ; n++ {
+		if n > 1<<20 {
+			t.Fatal("capacity bound never enforced")
+		}
+		if err := h.PushRight(n); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatalf("PushRight = %v, want ErrFull", err)
+			}
+			return n
+		}
+	}
+}
+
+func TestCapacityExhaustionRoundTrip(t *testing.T) {
+	d := New[int](WithCapacity(1)) // rounds up to the slab's minimum
+	h := d.Register()
+
+	n := fillToCapacity(t, h)
+	if n == 0 {
+		t.Fatal("no push succeeded")
+	}
+	if got := d.Len(); got != n {
+		t.Fatalf("Len = %d at capacity, want %d", got, n)
+	}
+	// Still full; failed pushes must not have consumed capacity or values.
+	if err := h.PushLeft(-1); !errors.Is(err, ErrFull) {
+		t.Fatalf("PushLeft at capacity = %v, want ErrFull", err)
+	}
+	// Transient: popping one frees exactly one slot.
+	if v, ok := h.PopLeft(); !ok || v != 0 {
+		t.Fatalf("PopLeft = (%d, %v), want (0, true)", v, ok)
+	}
+	if err := h.PushRight(n); err != nil {
+		t.Fatalf("PushRight after free = %v", err)
+	}
+	if err := h.PushRight(-1); !errors.Is(err, ErrFull) {
+		t.Fatalf("PushRight = %v, want ErrFull again", err)
+	}
+	// FIFO drain: exactly the successful pushes, in order, nothing lost to
+	// the rejected ones.
+	for i := 1; i <= n; i++ {
+		v, ok := h.PopLeft()
+		if !ok || v != i {
+			t.Fatalf("drain[%d] = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if v, ok := h.PopLeft(); ok {
+		t.Fatalf("extra value %d after drain", v)
+	}
+}
+
+func TestBatchPushCapacityUnwind(t *testing.T) {
+	d := New[int](WithCapacity(1))
+	h := d.Register()
+	n := fillToCapacity(t, h)
+
+	// Free two slots, then ask for five: the batch cannot park fully, so it
+	// must unwind and push nothing (count 0, ErrFull, Len unchanged).
+	h.PopLeft()
+	h.PopLeft()
+	got, err := h.PushLeftN([]int{-1, -2, -3, -4, -5})
+	if got != 0 || !errors.Is(err, ErrFull) {
+		t.Fatalf("PushLeftN past capacity = (%d, %v), want (0, ErrFull)", got, err)
+	}
+	if gotLen := d.Len(); gotLen != n-2 {
+		t.Fatalf("Len = %d after unwound batch, want %d", gotLen, n-2)
+	}
+	// The unwind returned both parked entries: both slots are usable, and
+	// the third push hits the limit again.
+	if _, err := h.PushRightN([]int{n, n + 1}); err != nil {
+		t.Fatalf("PushRightN into freed slots = %v", err)
+	}
+	if err := h.PushRight(-1); !errors.Is(err, ErrFull) {
+		t.Fatalf("PushRight = %v, want ErrFull (slots leaked by unwind?)", err)
+	}
+}
+
+func TestViewsPropagateErrFull(t *testing.T) {
+	s := NewStack[int](WithCapacity(1))
+	sh := s.Register()
+	for n := 0; ; n++ {
+		if n > 1<<20 {
+			t.Fatal("stack capacity never enforced")
+		}
+		if err := sh.Push(n); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatalf("Push = %v, want ErrFull", err)
+			}
+			break
+		}
+	}
+	q := NewQueue[int](WithCapacity(1))
+	qh := q.Register()
+	for n := 0; ; n++ {
+		if n > 1<<20 {
+			t.Fatal("queue capacity never enforced")
+		}
+		if err := qh.Enqueue(n); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatalf("Enqueue = %v, want ErrFull", err)
+			}
+			break
+		}
+	}
+}

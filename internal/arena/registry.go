@@ -18,9 +18,17 @@
 package arena
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/chaos"
 )
+
+// ErrRegistryFull reports that every ID the registry will ever issue has
+// been allocated. IDs are never recycled, so — unlike ErrSlabFull — this
+// condition is permanent for the registry's lifetime.
+var ErrRegistryFull = errors.New("arena: registry ID space exhausted")
 
 // Registry chunk geometry: 8192 entries per chunk keeps each chunk at 64 KiB
 // of pointers while the fixed directory stays small.
@@ -64,17 +72,37 @@ func (r *Registry[T]) Limit() uint32 { return r.limit }
 func (r *Registry[T]) Allocated() uint32 { return r.next.Load() }
 
 // Alloc registers v and returns its fresh ID. It panics if the ID space is
-// exhausted, which indicates the registry was sized too small for the run.
+// exhausted; use TryAlloc to observe ErrRegistryFull instead.
 func (r *Registry[T]) Alloc(v *T) uint32 {
+	id, err := r.TryAlloc(v)
+	if err != nil {
+		panic(fmt.Sprintf("arena: %v (limit %d)", err, r.limit))
+	}
+	return id
+}
+
+// TryAlloc registers v and returns its fresh ID, or ErrRegistryFull when
+// the ID space is exhausted. The cursor advances by CAS, never blind Add:
+// racing allocations at the limit must not burn IDs past it — with a blind
+// Add, persistent retries against a full registry would march the cursor
+// toward uint32 wraparound and eventually re-issue ID 0, resurrecting ABA.
+func (r *Registry[T]) TryAlloc(v *T) (uint32, error) {
 	if v == nil {
 		panic("arena: Alloc(nil)")
 	}
-	id := r.next.Add(1) - 1
-	if id >= r.limit {
-		panic(fmt.Sprintf("arena: registry ID space exhausted (limit %d)", r.limit))
+	if chaos.Visit(chaos.RegistryAlloc) {
+		return 0, ErrRegistryFull
 	}
-	r.chunk(id).entries[id&regChunkMask].Store(v)
-	return id
+	for {
+		id := r.next.Load()
+		if id >= r.limit {
+			return 0, ErrRegistryFull
+		}
+		if r.next.CompareAndSwap(id, id+1) {
+			r.chunk(id).entries[id&regChunkMask].Store(v)
+			return id, nil
+		}
+	}
 }
 
 // Get resolves id to its registered pointer, or nil if the entry was cleared

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/pad"
 )
 
@@ -125,6 +126,9 @@ func (s *Slab[T]) Put(v T) uint32 {
 // index is live. This is the sharded, handle-less slow path; workers with a
 // SlabHandle should go through it instead.
 func (s *Slab[T]) TryPut(v T) (uint32, error) {
+	if chaos.Visit(chaos.SlabAlloc) {
+		return 0, ErrSlabFull
+	}
 	idx, ok := s.popFreeAny(0)
 	if !ok {
 		idx, ok = s.bumpAlloc()
@@ -327,6 +331,9 @@ func (h *SlabHandle[T]) Put(v T) uint32 {
 // bump allocator (a contiguous run, keeping one worker's live values on
 // neighboring cache lines), then steals from other shards.
 func (h *SlabHandle[T]) TryPut(v T) (uint32, error) {
+	if chaos.Visit(chaos.SlabAlloc) {
+		return 0, ErrSlabFull
+	}
 	n := len(h.local)
 	if n == 0 {
 		if !h.refill() {

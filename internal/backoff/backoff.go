@@ -71,6 +71,15 @@ func (b *Backoff) Spin() {
 // operation so the next contention episode starts gently.
 func (b *Backoff) Reset() { b.cur = b.min }
 
+// Escalate jumps the window straight to its maximum and yields the
+// processor. It is the livelock watchdog's response to a long streak of
+// failed attempts: exponential growth has already saturated by then, so the
+// extra lever is handing the CPU to whichever thread we are convoyed with.
+func (b *Backoff) Escalate() {
+	b.cur = b.max
+	runtime.Gosched()
+}
+
 // Window reports the current window size in spin iterations.
 func (b *Backoff) Window() int { return b.cur }
 

@@ -1,0 +1,12 @@
+//go:build !chaos
+
+package chaos
+
+// Enabled reports whether the binary was built with fault injection
+// compiled in (`-tags chaos`).
+const Enabled = false
+
+// Visit is the production stub: never fails, never delays, never parks.
+// It is trivially inlinable, and the constant false folds through every
+// call site's `if chaos.Visit(...)` branch.
+func Visit(Point) bool { return false }

@@ -1,0 +1,39 @@
+//go:build !chaos
+
+package chaos
+
+import "testing"
+
+// The production build must see inert stubs: no failures, no state.
+func TestStubsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the chaos build tag")
+	}
+	for _, p := range AllPoints() {
+		for i := 0; i < 100; i++ {
+			if Visit(p) {
+				t.Fatalf("stub Visit(%v) returned true", p)
+			}
+		}
+	}
+}
+
+func TestPointNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range AllPoints() {
+		n := p.String()
+		if n == "" || n == "Point(?)" {
+			t.Fatalf("point %d has no name", p)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate point name %q", n)
+		}
+		seen[n] = true
+	}
+	if Point(200).String() != "Point(?)" {
+		t.Fatal("out-of-range point must stringify to Point(?)")
+	}
+	if len(TransitionPoints()) != 7 {
+		t.Fatalf("want 7 transition points, got %d", len(TransitionPoints()))
+	}
+}

@@ -1,0 +1,187 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Enabled reports whether the binary was built with fault injection
+// compiled in (`-tags chaos`).
+const Enabled = true
+
+// Rule configures the behavior of one injection point. The zero Rule is
+// inert. All firing mechanisms compose: a visit first parks (if the park
+// budget is open), then delays, then decides failure.
+type Rule struct {
+	// FailN forces failure on the next FailN visits to the point.
+	FailN int64
+	// FailEvery forces failure on every FailEvery-th visit (1 = always).
+	FailEvery uint64
+	// FailProb forces failure pseudo-randomly with this probability,
+	// derived from the schedule seed and the visit index.
+	FailProb float64
+	// DelaySpins busy-delays each visit by a seeded pseudo-random number
+	// of spin iterations in [1, DelaySpins].
+	DelaySpins int
+	// Park blocks the first Park goroutines that visit the point until
+	// the schedule is released — a deterministic stand-in for a thread
+	// stalled mid-transition (before its first CAS).
+	Park int64
+}
+
+// PointStats counts what happened at one injection point.
+type PointStats struct {
+	Visits   uint64 // times the point was reached
+	Failures uint64 // times a failure was forced
+	Delays   uint64 // times a delay was injected
+	Parks    uint64 // goroutines parked here
+}
+
+// Schedule is one armed fault-injection plan: a Rule per point plus
+// counters. Configure with Set before Arm; rules are immutable while
+// armed. Counters may be read at any time.
+type Schedule struct {
+	seed  uint64
+	rules [NumPoints]Rule
+
+	failBudget [NumPoints]atomic.Int64
+	parkBudget [NumPoints]atomic.Int64
+
+	visits   [NumPoints]atomic.Uint64
+	failures [NumPoints]atomic.Uint64
+	delays   [NumPoints]atomic.Uint64
+	parks    [NumPoints]atomic.Uint64
+
+	parkedNow atomic.Int64
+	release   chan struct{}
+	released  atomic.Bool
+}
+
+// NewSchedule returns an empty (inert) schedule with the given PRNG seed.
+func NewSchedule(seed uint64) *Schedule {
+	return &Schedule{seed: seed, release: make(chan struct{})}
+}
+
+// Set installs the rule for p. Must be called before Arm. Returns s for
+// chaining.
+func (s *Schedule) Set(p Point, r Rule) *Schedule {
+	s.rules[p] = r
+	s.failBudget[p].Store(r.FailN)
+	s.parkBudget[p].Store(r.Park)
+	return s
+}
+
+// SetAll installs the same rule at every point in ps.
+func (s *Schedule) SetAll(ps []Point, r Rule) *Schedule {
+	for _, p := range ps {
+		s.Set(p, r)
+	}
+	return s
+}
+
+// Release unparks every goroutine parked by this schedule, permanently
+// (idempotent). Parking rules stop firing after release.
+func (s *Schedule) Release() {
+	if s.released.CompareAndSwap(false, true) {
+		close(s.release)
+	}
+}
+
+// ParkedNow reports how many goroutines are currently parked.
+func (s *Schedule) ParkedNow() int64 { return s.parkedNow.Load() }
+
+// Stats returns the counters for p.
+func (s *Schedule) Stats(p Point) PointStats {
+	return PointStats{
+		Visits:   s.visits[p].Load(),
+		Failures: s.failures[p].Load(),
+		Delays:   s.delays[p].Load(),
+		Parks:    s.parks[p].Load(),
+	}
+}
+
+// active is the globally armed schedule. A single global (rather than
+// per-deque plumbing) keeps the injection call sites to one load on the
+// disarmed chaos build and exactly zero on the production build.
+var active atomic.Pointer[Schedule]
+
+// Arm makes s the active schedule. Only one schedule is active at a time;
+// tests must not run chaos suites in parallel.
+func Arm(s *Schedule) { active.Store(s) }
+
+// Disarm deactivates the current schedule and releases any goroutines it
+// parked.
+func Disarm() {
+	if s := active.Swap(nil); s != nil {
+		s.Release()
+	}
+}
+
+// Active returns the armed schedule, or nil.
+func Active() *Schedule { return active.Load() }
+
+// Visit reports whether the action at p must be treated as failed, after
+// applying any configured park and delay. With no armed schedule it is a
+// single atomic load.
+func Visit(p Point) bool {
+	s := active.Load()
+	if s == nil {
+		return false
+	}
+	return s.visit(p)
+}
+
+func (s *Schedule) visit(p Point) bool {
+	n := s.visits[p].Add(1)
+	r := &s.rules[p]
+
+	if r.Park > 0 && !s.released.Load() && s.parkBudget[p].Add(-1) >= 0 {
+		s.parks[p].Add(1)
+		s.parkedNow.Add(1)
+		<-s.release
+		s.parkedNow.Add(-1)
+	}
+
+	if r.DelaySpins > 0 {
+		s.delays[p].Add(1)
+		spins := 1 + int(mix(s.seed, p, n)%uint64(r.DelaySpins))
+		for i := 0; i < spins; i++ {
+			if i&255 == 255 {
+				runtime.Gosched()
+			}
+		}
+	}
+
+	fail := false
+	switch {
+	case r.FailN > 0 && s.failBudget[p].Add(-1) >= 0:
+		fail = true
+	case r.FailEvery > 0 && n%r.FailEvery == 0:
+		fail = true
+	case r.FailProb > 0 && probHit(mix(s.seed, p, n), r.FailProb):
+		fail = true
+	}
+	if fail {
+		s.failures[p].Add(1)
+	}
+	return fail
+}
+
+// mix is splitmix64 over (seed, point, visit index): cheap, stateless, and
+// deterministic per visit number, so single-goroutine schedules replay
+// exactly and concurrent ones replay modulo goroutine interleaving.
+func mix(seed uint64, p Point, n uint64) uint64 {
+	z := seed ^ (uint64(p)+1)*0x9e3779b97f4a7c15 ^ n*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// probHit maps a hash to [0,1) and compares against prob.
+func probHit(h uint64, prob float64) bool {
+	return float64(h>>11)/float64(1<<53) < prob
+}

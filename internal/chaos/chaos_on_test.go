@@ -1,0 +1,142 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Disarm()
+	for _, p := range AllPoints() {
+		if Visit(p) {
+			t.Fatalf("disarmed Visit(%v) returned true", p)
+		}
+	}
+}
+
+func TestFailN(t *testing.T) {
+	s := NewSchedule(1).Set(L1, Rule{FailN: 3})
+	Arm(s)
+	defer Disarm()
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if Visit(L1) {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("FailN=3: want 3 failures, got %d", fails)
+	}
+	st := s.Stats(L1)
+	if st.Visits != 10 || st.Failures != 3 {
+		t.Fatalf("stats = %+v, want 10 visits / 3 failures", st)
+	}
+	if Visit(L2) {
+		t.Fatal("unconfigured point fired")
+	}
+}
+
+func TestFailEvery(t *testing.T) {
+	s := NewSchedule(1).Set(L2, Rule{FailEvery: 4})
+	Arm(s)
+	defer Disarm()
+	var pattern []bool
+	for i := 0; i < 8; i++ {
+		pattern = append(pattern, Visit(L2))
+	}
+	// Visits are 1-based: the 4th and 8th fire.
+	want := []bool{false, false, false, true, false, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("FailEvery=4 pattern %v, want %v", pattern, want)
+		}
+	}
+}
+
+func TestFailProbSeededAndReproducible(t *testing.T) {
+	run := func(seed uint64) (fails int, pattern []bool) {
+		s := NewSchedule(seed).Set(H, Rule{FailProb: 0.5})
+		Arm(s)
+		defer Disarm()
+		for i := 0; i < 1000; i++ {
+			f := Visit(H)
+			pattern = append(pattern, f)
+			if f {
+				fails++
+			}
+		}
+		return
+	}
+	f1, p1 := run(42)
+	f2, p2 := run(42)
+	if f1 != f2 {
+		t.Fatalf("same seed, different failure counts: %d vs %d", f1, f2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("same seed diverged at visit %d", i)
+		}
+	}
+	if f1 < 350 || f1 > 650 {
+		t.Fatalf("prob 0.5 over 1000 visits fired %d times", f1)
+	}
+	f3, _ := run(43)
+	if f1 == f3 {
+		t.Log("different seeds gave identical counts (possible but unlikely)")
+	}
+}
+
+func TestParkAndRelease(t *testing.T) {
+	s := NewSchedule(1).Set(L6, Rule{Park: 2})
+	Arm(s)
+	defer Disarm()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Visit(L6)
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ParkedNow() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked %d of 2 goroutines", s.ParkedNow())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Budget exhausted: a third visitor passes straight through.
+	done := make(chan struct{})
+	go func() { Visit(L6); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("third visitor parked past the budget")
+	}
+	s.Release()
+	wg.Wait()
+	if got := s.Stats(L6).Parks; got != 2 {
+		t.Fatalf("parks = %d, want 2", got)
+	}
+	// Released schedules never park again.
+	Visit(L6)
+	if s.ParkedNow() != 0 {
+		t.Fatal("visit after release parked")
+	}
+}
+
+func TestDelayCounts(t *testing.T) {
+	s := NewSchedule(7).Set(Oracle, Rule{DelaySpins: 64})
+	Arm(s)
+	defer Disarm()
+	for i := 0; i < 5; i++ {
+		Visit(Oracle)
+	}
+	if got := s.Stats(Oracle).Delays; got != 5 {
+		t.Fatalf("delays = %d, want 5", got)
+	}
+}

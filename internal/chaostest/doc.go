@@ -1,0 +1,13 @@
+// Package chaostest holds the fault-injection test suites that drive the
+// deque through internal/chaos schedules: seeded sweeps that force at least
+// one failure at every named injection point, conservation checks under
+// randomized forced-failure schedules, the per-transition obstruction-freedom
+// suite (park every goroutine but one mid-transition and require the isolated
+// one to finish in bounded steps), forced-livelock cancellation tests, and
+// the livelock-watchdog escalation test.
+//
+// Every test file in this package carries the `chaos` build constraint; the
+// suite only exists under `go test -tags chaos`. Without the tag the package
+// is empty and the production build contains no injection machinery at all
+// (see internal/chaos). scripts/chaos.sh sweeps these suites across seeds.
+package chaostest

@@ -1,0 +1,184 @@
+//go:build chaos
+
+package chaostest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+)
+
+// TestObstructionFreedomPerTransition checks the progress property the paper
+// actually claims — obstruction freedom — one transition at a time. For each
+// transition point L1–L7 it parks three goroutines mid-transition at exactly
+// that point (after the oracle, before the transition's first CAS: the
+// canonical "thread stalled holding no lock" schedule), then requires a
+// fourth, isolated handle to complete full operations at both ends within a
+// small bounded attempt budget. If any transition's retry logic secretly
+// depended on the stalled threads finishing — i.e. if the structure were
+// blocking — the isolated Try* calls would burn their budget and return
+// ErrContended.
+func TestObstructionFreedomPerTransition(t *testing.T) {
+	for _, p := range chaos.TransitionPoints() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			const blockers = 3
+			d := core.New(core.Config{NodeSize: core.MinNodeSize, MaxThreads: blockers + 2})
+			iso := d.Register()
+
+			s := chaos.NewSchedule(1).Set(p, chaos.Rule{Park: blockers})
+			chaos.Arm(s)
+			defer chaos.Disarm()
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for b := 0; b < blockers; b++ {
+				// Launch blockers one at a time, waiting for each to park
+				// before starting the next: every blocker then runs alone
+				// (earlier ones are frozen pre-CAS, having changed nothing),
+				// so the state-machine walk below reaches every transition
+				// deterministically rather than probabilistically.
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h := d.Register()
+					for !stop.Load() {
+						blockerRound(d, h)
+					}
+				}()
+				deadline := time.Now().Add(10 * time.Second)
+				for s.ParkedNow() != int64(b+1) {
+					if time.Now().After(deadline) {
+						t.Fatalf("blocker %d never parked at %v (parked=%d)", b, p, s.ParkedNow())
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+
+			// All blockers are now stalled mid-transition at p. The isolated
+			// handle must finish in bounded steps: generous but finite budget,
+			// and any ErrContended is a progress failure.
+			const attempts = 512
+			try := func(name string, err error) {
+				if err != nil {
+					t.Fatalf("isolated %s with %d goroutines parked at %v: %v", name, blockers, p, err)
+				}
+			}
+			// Enough pushes to cross node boundaries (ns=4), so the isolated
+			// thread itself drives appends/seals/removes while the others are
+			// parked, then full drain-back from both ends.
+			for i := uint32(0); i < 6; i++ {
+				try("TryPushLeft", d.TryPushLeft(iso, 100+i, attempts))
+				try("TryPushRight", d.TryPushRight(iso, 200+i, attempts))
+			}
+			for i := uint32(5); ; i-- {
+				v, ok, err := d.TryPopLeft(iso, attempts)
+				try("TryPopLeft", err)
+				if !ok {
+					t.Fatalf("isolated TryPopLeft empty with values resident (parked at %v)", p)
+				}
+				if v != 100+i {
+					t.Fatalf("isolated TryPopLeft = %d, want %d (parked at %v)", v, 100+i, p)
+				}
+				if i == 0 {
+					break
+				}
+			}
+			for i := uint32(5); ; i-- {
+				v, ok, err := d.TryPopRight(iso, attempts)
+				try("TryPopRight", err)
+				if !ok {
+					t.Fatalf("isolated TryPopRight empty with values resident (parked at %v)", p)
+				}
+				if v != 200+i {
+					t.Fatalf("isolated TryPopRight = %d, want %d (parked at %v)", v, 200+i, p)
+				}
+				if i == 0 {
+					break
+				}
+			}
+
+			// The isolated handle visited p too; it must have run past the
+			// exhausted park budget, not joined the parked set.
+			if got := s.ParkedNow(); got != blockers {
+				t.Fatalf("parked count = %d after isolated ops, want %d", got, blockers)
+			}
+			if got := s.Stats(p).Parks; got != blockers {
+				t.Fatalf("park stat = %d, want %d", got, blockers)
+			}
+
+			stop.Store(true)
+			chaos.Disarm() // releases the parked blockers
+			wg.Wait()
+			if err := d.CheckInvariant(); err != nil {
+				t.Fatalf("invariant after release: %v", err)
+			}
+		})
+	}
+}
+
+// blockerRound is one pass of the all-transitions state walk (the same
+// geometry recipes as driveAllStates, minus the accounting): interior and
+// boundary traffic on both sides plus the straddle and empty-check shapes,
+// so a goroutine looping it visits every transition point. Errors are
+// ignored — the round only exists to reach injection points.
+func blockerRound(d *core.Deque, h *core.Handle) {
+	pushL := func() { _ = d.PushLeft(h, 1) }
+	pushR := func() { _ = d.PushRight(h, 1) }
+	popL := func() { _, _ = d.PopLeft(h) }
+	popR := func() { _, _ = d.PopRight(h) }
+	// Drain toward empty first: rounds interrupted by parking leave
+	// residual values, and the straddle/empty recipes below assume a
+	// near-empty start.
+	for i := 0; i < 32; i++ {
+		popL()
+	}
+	for i := 0; i < 7; i++ {
+		pushL()
+	}
+	for i := 0; i < 9; i++ {
+		popL()
+	}
+	for i := 0; i < 7; i++ {
+		pushR()
+	}
+	for i := 0; i < 9; i++ {
+		popR()
+	}
+	pushL()
+	pushL()
+	popL()
+	pushL()
+	popL()
+	popL()
+	popL()
+	pushR()
+	pushR()
+	popR()
+	pushR()
+	popR()
+	popR()
+	popR()
+	pushL()
+	pushL()
+	popR()
+	popL()
+	popL()
+	popL()
+	pushR()
+	pushR()
+	popL()
+	popR()
+	popR()
+	popR()
+	pushL()
+	popR()
+	popL()
+	pushR()
+	popL()
+	popR()
+}

@@ -1,0 +1,56 @@
+//go:build chaos
+
+package chaostest
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+)
+
+// TestWatchdogEscalation forces a long losing streak — 300 consecutive
+// forced transition failures, past the 256-failure watchdog threshold — on a
+// single plain PushLeft, and checks the livelock watchdog's accounting: the
+// streak is tracked, its peak is recorded, crossing the threshold counts an
+// escalation (which widens the backoff window), and the first success resets
+// the live streak while preserving the peak and escalation history.
+func TestWatchdogEscalation(t *testing.T) {
+	d := core.New(core.Config{NodeSize: core.MinNodeSize, MaxThreads: 2})
+	h := d.Register()
+
+	const forced = 300
+	s := chaos.NewSchedule(1).SetAll(chaos.TransitionPoints(), chaos.Rule{FailN: forced})
+	chaos.Arm(s)
+	defer chaos.Disarm()
+
+	// On an empty min-size deque every push attempt is an interior push, so
+	// the op burns exactly the forced budget at L1 and then completes.
+	if err := d.PushLeft(h, 5); err != nil {
+		t.Fatalf("PushLeft through forced streak: %v", err)
+	}
+	if got := s.Stats(chaos.L1).Failures; got != forced {
+		t.Fatalf("L1 forced failures = %d, want %d", got, forced)
+	}
+
+	st := h.Stats()
+	if st.ConsecFails != 0 {
+		t.Fatalf("ConsecFails = %d after success, want 0", st.ConsecFails)
+	}
+	if st.ConsecFailsPeak != forced {
+		t.Fatalf("ConsecFailsPeak = %d, want %d", st.ConsecFailsPeak, forced)
+	}
+	if st.LivelockEscalations != 1 {
+		t.Fatalf("LivelockEscalations = %d, want 1 (threshold crossed once)", st.LivelockEscalations)
+	}
+
+	// Later uncontended ops keep the streak at zero and history intact.
+	chaos.Disarm()
+	if v, ok := d.PopLeft(h); !ok || v != 5 {
+		t.Fatalf("PopLeft = (%d, %v), want (5, true)", v, ok)
+	}
+	st = h.Stats()
+	if st.ConsecFails != 0 || st.ConsecFailsPeak != forced || st.LivelockEscalations != 1 {
+		t.Fatalf("stats after quiescent op = %+v, want streak 0, peak %d, escalations 1", st, forced)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/word"
 )
 
@@ -28,29 +29,40 @@ import (
 // new leftmost, so after the call the deque reads vals[len-1], ..., vals[0],
 // <previous contents> from the left. It is equivalent to calling PushLeft
 // for each element in order. Returns ErrReserved (pushing nothing) if any
-// value is reserved.
-func (d *Deque) PushLeftN(h *Handle, vals []uint32) error {
+// value is reserved. On registry exhaustion it returns ErrFull; the
+// already-pushed prefix stays pushed (per-element linearizability — exactly
+// as if the equivalent individual PushLeft calls had failed partway), and
+// the returned count reports how many elements landed.
+func (d *Deque) PushLeftN(h *Handle, vals []uint32) (int, error) {
 	for _, v := range vals {
 		if word.IsReserved(v) {
-			return ErrReserved
+			return 0, ErrReserved
 		}
 	}
 	if d.lElim != nil {
-		for _, v := range vals {
-			d.pushLeftElim(h, v)
+		for i, v := range vals {
+			if err := d.pushLeftElim(h, v); err != nil {
+				return i, err
+			}
 		}
-		return nil
+		return len(vals), nil
 	}
-	for i := 0; i < len(vals); {
-		i += d.pushLeftRun(h, vals[i:])
+	i := 0
+	for i < len(vals) {
+		n, err := d.pushLeftRun(h, vals[i:])
+		i += n
+		if err != nil {
+			return i, err
+		}
 	}
-	return nil
+	return i, nil
 }
 
 // pushLeftRun pushes vals[0] through the full protocol, then extends the run
 // with interior transitions while the left edge stays where the previous
-// element put it. Returns the number of elements pushed (>= 1).
-func (d *Deque) pushLeftRun(h *Handle, vals []uint32) int {
+// element put it. Returns the number of elements pushed (>= 1) or an
+// allocation error (nothing pushed by this run).
+func (d *Deque) pushLeftRun(h *Handle, vals []uint32) (int, error) {
 	var idx int
 	for {
 		e, ix, hw, cached := d.lOracleSeeded(h)
@@ -58,15 +70,17 @@ func (d *Deque) pushLeftRun(h *Handle, vals []uint32) int {
 			if cached {
 				h.EdgeCacheHits++
 			}
-			h.bo.Reset()
+			h.noteSuccess()
 			idx = ix
 			break
+		}
+		if err := h.takeAllocErr(); err != nil {
+			return 0, err
 		}
 		if cached {
 			h.edgeL = nil // stale cache: rerun the real oracle
 		}
-		h.Retries++
-		h.bo.Spin()
+		h.noteFailure()
 	}
 
 	// The transition left the new outermost datum in h.edgeL: at idx-1 for
@@ -86,6 +100,9 @@ func (d *Deque) pushLeftRun(h *Handle, vals []uint32) int {
 		if word.IsReserved(word.Val(inCpy)) || word.Val(outCpy) != word.LN {
 			break // edge moved or sealed: back to the full protocol
 		}
+		if chaos.Visit(chaos.L1) {
+			break // injected lost race: back to the full protocol
+		}
 		if !in.CompareAndSwap(inCpy, word.Bump(inCpy)) {
 			break
 		}
@@ -101,7 +118,7 @@ func (d *Deque) pushLeftRun(h *Handle, vals []uint32) int {
 		h.idxL = j
 		d.left.set(d.left.w.Load(), nd)
 	}
-	return n
+	return n, nil
 }
 
 // PopLeftN pops up to len(dst) values from the left end into dst in pop
@@ -141,7 +158,7 @@ func (d *Deque) popLeftRun(h *Handle, dst []uint32) (int, bool) {
 			if cached {
 				h.EdgeCacheHits++
 			}
-			h.bo.Reset()
+			h.noteSuccess()
 			if empty {
 				return 0, true
 			}
@@ -152,8 +169,7 @@ func (d *Deque) popLeftRun(h *Handle, dst []uint32) (int, bool) {
 		if cached {
 			h.edgeL = nil // stale cache: rerun the real oracle
 		}
-		h.Retries++
-		h.bo.Spin()
+		h.noteFailure()
 	}
 
 	// The popped datum sat at edge.slots[idx]; the next-leftmost, if any,
@@ -169,6 +185,9 @@ func (d *Deque) popLeftRun(h *Handle, dst []uint32) (int, bool) {
 		inVal := word.Val(inCpy)
 		if word.IsReserved(inVal) || word.Val(outCpy) != word.LN {
 			break // empty span, straddle, or interference: full protocol decides
+		}
+		if chaos.Visit(chaos.L2) {
+			break // injected lost race: back to the full protocol
 		}
 		if !out.CompareAndSwap(outCpy, word.Bump(outCpy)) {
 			break
@@ -194,26 +213,35 @@ func (d *Deque) popLeftRun(h *Handle, dst []uint32) (int, bool) {
 
 // PushRightN mirrors PushLeftN: elements are pushed in slice order, each
 // becoming the new rightmost, equivalent to calling PushRight per element.
-func (d *Deque) PushRightN(h *Handle, vals []uint32) error {
+// On ErrFull the already-pushed prefix stays pushed, and the returned count
+// reports how many elements landed (see PushLeftN).
+func (d *Deque) PushRightN(h *Handle, vals []uint32) (int, error) {
 	for _, v := range vals {
 		if word.IsReserved(v) {
-			return ErrReserved
+			return 0, ErrReserved
 		}
 	}
 	if d.rElim != nil {
-		for _, v := range vals {
-			d.pushRightElim(h, v)
+		for i, v := range vals {
+			if err := d.pushRightElim(h, v); err != nil {
+				return i, err
+			}
 		}
-		return nil
+		return len(vals), nil
 	}
-	for i := 0; i < len(vals); {
-		i += d.pushRightRun(h, vals[i:])
+	i := 0
+	for i < len(vals) {
+		n, err := d.pushRightRun(h, vals[i:])
+		i += n
+		if err != nil {
+			return i, err
+		}
 	}
-	return nil
+	return i, nil
 }
 
 // pushRightRun mirrors pushLeftRun.
-func (d *Deque) pushRightRun(h *Handle, vals []uint32) int {
+func (d *Deque) pushRightRun(h *Handle, vals []uint32) (int, error) {
 	var idx int
 	for {
 		e, ix, hw, cached := d.rOracleSeeded(h)
@@ -221,15 +249,17 @@ func (d *Deque) pushRightRun(h *Handle, vals []uint32) int {
 			if cached {
 				h.EdgeCacheHits++
 			}
-			h.bo.Reset()
+			h.noteSuccess()
 			idx = ix
 			break
+		}
+		if err := h.takeAllocErr(); err != nil {
+			return 0, err
 		}
 		if cached {
 			h.edgeR = nil // stale cache: rerun the real oracle
 		}
-		h.Retries++
-		h.bo.Spin()
+		h.noteFailure()
 	}
 
 	nd := h.edgeR
@@ -246,6 +276,9 @@ func (d *Deque) pushRightRun(h *Handle, vals []uint32) int {
 		if word.IsReserved(word.Val(inCpy)) || word.Val(outCpy) != word.RN {
 			break
 		}
+		if chaos.Visit(chaos.L1) {
+			break // injected lost race: back to the full protocol
+		}
 		if !in.CompareAndSwap(inCpy, word.Bump(inCpy)) {
 			break
 		}
@@ -261,7 +294,7 @@ func (d *Deque) pushRightRun(h *Handle, vals []uint32) int {
 		h.idxR = j
 		d.right.set(d.right.w.Load(), nd)
 	}
-	return n
+	return n, nil
 }
 
 // PopRightN mirrors PopLeftN for the right end.
@@ -296,7 +329,7 @@ func (d *Deque) popRightRun(h *Handle, dst []uint32) (int, bool) {
 			if cached {
 				h.EdgeCacheHits++
 			}
-			h.bo.Reset()
+			h.noteSuccess()
 			if empty {
 				return 0, true
 			}
@@ -307,8 +340,7 @@ func (d *Deque) popRightRun(h *Handle, dst []uint32) (int, bool) {
 		if cached {
 			h.edgeR = nil // stale cache: rerun the real oracle
 		}
-		h.Retries++
-		h.bo.Spin()
+		h.noteFailure()
 	}
 
 	nd := h.edgeR
@@ -322,6 +354,9 @@ func (d *Deque) popRightRun(h *Handle, dst []uint32) (int, bool) {
 		inVal := word.Val(inCpy)
 		if word.IsReserved(inVal) || word.Val(outCpy) != word.RN {
 			break
+		}
+		if chaos.Visit(chaos.L2) {
+			break // injected lost race: back to the full protocol
 		}
 		if !out.CompareAndSwap(outCpy, word.Bump(outCpy)) {
 			break

@@ -60,14 +60,14 @@ func TestBatchVsSequentialModel(t *testing.T) {
 					next++
 				}
 				if rng.Intn(2) == 0 {
-					if err := d.PushLeftN(h, buf); err != nil {
+					if _, err := d.PushLeftN(h, buf); err != nil {
 						t.Fatal(err)
 					}
 					for _, v := range buf {
 						m.pushLeft(v)
 					}
 				} else {
-					if err := d.PushRightN(h, buf); err != nil {
+					if _, err := d.PushRightN(h, buf); err != nil {
 						t.Fatal(err)
 					}
 					for _, v := range buf {
@@ -130,10 +130,10 @@ func TestBatchVsSequentialModel(t *testing.T) {
 func TestBatchReservedAndEmpty(t *testing.T) {
 	d := tiny()
 	h := d.Register()
-	if err := d.PushLeftN(h, []uint32{1, 2, word.LN}); !errors.Is(err, ErrReserved) {
+	if _, err := d.PushLeftN(h, []uint32{1, 2, word.LN}); !errors.Is(err, ErrReserved) {
 		t.Fatalf("PushLeftN with reserved = %v, want ErrReserved", err)
 	}
-	if err := d.PushRightN(h, []uint32{word.RS}); !errors.Is(err, ErrReserved) {
+	if _, err := d.PushRightN(h, []uint32{word.RS}); !errors.Is(err, ErrReserved) {
 		t.Fatalf("PushRightN with reserved = %v, want ErrReserved", err)
 	}
 	if d.Len() != 0 {
@@ -149,11 +149,11 @@ func TestBatchReservedAndEmpty(t *testing.T) {
 	if n := d.PopLeftN(h, nil); n != 0 {
 		t.Fatalf("PopLeftN(nil) = %d", n)
 	}
-	if err := d.PushLeftN(h, nil); err != nil {
+	if _, err := d.PushLeftN(h, nil); err != nil {
 		t.Fatalf("PushLeftN(nil) = %v", err)
 	}
 	// A short pop: batch larger than the deque returns what's there.
-	if err := d.PushRightN(h, []uint32{10, 11, 12}); err != nil {
+	if _, err := d.PushRightN(h, []uint32{10, 11, 12}); err != nil {
 		t.Fatal(err)
 	}
 	if n := d.PopLeftN(h, dst); n != 3 || dst[0] != 10 || dst[1] != 11 || dst[2] != 12 {
@@ -183,7 +183,7 @@ func TestBatchSPSCOrder(t *testing.T) {
 				buf = append(buf, v)
 				v++
 			}
-			if err := d.PushRightN(h, buf); err != nil {
+			if _, err := d.PushRightN(h, buf); err != nil {
 				panic(err)
 			}
 		}
@@ -240,9 +240,9 @@ func TestBatchConservationStress(t *testing.T) {
 					pushed.add(uint64(len(buf)))
 					var err error
 					if rng.Intn(2) == 0 {
-						err = d.PushLeftN(h, buf)
+						_, err = d.PushLeftN(h, buf)
 					} else {
-						err = d.PushRightN(h, buf)
+						_, err = d.PushRightN(h, buf)
 					}
 					if err != nil {
 						panic(err)

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/word"
+)
+
+// This file implements the cancellable and bounded-attempt operation
+// variants. The paper's deque is obstruction-free: an operation is only
+// guaranteed to finish in isolation, so under an adversarial schedule (or a
+// chaos schedule — see internal/chaos) the plain operations can retry
+// unboundedly. These variants bound that risk in two ways:
+//
+//   - *Ctx: between attempts the operation polls ctx.Err() and aborts with
+//     it. Cancellation is exact: a non-nil error means the operation did
+//     NOT take effect (no value pushed, no value popped).
+//
+//   - Try*: the operation runs at most `attempts` full oracle+transition
+//     cycles, then aborts with ErrContended. ErrContended means other
+//     threads kept winning races — the deque is intact, and retrying later
+//     is always legal.
+//
+// Both families take the direct (non-elimination) path even on
+// elimination-enabled deques: an advertised operation can be matched by a
+// partner at any moment, which would make "aborted" ambiguous — skipping
+// the arrays keeps the abort guarantee exact, and is always safe because
+// elimination is an optional bypass, never required for correctness.
+//
+// A cancelled or contended operation leaves the handle fully reusable; the
+// livelock watchdog's streak (Stats().ConsecFails) carries across the
+// abort, so a caller retrying in a loop still gets escalation.
+
+// PushLeftCtx is PushLeft, aborting with ctx.Err() once ctx is cancelled.
+// The context is polled before every attempt; a non-nil return other than
+// ErrReserved/ErrFull means nothing was pushed.
+func (d *Deque) PushLeftCtx(ctx context.Context, h *Handle, v uint32) error {
+	return d.pushLeftBounded(ctx, h, v, 0)
+}
+
+// PushRightCtx mirrors PushLeftCtx.
+func (d *Deque) PushRightCtx(ctx context.Context, h *Handle, v uint32) error {
+	return d.pushRightBounded(ctx, h, v, 0)
+}
+
+// PopLeftCtx is PopLeft, aborting with ctx.Err() once ctx is cancelled.
+// ok is meaningful only when err is nil; err non-nil means nothing was
+// popped.
+func (d *Deque) PopLeftCtx(ctx context.Context, h *Handle) (v uint32, ok bool, err error) {
+	return d.popLeftBounded(ctx, h, 0)
+}
+
+// PopRightCtx mirrors PopLeftCtx.
+func (d *Deque) PopRightCtx(ctx context.Context, h *Handle) (v uint32, ok bool, err error) {
+	return d.popRightBounded(ctx, h, 0)
+}
+
+// TryPushLeft is PushLeft bounded to at most attempts oracle+transition
+// cycles (minimum 1), returning ErrContended when the budget is spent
+// without completing.
+func (d *Deque) TryPushLeft(h *Handle, v uint32, attempts int) error {
+	return d.pushLeftBounded(nil, h, v, max1(attempts))
+}
+
+// TryPushRight mirrors TryPushLeft.
+func (d *Deque) TryPushRight(h *Handle, v uint32, attempts int) error {
+	return d.pushRightBounded(nil, h, v, max1(attempts))
+}
+
+// TryPopLeft is PopLeft bounded to at most attempts cycles; err is
+// ErrContended when the budget is spent. ok is meaningful only when err is
+// nil.
+func (d *Deque) TryPopLeft(h *Handle, attempts int) (v uint32, ok bool, err error) {
+	return d.popLeftBounded(nil, h, max1(attempts))
+}
+
+// TryPopRight mirrors TryPopLeft.
+func (d *Deque) TryPopRight(h *Handle, attempts int) (v uint32, ok bool, err error) {
+	return d.popRightBounded(nil, h, max1(attempts))
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// checkAbort applies the two abort conditions shared by every bounded
+// variant: context cancellation (polled between attempts) and the attempt
+// budget (0 = unlimited; n attempts already ran).
+func checkAbort(ctx context.Context, attempts, n int) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if attempts > 0 && n >= attempts {
+		return ErrContended
+	}
+	return nil
+}
+
+func (d *Deque) pushLeftBounded(ctx context.Context, h *Handle, v uint32, attempts int) error {
+	if word.IsReserved(v) {
+		return ErrReserved
+	}
+	for n := 0; ; n++ {
+		if err := checkAbort(ctx, attempts, n); err != nil {
+			return err
+		}
+		edge, idx, hintW, cached := d.lOracleSeeded(h)
+		if d.pushLeftTransitions(h, v, edge, idx, hintW) {
+			if cached {
+				h.EdgeCacheHits++
+			}
+			h.noteSuccess()
+			return nil
+		}
+		if err := h.takeAllocErr(); err != nil {
+			return err
+		}
+		if cached {
+			h.edgeL = nil
+		}
+		h.noteFailure()
+	}
+}
+
+func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attempts int) error {
+	if word.IsReserved(v) {
+		return ErrReserved
+	}
+	for n := 0; ; n++ {
+		if err := checkAbort(ctx, attempts, n); err != nil {
+			return err
+		}
+		edge, idx, hintW, cached := d.rOracleSeeded(h)
+		if d.pushRightTransitions(h, v, edge, idx, hintW) {
+			if cached {
+				h.EdgeCacheHits++
+			}
+			h.noteSuccess()
+			return nil
+		}
+		if err := h.takeAllocErr(); err != nil {
+			return err
+		}
+		if cached {
+			h.edgeR = nil
+		}
+		h.noteFailure()
+	}
+}
+
+func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (uint32, bool, error) {
+	for n := 0; ; n++ {
+		if err := checkAbort(ctx, attempts, n); err != nil {
+			return 0, false, err
+		}
+		edge, idx, hintW, cached := d.lOracleSeeded(h)
+		if v, empty, done := d.popLeftTransitions(h, edge, idx, hintW); done {
+			if cached {
+				h.EdgeCacheHits++
+			}
+			h.noteSuccess()
+			return v, !empty, nil
+		}
+		if cached {
+			h.edgeL = nil
+		}
+		h.noteFailure()
+	}
+}
+
+func (d *Deque) popRightBounded(ctx context.Context, h *Handle, attempts int) (uint32, bool, error) {
+	for n := 0; ; n++ {
+		if err := checkAbort(ctx, attempts, n); err != nil {
+			return 0, false, err
+		}
+		edge, idx, hintW, cached := d.rOracleSeeded(h)
+		if v, empty, done := d.popRightTransitions(h, edge, idx, hintW); done {
+			if cached {
+				h.EdgeCacheHits++
+			}
+			h.noteSuccess()
+			return v, !empty, nil
+		}
+		if cached {
+			h.edgeR = nil
+		}
+		h.noteFailure()
+	}
+}

@@ -61,6 +61,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/backoff"
+	"repro/internal/chaos"
 	"repro/internal/elim"
 	"repro/internal/pad"
 	"repro/internal/word"
@@ -68,6 +69,21 @@ import (
 
 // ErrReserved is returned by pushes of the four reserved slot values.
 var ErrReserved = errors.New("core: value is reserved")
+
+// ErrFull is returned by pushes that needed to append a node when the node
+// registry's ID space is exhausted (Config.RegistryLimit). IDs are never
+// recycled, so the condition is permanent for this deque: pops and interior
+// pushes keep working, but the deque can no longer grow past its current
+// chain. Callers that want to bound growth should treat ErrFull as a
+// backpressure signal, not a fatal fault.
+var ErrFull = errors.New("core: node registry exhausted")
+
+// ErrContended is returned by the bounded-attempt Try* operations when the
+// attempt budget was spent without completing — the obstruction-free
+// algorithm's way of reporting "other threads kept winning". The deque is
+// unchanged; retrying later (or falling back to the unbounded variants) is
+// always safe.
+var ErrContended = errors.New("core: attempt budget exhausted")
 
 // Default configuration values.
 const (
@@ -132,6 +148,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RegistryLimit == 0 {
 		c.RegistryLimit = DefaultRegistryLimit
+	}
+	// Node IDs travel through 32-bit link slots whose top four values are
+	// reserved markers; clamp the limit so an ID can never collide.
+	if c.RegistryLimit > word.MaxValue+1 {
+		c.RegistryLimit = word.MaxValue + 1
 	}
 	if c.ElimSpins == 0 {
 		c.ElimSpins = 128
@@ -213,8 +234,13 @@ func (s *sideHint) get() (*node, uint64) {
 }
 
 // set installs n as the hint if the hint word still equals old, returning
-// the now-current word (transition H).
+// the now-current word (transition H). A forced chaos failure models losing
+// the CAS to a concurrent publisher — always harmless, since hints are
+// advisory and every transition re-validates.
 func (s *sideHint) set(old uint64, n *node) uint64 {
+	if chaos.Visit(chaos.H) {
+		return s.w.Load()
+	}
 	nw := word.With(old, n.id)
 	if s.w.CompareAndSwap(old, nw) {
 		s.nd.Store(n)
@@ -252,8 +278,19 @@ func New(cfg Config) *Deque {
 }
 
 // newNode allocates and registers a node whose first split slots hold LN
-// and the rest RN (Fig. 5 lines 27-35).
+// and the rest RN (Fig. 5 lines 27-35). It panics on registry exhaustion;
+// only the constructor uses it (the first allocation cannot fail).
 func (d *Deque) newNode(split int) *node {
+	n, err := d.newNodeTry(split)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return n
+}
+
+// newNodeTry is newNode reporting registry exhaustion as ErrFull instead of
+// panicking — the push paths' graceful-degradation route.
+func (d *Deque) newNodeTry(split int) (*node, error) {
 	n := &node{slots: make([]atomic.Uint64, d.sz)}
 	for i := 0; i < split; i++ {
 		n.slots[i].Store(word.Pack(word.LN, 0))
@@ -263,11 +300,17 @@ func (d *Deque) newNode(split int) *node {
 	}
 	n.leftSlotHint.Store(int64(clamp(split-1, 1, d.sz-1)))
 	n.rightSlotHint.Store(int64(clamp(split, 0, d.sz-2)))
-	n.id = d.reg.Alloc(n)
+	id, err := d.reg.TryAlloc(n)
+	if err != nil {
+		return nil, ErrFull
+	}
+	n.id = id
 	if n.id > word.MaxValue {
+		// Unreachable: withDefaults clamps RegistryLimit below the
+		// reserved range.
 		panic("core: node ID collides with reserved slot values")
 	}
-	return n
+	return n, nil
 }
 
 func clamp(v, lo, hi int) int {
@@ -369,6 +412,24 @@ type Handle struct {
 	// detector's scheduler), where we observed convoy collapse without it.
 	bo backoff.Backoff
 
+	// allocErr carries a node-allocation failure (ErrFull) out of a
+	// transition attempt: transitions report plain success/failure, so a
+	// boundary push that cannot append parks the error here and fails the
+	// attempt; the operation loop checks it before retrying. Cleared on
+	// read.
+	allocErr error
+
+	// consecFails is the livelock watchdog: consecutive failed transition
+	// attempts since the last success, across operations. Obstruction
+	// freedom means a long failure streak is always caused by interference
+	// (or a chaos schedule); each watchdogThreshold-long streak escalates
+	// the backoff to its maximum window and yields the processor, which
+	// breaks the symmetric-retry convoys that pure exponential backoff is
+	// slow to escape. ConsecFailsPeak and LivelockEscalations feed Stats.
+	consecFails         uint64
+	ConsecFailsPeak     uint64
+	LivelockEscalations uint64
+
 	// Appends and Removes count structural transitions performed through
 	// this handle; Eliminated counts operations completed by elimination;
 	// Retries counts failed attempts (stale oracle answers or lost CAS
@@ -394,18 +455,67 @@ type Stats struct {
 	Eliminated    uint64
 	Retries       uint64
 	EdgeCacheHits uint64
+	// ConsecFails is the current run of consecutive failed transition
+	// attempts (0 right after any success); ConsecFailsPeak is the worst
+	// run ever observed. A large peak means this handle sat in a
+	// contention convoy or under an adversarial schedule.
+	ConsecFails     uint64
+	ConsecFailsPeak uint64
+	// LivelockEscalations counts watchdog trips: every watchdogThreshold
+	// consecutive failures the handle escalated its backoff and yielded.
+	LivelockEscalations uint64
 }
 
 // Stats returns a snapshot of the handle's counters. Like every Handle
 // method it must be called from the handle's own goroutine.
 func (h *Handle) Stats() Stats {
 	return Stats{
-		Appends:       h.Appends,
-		Removes:       h.Removes,
-		Eliminated:    h.Eliminated,
-		Retries:       h.Retries,
-		EdgeCacheHits: h.EdgeCacheHits,
+		Appends:             h.Appends,
+		Removes:             h.Removes,
+		Eliminated:          h.Eliminated,
+		Retries:             h.Retries,
+		EdgeCacheHits:       h.EdgeCacheHits,
+		ConsecFails:         h.consecFails,
+		ConsecFailsPeak:     h.ConsecFailsPeak,
+		LivelockEscalations: h.LivelockEscalations,
 	}
+}
+
+// watchdogThreshold is the consecutive-failure streak that trips the
+// livelock watchdog. At the default backoff bounds a streak this long has
+// already spun through the full exponential range several times, so the
+// handle is either convoyed or being actively interfered with; escalation
+// (max window + a scheduler yield) is the cheap, always-safe response.
+const watchdogThreshold = 256
+
+// noteFailure records a failed transition attempt: retry accounting, the
+// livelock watchdog, and one backoff step. Call exactly once per failed
+// oracle+transition cycle.
+func (h *Handle) noteFailure() {
+	h.Retries++
+	h.consecFails++
+	if h.consecFails > h.ConsecFailsPeak {
+		h.ConsecFailsPeak = h.consecFails
+	}
+	if h.consecFails%watchdogThreshold == 0 {
+		h.LivelockEscalations++
+		h.bo.Escalate()
+	}
+	h.bo.Spin()
+}
+
+// noteSuccess resets the watchdog streak and the backoff window after a
+// completed operation.
+func (h *Handle) noteSuccess() {
+	h.consecFails = 0
+	h.bo.Reset()
+}
+
+// takeAllocErr returns and clears a pending allocation failure.
+func (h *Handle) takeAllocErr() error {
+	err := h.allocErr
+	h.allocErr = nil
+	return err
 }
 
 // hintPublishInterval is how many interior transitions a handle completes

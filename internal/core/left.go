@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/elim"
 	"repro/internal/word"
 )
@@ -8,15 +9,15 @@ import (
 // This file implements push_left (Fig. 6) and pop_left (Fig. 12), plus their
 // elimination-wrapped variants (Fig. 13). right.go mirrors every function.
 
-// PushLeft inserts v at the left end. The only possible error is
-// ErrReserved; the deque is unbounded.
+// PushLeft inserts v at the left end. Errors: ErrReserved for the four
+// reserved slot values, ErrFull when growing the chain is impossible
+// because the node registry is exhausted.
 func (d *Deque) PushLeft(h *Handle, v uint32) error {
 	if word.IsReserved(v) {
 		return ErrReserved
 	}
 	if d.lElim != nil {
-		d.pushLeftElim(h, v)
-		return nil
+		return d.pushLeftElim(h, v)
 	}
 	for {
 		edge, idx, hintW, cached := d.lOracleSeeded(h)
@@ -24,14 +25,16 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 			if cached {
 				h.EdgeCacheHits++
 			}
-			h.bo.Reset()
+			h.noteSuccess()
 			return nil
+		}
+		if err := h.takeAllocErr(); err != nil {
+			return err
 		}
 		if cached {
 			h.edgeL = nil // cache was stale: next attempt runs the real oracle
 		}
-		h.Retries++
-		h.bo.Spin()
+		h.noteFailure()
 	}
 }
 
@@ -47,14 +50,13 @@ func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 			if cached {
 				h.EdgeCacheHits++
 			}
-			h.bo.Reset()
+			h.noteSuccess()
 			return v, !empty
 		}
 		if cached {
 			h.edgeL = nil
 		}
-		h.Retries++
-		h.bo.Spin()
+		h.noteFailure()
 	}
 }
 
@@ -63,18 +65,24 @@ func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 // (Fig. 6 lines 102-104) — reusing the handle's cached left spare when an
 // earlier append lost its race. Counters restart at 0: the node is
 // unpublished, so no other thread holds stale copies of its slots.
-func (h *Handle) spareLeft(v uint32, edge *node) *node {
+// ok=false means the registry is exhausted; h.allocErr holds ErrFull.
+func (h *Handle) spareLeft(v uint32, edge *node) (*node, bool) {
 	d := h.d
 	n := h.spareL
 	if n == nil {
-		n = d.newNode(d.sz) // all LN
+		nn, err := d.newNodeTry(d.sz) // all LN
+		if err != nil {
+			h.allocErr = err
+			return nil, false
+		}
+		n = nn
 		h.spareL = n
 	}
 	n.slots[d.sz-2].Store(word.Pack(v, 0))
 	n.slots[d.sz-1].Store(word.Pack(edge.id, 0))
 	n.leftSlotHint.Store(int64(d.sz - 2))
 	n.rightSlotHint.Store(int64(d.sz - 2))
-	return n
+	return n, true
 }
 
 // pushLeftTransitions runs one push attempt against the edge the oracle
@@ -106,6 +114,9 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 
 	// Interior push, transition L1 (lines 90-95).
 	if idx != 1 {
+		if chaos.Visit(chaos.L1) {
+			return false
+		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, v)) {
 			h.edgeL = edge
@@ -123,7 +134,10 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 			// stale view.
 			return false
 		}
-		nw := h.spareLeft(v, edge)
+		nw, ok := h.spareLeft(v, edge)
+		if !ok || chaos.Visit(chaos.L6) {
+			return false
+		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, nw.id)) {
 			h.spareL = nil
@@ -150,6 +164,9 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 	switch word.Val(farCpy) {
 	case word.LN:
 		// Straddling push, transition L3 (lines 123-127).
+		if chaos.Visit(chaos.L3) {
+			return false
+		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			far.CompareAndSwap(farCpy, word.With(farCpy, v)) {
 			outNd.leftSlotHint.Store(int64(sz - 2))
@@ -161,6 +178,9 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 	case word.LS:
 		// Remove the sealed left neighbor, transition L7 (lines 130-136),
 		// then retry the push from scratch.
+		if chaos.Visit(chaos.L7) {
+			return false
+		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, word.LN)) {
 			h.Removes++
@@ -202,11 +222,18 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 			// E1: out was LN (validated above) and in re-reads unchanged;
 			// the adjacent (LN, RN) pair proves the span was empty when
 			// out was read — that read is EMPTY's linearization point.
+			// A forced chaos failure models the re-read observing change.
+			if chaos.Visit(chaos.E1) {
+				return 0, false, false
+			}
 			if in.Load() == inCpy {
 				h.edgeL = edge
 				h.idxL = idx
 				return 0, true, true
 			}
+			return 0, false, false
+		}
+		if chaos.Visit(chaos.L2) {
 			return 0, false, false
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
@@ -239,15 +266,26 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 		}
 
 		if word.Val(farCpy) == word.LN {
-			// Straddling empty check E2 (lines 193-196).
-			if (inVal == word.RN || inVal == word.RS) && in.Load() == inCpy {
-				h.edgeL = edge
-				h.idxL = idx
-				return 0, true, true
+			// Straddling empty check E2 (lines 193-196). A forced failure
+			// must retry from the oracle, not fall through: the natural
+			// fall-through is only safe because a changed in-slot makes the
+			// seal CAS below fail, and with in unchanged a fall-through seal
+			// under in == RS would create two sealed nodes pointing at each
+			// other — the exact state this check exists to prevent.
+			if inVal == word.RN || inVal == word.RS {
+				if chaos.Visit(chaos.E2) {
+					return 0, false, false
+				}
+				if in.Load() == inCpy {
+					h.edgeL = edge
+					h.idxL = idx
+					return 0, true, true
+				}
 			}
 			// Seal the left neighbor, transition L5 (lines 197-201); on
 			// success, continue the progression with refreshed copies.
-			if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			if !chaos.Visit(chaos.L5) &&
+				in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 				far.CompareAndSwap(farCpy, word.With(farCpy, word.LS)) {
 				farCpy = word.With(farCpy, word.LS)
 				inCpy = word.Bump(inCpy)
@@ -261,12 +299,20 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 			// check returning EMPTY here is what prevents two sealed
 			// nodes from ever pointing at each other.
 			iv := word.Val(inCpy)
-			if (iv == word.RN || iv == word.RS) && in.Load() == inCpy {
-				h.edgeL = edge
-				h.idxL = idx
-				return 0, true, true
+			if iv == word.RN || iv == word.RS {
+				if chaos.Visit(chaos.E2) {
+					return 0, false, false
+				}
+				if in.Load() == inCpy {
+					h.edgeL = edge
+					h.idxL = idx
+					return 0, true, true
+				}
 			}
 			// Remove the sealed neighbor, transition L7 (lines 208-216).
+			if chaos.Visit(chaos.L7) {
+				return 0, false, false
+			}
 			if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 				out.CompareAndSwap(outCpy, word.With(outCpy, word.LN)) {
 				h.Removes++
@@ -289,6 +335,9 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 		if inVal == word.RN || inVal == word.RS {
 			// RS at a boundary means the right side certified the deque
 			// empty and is mid-removal; EMPTY is correct if stable.
+			if chaos.Visit(chaos.E3) {
+				return 0, false, false
+			}
 			if in.Load() == inCpy {
 				h.edgeL = edge
 				h.idxL = idx
@@ -298,6 +347,9 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 		}
 		if word.IsReserved(inVal) {
 			return 0, false, false // seals are never popped
+		}
+		if chaos.Visit(chaos.L4) {
+			return 0, false, false
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
 			in.CompareAndSwap(inCpy, word.With(inCpy, word.LN)) {
@@ -329,11 +381,13 @@ func (d *Deque) refreshLeftHint() {
 
 // pushLeftElim is push_left wrapped in the Fig. 13 elimination protocol:
 // advertise, oracle, withdraw (possibly already matched), try the deque,
-// scan on failure, re-advertise.
-func (d *Deque) pushLeftElim(h *Handle, v uint32) {
+// scan on failure, re-advertise. Registry exhaustion surfaces as ErrFull;
+// the advert is always withdrawn by the loop-top Remove before the error
+// path can be taken, so no orphaned advert survives the return.
+func (d *Deque) pushLeftElim(h *Handle, v uint32) error {
 	if d.cfg.ElimPlacement == ElimOnCriticalPath {
 		if d.elimFirst(h, d.lElim, elim.Push, v) {
-			return
+			return nil
 		}
 	}
 	d.lElim.Insert(h.tid, elim.Push, v)
@@ -341,18 +395,24 @@ func (d *Deque) pushLeftElim(h *Handle, v uint32) {
 		edge, idx, hintW := d.lOracle()
 		if _, eliminated := d.lElim.Remove(h.tid); eliminated {
 			h.Eliminated++
-			return
+			h.noteSuccess()
+			return nil
 		}
 		if d.pushLeftTransitions(h, v, edge, idx, hintW) {
-			return
+			h.noteSuccess()
+			return nil
+		}
+		if err := h.takeAllocErr(); err != nil {
+			return err
 		}
 		// Contention on the deque: hunt for a partner (lines 269-273).
 		if _, ok := d.lElim.Scan(h.tid, elim.Push, v); ok {
 			h.Eliminated++
-			return
+			h.noteSuccess()
+			return nil
 		}
 		d.lElim.Insert(h.tid, elim.Push, v)
-		h.bo.Spin()
+		h.noteFailure()
 	}
 }
 
@@ -368,17 +428,20 @@ func (d *Deque) popLeftElim(h *Handle) (uint32, bool) {
 		edge, idx, hintW := d.lOracle()
 		if v, eliminated := d.lElim.Remove(h.tid); eliminated {
 			h.Eliminated++
+			h.noteSuccess()
 			return v, true
 		}
 		if v, empty, done := d.popLeftTransitions(h, edge, idx, hintW); done {
+			h.noteSuccess()
 			return v, !empty
 		}
 		if v, ok := d.lElim.Scan(h.tid, elim.Pop, 0); ok {
 			h.Eliminated++
+			h.noteSuccess()
 			return v, true
 		}
 		d.lElim.Insert(h.tid, elim.Pop, 0)
-		h.bo.Spin()
+		h.noteFailure()
 	}
 }
 

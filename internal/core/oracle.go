@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/word"
 )
 
@@ -142,7 +143,8 @@ func (d *Deque) lOracle() (*node, int, uint64) {
 // completion.
 func (d *Deque) lOracleSeeded(h *Handle) (edge *node, idx int, hintW uint64, cached bool) {
 	if c := h.edgeL; c != nil && !d.cfg.NoEdgeCache &&
-		h.idxL >= 1 && h.idxL <= d.sz-1 && d.resolve(c.id) == c {
+		h.idxL >= 1 && h.idxL <= d.sz-1 && d.resolve(c.id) == c &&
+		!chaos.Visit(chaos.EdgeCache) {
 		return c, h.idxL, d.left.w.Load(), true
 	}
 	edge, idx, hintW = d.lOracle()
@@ -155,6 +157,11 @@ func (d *Deque) lOracleWalk(nd *node, hintW uint64) (*node, int, bool) {
 	sz := d.sz
 walk:
 	for hops := 0; hops <= maxOracleHops; hops++ {
+		// A forced chaos failure aborts the walk as if the hop budget ran
+		// out: the oracle restarts from a fresh global hint.
+		if chaos.Visit(chaos.Oracle) {
+			break walk
+		}
 		idx := d.scanLeft(nd)
 		v := word.Val(nd.slots[idx].Load())
 		switch {
@@ -249,7 +256,8 @@ func (d *Deque) rOracle() (*node, int, uint64) {
 // rOracleSeeded mirrors lOracleSeeded for the right edge.
 func (d *Deque) rOracleSeeded(h *Handle) (edge *node, idx int, hintW uint64, cached bool) {
 	if c := h.edgeR; c != nil && !d.cfg.NoEdgeCache &&
-		h.idxR >= 0 && h.idxR <= d.sz-2 && d.resolve(c.id) == c {
+		h.idxR >= 0 && h.idxR <= d.sz-2 && d.resolve(c.id) == c &&
+		!chaos.Visit(chaos.EdgeCache) {
 		return c, h.idxR, d.right.w.Load(), true
 	}
 	edge, idx, hintW = d.rOracle()
@@ -261,6 +269,9 @@ func (d *Deque) rOracleWalk(nd *node, hintW uint64) (*node, int, bool) {
 	sz := d.sz
 walk:
 	for hops := 0; hops <= maxOracleHops; hops++ {
+		if chaos.Visit(chaos.Oracle) {
+			break walk
+		}
 		idx := d.scanRight(nd)
 		v := word.Val(nd.slots[idx].Load())
 		switch {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/elim"
 	"repro/internal/word"
 )
@@ -9,15 +10,15 @@ import (
 // and 12 captions). The mirror swaps LN↔RN and LS↔RS, reflects indices
 // (1 ↔ sz-2, 0 ↔ sz-1, idx-1 ↔ idx+1), and swaps the hint sides.
 
-// PushRight inserts v at the right end. The only possible error is
-// ErrReserved; the deque is unbounded.
+// PushRight inserts v at the right end. Errors: ErrReserved for the four
+// reserved slot values, ErrFull when growing the chain is impossible
+// because the node registry is exhausted.
 func (d *Deque) PushRight(h *Handle, v uint32) error {
 	if word.IsReserved(v) {
 		return ErrReserved
 	}
 	if d.rElim != nil {
-		d.pushRightElim(h, v)
-		return nil
+		return d.pushRightElim(h, v)
 	}
 	for {
 		edge, idx, hintW, cached := d.rOracleSeeded(h)
@@ -25,14 +26,16 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 			if cached {
 				h.EdgeCacheHits++
 			}
-			h.bo.Reset()
+			h.noteSuccess()
 			return nil
+		}
+		if err := h.takeAllocErr(); err != nil {
+			return err
 		}
 		if cached {
 			h.edgeR = nil // cache was stale: next attempt runs the real oracle
 		}
-		h.Retries++
-		h.bo.Spin()
+		h.noteFailure()
 	}
 }
 
@@ -48,31 +51,36 @@ func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
 			if cached {
 				h.EdgeCacheHits++
 			}
-			h.bo.Reset()
+			h.noteSuccess()
 			return v, !empty
 		}
 		if cached {
 			h.edgeR = nil
 		}
-		h.Retries++
-		h.bo.Spin()
+		h.noteFailure()
 	}
 }
 
 // spareRight returns a node shaped for a right append — every slot RN, the
 // new datum in the innermost data slot, the left link aimed back at edge.
-func (h *Handle) spareRight(v uint32, edge *node) *node {
+// ok=false means the registry is exhausted; h.allocErr holds ErrFull.
+func (h *Handle) spareRight(v uint32, edge *node) (*node, bool) {
 	d := h.d
 	n := h.spareR
 	if n == nil {
-		n = d.newNode(0) // all RN
+		nn, err := d.newNodeTry(0) // all RN
+		if err != nil {
+			h.allocErr = err
+			return nil, false
+		}
+		n = nn
 		h.spareR = n
 	}
 	n.slots[1].Store(word.Pack(v, 0))
 	n.slots[0].Store(word.Pack(edge.id, 0))
 	n.leftSlotHint.Store(1)
 	n.rightSlotHint.Store(1)
-	return n
+	return n, true
 }
 
 // pushRightTransitions runs one push attempt against the oracle's edge.
@@ -96,6 +104,9 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 
 	// Interior push, transition L1.
 	if idx != sz-2 {
+		if chaos.Visit(chaos.L1) {
+			return false
+		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, v)) {
 			h.edgeR = edge
@@ -111,7 +122,10 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 		if inVal == word.LS {
 			return false // stale: a left-sealed node with no right neighbor
 		}
-		nw := h.spareRight(v, edge)
+		nw, ok := h.spareRight(v, edge)
+		if !ok || chaos.Visit(chaos.L6) {
+			return false
+		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, nw.id)) {
 			h.spareR = nil
@@ -138,6 +152,9 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 	switch word.Val(farCpy) {
 	case word.RN:
 		// Straddling push, transition L3.
+		if chaos.Visit(chaos.L3) {
+			return false
+		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			far.CompareAndSwap(farCpy, word.With(farCpy, v)) {
 			outNd.rightSlotHint.Store(1)
@@ -148,6 +165,9 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 		}
 	case word.RS:
 		// Remove the sealed right neighbor, transition L7.
+		if chaos.Visit(chaos.L7) {
+			return false
+		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, word.RN)) {
 			h.Removes++
@@ -182,11 +202,17 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 	// Interior edge: empty check E1 or interior pop L2.
 	if idx != sz-2 {
 		if inVal == word.LN {
+			if chaos.Visit(chaos.E1) {
+				return 0, false, false
+			}
 			if in.Load() == inCpy {
 				h.edgeR = edge
 				h.idxR = idx
 				return 0, true, true
 			}
+			return 0, false, false
+		}
+		if chaos.Visit(chaos.L2) {
 			return 0, false, false
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
@@ -216,14 +242,25 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 		}
 
 		if word.Val(farCpy) == word.RN {
-			// Straddling empty check E2.
-			if (inVal == word.LN || inVal == word.LS) && in.Load() == inCpy {
-				h.edgeR = edge
-				h.idxR = idx
-				return 0, true, true
+			// Straddling empty check E2. A forced failure must retry from the
+			// oracle, not fall through: the natural fall-through is only safe
+			// because a changed in-slot makes the seal CAS below fail, and
+			// with in unchanged a fall-through seal under in == LS would
+			// create two sealed nodes pointing at each other — the exact
+			// state this check exists to prevent.
+			if inVal == word.LN || inVal == word.LS {
+				if chaos.Visit(chaos.E2) {
+					return 0, false, false
+				}
+				if in.Load() == inCpy {
+					h.edgeR = edge
+					h.idxR = idx
+					return 0, true, true
+				}
 			}
 			// Seal the right neighbor, transition L5.
-			if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			if !chaos.Visit(chaos.L5) &&
+				in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 				far.CompareAndSwap(farCpy, word.With(farCpy, word.RS)) {
 				farCpy = word.With(farCpy, word.RS)
 				inCpy = word.Bump(inCpy)
@@ -232,14 +269,23 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 
 		if word.Val(farCpy) == word.RS {
 			// Straddling empty check on a sealed neighbor (LS also
-			// certifies emptiness; see left.go).
+			// certifies emptiness; see left.go). Same forced-failure rule as
+			// above: retry, never fall through with in unchanged.
 			iv := word.Val(inCpy)
-			if (iv == word.LN || iv == word.LS) && in.Load() == inCpy {
-				h.edgeR = edge
-				h.idxR = idx
-				return 0, true, true
+			if iv == word.LN || iv == word.LS {
+				if chaos.Visit(chaos.E2) {
+					return 0, false, false
+				}
+				if in.Load() == inCpy {
+					h.edgeR = edge
+					h.idxR = idx
+					return 0, true, true
+				}
 			}
 			// Remove the sealed neighbor, transition L7.
+			if chaos.Visit(chaos.L7) {
+				return 0, false, false
+			}
 			if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 				out.CompareAndSwap(outCpy, word.With(outCpy, word.RN)) {
 				h.Removes++
@@ -260,6 +306,9 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 	if outVal == word.RN {
 		inVal = word.Val(inCpy)
 		if inVal == word.LN || inVal == word.LS {
+			if chaos.Visit(chaos.E3) {
+				return 0, false, false
+			}
 			if in.Load() == inCpy {
 				h.edgeR = edge
 				h.idxR = idx
@@ -269,6 +318,9 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 		}
 		if word.IsReserved(inVal) {
 			return 0, false, false // seals are never popped
+		}
+		if chaos.Visit(chaos.L4) {
+			return 0, false, false
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
 			in.CompareAndSwap(inCpy, word.With(inCpy, word.RN)) {
@@ -282,10 +334,11 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 }
 
 // pushRightElim is push_right wrapped in the Fig. 13 elimination protocol.
-func (d *Deque) pushRightElim(h *Handle, v uint32) {
+// Registry exhaustion surfaces as ErrFull (see pushLeftElim).
+func (d *Deque) pushRightElim(h *Handle, v uint32) error {
 	if d.cfg.ElimPlacement == ElimOnCriticalPath {
 		if d.elimFirst(h, d.rElim, elim.Push, v) {
-			return
+			return nil
 		}
 	}
 	d.rElim.Insert(h.tid, elim.Push, v)
@@ -293,17 +346,23 @@ func (d *Deque) pushRightElim(h *Handle, v uint32) {
 		edge, idx, hintW := d.rOracle()
 		if _, eliminated := d.rElim.Remove(h.tid); eliminated {
 			h.Eliminated++
-			return
+			h.noteSuccess()
+			return nil
 		}
 		if d.pushRightTransitions(h, v, edge, idx, hintW) {
-			return
+			h.noteSuccess()
+			return nil
+		}
+		if err := h.takeAllocErr(); err != nil {
+			return err
 		}
 		if _, ok := d.rElim.Scan(h.tid, elim.Push, v); ok {
 			h.Eliminated++
-			return
+			h.noteSuccess()
+			return nil
 		}
 		d.rElim.Insert(h.tid, elim.Push, v)
-		h.bo.Spin()
+		h.noteFailure()
 	}
 }
 
@@ -319,16 +378,19 @@ func (d *Deque) popRightElim(h *Handle) (uint32, bool) {
 		edge, idx, hintW := d.rOracle()
 		if v, eliminated := d.rElim.Remove(h.tid); eliminated {
 			h.Eliminated++
+			h.noteSuccess()
 			return v, true
 		}
 		if v, empty, done := d.popRightTransitions(h, edge, idx, hintW); done {
+			h.noteSuccess()
 			return v, !empty
 		}
 		if v, ok := d.rElim.Scan(h.tid, elim.Pop, 0); ok {
 			h.Eliminated++
+			h.noteSuccess()
 			return v, true
 		}
 		d.rElim.Insert(h.tid, elim.Pop, 0)
-		h.bo.Spin()
+		h.noteFailure()
 	}
 }

@@ -17,4 +17,13 @@ go test ./... -count=1
 echo "== go test -race -short (core, arena, root) =="
 go test -race -short -count=1 ./internal/core/ ./internal/arena/ .
 
+echo "== go vet (chaos build) =="
+go vet -tags chaos ./...
+
+echo "== go test -tags chaos (fault-injection suites) =="
+go test -tags chaos -count=1 ./internal/chaos/ ./internal/chaostest/ ./internal/core/
+
+echo "== go test -tags chaos -race -short (chaostest) =="
+go test -tags chaos -race -short -count=1 ./internal/chaostest/
+
 echo "verify: all gates green"

@@ -34,8 +34,9 @@ type StackHandle[T any] struct {
 	h *Handle[T]
 }
 
-// Push adds v to the top of the stack.
-func (h *StackHandle[T]) Push(v T) { h.h.PushLeft(v) }
+// Push adds v to the top of the stack; ErrFull (nothing pushed) when the
+// backing deque's capacity is exhausted.
+func (h *StackHandle[T]) Push(v T) error { return h.h.PushLeft(v) }
 
 // Pop removes and returns the most recently pushed value; ok is false when
 // the stack is empty.
@@ -65,8 +66,9 @@ type QueueHandle[T any] struct {
 	h *Handle[T]
 }
 
-// Enqueue adds v at the back of the queue.
-func (h *QueueHandle[T]) Enqueue(v T) { h.h.PushLeft(v) }
+// Enqueue adds v at the back of the queue; ErrFull (nothing enqueued) when
+// the backing deque's capacity is exhausted.
+func (h *QueueHandle[T]) Enqueue(v T) error { return h.h.PushLeft(v) }
 
 // Dequeue removes and returns the oldest value; ok is false when the queue
 // is empty.
