@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/contbench"
+	"repro/internal/obs"
 )
 
 // run is one sweep's numbers, keyed by goroutine count.
@@ -27,6 +28,10 @@ type run struct {
 	OpsPerSec  map[string]float64 `json:"ops_per_sec"`
 	RelStddev  map[string]float64 `json:"rel_stddev"`
 	TrialsUsed int                `json:"trials"`
+	// Metrics/Derived report the observability layer's transition mix per
+	// goroutine count (summed over trials); present only with -metrics.
+	Metrics map[string]obs.Metrics `json:"metrics,omitempty"`
+	Derived map[string]obs.Derived `json:"derived,omitempty"`
 }
 
 type report struct {
@@ -55,6 +60,7 @@ func main() {
 		baselineFile = flag.String("baseline-file", "", "JSON file with a measured pre-PR baseline run to embed instead of the in-binary legacy mode")
 		baselineOnly = flag.Bool("baseline-only", false, "measure only the current tree's single-op sweep and write it as a baseline run file")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
+		metricsFlag  = flag.Bool("metrics", false, "record the transition mix (observability counters) per sweep point")
 	)
 	flag.Parse()
 
@@ -103,6 +109,17 @@ func main() {
 			r.RelStddev[key] = res.Summary.RelStddev()
 			fmt.Fprintf(os.Stderr, "  %-24s t=%-3d %14.0f ops/s (±%.1f%%)\n",
 				label, t, res.Throughput(), 100*res.Summary.RelStddev())
+			if *metricsFlag {
+				if r.Metrics == nil {
+					r.Metrics = map[string]obs.Metrics{}
+					r.Derived = map[string]obs.Derived{}
+				}
+				d := res.Metrics.Derive()
+				r.Metrics[key] = res.Metrics
+				r.Derived[key] = d
+				fmt.Fprintf(os.Stderr, "  %-24s t=%-3d straddle=%.4f casfail=%.4f hops/op=%.4f cachehit=%.4f\n",
+					"", t, d.StraddleRatio, d.CASFailureRatio, d.MeanOracleHops, d.EdgeCacheHitRate)
+			}
 		}
 		return r
 	}

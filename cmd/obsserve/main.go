@@ -1,0 +1,131 @@
+// Command obsserve runs a continuous mixed workload against the deque and
+// serves its observability surface over HTTP — a worked example of wiring
+// the metrics layer into a service, and a handy way to watch the transition
+// mix evolve live.
+//
+// Endpoints:
+//
+//	/metrics     Prometheus text exposition of a fresh Metrics snapshot
+//	/trace       JSON dump of the sampled-op ring (WithTracing)
+//	/debug/vars  expvar, including the deque under "deque" (PublishExpvar)
+//	/debug/pprof pprof handlers; workers carry deque_op/deque_worker labels
+//
+// Example:
+//
+//	obsserve -addr :8723 -workers 4 -pattern deque -trace 1024 &
+//	curl -s localhost:8723/metrics | grep straddle
+//	curl -s localhost:8723/trace | head
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+
+	dq "repro"
+	"repro/internal/obs"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8723", "HTTP listen address")
+		workers = flag.Int("workers", 4, "workload goroutines")
+		pattern = flag.String("pattern", "deque", "access pattern: deque, stack, or queue")
+		elim    = flag.Bool("elim", false, "enable the elimination arrays")
+		trace   = flag.Int("trace", 1024, "op-trace sample rate (0 disables /trace content)")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	opts := []dq.Option{
+		dq.WithMaxThreads(*workers + 1),
+		dq.WithElimination(*elim),
+		dq.WithTracing(*trace),
+	}
+	d, err := dq.NewChecked[uint32](opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := d.PublishExpvar("deque"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	for w := 0; w < *workers; w++ {
+		go func(w int) {
+			// pprof labels let `go tool pprof -tagfocus deque_op=...`
+			// slice the profile by workload role.
+			obs.Do(*pattern, w, func() { drive(d, *pattern, *seed+uint64(w)*977) })
+		}(w)
+	}
+
+	http.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := dq.WriteMetricsProm(rw, "deque", d.Metrics()); err != nil {
+			fmt.Fprintln(os.Stderr, "write /metrics:", err)
+		}
+	})
+	http.HandleFunc("/trace", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		recs := d.TraceRecords()
+		out := struct {
+			Total    uint64           `json:"total_sampled"`
+			Records  []dq.TraceRecord `json:"records"`
+			Rendered []string         `json:"rendered"`
+		}{Total: d.TraceTotal(), Records: recs}
+		for _, r := range recs {
+			out.Rendered = append(out.Rendered, r.String())
+		}
+		if err := json.NewEncoder(rw).Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "write /trace:", err)
+		}
+	})
+
+	fmt.Printf("obsserve: pattern=%s workers=%d elim=%v trace=%d obs=%v on http://%s\n",
+		*pattern, *workers, *elim, *trace, dq.MetricsEnabled, *addr)
+	if err := http.ListenAndServe(*addr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// drive runs one worker's endless workload loop under the given pattern.
+func drive(d *dq.Deque[uint32], pattern string, seed uint64) {
+	h := d.Register()
+	rng := xrand.NewXoshiro256(seed)
+	var i uint32
+	for {
+		i++
+		v := i & 0x00FFFFFF
+		switch pattern {
+		case "stack":
+			if rng.Intn(2) == 0 {
+				h.PushLeft(v)
+			} else {
+				h.PopLeft()
+			}
+		case "queue":
+			if rng.Intn(2) == 0 {
+				h.PushLeft(v)
+			} else {
+				h.PopRight()
+			}
+		default: // deque: the paper's mixed 4-way workload
+			switch rng.Intn(4) {
+			case 0:
+				h.PushLeft(v)
+			case 1:
+				h.PushRight(v)
+			case 2:
+				h.PopLeft()
+			case 3:
+				h.PopRight()
+			}
+		}
+	}
+}

@@ -23,8 +23,24 @@ import (
 	dq "repro"
 	"repro/internal/bench"
 	"repro/internal/lincheck"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
+
+// metricsFlag gates the end-of-run transition-mix report; printMetrics
+// renders it for any structure wired into the observability layer.
+var metricsFlag *bool
+
+func printMetrics(m obs.Metrics) {
+	d := m.Derive()
+	fmt.Printf("metrics: ops=%d pushes=%d pops=%d empty=%d\n",
+		m.Ops(), m.Pushes(), m.Pops(), m.EmptyPops())
+	fmt.Printf("metrics: L=%v failL=%v E=%v\n", m.Transitions, m.TransitionFails, m.Empties)
+	fmt.Printf("metrics: straddle=%.4f seal=%.6f casfail=%.4f hops/op=%.4f elim=%.4f cachehit=%.4f\n",
+		d.StraddleRatio, d.SealRate, d.CASFailureRatio, d.MeanOracleHops, d.ElimRate, d.EdgeCacheHitRate)
+	fmt.Printf("metrics: handles=%d nodes: alloc=%d freed=%d live=%d\n",
+		m.Handles, m.NodesAllocated, m.NodesFreed, m.NodesLive)
+}
 
 func main() {
 	var (
@@ -36,6 +52,8 @@ func main() {
 		opsPer    = flag.Int("ops", 5, "lincheck: ops per worker per history")
 		seed      = flag.Uint64("seed", uint64(time.Now().UnixNano()), "RNG seed")
 	)
+	metricsFlag = flag.Bool("metrics", false,
+		"after the run, print the observability layer's transition mix (of* structures and cancel mode)")
 	flag.Parse()
 
 	if *mode == "cancel" {
@@ -82,39 +100,13 @@ func conservation(factory bench.Factory, workers int, d time.Duration, seed uint
 	inst := factory(workers + 1)
 	var stop atomic.Bool
 	var wg sync.WaitGroup
-	type wstate struct {
-		pushed uint64
-		popped []uint32
-	}
-	states := make([]wstate, workers)
+	states := make([]conservationState, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s := inst.Session()
-			rng := xrand.NewXoshiro256(seed + uint64(w)*977)
-			var i uint32
-			for !stop.Load() {
-				id := uint32(w)<<24 | (i & 0x00FFFFFF)
-				switch rng.Intn(4) {
-				case 0:
-					s.PushLeft(id)
-					states[w].pushed++
-					i++
-				case 1:
-					s.PushRight(id)
-					states[w].pushed++
-					i++
-				case 2:
-					if v, ok := s.PopLeft(); ok {
-						states[w].popped = append(states[w].popped, v)
-					}
-				case 3:
-					if v, ok := s.PopRight(); ok {
-						states[w].popped = append(states[w].popped, v)
-					}
-				}
-			}
+			// Label the worker for pprof, so CPU profiles slice by role.
+			obs.Do("conservation", w, func() { conservationWorker(inst, w, seed, &stop, &states[w]) })
 		}(w)
 	}
 	time.Sleep(d)
@@ -144,7 +136,48 @@ func conservation(factory bench.Factory, workers int, d time.Duration, seed uint
 		}
 	}
 	fmt.Printf("pushed=%d popped=%d residue=%d\n", totalPushed, totalPopped, residue)
+	if *metricsFlag {
+		if mp, ok := inst.(bench.MetricsProvider); ok {
+			printMetrics(mp.Metrics())
+		} else {
+			fmt.Println("metrics: structure does not export observability metrics")
+		}
+	}
 	return uint64(totalPopped)+uint64(residue) == totalPushed
+}
+
+// conservationState accumulates one conservation worker's observations.
+type conservationState struct {
+	pushed uint64
+	popped []uint32
+}
+
+// conservationWorker is one conservation-stress worker's loop.
+func conservationWorker(inst bench.Instance, w int, seed uint64, stop *atomic.Bool, st *conservationState) {
+	s := inst.Session()
+	rng := xrand.NewXoshiro256(seed + uint64(w)*977)
+	var i uint32
+	for !stop.Load() {
+		id := uint32(w)<<24 | (i & 0x00FFFFFF)
+		switch rng.Intn(4) {
+		case 0:
+			s.PushLeft(id)
+			st.pushed++
+			i++
+		case 1:
+			s.PushRight(id)
+			st.pushed++
+			i++
+		case 2:
+			if v, ok := s.PopLeft(); ok {
+				st.popped = append(st.popped, v)
+			}
+		case 3:
+			if v, ok := s.PopRight(); ok {
+				st.popped = append(st.popped, v)
+			}
+		}
+	}
 }
 
 // cancelStress hammers the cancellable (*Ctx) and bounded (Try*) operation
@@ -284,6 +317,9 @@ func cancelStress(workers int, d time.Duration, seed uint64) bool {
 	}
 	fmt.Printf("pushed-ok=%d popped=%d residue=%d aborts=%d\n",
 		totalPushed, totalPopped-len(residue), len(residue), totalAborts)
+	if *metricsFlag {
+		printMetrics(deq.Metrics())
+	}
 	if len(pushedOK) != 0 {
 		fmt.Printf("%d successfully pushed values lost\n", len(pushedOK))
 		return false

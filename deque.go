@@ -36,39 +36,39 @@ import (
 	"repro/internal/core"
 )
 
-// ErrFull reports capacity exhaustion: for Deque[T], the value slab's
-// occupancy limit (WithCapacity) — a transient condition that clears as
-// values are popped — or the internal node registry's ID space, which is
-// permanent for the deque. For Uint32 only the registry applies. Pushes
-// that return ErrFull had no effect; treat it as backpressure.
-var ErrFull = core.ErrFull
-
-// ErrContended is returned by the Try* operations when their attempt budget
-// was exhausted by interference from other threads. The operation had no
-// effect; retrying (or falling back to the unbounded variant) is always
-// safe.
-var ErrContended = core.ErrContended
-
-// options collects construction parameters.
+// options collects construction parameters. The *Set flags record which
+// knobs the caller touched, so validation can reject explicit bad values
+// (WithMaxThreads(0)) while an untouched knob keeps its default.
 type options struct {
-	nodeSize    int
-	maxThreads  int
-	elimination bool
-	capacity    uint32
-	noHotPath   bool
+	nodeSize      int
+	nodeSizeSet   bool
+	maxThreads    int
+	maxThreadsSet bool
+	elimination   bool
+	capacity      int
+	capacitySet   bool
+	noHotPath     bool
+	traceSample   int
+	traceBuf      int
 }
 
 // Option configures New and NewUint32.
 type Option func(*options)
 
 // WithNodeSize sets the slot count of each internal node (default 1024, the
-// paper's choice; minimum 4). Smaller nodes exercise the linking paths more
-// often; larger nodes amortize them further.
-func WithNodeSize(n int) Option { return func(o *options) { o.nodeSize = n } }
+// paper's choice). The size must be a power of two and at least 4; New
+// rejects anything else with ErrBadOption. Smaller nodes exercise the
+// linking paths more often; larger nodes amortize them further.
+func WithNodeSize(n int) Option {
+	return func(o *options) { o.nodeSize, o.nodeSizeSet = n, true }
+}
 
 // WithMaxThreads bounds the number of handles that may ever be registered
-// (default 256).
-func WithMaxThreads(n int) Option { return func(o *options) { o.maxThreads = n } }
+// (default 256). The bound must be positive; New rejects anything else with
+// ErrBadOption.
+func WithMaxThreads(n int) Option {
+	return func(o *options) { o.maxThreads, o.maxThreadsSet = n, true }
+}
 
 // WithElimination enables the per-side elimination arrays (Section II-D of
 // the paper): overlapping same-side push/pop pairs cancel without touching
@@ -77,9 +77,13 @@ func WithMaxThreads(n int) Option { return func(o *options) { o.maxThreads = n }
 func WithElimination(on bool) Option { return func(o *options) { o.elimination = on } }
 
 // WithCapacity bounds the number of values that may be resident at once in
-// a Deque[T] (default 1<<22). The deque itself is unbounded; this sizes the
-// value slab's handle space. NewUint32 ignores it.
-func WithCapacity(n int) Option { return func(o *options) { o.capacity = uint32(n) } }
+// a Deque[T] (default 1<<22); the bound is exact — the (n+1)-th concurrent
+// resident push returns ErrFull. The deque itself is unbounded; this sizes
+// the value slab's handle space. The capacity must be positive; New
+// rejects anything else with ErrBadOption. NewUint32 ignores it.
+func WithCapacity(n int) Option {
+	return func(o *options) { o.capacity, o.capacitySet = n, true }
+}
 
 // WithHotPathOptimizations toggles the contention-engineering layer added on
 // top of the paper's algorithm: per-handle edge caching with throttled
@@ -90,12 +94,22 @@ func WithCapacity(n int) Option { return func(o *options) { o.capacity = uint32(
 // contention benchmark uses as its baseline.
 func WithHotPathOptimizations(on bool) Option { return func(o *options) { o.noHotPath = !on } }
 
-func buildOptions(opts []Option) options {
+// WithTracing arms the sampled op tracer: every sampleRate-th operation per
+// handle records a TraceRecord (op, side, transitions taken, attempts,
+// duration) into a fixed ring read via TraceRecords. sampleRate 1 traces
+// every operation; 0 disables tracing (the default); negative rates are
+// rejected with ErrBadOption. The unsampled hot path pays one branch and
+// one increment per operation.
+func WithTracing(sampleRate int) Option {
+	return func(o *options) { o.traceSample = sampleRate }
+}
+
+func buildOptions(opts []Option) (options, error) {
 	o := options{capacity: 1 << 22}
 	for _, f := range opts {
 		f(&o)
 	}
-	return o
+	return o, o.validate()
 }
 
 func (o options) coreConfig() core.Config {
@@ -104,6 +118,8 @@ func (o options) coreConfig() core.Config {
 		MaxThreads:  o.maxThreads,
 		Elimination: o.elimination,
 		NoEdgeCache: o.noHotPath,
+		TraceSample: o.traceSample,
+		TraceBuf:    o.traceBuf,
 	}
 }
 
@@ -114,14 +130,29 @@ type Deque[T any] struct {
 	noHotPath bool
 }
 
-// New returns an empty Deque[T].
+// New returns an empty Deque[T]. It panics on invalid options (see
+// ErrBadOption); use NewChecked to receive the error instead.
 func New[T any](opts ...Option) *Deque[T] {
-	o := buildOptions(opts)
+	d, err := NewChecked[T](opts...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewChecked is New returning invalid options as an error wrapping
+// ErrBadOption instead of panicking — the route for configuration that
+// arrives from outside the program (flags, config files).
+func NewChecked[T any](opts ...Option) (*Deque[T], error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	return &Deque[T]{
 		core:      core.New(o.coreConfig()),
-		slab:      arena.NewSlab[T](o.capacity),
+		slab:      arena.NewSlab[T](uint32(o.capacity)),
 		noHotPath: o.noHotPath,
-	}
+	}, nil
 }
 
 // Register returns a Handle for the calling goroutine. It panics when more
@@ -445,13 +476,24 @@ type Uint32 struct {
 // values above it are reserved slot markers (LN/RN/LS/RS in the paper).
 const MaxUint32Value = 0xFFFFFFFB
 
-// ErrReserved is returned by Uint32 pushes of values above MaxUint32Value.
-var ErrReserved = core.ErrReserved
-
-// NewUint32 returns an empty Uint32 deque.
+// NewUint32 returns an empty Uint32 deque. It panics on invalid options
+// (see ErrBadOption); use NewUint32Checked to receive the error instead.
 func NewUint32(opts ...Option) *Uint32 {
-	o := buildOptions(opts)
-	return &Uint32{core: core.New(o.coreConfig())}
+	d, err := NewUint32Checked(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewUint32Checked is NewUint32 returning invalid options as an error
+// wrapping ErrBadOption instead of panicking.
+func NewUint32Checked(opts ...Option) (*Uint32, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Uint32{core: core.New(o.coreConfig())}, nil
 }
 
 // Register returns a handle for the calling goroutine.

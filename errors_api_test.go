@@ -127,7 +127,7 @@ func fillToCapacity(t *testing.T, h *Handle[int]) int {
 }
 
 func TestCapacityExhaustionRoundTrip(t *testing.T) {
-	d := New[int](WithCapacity(1)) // rounds up to the slab's minimum
+	d := New[int](WithCapacity(1)) // the bound is exact: one resident value
 	h := d.Register()
 
 	n := fillToCapacity(t, h)
@@ -165,7 +165,9 @@ func TestCapacityExhaustionRoundTrip(t *testing.T) {
 }
 
 func TestBatchPushCapacityUnwind(t *testing.T) {
-	d := New[int](WithCapacity(1))
+	// Capacity 8 exactly: room to free two slots and still have a batch of
+	// five overshoot them.
+	d := New[int](WithCapacity(8))
 	h := d.Register()
 	n := fillToCapacity(t, h)
 

@@ -21,7 +21,7 @@ func FuzzDequeAgainstModel(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}, uint8(0))
 
 	f.Fuzz(func(t *testing.T, ops []byte, szSel uint8) {
-		sizes := []int{4, 5, 8, 1024}
+		sizes := []int{4, 8, 16, 1024}
 		d := New[uint32](WithNodeSize(sizes[int(szSel)%len(sizes)]), WithMaxThreads(2))
 		h := d.Register()
 		model := seqdeque.New[uint32](8)

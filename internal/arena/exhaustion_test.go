@@ -90,7 +90,7 @@ func TestRegistryTryAllocBoundary(t *testing.T) {
 // churn the full handle space must still be reachable (none lost to the
 // failed attempts or the cache shuffling at the boundary).
 func TestSlabHandleExhaustionChurn(t *testing.T) {
-	s := NewSlab[uint64](1) // one chunk
+	s := NewSlab[uint64](slabChunkSize) // one chunk
 	limit := int(s.Limit())
 
 	// Pre-fill to the limit so the churn runs at the boundary from the start.

@@ -43,6 +43,7 @@ const (
 type Registry[T any] struct {
 	chunks []atomic.Pointer[regChunk[T]]
 	next   atomic.Uint32
+	freed  atomic.Uint32
 	limit  uint32
 }
 
@@ -68,8 +69,14 @@ func NewRegistry[T any](limit uint32) *Registry[T] {
 // Limit returns the maximum number of IDs this registry can ever allocate.
 func (r *Registry[T]) Limit() uint32 { return r.limit }
 
-// Allocated returns the number of IDs allocated so far.
+// Allocated returns the number of IDs allocated so far. IDs are never
+// reused, so this doubles as the lifetime allocation high-water mark.
 func (r *Registry[T]) Allocated() uint32 { return r.next.Load() }
+
+// Freed returns the number of entries cleared so far, so Allocated() -
+// Freed() is the current live-entry count. Feeds the observability layer's
+// occupancy gauges.
+func (r *Registry[T]) Freed() uint32 { return r.freed.Load() }
 
 // Alloc registers v and returns its fresh ID. It panics if the ID space is
 // exhausted; use TryAlloc to observe ErrRegistryFull instead.
@@ -117,11 +124,13 @@ func (r *Registry[T]) Get(id uint32) *T {
 }
 
 // Clear removes the entry for id, releasing the referent to the garbage
-// collector. Clearing an already-cleared ID is a no-op.
+// collector. Clearing an already-cleared ID is a no-op. The Swap keeps the
+// freed count exact when racing removers clear the same ID: only the one
+// that observed a non-nil entry counts it.
 func (r *Registry[T]) Clear(id uint32) {
 	c := r.chunks[id>>regChunkBits].Load()
-	if c != nil {
-		c.entries[id&regChunkMask].Store(nil)
+	if c != nil && c.entries[id&regChunkMask].Swap(nil) != nil {
+		r.freed.Add(1)
 	}
 }
 

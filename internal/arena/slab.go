@@ -93,9 +93,11 @@ type slabChunk[T any] struct {
 	next [slabChunkSize]atomic.Uint32 // free-list links
 }
 
-// NewSlab returns a slab whose live-handle count may reach limit (rounded up
-// to whole chunks). Unlike Registry IDs, handles are recycled, so limit
-// bounds concurrent occupancy, not total throughput. Handles parked in
+// NewSlab returns a slab whose live-handle count may reach exactly limit
+// (chunks are allocated whole, but the bump allocator stops at the limit —
+// WithCapacity(3) means 3, not one chunk's worth). Unlike Registry IDs,
+// handles are recycled, so limit bounds concurrent occupancy, not total
+// throughput. Handles parked in
 // SlabHandle private caches count against occupancy (at most localCap per
 // SlabHandle).
 func NewSlab[T any](limit uint32) *Slab[T] {
@@ -105,12 +107,19 @@ func NewSlab[T any](limit uint32) *Slab[T] {
 	nChunks := (uint64(limit) + slabChunkSize - 1) / slabChunkSize
 	return &Slab[T]{
 		chunks: make([]atomic.Pointer[slabChunk[T]], nChunks),
-		limit:  uint32(nChunks * slabChunkSize),
+		limit:  limit,
 	}
 }
 
 // Limit returns the maximum number of simultaneously live handles.
 func (s *Slab[T]) Limit() uint32 { return s.limit }
+
+// HighWater returns the maximum number of simultaneously live handles the
+// slab has ever held. The bump cursor only advances when every freelist is
+// empty — i.e. when live occupancy exceeds everything seen before — so its
+// position IS the occupancy high-water mark. Feeds the observability
+// layer's gauges.
+func (s *Slab[T]) HighWater() uint32 { return s.next.Load() }
 
 // Put stores v and returns a handle for it. It panics when the slab is
 // full; use TryPut to observe ErrSlabFull instead.

@@ -91,7 +91,7 @@ func TestSlabStressNoDoubleLive(t *testing.T) {
 // distinct indices, report ErrSlabFull without panicking, and recover as
 // soon as one handle is recycled.
 func TestSlabOverflowRaceBurnsNothing(t *testing.T) {
-	s := NewSlab[int](1) // rounds up to one chunk
+	s := NewSlab[int](slabChunkSize) // one chunk
 	limit := int(s.Limit())
 
 	const goroutines = 8

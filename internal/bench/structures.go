@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fcdeque"
 	"repro/internal/mmdeque"
+	"repro/internal/obs"
 	"repro/internal/sgldeque"
 	"repro/internal/stdeque"
 	"repro/internal/tsdeque"
@@ -38,6 +39,13 @@ type Instance interface {
 // Factory builds a fresh Instance for each trial. maxThreads is the number
 // of worker sessions the trial will register.
 type Factory func(maxThreads int) Instance
+
+// MetricsProvider is the optional Instance extension for structures wired
+// into the observability layer (the OFDeque variants). Drivers type-assert
+// against it to report the transition mix alongside throughput.
+type MetricsProvider interface {
+	Metrics() obs.Metrics
+}
 
 // Structures is the registry of benchmarkable deques, keyed by the names
 // used in EXPERIMENTS.md and the figure CSVs.
@@ -181,6 +189,8 @@ func (s *tsSess) PopRight() (uint32, bool) { return s.d.PopRight(s.h) }
 type ofInst struct{ d *core.Deque }
 
 func (i ofInst) Session() Session { return &ofSess{i.d, i.d.Register()} }
+
+func (i ofInst) Metrics() obs.Metrics { return i.d.Metrics() }
 
 type ofSess struct {
 	d *core.Deque

@@ -1,0 +1,61 @@
+//go:build chaos
+
+package chaostest
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestMetricsFailCountersMatchChaos cross-checks the observability layer
+// against the fault injector: on a single-threaded run, a transition's only
+// possible CAS losses are the chaos-forced ones, so the aggregate FailLx
+// counter must equal the schedule's forced-failure count at that point
+// exactly. This pins both directions — the counters don't overcount (no
+// spurious Inc sites) and don't undercount (every failure path is
+// instrumented).
+func TestMetricsFailCountersMatchChaos(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("observability counters compiled out (obsoff)")
+	}
+	for _, seed := range seeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			d := core.New(core.Config{NodeSize: core.MinNodeSize, MaxThreads: 2})
+			h := d.Register()
+
+			s := failEverywhere(seed)
+			chaos.Arm(s)
+			defer chaos.Disarm()
+
+			driveAllStates(t, d, h, 40)
+			chaos.Disarm()
+
+			m := d.Metrics()
+			for i, p := range chaos.TransitionPoints() {
+				forced := s.Stats(p).Failures
+				if got := m.TransitionFails[i]; got != forced {
+					t.Errorf("FailL%d = %d, schedule forced %d at %v",
+						i+1, got, forced, p)
+				}
+			}
+			// The same run must keep the op identities intact: forced
+			// failures only add retries, never completions.
+			if got, want := m.Pushes(), m.Pops()+uint64(d.Len()); got != want {
+				t.Errorf("Pushes() = %d, want Pops()+Len() = %d", got, want)
+			}
+			// Forced EdgeCache failures surface as cache misses, and forced
+			// Oracle failures as restarts; with a failure probability >= 0.2
+			// over thousands of ops, both must have registered.
+			if m.EdgeCacheMisses == 0 {
+				t.Error("no edge-cache misses despite forced EdgeCache failures")
+			}
+			if m.OracleRestarts == 0 {
+				t.Error("no oracle restarts despite forced Oracle failures")
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	deque "repro"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -47,6 +48,10 @@ type ContentionResult struct {
 	Config  ContentionConfig
 	Trials  []float64 // element-ops/sec per trial
 	Summary stats.Summary
+	// Metrics is the observability snapshot summed over all trials (each
+	// trial builds a fresh deque), giving the workload's transition mix.
+	// All counters are zero under the obsoff build tag.
+	Metrics obs.Metrics
 }
 
 // Throughput returns the mean element-operations per second.
@@ -67,11 +72,13 @@ func RunContention(cfg ContentionConfig) ContentionResult {
 		cfg.Mode = ModeCurrent
 	}
 	trials := make([]float64, 0, cfg.Trials)
+	var m obs.Metrics
 	for trial := 0; trial < cfg.Trials; trial++ {
-		ops := runContentionTrial(cfg, uint64(trial))
+		ops, tm := runContentionTrial(cfg, uint64(trial))
 		trials = append(trials, float64(ops)/cfg.Duration.Seconds())
+		m.Add(tm)
 	}
-	return ContentionResult{Config: cfg, Trials: trials, Summary: stats.Summarize(trials)}
+	return ContentionResult{Config: cfg, Trials: trials, Summary: stats.Summarize(trials), Metrics: m}
 }
 
 // newContentionDeque builds the Deque[uint32] under test for the given mode.
@@ -83,7 +90,7 @@ func newContentionDeque(mode ContentionMode, maxThreads int) *deque.Deque[uint32
 	return deque.New[uint32](opts...)
 }
 
-func runContentionTrial(cfg ContentionConfig, trial uint64) uint64 {
+func runContentionTrial(cfg ContentionConfig, trial uint64) (uint64, obs.Metrics) {
 	d := newContentionDeque(cfg.Mode, cfg.Threads+1)
 	if cfg.Prefill > 0 {
 		h := d.Register()
@@ -126,8 +133,9 @@ func runContentionTrial(cfg ContentionConfig, trial uint64) uint64 {
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
+	m := d.Metrics()
 	runtime.KeepAlive(d)
-	return total.Load()
+	return total.Load(), m
 }
 
 // contentionSingleLoop is the mixed 4-way workload: each iteration picks

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -101,14 +102,18 @@ func (d *Deque) pushLeftRun(h *Handle, vals []uint32) (int, error) {
 			break // edge moved or sealed: back to the full protocol
 		}
 		if chaos.Visit(chaos.L1) {
+			h.rec.Inc(obs.CtrFailL1)
 			break // injected lost race: back to the full protocol
 		}
 		if !in.CompareAndSwap(inCpy, word.Bump(inCpy)) {
+			h.rec.Inc(obs.CtrFailL1)
 			break
 		}
 		if !out.CompareAndSwap(outCpy, word.With(outCpy, vals[n])) {
+			h.rec.Inc(obs.CtrFailL1)
 			break
 		}
+		h.rec.Inc(obs.CtrL1)
 		n++
 		j--
 	}
@@ -116,6 +121,7 @@ func (d *Deque) pushLeftRun(h *Handle, vals []uint32) (int, error) {
 		nd.leftSlotHint.Store(int64(j))
 		h.edgeL = nd
 		h.idxL = j
+		h.rec.Inc(obs.CtrHintPublish)
 		d.left.set(d.left.w.Load(), nd)
 	}
 	return n, nil
@@ -187,14 +193,18 @@ func (d *Deque) popLeftRun(h *Handle, dst []uint32) (int, bool) {
 			break // empty span, straddle, or interference: full protocol decides
 		}
 		if chaos.Visit(chaos.L2) {
+			h.rec.Inc(obs.CtrFailL2)
 			break // injected lost race: back to the full protocol
 		}
 		if !out.CompareAndSwap(outCpy, word.Bump(outCpy)) {
+			h.rec.Inc(obs.CtrFailL2)
 			break
 		}
 		if !in.CompareAndSwap(inCpy, word.With(inCpy, word.LN)) {
+			h.rec.Inc(obs.CtrFailL2)
 			break
 		}
+		h.rec.Inc(obs.CtrL2)
 		dst[n] = inVal
 		n++
 		j++
@@ -206,6 +216,7 @@ func (d *Deque) popLeftRun(h *Handle, dst []uint32) (int, bool) {
 		if j == d.sz-1 {
 			h.edgeL = nil // drained node: border slot holds a link
 		}
+		h.rec.Inc(obs.CtrHintPublish)
 		d.left.set(d.left.w.Load(), nd)
 	}
 	return n, false
@@ -277,14 +288,18 @@ func (d *Deque) pushRightRun(h *Handle, vals []uint32) (int, error) {
 			break
 		}
 		if chaos.Visit(chaos.L1) {
+			h.rec.Inc(obs.CtrFailL1)
 			break // injected lost race: back to the full protocol
 		}
 		if !in.CompareAndSwap(inCpy, word.Bump(inCpy)) {
+			h.rec.Inc(obs.CtrFailL1)
 			break
 		}
 		if !out.CompareAndSwap(outCpy, word.With(outCpy, vals[n])) {
+			h.rec.Inc(obs.CtrFailL1)
 			break
 		}
+		h.rec.Inc(obs.CtrL1)
 		n++
 		j++
 	}
@@ -292,6 +307,7 @@ func (d *Deque) pushRightRun(h *Handle, vals []uint32) (int, error) {
 		nd.rightSlotHint.Store(int64(j))
 		h.edgeR = nd
 		h.idxR = j
+		h.rec.Inc(obs.CtrHintPublish)
 		d.right.set(d.right.w.Load(), nd)
 	}
 	return n, nil
@@ -356,14 +372,18 @@ func (d *Deque) popRightRun(h *Handle, dst []uint32) (int, bool) {
 			break
 		}
 		if chaos.Visit(chaos.L2) {
+			h.rec.Inc(obs.CtrFailL2)
 			break // injected lost race: back to the full protocol
 		}
 		if !out.CompareAndSwap(outCpy, word.Bump(outCpy)) {
+			h.rec.Inc(obs.CtrFailL2)
 			break
 		}
 		if !in.CompareAndSwap(inCpy, word.With(inCpy, word.RN)) {
+			h.rec.Inc(obs.CtrFailL2)
 			break
 		}
+		h.rec.Inc(obs.CtrL2)
 		dst[n] = inVal
 		n++
 		j--
@@ -375,6 +395,7 @@ func (d *Deque) popRightRun(h *Handle, dst []uint32) (int, bool) {
 		if j == 0 {
 			h.edgeR = nil // drained node: border slot holds a link
 		}
+		h.rec.Inc(obs.CtrHintPublish)
 		d.right.set(d.right.w.Load(), nd)
 	}
 	return n, false

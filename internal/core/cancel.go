@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -105,8 +106,10 @@ func (d *Deque) pushLeftBounded(ctx context.Context, h *Handle, v uint32, attemp
 	if word.IsReserved(v) {
 		return ErrReserved
 	}
+	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
+			d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, true)
 			return err
 		}
 		edge, idx, hintW, cached := d.lOracleSeeded(h)
@@ -115,9 +118,11 @@ func (d *Deque) pushLeftBounded(ctx context.Context, h *Handle, v uint32, attemp
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
+			d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, false)
 			return nil
 		}
 		if err := h.takeAllocErr(); err != nil {
+			d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, true)
 			return err
 		}
 		if cached {
@@ -131,8 +136,10 @@ func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attem
 	if word.IsReserved(v) {
 		return ErrReserved
 	}
+	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
+			d.traceEnd(tr, h, obs.OpPush, obs.SideRight, true)
 			return err
 		}
 		edge, idx, hintW, cached := d.rOracleSeeded(h)
@@ -141,9 +148,11 @@ func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attem
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
+			d.traceEnd(tr, h, obs.OpPush, obs.SideRight, false)
 			return nil
 		}
 		if err := h.takeAllocErr(); err != nil {
+			d.traceEnd(tr, h, obs.OpPush, obs.SideRight, true)
 			return err
 		}
 		if cached {
@@ -154,8 +163,10 @@ func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attem
 }
 
 func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (uint32, bool, error) {
+	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
+			d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, true)
 			return 0, false, err
 		}
 		edge, idx, hintW, cached := d.lOracleSeeded(h)
@@ -164,6 +175,7 @@ func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (ui
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
+			d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, false)
 			return v, !empty, nil
 		}
 		if cached {
@@ -174,8 +186,10 @@ func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (ui
 }
 
 func (d *Deque) popRightBounded(ctx context.Context, h *Handle, attempts int) (uint32, bool, error) {
+	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
+			d.traceEnd(tr, h, obs.OpPop, obs.SideRight, true)
 			return 0, false, err
 		}
 		edge, idx, hintW, cached := d.rOracleSeeded(h)
@@ -184,6 +198,7 @@ func (d *Deque) popRightBounded(ctx context.Context, h *Handle, attempts int) (u
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
+			d.traceEnd(tr, h, obs.OpPop, obs.SideRight, false)
 			return v, !empty, nil
 		}
 		if cached {

@@ -63,6 +63,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/chaos"
 	"repro/internal/elim"
+	"repro/internal/obs"
 	"repro/internal/pad"
 	"repro/internal/word"
 )
@@ -137,6 +138,15 @@ type Config struct {
 	// It exists for benchmarking the optimization (see internal/bench's
 	// contention modes); production configs leave it false.
 	NoEdgeCache bool
+	// TraceSample > 0 arms the sampled op tracer: every TraceSample-th
+	// operation per handle records an obs.TraceRecord (op, side,
+	// transitions taken, attempts, duration) into a ring buffer read via
+	// TraceRecords. 0 disables tracing entirely (the hot path pays one
+	// nil check).
+	TraceSample int
+	// TraceBuf is the tracer ring length (default obs.DefaultTraceBuf);
+	// ignored when TraceSample is 0.
+	TraceBuf int
 }
 
 func (c Config) withDefaults() Config {
@@ -181,6 +191,11 @@ type Deque struct {
 	right sideHint
 
 	lElim, rElim *elim.Array
+
+	// obsReg owns every handle's observability counter block; Metrics()
+	// merges them. tracer is nil unless Config.TraceSample > 0.
+	obsReg obs.Registry
+	tracer *obs.Tracer
 
 	nextTID atomic.Int32
 }
@@ -266,6 +281,9 @@ func New(cfg Config) *Deque {
 	if cfg.Elimination {
 		d.lElim = elim.New(cfg.MaxThreads)
 		d.rElim = elim.New(cfg.MaxThreads)
+	}
+	if cfg.TraceSample > 0 {
+		d.tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceBuf)
 	}
 	// Initial node, split down the middle (Fig. 5 constructor).
 	first := d.newNode(cfg.NodeSize / 2)
@@ -446,6 +464,14 @@ type Handle struct {
 	Eliminated    uint64
 	Retries       uint64
 	EdgeCacheHits uint64
+
+	// rec is the handle's observability counter block (internal/obs): one
+	// padded line of per-transition counters, written only by the owning
+	// goroutine and read by Deque.Metrics. On the obsoff build it is
+	// zero-size and every increment compiles away.
+	rec *obs.Rec
+	// traceTick is the sampled-op tracer countdown; see Config.TraceSample.
+	traceTick uint32
 }
 
 // Stats is a copy of a Handle's operation counters.
@@ -534,6 +560,7 @@ func (h *Handle) publishLeft(hintW uint64, n *node, slotIdx int) {
 	h.hintPubL++
 	if h.hintPubL >= hintPublishInterval || h.d.cfg.NoEdgeCache {
 		h.hintPubL = 0
+		h.rec.Inc(obs.CtrHintPublish)
 		n.leftSlotHint.Store(int64(slotIdx))
 		h.d.left.set(hintW, n)
 	}
@@ -544,6 +571,7 @@ func (h *Handle) publishRight(hintW uint64, n *node, slotIdx int) {
 	h.hintPubR++
 	if h.hintPubR >= hintPublishInterval || h.d.cfg.NoEdgeCache {
 		h.hintPubR = 0
+		h.rec.Inc(obs.CtrHintPublish)
 		n.rightSlotHint.Store(int64(slotIdx))
 		h.d.right.set(hintW, n)
 	}
@@ -555,7 +583,7 @@ func (d *Deque) Register() *Handle {
 	if tid >= d.cfg.MaxThreads {
 		panic(fmt.Sprintf("core: more than MaxThreads=%d handles", d.cfg.MaxThreads))
 	}
-	h := &Handle{d: d, tid: tid}
+	h := &Handle{d: d, tid: tid, rec: d.obsReg.NewRec()}
 	h.bo.Init(backoff.DefaultMinSpins, backoff.DefaultMaxSpins, uint64(tid)*0x9e3779b97f4a7c15+1)
 	return h
 }

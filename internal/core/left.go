@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/chaos"
 	"repro/internal/elim"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -16,8 +17,11 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 	if word.IsReserved(v) {
 		return ErrReserved
 	}
+	tr := d.traceStart(h)
 	if d.lElim != nil {
-		return d.pushLeftElim(h, v)
+		err := d.pushLeftElim(h, v)
+		d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, err != nil)
+		return err
 	}
 	for {
 		edge, idx, hintW, cached := d.lOracleSeeded(h)
@@ -26,9 +30,11 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
+			d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, false)
 			return nil
 		}
 		if err := h.takeAllocErr(); err != nil {
+			d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, true)
 			return err
 		}
 		if cached {
@@ -41,8 +47,11 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 // PopLeft removes and returns the leftmost value; ok is false when the
 // deque was empty (the paper's EMPTY).
 func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
+	tr := d.traceStart(h)
 	if d.lElim != nil {
-		return d.popLeftElim(h)
+		v, ok = d.popLeftElim(h)
+		d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, false)
+		return v, ok
 	}
 	for {
 		edge, idx, hintW, cached := d.lOracleSeeded(h)
@@ -51,6 +60,7 @@ func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
+			d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, false)
 			return v, !empty
 		}
 		if cached {
@@ -112,18 +122,23 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 		return false
 	}
 
-	// Interior push, transition L1 (lines 90-95).
+	// Interior push, transition L1 (lines 90-95). A forced chaos failure
+	// counts as a lost CAS: it models exactly that race, so the Fail
+	// counters stay exact under chaos schedules (tests rely on this).
 	if idx != 1 {
 		if chaos.Visit(chaos.L1) {
+			h.rec.Inc(obs.CtrFailL1)
 			return false
 		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, v)) {
+			h.rec.Inc(obs.CtrL1)
 			h.edgeL = edge
 			h.idxL = idx - 1
 			h.publishLeft(hintW, edge, idx-1)
 			return true
 		}
+		h.rec.Inc(obs.CtrFailL1)
 		return false
 	}
 
@@ -135,18 +150,25 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 			return false
 		}
 		nw, ok := h.spareLeft(v, edge)
-		if !ok || chaos.Visit(chaos.L6) {
+		if !ok {
+			return false
+		}
+		if chaos.Visit(chaos.L6) {
+			h.rec.Inc(obs.CtrFailL6)
 			return false
 		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, nw.id)) {
+			h.rec.Inc(obs.CtrL6)
 			h.spareL = nil
 			h.Appends++
 			h.edgeL = nw
 			h.idxL = sz - 2
+			h.rec.Inc(obs.CtrHintPublish)
 			d.left.set(hintW, nw)
 			return true
 		}
+		h.rec.Inc(obs.CtrFailL6)
 		return false // nw stays cached for the retry
 	}
 
@@ -165,31 +187,40 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 	case word.LN:
 		// Straddling push, transition L3 (lines 123-127).
 		if chaos.Visit(chaos.L3) {
+			h.rec.Inc(obs.CtrFailL3)
 			return false
 		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			far.CompareAndSwap(farCpy, word.With(farCpy, v)) {
+			h.rec.Inc(obs.CtrL3)
 			outNd.leftSlotHint.Store(int64(sz - 2))
 			h.edgeL = outNd
 			h.idxL = sz - 2
+			h.rec.Inc(obs.CtrHintPublish)
 			d.left.set(hintW, outNd)
 			return true
 		}
+		h.rec.Inc(obs.CtrFailL3)
 	case word.LS:
 		// Remove the sealed left neighbor, transition L7 (lines 130-136),
 		// then retry the push from scratch.
 		if chaos.Visit(chaos.L7) {
+			h.rec.Inc(obs.CtrFailL7)
 			return false
 		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, word.LN)) {
+			h.rec.Inc(obs.CtrL7)
 			h.Removes++
 			edge.leftSlotHint.Store(1)
 			h.edgeL = edge
 			h.idxL = 1
+			h.rec.Inc(obs.CtrHintPublish)
 			d.left.set(hintW, edge)
-			d.refreshRightHint()
+			d.refreshRightHint(h)
 			d.unregisterLeft(outNd, edge) // retire: stale IDs now resolve to nil
+		} else {
+			h.rec.Inc(obs.CtrFailL7)
 		}
 	}
 	return false
@@ -227,6 +258,7 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 				return 0, false, false
 			}
 			if in.Load() == inCpy {
+				h.rec.Inc(obs.CtrE1)
 				h.edgeL = edge
 				h.idxL = idx
 				return 0, true, true
@@ -234,10 +266,12 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 			return 0, false, false
 		}
 		if chaos.Visit(chaos.L2) {
+			h.rec.Inc(obs.CtrFailL2)
 			return 0, false, false
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
 			in.CompareAndSwap(inCpy, word.With(inCpy, word.LN)) {
+			h.rec.Inc(obs.CtrL2)
 			h.edgeL = edge
 			h.idxL = idx + 1
 			if idx+1 == sz-1 {
@@ -249,6 +283,7 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 			h.publishLeft(hintW, edge, idx+1)
 			return inVal, false, true
 		}
+		h.rec.Inc(obs.CtrFailL2)
 		return 0, false, false
 	}
 
@@ -277,6 +312,7 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 					return 0, false, false
 				}
 				if in.Load() == inCpy {
+					h.rec.Inc(obs.CtrE2)
 					h.edgeL = edge
 					h.idxL = idx
 					return 0, true, true
@@ -284,11 +320,15 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 			}
 			// Seal the left neighbor, transition L5 (lines 197-201); on
 			// success, continue the progression with refreshed copies.
-			if !chaos.Visit(chaos.L5) &&
-				in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			if chaos.Visit(chaos.L5) {
+				h.rec.Inc(obs.CtrFailL5)
+			} else if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 				far.CompareAndSwap(farCpy, word.With(farCpy, word.LS)) {
+				h.rec.Inc(obs.CtrL5)
 				farCpy = word.With(farCpy, word.LS)
 				inCpy = word.Bump(inCpy)
+			} else {
+				h.rec.Inc(obs.CtrFailL5)
 			}
 		}
 
@@ -304,6 +344,7 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 					return 0, false, false
 				}
 				if in.Load() == inCpy {
+					h.rec.Inc(obs.CtrE2)
 					h.edgeL = edge
 					h.idxL = idx
 					return 0, true, true
@@ -311,20 +352,25 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 			}
 			// Remove the sealed neighbor, transition L7 (lines 208-216).
 			if chaos.Visit(chaos.L7) {
+				h.rec.Inc(obs.CtrFailL7)
 				return 0, false, false
 			}
 			if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 				out.CompareAndSwap(outCpy, word.With(outCpy, word.LN)) {
+				h.rec.Inc(obs.CtrL7)
 				h.Removes++
 				edge.leftSlotHint.Store(1)
 				h.edgeL = edge
 				h.idxL = 1
+				h.rec.Inc(obs.CtrHintPublish)
 				hintW = d.left.set(hintW, edge)
-				d.refreshRightHint()
+				d.refreshRightHint(h)
 				d.unregisterLeft(outNd, edge)
 				inCpy = word.Bump(inCpy)
 				outCpy = word.With(outCpy, word.LN)
 				outVal = word.LN
+			} else {
+				h.rec.Inc(obs.CtrFailL7)
 			}
 		}
 	}
@@ -339,6 +385,7 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 				return 0, false, false
 			}
 			if in.Load() == inCpy {
+				h.rec.Inc(obs.CtrE3)
 				h.edgeL = edge
 				h.idxL = idx
 				return 0, true, true
@@ -349,15 +396,18 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 			return 0, false, false // seals are never popped
 		}
 		if chaos.Visit(chaos.L4) {
+			h.rec.Inc(obs.CtrFailL4)
 			return 0, false, false
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
 			in.CompareAndSwap(inCpy, word.With(inCpy, word.LN)) {
+			h.rec.Inc(obs.CtrL4)
 			h.edgeL = edge
 			h.idxL = 2
 			h.publishLeft(hintW, edge, 2)
 			return inVal, false, true
 		}
+		h.rec.Inc(obs.CtrFailL4)
 	}
 	return 0, false, false
 }
@@ -366,15 +416,17 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 // paper's hint_r(oracle_r(right_node_hint)) from the remove transitions
 // (lines 135/212): after a removal, both global hints must be moved off the
 // retired node so future threads cannot trace to it.
-func (d *Deque) refreshRightHint() {
-	nd, idx, hw := d.rOracle()
+func (d *Deque) refreshRightHint(h *Handle) {
+	nd, idx, hw := d.rOracle(h.rec)
+	h.rec.Inc(obs.CtrHintPublish)
 	nd.rightSlotHint.Store(int64(idx))
 	d.right.set(hw, nd)
 }
 
 // refreshLeftHint mirrors refreshRightHint for removals on the right side.
-func (d *Deque) refreshLeftHint() {
-	nd, idx, hw := d.lOracle()
+func (d *Deque) refreshLeftHint(h *Handle) {
+	nd, idx, hw := d.lOracle(h.rec)
+	h.rec.Inc(obs.CtrHintPublish)
 	nd.leftSlotHint.Store(int64(idx))
 	d.left.set(hw, nd)
 }
@@ -392,8 +444,9 @@ func (d *Deque) pushLeftElim(h *Handle, v uint32) error {
 	}
 	d.lElim.Insert(h.tid, elim.Push, v)
 	for {
-		edge, idx, hintW := d.lOracle()
+		edge, idx, hintW := d.lOracle(h.rec)
 		if _, eliminated := d.lElim.Remove(h.tid); eliminated {
+			h.rec.Inc(obs.CtrElimPush)
 			h.Eliminated++
 			h.noteSuccess()
 			return nil
@@ -407,10 +460,12 @@ func (d *Deque) pushLeftElim(h *Handle, v uint32) error {
 		}
 		// Contention on the deque: hunt for a partner (lines 269-273).
 		if _, ok := d.lElim.Scan(h.tid, elim.Push, v); ok {
+			h.rec.Inc(obs.CtrElimPush)
 			h.Eliminated++
 			h.noteSuccess()
 			return nil
 		}
+		h.rec.Inc(obs.CtrElimMiss)
 		d.lElim.Insert(h.tid, elim.Push, v)
 		h.noteFailure()
 	}
@@ -425,8 +480,9 @@ func (d *Deque) popLeftElim(h *Handle) (uint32, bool) {
 	}
 	d.lElim.Insert(h.tid, elim.Pop, 0)
 	for {
-		edge, idx, hintW := d.lOracle()
+		edge, idx, hintW := d.lOracle(h.rec)
 		if v, eliminated := d.lElim.Remove(h.tid); eliminated {
+			h.rec.Inc(obs.CtrElimPop)
 			h.Eliminated++
 			h.noteSuccess()
 			return v, true
@@ -436,10 +492,12 @@ func (d *Deque) popLeftElim(h *Handle) (uint32, bool) {
 			return v, !empty
 		}
 		if v, ok := d.lElim.Scan(h.tid, elim.Pop, 0); ok {
+			h.rec.Inc(obs.CtrElimPop)
 			h.Eliminated++
 			h.noteSuccess()
 			return v, true
 		}
+		h.rec.Inc(obs.CtrElimMiss)
 		d.lElim.Insert(h.tid, elim.Pop, 0)
 		h.noteFailure()
 	}
@@ -452,13 +510,16 @@ func (d *Deque) elimFirst(h *Handle, a *elim.Array, op elim.Op, v uint32) bool {
 	a.Insert(h.tid, op, v)
 	spin(d.cfg.ElimSpins)
 	if _, eliminated := a.Remove(h.tid); eliminated {
+		h.rec.Inc(obs.CtrElimPush)
 		h.Eliminated++
 		return true
 	}
 	if _, ok := a.Scan(h.tid, op, v); ok {
+		h.rec.Inc(obs.CtrElimPush)
 		h.Eliminated++
 		return true
 	}
+	h.rec.Inc(obs.CtrElimMiss)
 	return false
 }
 
@@ -467,13 +528,16 @@ func (d *Deque) elimFirstPop(h *Handle, a *elim.Array) (uint32, bool) {
 	a.Insert(h.tid, elim.Pop, 0)
 	spin(d.cfg.ElimSpins)
 	if v, eliminated := a.Remove(h.tid); eliminated {
+		h.rec.Inc(obs.CtrElimPop)
 		h.Eliminated++
 		return v, true
 	}
 	if v, ok := a.Scan(h.tid, elim.Pop, 0); ok {
+		h.rec.Inc(obs.CtrElimPop)
 		h.Eliminated++
 		return v, true
 	}
+	h.rec.Inc(obs.CtrElimMiss)
 	return 0, false
 }
 

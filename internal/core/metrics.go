@@ -1,0 +1,90 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the core half of the observability layer (internal/obs): the
+// deque-level Metrics aggregator and the sampled op tracer's hooks. The
+// per-transition counters themselves ride the hot paths in left.go,
+// right.go, oracle.go, and batch.go as plain single-writer adds on each
+// handle's padded counter block (Handle.rec); building with -tags obsoff
+// compiles all of them away.
+
+// Metrics merges every handle's counters into one deque-level snapshot and
+// fills in the structural occupancy gauges. It is safe to call concurrently
+// with operations; each counter is individually monotone across snapshots
+// (the merge is serialized, and handles only ever increment). Counters of
+// handles whose goroutines have exited remain included.
+func (d *Deque) Metrics() obs.Metrics {
+	m := obs.FromCounters(d.obsReg.Merge())
+	m.Handles = d.obsReg.Handles()
+	m.NodesAllocated = uint64(d.reg.Allocated())
+	m.NodesFreed = uint64(d.reg.Freed())
+	m.NodesLive = m.NodesAllocated - m.NodesFreed
+	m.NodeLimit = uint64(d.reg.Limit())
+	return m
+}
+
+// TraceRecords returns the sampled-op ring's contents, oldest first, or nil
+// when tracing is disabled (Config.TraceSample == 0).
+func (d *Deque) TraceRecords() []obs.TraceRecord {
+	if d.tracer == nil {
+		return nil
+	}
+	return d.tracer.Records()
+}
+
+// TraceTotal returns how many operations have been sampled in total
+// (including records already overwritten in the ring); 0 when tracing is
+// disabled.
+func (d *Deque) TraceTotal() uint64 {
+	if d.tracer == nil {
+		return 0
+	}
+	return d.tracer.Total()
+}
+
+// opTrace carries a sampled operation's starting state from traceStart to
+// traceEnd: wall-clock start, the retry counter, and the handle's full
+// counter block — diffing the block afterwards recovers which transitions
+// the op took without threading state through the transition functions.
+type opTrace struct {
+	start    time.Time
+	retries  uint64
+	counters [obs.NumCounters]uint64
+}
+
+// traceStart returns a non-nil token when this operation is sampled. With
+// tracing disabled it costs one nil check; with tracing armed an unsampled
+// op pays one increment and one compare.
+func (d *Deque) traceStart(h *Handle) *opTrace {
+	t := d.tracer
+	if t == nil {
+		return nil
+	}
+	h.traceTick++
+	if h.traceTick < t.Sample() {
+		return nil
+	}
+	h.traceTick = 0
+	return &opTrace{start: time.Now(), retries: h.Retries, counters: h.rec.Snapshot()}
+}
+
+// traceEnd completes a sampled operation and records it. A nil token (op
+// not sampled) returns immediately.
+func (d *Deque) traceEnd(tr *opTrace, h *Handle, op obs.Op, side obs.Side, aborted bool) {
+	if tr == nil {
+		return
+	}
+	d.tracer.Record(obs.TraceRecord{
+		Op:          op,
+		Side:        side,
+		Transitions: obs.DiffMask(tr.counters, h.rec.Snapshot()),
+		Attempts:    h.Retries - tr.retries,
+		Ns:          time.Since(tr.start).Nanoseconds(),
+		Aborted:     aborted,
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -121,15 +122,17 @@ func (d *Deque) scanRight(n *node) int {
 // slot on the active chain (a datum; or RN/a link when the deque is empty).
 // It also returns the hint word it started from, which callers thread into
 // their hint updates.
-func (d *Deque) lOracle() (*node, int, uint64) {
+func (d *Deque) lOracle(rec *obs.Rec) (*node, int, uint64) {
+	rec.Inc(obs.CtrOracleWalk)
 	for {
 		nd, hintW := d.left.get()
 		nd = d.advanceShadow(&d.left, nd)
-		if edge, idx, ok := d.lOracleWalk(nd, hintW); ok {
+		if edge, idx, ok := d.lOracleWalk(nd, hintW, rec); ok {
 			return edge, idx, hintW
 		}
 		// Hops exhausted or the walk chose to restart: re-read the global
 		// hint and start over.
+		rec.Inc(obs.CtrOracleRestart)
 	}
 }
 
@@ -145,18 +148,21 @@ func (d *Deque) lOracleSeeded(h *Handle) (edge *node, idx int, hintW uint64, cac
 	if c := h.edgeL; c != nil && !d.cfg.NoEdgeCache &&
 		h.idxL >= 1 && h.idxL <= d.sz-1 && d.resolve(c.id) == c &&
 		!chaos.Visit(chaos.EdgeCache) {
+		h.rec.Inc(obs.CtrEdgeCacheHit)
 		return c, h.idxL, d.left.w.Load(), true
 	}
-	edge, idx, hintW = d.lOracle()
+	h.rec.Inc(obs.CtrEdgeCacheMiss)
+	edge, idx, hintW = d.lOracle(h.rec)
 	return edge, idx, hintW, false
 }
 
 // lOracleWalk runs one bounded walk from nd toward the left edge. ok=false
 // means the walk wants a restart from a fresh global hint.
-func (d *Deque) lOracleWalk(nd *node, hintW uint64) (*node, int, bool) {
+func (d *Deque) lOracleWalk(nd *node, hintW uint64, rec *obs.Rec) (*node, int, bool) {
 	sz := d.sz
+	hops := 0
 walk:
-	for hops := 0; hops <= maxOracleHops; hops++ {
+	for ; hops <= maxOracleHops; hops++ {
 		// A forced chaos failure aborts the walk as if the hop budget ran
 		// out: the oracle restarts from a fresh global hint.
 		if chaos.Visit(chaos.Oracle) {
@@ -209,6 +215,7 @@ walk:
 					continue walk
 				}
 				if word.Val(nbr.slots[sz-1].Load()) == nd.id {
+					rec.Add(obs.CtrOracleHop, uint64(hops))
 					return nd, 1, true
 				}
 				// The neighbor no longer points back: nd was removed.
@@ -233,23 +240,28 @@ walk:
 					}
 				}
 			}
+			rec.Add(obs.CtrOracleHop, uint64(hops))
 			return nd, 1, true
 
 		default:
+			rec.Add(obs.CtrOracleHop, uint64(hops))
 			return nd, idx, true
 		}
 	}
+	rec.Add(obs.CtrOracleHop, uint64(hops))
 	return nil, 0, false
 }
 
 // rOracle locates the right edge, mirroring lOracle.
-func (d *Deque) rOracle() (*node, int, uint64) {
+func (d *Deque) rOracle(rec *obs.Rec) (*node, int, uint64) {
+	rec.Inc(obs.CtrOracleWalk)
 	for {
 		nd, hintW := d.right.get()
 		nd = d.advanceShadow(&d.right, nd)
-		if edge, idx, ok := d.rOracleWalk(nd, hintW); ok {
+		if edge, idx, ok := d.rOracleWalk(nd, hintW, rec); ok {
 			return edge, idx, hintW
 		}
+		rec.Inc(obs.CtrOracleRestart)
 	}
 }
 
@@ -258,17 +270,20 @@ func (d *Deque) rOracleSeeded(h *Handle) (edge *node, idx int, hintW uint64, cac
 	if c := h.edgeR; c != nil && !d.cfg.NoEdgeCache &&
 		h.idxR >= 0 && h.idxR <= d.sz-2 && d.resolve(c.id) == c &&
 		!chaos.Visit(chaos.EdgeCache) {
+		h.rec.Inc(obs.CtrEdgeCacheHit)
 		return c, h.idxR, d.right.w.Load(), true
 	}
-	edge, idx, hintW = d.rOracle()
+	h.rec.Inc(obs.CtrEdgeCacheMiss)
+	edge, idx, hintW = d.rOracle(h.rec)
 	return edge, idx, hintW, false
 }
 
 // rOracleWalk mirrors lOracleWalk for the right edge.
-func (d *Deque) rOracleWalk(nd *node, hintW uint64) (*node, int, bool) {
+func (d *Deque) rOracleWalk(nd *node, hintW uint64, rec *obs.Rec) (*node, int, bool) {
 	sz := d.sz
+	hops := 0
 walk:
-	for hops := 0; hops <= maxOracleHops; hops++ {
+	for ; hops <= maxOracleHops; hops++ {
 		if chaos.Visit(chaos.Oracle) {
 			break walk
 		}
@@ -311,6 +326,7 @@ walk:
 					continue walk
 				}
 				if word.Val(nbr.slots[0].Load()) == nd.id {
+					rec.Add(obs.CtrOracleHop, uint64(hops))
 					return nd, sz - 2, true
 				}
 			}
@@ -331,12 +347,15 @@ walk:
 					}
 				}
 			}
+			rec.Add(obs.CtrOracleHop, uint64(hops))
 			return nd, sz - 2, true
 
 		default:
+			rec.Add(obs.CtrOracleHop, uint64(hops))
 			return nd, idx, true
 		}
 	}
+	rec.Add(obs.CtrOracleHop, uint64(hops))
 	return nil, 0, false
 }
 

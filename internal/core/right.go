@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/chaos"
 	"repro/internal/elim"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -17,8 +18,11 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 	if word.IsReserved(v) {
 		return ErrReserved
 	}
+	tr := d.traceStart(h)
 	if d.rElim != nil {
-		return d.pushRightElim(h, v)
+		err := d.pushRightElim(h, v)
+		d.traceEnd(tr, h, obs.OpPush, obs.SideRight, err != nil)
+		return err
 	}
 	for {
 		edge, idx, hintW, cached := d.rOracleSeeded(h)
@@ -27,9 +31,11 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
+			d.traceEnd(tr, h, obs.OpPush, obs.SideRight, false)
 			return nil
 		}
 		if err := h.takeAllocErr(); err != nil {
+			d.traceEnd(tr, h, obs.OpPush, obs.SideRight, true)
 			return err
 		}
 		if cached {
@@ -42,8 +48,11 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 // PopRight removes and returns the rightmost value; ok is false when the
 // deque was empty.
 func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
+	tr := d.traceStart(h)
 	if d.rElim != nil {
-		return d.popRightElim(h)
+		v, ok = d.popRightElim(h)
+		d.traceEnd(tr, h, obs.OpPop, obs.SideRight, false)
+		return v, ok
 	}
 	for {
 		edge, idx, hintW, cached := d.rOracleSeeded(h)
@@ -52,6 +61,7 @@ func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
+			d.traceEnd(tr, h, obs.OpPop, obs.SideRight, false)
 			return v, !empty
 		}
 		if cached {
@@ -102,18 +112,22 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 		return false
 	}
 
-	// Interior push, transition L1.
+	// Interior push, transition L1. Chaos failures count as lost CASes,
+	// exactly as in left.go.
 	if idx != sz-2 {
 		if chaos.Visit(chaos.L1) {
+			h.rec.Inc(obs.CtrFailL1)
 			return false
 		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, v)) {
+			h.rec.Inc(obs.CtrL1)
 			h.edgeR = edge
 			h.idxR = idx + 1
 			h.publishRight(hintW, edge, idx+1)
 			return true
 		}
+		h.rec.Inc(obs.CtrFailL1)
 		return false
 	}
 
@@ -123,18 +137,25 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 			return false // stale: a left-sealed node with no right neighbor
 		}
 		nw, ok := h.spareRight(v, edge)
-		if !ok || chaos.Visit(chaos.L6) {
+		if !ok {
+			return false
+		}
+		if chaos.Visit(chaos.L6) {
+			h.rec.Inc(obs.CtrFailL6)
 			return false
 		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, nw.id)) {
+			h.rec.Inc(obs.CtrL6)
 			h.spareR = nil
 			h.Appends++
 			h.edgeR = nw
 			h.idxR = 1
+			h.rec.Inc(obs.CtrHintPublish)
 			d.right.set(hintW, nw)
 			return true
 		}
+		h.rec.Inc(obs.CtrFailL6)
 		return false
 	}
 
@@ -153,30 +174,39 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 	case word.RN:
 		// Straddling push, transition L3.
 		if chaos.Visit(chaos.L3) {
+			h.rec.Inc(obs.CtrFailL3)
 			return false
 		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			far.CompareAndSwap(farCpy, word.With(farCpy, v)) {
+			h.rec.Inc(obs.CtrL3)
 			outNd.rightSlotHint.Store(1)
 			h.edgeR = outNd
 			h.idxR = 1
+			h.rec.Inc(obs.CtrHintPublish)
 			d.right.set(hintW, outNd)
 			return true
 		}
+		h.rec.Inc(obs.CtrFailL3)
 	case word.RS:
 		// Remove the sealed right neighbor, transition L7.
 		if chaos.Visit(chaos.L7) {
+			h.rec.Inc(obs.CtrFailL7)
 			return false
 		}
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, word.RN)) {
+			h.rec.Inc(obs.CtrL7)
 			h.Removes++
 			edge.rightSlotHint.Store(int64(sz - 2))
 			h.edgeR = edge
 			h.idxR = sz - 2
+			h.rec.Inc(obs.CtrHintPublish)
 			d.right.set(hintW, edge)
-			d.refreshLeftHint()
+			d.refreshLeftHint(h)
 			d.unregisterRight(outNd, edge)
+		} else {
+			h.rec.Inc(obs.CtrFailL7)
 		}
 	}
 	return false
@@ -206,6 +236,7 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 				return 0, false, false
 			}
 			if in.Load() == inCpy {
+				h.rec.Inc(obs.CtrE1)
 				h.edgeR = edge
 				h.idxR = idx
 				return 0, true, true
@@ -213,10 +244,12 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 			return 0, false, false
 		}
 		if chaos.Visit(chaos.L2) {
+			h.rec.Inc(obs.CtrFailL2)
 			return 0, false, false
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
 			in.CompareAndSwap(inCpy, word.With(inCpy, word.RN)) {
+			h.rec.Inc(obs.CtrL2)
 			h.edgeR = edge
 			h.idxR = idx - 1
 			if idx-1 == 0 {
@@ -226,6 +259,7 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 			h.publishRight(hintW, edge, idx-1)
 			return inVal, false, true
 		}
+		h.rec.Inc(obs.CtrFailL2)
 		return 0, false, false
 	}
 
@@ -253,17 +287,22 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 					return 0, false, false
 				}
 				if in.Load() == inCpy {
+					h.rec.Inc(obs.CtrE2)
 					h.edgeR = edge
 					h.idxR = idx
 					return 0, true, true
 				}
 			}
 			// Seal the right neighbor, transition L5.
-			if !chaos.Visit(chaos.L5) &&
-				in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
+			if chaos.Visit(chaos.L5) {
+				h.rec.Inc(obs.CtrFailL5)
+			} else if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 				far.CompareAndSwap(farCpy, word.With(farCpy, word.RS)) {
+				h.rec.Inc(obs.CtrL5)
 				farCpy = word.With(farCpy, word.RS)
 				inCpy = word.Bump(inCpy)
+			} else {
+				h.rec.Inc(obs.CtrFailL5)
 			}
 		}
 
@@ -277,6 +316,7 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 					return 0, false, false
 				}
 				if in.Load() == inCpy {
+					h.rec.Inc(obs.CtrE2)
 					h.edgeR = edge
 					h.idxR = idx
 					return 0, true, true
@@ -284,20 +324,25 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 			}
 			// Remove the sealed neighbor, transition L7.
 			if chaos.Visit(chaos.L7) {
+				h.rec.Inc(obs.CtrFailL7)
 				return 0, false, false
 			}
 			if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 				out.CompareAndSwap(outCpy, word.With(outCpy, word.RN)) {
+				h.rec.Inc(obs.CtrL7)
 				h.Removes++
 				edge.rightSlotHint.Store(int64(sz - 2))
 				h.edgeR = edge
 				h.idxR = sz - 2
+				h.rec.Inc(obs.CtrHintPublish)
 				hintW = d.right.set(hintW, edge)
-				d.refreshLeftHint()
+				d.refreshLeftHint(h)
 				d.unregisterRight(outNd, edge)
 				inCpy = word.Bump(inCpy)
 				outCpy = word.With(outCpy, word.RN)
 				outVal = word.RN
+			} else {
+				h.rec.Inc(obs.CtrFailL7)
 			}
 		}
 	}
@@ -310,6 +355,7 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 				return 0, false, false
 			}
 			if in.Load() == inCpy {
+				h.rec.Inc(obs.CtrE3)
 				h.edgeR = edge
 				h.idxR = idx
 				return 0, true, true
@@ -320,15 +366,18 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 			return 0, false, false // seals are never popped
 		}
 		if chaos.Visit(chaos.L4) {
+			h.rec.Inc(obs.CtrFailL4)
 			return 0, false, false
 		}
 		if out.CompareAndSwap(outCpy, word.Bump(outCpy)) &&
 			in.CompareAndSwap(inCpy, word.With(inCpy, word.RN)) {
+			h.rec.Inc(obs.CtrL4)
 			h.edgeR = edge
 			h.idxR = sz - 3
 			h.publishRight(hintW, edge, sz-3)
 			return inVal, false, true
 		}
+		h.rec.Inc(obs.CtrFailL4)
 	}
 	return 0, false, false
 }
@@ -343,8 +392,9 @@ func (d *Deque) pushRightElim(h *Handle, v uint32) error {
 	}
 	d.rElim.Insert(h.tid, elim.Push, v)
 	for {
-		edge, idx, hintW := d.rOracle()
+		edge, idx, hintW := d.rOracle(h.rec)
 		if _, eliminated := d.rElim.Remove(h.tid); eliminated {
+			h.rec.Inc(obs.CtrElimPush)
 			h.Eliminated++
 			h.noteSuccess()
 			return nil
@@ -357,10 +407,12 @@ func (d *Deque) pushRightElim(h *Handle, v uint32) error {
 			return err
 		}
 		if _, ok := d.rElim.Scan(h.tid, elim.Push, v); ok {
+			h.rec.Inc(obs.CtrElimPush)
 			h.Eliminated++
 			h.noteSuccess()
 			return nil
 		}
+		h.rec.Inc(obs.CtrElimMiss)
 		d.rElim.Insert(h.tid, elim.Push, v)
 		h.noteFailure()
 	}
@@ -375,8 +427,9 @@ func (d *Deque) popRightElim(h *Handle) (uint32, bool) {
 	}
 	d.rElim.Insert(h.tid, elim.Pop, 0)
 	for {
-		edge, idx, hintW := d.rOracle()
+		edge, idx, hintW := d.rOracle(h.rec)
 		if v, eliminated := d.rElim.Remove(h.tid); eliminated {
+			h.rec.Inc(obs.CtrElimPop)
 			h.Eliminated++
 			h.noteSuccess()
 			return v, true
@@ -386,10 +439,12 @@ func (d *Deque) popRightElim(h *Handle) (uint32, bool) {
 			return v, !empty
 		}
 		if v, ok := d.rElim.Scan(h.tid, elim.Pop, 0); ok {
+			h.rec.Inc(obs.CtrElimPop)
 			h.Eliminated++
 			h.noteSuccess()
 			return v, true
 		}
+		h.rec.Inc(obs.CtrElimMiss)
 		d.rElim.Insert(h.tid, elim.Pop, 0)
 		h.noteFailure()
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -39,7 +40,7 @@ func TestLeftOracleReturnsPendingRSStraddle(t *testing.T) {
 	var idx int
 	go func() {
 		defer close(done)
-		edge, idx, _ = d.lOracle()
+		edge, idx, _ = d.lOracle(new(obs.Rec))
 	}()
 	select {
 	case <-done:

@@ -1,0 +1,23 @@
+//go:build obsoff
+
+package obs
+
+// Enabled reports whether counter recording is compiled in.
+const Enabled = false
+
+// Rec is the no-op counter block of the obsoff build: zero-size, every
+// method constant-foldable, so the compiler erases the whole layer from
+// the hot paths. Metrics() still works; counters just read 0.
+type Rec struct{}
+
+// Inc is a no-op on the obsoff build.
+func (r *Rec) Inc(Counter) {}
+
+// Add is a no-op on the obsoff build.
+func (r *Rec) Add(Counter, uint64) {}
+
+// Load returns 0 on the obsoff build.
+func (r *Rec) Load(Counter) uint64 { return 0 }
+
+// Snapshot returns all zeros on the obsoff build.
+func (r *Rec) Snapshot() [NumCounters]uint64 { return [NumCounters]uint64{} }

@@ -1,0 +1,47 @@
+//go:build !obsoff && race
+
+package obs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// Enabled reports whether counter recording is compiled in. The `obsoff`
+// build tag turns every increment into a no-op for A/B-measuring the
+// observability layer's own cost.
+const Enabled = true
+
+// Rec under the race detector: the plain single-writer increments of
+// rec_on.go are word-sized races against Registry.Merge's atomic loads —
+// harmless by the memory model's word-tearing guarantee but flagged by the
+// detector — so -race builds swap in this fully-atomic block and pay the
+// LOCK-prefixed adds. Keep the two variants' semantics identical.
+type Rec struct {
+	_ pad.Spacer
+	c [NumCounters]atomic.Uint64
+	_ pad.Spacer
+}
+
+// Inc adds 1 to counter c.
+func (r *Rec) Inc(c Counter) { r.c[c].Add(1) }
+
+// Add adds n to counter c.
+func (r *Rec) Add(c Counter, n uint64) {
+	if n != 0 {
+		r.c[c].Add(n)
+	}
+}
+
+// Load returns counter c's current value.
+func (r *Rec) Load(c Counter) uint64 { return r.c[c].Load() }
+
+// Snapshot copies the whole counter block.
+func (r *Rec) Snapshot() [NumCounters]uint64 {
+	var s [NumCounters]uint64
+	for i := range s {
+		s[i] = r.c[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// The op tracer records a small sampled fraction of operations into a
+// fixed-size ring buffer: which op, which side, which transitions the
+// attempt cycle touched, how many failed cycles it took, and how long it
+// ran. Sampling is decided per handle (a cheap countdown), so an armed
+// tracer costs the unsampled hot path one branch and one increment; a
+// sampled op additionally snapshots its handle's counter block before and
+// after, which is how "transitions taken" is recovered without threading
+// state through the transition functions.
+
+// Op is the traced operation kind.
+type Op uint8
+
+const (
+	// OpPush is a push (left or right).
+	OpPush Op = iota
+	// OpPop is a pop (left or right).
+	OpPop
+)
+
+// String returns "push" or "pop".
+func (o Op) String() string {
+	if o == OpPush {
+		return "push"
+	}
+	return "pop"
+}
+
+// Side is the deque end an operation worked.
+type Side uint8
+
+const (
+	// SideLeft is the left end.
+	SideLeft Side = iota
+	// SideRight is the right end.
+	SideRight
+)
+
+// String returns "left" or "right".
+func (s Side) String() string {
+	if s == SideLeft {
+		return "left"
+	}
+	return "right"
+}
+
+// TraceRecord is one sampled operation.
+type TraceRecord struct {
+	// Op and Side identify the operation.
+	Op   Op   `json:"op"`
+	Side Side `json:"side"`
+	// Transitions is a bitmask over Counter indices: bit i is set when
+	// counter Counter(i) advanced during the operation — the transitions,
+	// empty checks, failures, and cache/oracle events the op took. Zero on
+	// the obsoff build.
+	Transitions uint32 `json:"transitions"`
+	// Attempts is the number of failed oracle+transition cycles before the
+	// operation completed (0 = first try).
+	Attempts uint64 `json:"attempts"`
+	// Ns is the operation's wall-clock duration in nanoseconds.
+	Ns int64 `json:"ns"`
+	// Aborted marks ops that ended with cancellation or a spent attempt
+	// budget instead of completing.
+	Aborted bool `json:"aborted,omitempty"`
+}
+
+// Took reports whether counter c advanced during the traced op.
+func (r TraceRecord) Took(c Counter) bool { return r.Transitions&(1<<uint32(c)) != 0 }
+
+// String renders the record compactly, e.g.
+// "push left [l1 hint_publish] attempts=0 123ns".
+func (r TraceRecord) String() string {
+	var names []string
+	for c := Counter(0); c < NumCounters; c++ {
+		if r.Took(c) {
+			names = append(names, c.String())
+		}
+	}
+	ab := ""
+	if r.Aborted {
+		ab = " aborted"
+	}
+	return fmt.Sprintf("%s %s [%s] attempts=%d %dns%s",
+		r.Op, r.Side, strings.Join(names, " "), r.Attempts, r.Ns, ab)
+}
+
+// DiffMask converts a before/after counter-block pair into a Transitions
+// bitmask.
+func DiffMask(before, after [NumCounters]uint64) uint32 {
+	var m uint32
+	for i := range before {
+		if after[i] != before[i] {
+			m |= 1 << uint32(i)
+		}
+	}
+	return m
+}
+
+// Tracer is a sampled-op ring buffer, safe for concurrent recording.
+// Records are overwritten oldest-first once the ring is full.
+type Tracer struct {
+	sample uint32
+
+	mu    sync.Mutex
+	buf   []TraceRecord
+	next  int
+	total uint64
+}
+
+// DefaultTraceBuf is the ring length used when the caller passes 0.
+const DefaultTraceBuf = 4096
+
+// NewTracer returns a tracer keeping the last buflen records and asking
+// handles to sample every sample-th operation (minimum 1 = every op).
+func NewTracer(sample, buflen int) *Tracer {
+	if sample < 1 {
+		sample = 1
+	}
+	if buflen <= 0 {
+		buflen = DefaultTraceBuf
+	}
+	return &Tracer{sample: uint32(sample), buf: make([]TraceRecord, 0, buflen)}
+}
+
+// Sample returns the sampling interval (record 1 op in Sample).
+func (t *Tracer) Sample() uint32 { return t.sample }
+
+// Record appends r to the ring.
+func (t *Tracer) Record(r TraceRecord) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, r)
+	} else {
+		t.buf[t.next] = r
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of records ever written (including overwritten
+// ones).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Records returns a copy of the buffered records, oldest first.
+func (t *Tracer) Records() []TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}

@@ -1,0 +1,79 @@
+package deque
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// MetricsEnabled reports whether the observability counters are compiled
+// in. It is false only under the `obsoff` build tag, in which case every
+// counter in Metrics is zero (the gauges and Handles still work).
+const MetricsEnabled = obs.Enabled
+
+// Metrics is one aggregated observability snapshot of a deque: the merged
+// per-handle transition/empty-check/CAS-failure counters (see
+// docs/ALGORITHM.md for the counter-to-paper mapping) plus occupancy
+// gauges. All counter fields are monotone across snapshots of the same
+// deque.
+type Metrics = obs.Metrics
+
+// Derived holds the rates computed from a Metrics snapshot by
+// Metrics.Derive: straddle ratio, seal rate, CAS-failure ratio, mean
+// oracle hops per op, elimination rate, edge-cache hit rate.
+type Derived = obs.Derived
+
+// TraceRecord is one sampled operation captured by WithTracing: which op,
+// which side, the set of paper transitions it took, how many retry cycles
+// it burned, and how long it ran.
+type TraceRecord = obs.TraceRecord
+
+// Metrics returns an aggregated snapshot of this deque's observability
+// counters and occupancy gauges. Safe to call concurrently with
+// operations; each counter is individually monotone across snapshots.
+func (d *Deque[T]) Metrics() Metrics {
+	m := d.core.Metrics()
+	m.ValuesHighWater = uint64(d.slab.HighWater())
+	m.ValueCapacity = uint64(d.slab.Limit())
+	return m
+}
+
+// Metrics returns an aggregated snapshot of this deque's observability
+// counters and occupancy gauges (the value-slab gauges stay zero: Uint32
+// stores values directly in the slots).
+func (d *Uint32) Metrics() Metrics { return d.core.Metrics() }
+
+// TraceRecords returns the sampled-op ring's contents, oldest first, or
+// nil when tracing is off (see WithTracing).
+func (d *Deque[T]) TraceRecords() []TraceRecord { return d.core.TraceRecords() }
+
+// TraceRecords mirrors Deque[T].TraceRecords.
+func (d *Uint32) TraceRecords() []TraceRecord { return d.core.TraceRecords() }
+
+// TraceTotal returns how many operations have been sampled in total,
+// including records already overwritten in the ring; 0 when tracing is off.
+func (d *Deque[T]) TraceTotal() uint64 { return d.core.TraceTotal() }
+
+// TraceTotal mirrors Deque[T].TraceTotal.
+func (d *Uint32) TraceTotal() uint64 { return d.core.TraceTotal() }
+
+// PublishExpvar registers this deque under the given expvar name; the
+// variable renders {"metrics": ..., "derived": ...} from a fresh snapshot
+// on every read (e.g. of /debug/vars). Returns an error if the name is
+// already published.
+func (d *Deque[T]) PublishExpvar(name string) error {
+	return obs.PublishExpvar(name, d.Metrics)
+}
+
+// PublishExpvar mirrors Deque[T].PublishExpvar.
+func (d *Uint32) PublishExpvar(name string) error {
+	return obs.PublishExpvar(name, d.Metrics)
+}
+
+// WriteMetricsProm writes m in Prometheus text exposition format, every
+// series prefixed with prefix (e.g. "deque"). Pair with a Metrics() call
+// inside an http.Handler for a scrape endpoint; cmd/obsserve is a worked
+// example.
+func WriteMetricsProm(w io.Writer, prefix string, m Metrics) error {
+	return obs.WriteProm(w, prefix, m)
+}

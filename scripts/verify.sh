@@ -14,8 +14,17 @@ go vet ./...
 echo "== go test (full) =="
 go test ./... -count=1
 
-echo "== go test -race -short (core, arena, root) =="
-go test -race -short -count=1 ./internal/core/ ./internal/arena/ .
+echo "== go test -race -short (core, arena, obs, root) =="
+go test -race -short -count=1 ./internal/core/ ./internal/arena/ ./internal/obs/ .
+
+echo "== go vet (obsoff build) =="
+go vet -tags obsoff ./...
+
+echo "== go test -tags obsoff (counters compiled out) =="
+go test -tags obsoff -count=1 . ./internal/core/ ./internal/obs/
+
+echo "== metrics-overhead A/B gate (default vs -tags obsoff) =="
+sh scripts/obs_overhead.sh
 
 echo "== go vet (chaos build) =="
 go vet -tags chaos ./...

@@ -1,5 +1,7 @@
 package deque
 
+import "context"
+
 // Stack and Queue are restricted views over the deque, for callers that
 // want the conventional container vocabulary. They correspond exactly to
 // the Stack and Queue access patterns of the paper's evaluation: a Stack
@@ -29,6 +31,9 @@ func (s Stack[T]) Register() *StackHandle[T] {
 // Len returns the element count; exact only in quiescence.
 func (s Stack[T]) Len() int { return s.d.Len() }
 
+// Metrics returns the backing deque's aggregated observability snapshot.
+func (s Stack[T]) Metrics() Metrics { return s.d.Metrics() }
+
 // StackHandle is a per-goroutine accessor to a Stack.
 type StackHandle[T any] struct {
 	h *Handle[T]
@@ -41,6 +46,39 @@ func (h *StackHandle[T]) Push(v T) error { return h.h.PushLeft(v) }
 // Pop removes and returns the most recently pushed value; ok is false when
 // the stack is empty.
 func (h *StackHandle[T]) Pop() (T, bool) { return h.h.PopLeft() }
+
+// PushCtx is Push, aborting with ctx.Err() once ctx is cancelled; a
+// non-nil error means nothing was pushed.
+func (h *StackHandle[T]) PushCtx(ctx context.Context, v T) error { return h.h.PushLeftCtx(ctx, v) }
+
+// PopCtx is Pop, aborting with ctx.Err() once ctx is cancelled. ok is
+// meaningful only when err is nil.
+func (h *StackHandle[T]) PopCtx(ctx context.Context) (T, bool, error) { return h.h.PopLeftCtx(ctx) }
+
+// TryPush is Push bounded to at most attempts retry cycles (minimum 1);
+// ErrContended means the budget was spent and nothing was pushed.
+func (h *StackHandle[T]) TryPush(v T, attempts int) error { return h.h.TryPushLeft(v, attempts) }
+
+// TryPop is Pop bounded to at most attempts retry cycles; err is
+// ErrContended when the budget is spent. ok is meaningful only when err is
+// nil.
+func (h *StackHandle[T]) TryPop(attempts int) (T, bool, error) { return h.h.TryPopLeft(attempts) }
+
+// PushN pushes the elements of vs in order, each becoming the new top —
+// equivalent to calling Push per element, batched. On ErrFull the returned
+// count reports how many landed; the prefix vs[:n] stays pushed.
+func (h *StackHandle[T]) PushN(vs []T) (int, error) { return h.h.PushLeftN(vs) }
+
+// PopN pops up to len(dst) values from the top into dst in pop order,
+// stopping early when the stack is empty. Returns the count popped.
+func (h *StackHandle[T]) PopN(dst []T) int { return h.h.PopLeftN(dst) }
+
+// Stats returns a copy of this handle's operation counters.
+func (h *StackHandle[T]) Stats() Stats { return h.h.Stats() }
+
+// Flush returns the handle's cached slab capacity to the shared freelists;
+// call it when the goroutine is done with the handle for good.
+func (h *StackHandle[T]) Flush() { h.h.Flush() }
 
 // Queue is a FIFO view. Obtain one with AsQueue.
 type Queue[T any] struct {
@@ -61,6 +99,9 @@ func (q Queue[T]) Register() *QueueHandle[T] {
 // Len returns the element count; exact only in quiescence.
 func (q Queue[T]) Len() int { return q.d.Len() }
 
+// Metrics returns the backing deque's aggregated observability snapshot.
+func (q Queue[T]) Metrics() Metrics { return q.d.Metrics() }
+
 // QueueHandle is a per-goroutine accessor to a Queue.
 type QueueHandle[T any] struct {
 	h *Handle[T]
@@ -73,3 +114,41 @@ func (h *QueueHandle[T]) Enqueue(v T) error { return h.h.PushLeft(v) }
 // Dequeue removes and returns the oldest value; ok is false when the queue
 // is empty.
 func (h *QueueHandle[T]) Dequeue() (T, bool) { return h.h.PopRight() }
+
+// EnqueueCtx is Enqueue, aborting with ctx.Err() once ctx is cancelled; a
+// non-nil error means nothing was enqueued.
+func (h *QueueHandle[T]) EnqueueCtx(ctx context.Context, v T) error {
+	return h.h.PushLeftCtx(ctx, v)
+}
+
+// DequeueCtx is Dequeue, aborting with ctx.Err() once ctx is cancelled. ok
+// is meaningful only when err is nil.
+func (h *QueueHandle[T]) DequeueCtx(ctx context.Context) (T, bool, error) {
+	return h.h.PopRightCtx(ctx)
+}
+
+// TryEnqueue is Enqueue bounded to at most attempts retry cycles (minimum
+// 1); ErrContended means the budget was spent and nothing was enqueued.
+func (h *QueueHandle[T]) TryEnqueue(v T, attempts int) error { return h.h.TryPushLeft(v, attempts) }
+
+// TryDequeue is Dequeue bounded to at most attempts retry cycles; err is
+// ErrContended when the budget is spent. ok is meaningful only when err is
+// nil.
+func (h *QueueHandle[T]) TryDequeue(attempts int) (T, bool, error) { return h.h.TryPopRight(attempts) }
+
+// EnqueueN enqueues the elements of vs in order (vs[0] dequeues first among
+// them) — equivalent to calling Enqueue per element, batched. On ErrFull
+// the returned count reports how many landed; the prefix vs[:n] stays
+// enqueued.
+func (h *QueueHandle[T]) EnqueueN(vs []T) (int, error) { return h.h.PushLeftN(vs) }
+
+// DequeueN dequeues up to len(dst) values into dst in dequeue order,
+// stopping early when the queue is empty. Returns the count dequeued.
+func (h *QueueHandle[T]) DequeueN(dst []T) int { return h.h.PopRightN(dst) }
+
+// Stats returns a copy of this handle's operation counters.
+func (h *QueueHandle[T]) Stats() Stats { return h.h.Stats() }
+
+// Flush returns the handle's cached slab capacity to the shared freelists;
+// call it when the goroutine is done with the handle for good.
+func (h *QueueHandle[T]) Flush() { h.h.Flush() }

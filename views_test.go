@@ -1,6 +1,8 @@
 package deque
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 )
@@ -128,4 +130,95 @@ func TestQueueConcurrentOrderPerProducer(t *testing.T) {
 	}()
 	wg.Wait()
 	close(errs)
+}
+
+func TestStackHandleParity(t *testing.T) {
+	// The stack view exposes the full handle vocabulary: ctx, bounded,
+	// batch, stats, flush — all delegating to the left end.
+	s := NewStack[int](WithNodeSize(8))
+	h := s.Register()
+	ctx := context.Background()
+
+	if err := h.PushCtx(ctx, 1); err != nil {
+		t.Fatalf("PushCtx: %v", err)
+	}
+	if err := h.TryPush(2, 1); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+	if v, ok, err := h.TryPop(1); err != nil || !ok || v != 2 {
+		t.Fatalf("TryPop = (%d, %v, %v), want (2, true, nil)", v, ok, err)
+	}
+	if v, ok, err := h.PopCtx(ctx); err != nil || !ok || v != 1 {
+		t.Fatalf("PopCtx = (%d, %v, %v), want (1, true, nil)", v, ok, err)
+	}
+
+	if n, err := h.PushN([]int{10, 11, 12}); n != 3 || err != nil {
+		t.Fatalf("PushN = (%d, %v)", n, err)
+	}
+	dst := make([]int, 4)
+	if n := h.PopN(dst); n != 3 {
+		t.Fatalf("PopN = %d, want 3", n)
+	}
+	// LIFO: batch pushes land like individual pushes, so they pop reversed.
+	for i, want := range []int{12, 11, 10} {
+		if dst[i] != want {
+			t.Fatalf("PopN[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+
+	if st := h.Stats(); st.ConsecFails != 0 {
+		t.Fatalf("Stats().ConsecFails = %d after successes, want 0", st.ConsecFails)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := h.PushCtx(cancelled, 9); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PushCtx pre-cancelled = %v, want Canceled", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if got := s.Metrics().Pushes(); MetricsEnabled && got != 5 {
+		t.Fatalf("Metrics().Pushes() = %d, want 5", got)
+	}
+	h.Flush()
+}
+
+func TestQueueHandleParity(t *testing.T) {
+	q := NewQueue[string](WithNodeSize(8))
+	h := q.Register()
+	ctx := context.Background()
+
+	if err := h.EnqueueCtx(ctx, "a"); err != nil {
+		t.Fatalf("EnqueueCtx: %v", err)
+	}
+	if err := h.TryEnqueue("b", 1); err != nil {
+		t.Fatalf("TryEnqueue: %v", err)
+	}
+	if n, err := h.EnqueueN([]string{"c", "d"}); n != 2 || err != nil {
+		t.Fatalf("EnqueueN = (%d, %v)", n, err)
+	}
+	// FIFO across all enqueue forms, batches included.
+	if v, ok, err := h.DequeueCtx(ctx); err != nil || !ok || v != "a" {
+		t.Fatalf("DequeueCtx = (%q, %v, %v), want (a, true, nil)", v, ok, err)
+	}
+	if v, ok, err := h.TryDequeue(1); err != nil || !ok || v != "b" {
+		t.Fatalf("TryDequeue = (%q, %v, %v), want (b, true, nil)", v, ok, err)
+	}
+	dst := make([]string, 4)
+	if n := h.DequeueN(dst); n != 2 || dst[0] != "c" || dst[1] != "d" {
+		t.Fatalf("DequeueN = %d %q, want 2 [c d]", n, dst[:n])
+	}
+
+	if st := h.Stats(); st.ConsecFails != 0 {
+		t.Fatalf("Stats().ConsecFails = %d after successes, want 0", st.ConsecFails)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := h.DequeueCtx(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DequeueCtx pre-cancelled = %v, want Canceled", err)
+	}
+	if got := q.Metrics().Pushes(); MetricsEnabled && got != 4 {
+		t.Fatalf("Metrics().Pushes() = %d, want 4", got)
+	}
+	h.Flush()
 }
