@@ -1,6 +1,7 @@
 package deque
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -174,5 +175,116 @@ func TestConcurrentBatchNoValueLoss(t *testing.T) {
 	want := workers * (iters / 2) * 5
 	if total != want {
 		t.Fatalf("recovered %d values, want %d", total, want)
+	}
+}
+
+// TestTruncatedBatchPushPopPrefix pins the (n int) contract across the
+// batch APIs: a PushRightN truncated by ErrFull reports the landed prefix
+// length k, and draining pops observe exactly vs[:k] — in order from the
+// left, reversed from the right — with dst[n:] untouched on every pop.
+func TestTruncatedBatchPushPopPrefix(t *testing.T) {
+	// A tiny node registry exhausts mid-batch, which is the only way a
+	// batch push truncates to a non-trivial prefix from the public API
+	// (the value slab of Deque[T] reserves batch space all-or-nothing).
+	// WithRegistryLimit rounds up to the arena's 8192-ID chunk size, so
+	// the smallest real limit is 8192 nodes; at NodeSize 4 that exhausts
+	// within ~32k pushes — the batch is sized past it.
+	newSmall := func() *Uint32 {
+		return NewUint32(WithNodeSize(4), WithRegistryLimit(1), WithMaxThreads(2))
+	}
+	vs := make([]uint32, 40_000)
+	for i := range vs {
+		vs[i] = 1000 + uint32(i)
+	}
+
+	d := newSmall()
+	h := d.Register()
+	k, err := h.PushRightN(vs)
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("PushRightN on tiny registry = (%d, %v), want ErrFull", k, err)
+	}
+	if k <= 0 || k >= len(vs) {
+		t.Fatalf("prefix k = %d, want a strict prefix of %d", k, len(vs))
+	}
+	if got := d.Len(); got != k {
+		t.Fatalf("Len = %d after truncated push, want %d", got, k)
+	}
+
+	// PopLeftN observes vs[:k] in push order, and leaves dst[n:] alone.
+	const sentinel = 0xABABABAB
+	dst := make([]uint32, len(vs))
+	for i := range dst {
+		dst[i] = sentinel
+	}
+	n := h.PopLeftN(dst)
+	if n != k {
+		t.Fatalf("PopLeftN = %d, want the full prefix %d", n, k)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != vs[i] {
+			t.Fatalf("dst[%d] = %d, want %d (the pushed prefix, in order)", i, dst[i], vs[i])
+		}
+	}
+	for i := n; i < len(dst); i++ {
+		if dst[i] != sentinel {
+			t.Fatalf("dst[%d] clobbered to %d past the popped count", i, dst[i])
+		}
+	}
+	if n = h.PopLeftN(dst); n != 0 {
+		t.Fatalf("second PopLeftN = %d, want 0 (nothing of vs[k:] may appear)", n)
+	}
+
+	// Same shape from the right: PopRightN sees the prefix reversed.
+	d2 := newSmall()
+	h2 := d2.Register()
+	k2, err := h2.PushRightN(vs)
+	if !errors.Is(err, ErrFull) || k2 <= 0 || k2 >= len(vs) {
+		t.Fatalf("second PushRightN = (%d, %v), want strict prefix + ErrFull", k2, err)
+	}
+	got := 0
+	small := make([]uint32, 5) // odd chunk size exercises partial fills
+	for {
+		n := h2.PopRightN(small)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if want := vs[k2-1-got]; small[i] != want {
+				t.Fatalf("right-drain value %d = %d, want %d", got, small[i], want)
+			}
+			got++
+		}
+	}
+	if got != k2 {
+		t.Fatalf("right drain recovered %d values, want %d", got, k2)
+	}
+}
+
+// TestTruncatedBatchPrefixViews pins the same contract through the Queue
+// view vocabulary: EnqueueN truncated to (k, ErrFull), DequeueN returns
+// exactly the enqueued prefix, oldest first.
+func TestTruncatedBatchPrefixViews(t *testing.T) {
+	q := NewQueue[int](WithNodeSize(4), WithRegistryLimit(1), WithMaxThreads(2))
+	h := q.Register()
+	vs := make([]int, 40_000)
+	for i := range vs {
+		vs[i] = 7000 + i
+	}
+	k, err := h.EnqueueN(vs)
+	if !errors.Is(err, ErrFull) || k <= 0 || k >= len(vs) {
+		t.Fatalf("EnqueueN = (%d, %v), want strict prefix + ErrFull", k, err)
+	}
+	dst := make([]int, len(vs))
+	n := h.DequeueN(dst)
+	if n != k {
+		t.Fatalf("DequeueN = %d, want %d", n, k)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != vs[i] {
+			t.Fatalf("dequeued[%d] = %d, want %d", i, dst[i], vs[i])
+		}
+	}
+	if h.DequeueN(dst) != 0 {
+		t.Fatal("queue must be empty after draining the prefix")
 	}
 }

@@ -1,0 +1,135 @@
+// Command dequed serves a sharded deque pool over TCP, speaking the
+// internal/wire protocol — the paper's structure as a network service.
+// Each connection gets its own goroutine and a pooled per-connection
+// handle; requests on a connection are answered strictly in order, so
+// clients may pipeline freely.
+//
+// Lifecycle: SIGINT/SIGTERM starts a graceful drain — the listener
+// closes, connected clients keep being served until they hang up or the
+// drain timeout passes (then in-flight operations are cancelled), and a
+// final Prometheus-format metrics snapshot goes to stderr before exit.
+//
+// Example:
+//
+//	dequed -addr :7411 -shards 4 -route least -metrics localhost:7412 &
+//	dqload -addr localhost:7411 -conns 8 -duration 5s
+//	curl -s localhost:7412/metrics | grep ops_total
+//	kill -TERM %1   # drains, dumps metrics, exits 0
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	dq "repro"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:7411", "TCP listen address (use :0 with -addr-file for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the bound listen address to this file once listening")
+		shards   = flag.Int("shards", 4, "deque shards in the pool")
+		route    = flag.String("route", "rr", "routing policy: rr, key, or least")
+		steal    = flag.Bool("steal", true, "steal-on-empty rebalancing across shards")
+		capacity = flag.Int("capacity", 0, "per-shard value capacity (0 = default)")
+		maxconns = flag.Int("maxconns", 64, "concurrent connection cap (pool handles are pooled up to this)")
+		metrics  = flag.String("metrics", "", "serve Prometheus /metrics on this HTTP address (empty disables)")
+		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful drain window on SIGTERM before in-flight ops are cancelled")
+	)
+	flag.Parse()
+
+	policy, err := dq.ParseRoutePolicy(*route)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dequed:", err)
+		os.Exit(2)
+	}
+	var shardOpts []dq.Option
+	if *capacity > 0 {
+		shardOpts = append(shardOpts, dq.WithCapacity(*capacity))
+	}
+	srv, err := NewServer(Config{
+		Shards:       *shards,
+		Route:        policy,
+		Steal:        *steal,
+		MaxConns:     *maxconns,
+		DrainTimeout: *drain,
+		ShardOpts:    shardOpts,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dequed:", err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dequed:", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dequed:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Optional scrape endpoint: a fresh pool-merged snapshot per request.
+	var msrv *http.Server
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := dq.WriteMetricsProm(rw, "dequed", srv.Pool().Metrics()); err != nil {
+				fmt.Fprintln(os.Stderr, "dequed: write /metrics:", err)
+			}
+		})
+		msrv = &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "dequed: metrics server:", err)
+			}
+		}()
+	}
+
+	fmt.Printf("dequed: %d shards, route=%s steal=%v maxconns=%d on %s\n",
+		*shards, policy, *steal, *maxconns, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	exit := 0
+	select {
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills
+		fmt.Fprintf(os.Stderr, "dequed: draining (up to %s)\n", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "dequed: hard stop after drain timeout:", err)
+		}
+		cancel()
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dequed:", err)
+			exit = 1
+		}
+	}
+	if msrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		msrv.Shutdown(sctx)
+		cancel()
+	}
+
+	fmt.Fprintln(os.Stderr, "dequed: final metrics snapshot")
+	if err := dq.WriteMetricsProm(os.Stderr, "dequed", srv.Pool().Metrics()); err != nil {
+		fmt.Fprintln(os.Stderr, "dequed:", err)
+	}
+	os.Exit(exit)
+}

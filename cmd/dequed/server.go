@@ -1,0 +1,300 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	dq "repro"
+	"repro/internal/wire"
+)
+
+// Config collects everything a Server needs. The zero value is not
+// usable; main (and the tests) fill it from flags.
+type Config struct {
+	Shards       int            // pool width
+	Route        dq.RoutePolicy // routing policy for every connection
+	Steal        bool           // steal-on-empty rebalancing
+	MaxConns     int            // concurrent connection (= pool handle) cap
+	DrainTimeout time.Duration  // Shutdown grace before hard-cancel (0 = forever)
+	ShardOpts    []dq.Option    // forwarded to every shard (capacity, node size, ...)
+}
+
+// Server owns a sharded deque pool and serves the wire protocol over TCP.
+// One goroutine per connection; each borrows a PoolHandle from a fixed
+// freelist for the connection's lifetime — handle registration is
+// permanent (each shard admits at most MaxThreads handles, ever), so the
+// freelist is what lets connection churn run forever on a bounded pool.
+type Server struct {
+	cfg  Config
+	pool *dq.Pool[uint32]
+
+	// ctx cancels in-flight blocked operations on hard shutdown.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Handle freelist: acquire prefers a parked handle, registers a new
+	// one while under the cap, and otherwise waits for a connection to
+	// finish. cap(handles) == MaxConns so release never blocks.
+	handles    chan *dq.PoolHandle[uint32]
+	hmu        sync.Mutex
+	registered int
+
+	lnMu sync.Mutex
+	ln   net.Listener
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer validates cfg and builds the pool. MaxThreads for every shard
+// is derived from MaxConns (+1 for the process's own metrics/drain use),
+// so callers need not pass it in ShardOpts.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	opts := append([]dq.Option{dq.WithMaxThreads(cfg.MaxConns + 1)}, cfg.ShardOpts...)
+	pool, err := dq.NewPoolChecked[uint32](cfg.Shards,
+		dq.WithRouting(cfg.Route),
+		dq.WithStealing(cfg.Steal),
+		dq.WithShardOptions(opts...),
+	)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		pool:    pool,
+		ctx:     ctx,
+		cancel:  cancel,
+		handles: make(chan *dq.PoolHandle[uint32], cfg.MaxConns),
+		conns:   make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Pool exposes the backing pool for the final metrics snapshot and tests.
+func (s *Server) Pool() *dq.Pool[uint32] { return s.pool }
+
+// Serve accepts connections on ln until the listener closes (Shutdown
+// does that). A closed listener is a clean return, not an error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+		}()
+	}
+}
+
+// Shutdown drains gracefully: the listener closes (no new connections),
+// existing connections keep being answered until they hang up, and only
+// once ctx expires are in-flight operations cancelled and connections
+// force-closed. Returns nil on a clean drain, ctx.Err() on the hard path.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Hard stop: abort blocked Ctx operations, then unblock reads.
+	s.cancel()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// acquireHandle borrows a pool handle for one connection's lifetime.
+func (s *Server) acquireHandle() (*dq.PoolHandle[uint32], error) {
+	select {
+	case h := <-s.handles:
+		return h, nil
+	default:
+	}
+	s.hmu.Lock()
+	if s.registered < s.cfg.MaxConns {
+		s.registered++
+		s.hmu.Unlock()
+		return s.pool.Register(), nil
+	}
+	s.hmu.Unlock()
+	select {
+	case h := <-s.handles:
+		return h, nil
+	case <-s.ctx.Done():
+		return nil, s.ctx.Err()
+	}
+}
+
+// serveConn runs one connection's request loop: read a frame, apply it to
+// the pool, append the response, and flush only when the read buffer runs
+// dry — that last rule is what makes pipelining pay (one flush per burst,
+// not per frame). Any read error — clean EOF, mid-frame disconnect,
+// protocol desync — ends the connection; the deque state is always
+// consistent because every accepted operation completed before its
+// response was queued.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	h, err := s.acquireHandle()
+	if err != nil {
+		return // shutting down
+	}
+	defer func() { s.handles <- h }()
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	var (
+		req     wire.Request
+		resp    wire.Response
+		scratch []byte
+		out     []byte
+		dst     []uint32
+	)
+	for {
+		scratch, err = wire.ReadRequest(br, &req, scratch)
+		if err != nil {
+			return
+		}
+		resp.Tag = req.Tag
+		resp.Count = 0
+		resp.Values = resp.Values[:0]
+		dst = s.apply(h, &req, &resp, dst)
+		out = wire.AppendResponse(out[:0], &resp)
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// apply executes one validated request against the connection's handle
+// and fills resp. dst is the reusable pop buffer (returned possibly
+// grown). Statuses follow wire.StatusOf: the deque's error contract
+// crosses the wire unchanged.
+func (s *Server) apply(h *dq.PoolHandle[uint32], req *wire.Request, resp *wire.Response, dst []uint32) []uint32 {
+	if st := req.Validate(); st != wire.StatusOK {
+		resp.Status = st
+		return dst
+	}
+	left := req.Side == wire.Left
+	switch req.Op {
+	case wire.OpPing:
+		resp.Status = wire.StatusOK
+
+	case wire.OpLen:
+		resp.Status = wire.StatusOK
+		resp.Count = uint32(s.pool.LenEstimate())
+
+	case wire.OpPush:
+		var err error
+		if left {
+			err = h.PushLeftCtx(s.ctx, req.Key, req.Values[0])
+		} else {
+			err = h.PushRightCtx(s.ctx, req.Key, req.Values[0])
+		}
+		resp.Status = wire.StatusOf(err)
+		if err == nil {
+			resp.Count = 1
+		}
+
+	case wire.OpPop:
+		var (
+			v   uint32
+			ok  bool
+			err error
+		)
+		if left {
+			v, ok, err = h.PopLeftCtx(s.ctx, req.Key)
+		} else {
+			v, ok, err = h.PopRightCtx(s.ctx, req.Key)
+		}
+		switch {
+		case err != nil:
+			resp.Status = wire.StatusOf(err)
+		case !ok:
+			resp.Status = wire.StatusEmpty
+		default:
+			resp.Status = wire.StatusOK
+			resp.Count = 1
+			resp.Values = append(resp.Values, v)
+		}
+
+	case wire.OpPushN:
+		var (
+			n   int
+			err error
+		)
+		if left {
+			n, err = h.PushLeftN(req.Key, req.Values)
+		} else {
+			n, err = h.PushRightN(req.Key, req.Values)
+		}
+		resp.Status = wire.StatusOf(err)
+		resp.Count = uint32(n)
+
+	case wire.OpPopN:
+		want := int(req.Count)
+		if cap(dst) < want {
+			dst = make([]uint32, want)
+		}
+		d := dst[:want]
+		var n int
+		if left {
+			n = h.PopLeftN(req.Key, d)
+		} else {
+			n = h.PopRightN(req.Key, d)
+		}
+		if n == 0 {
+			resp.Status = wire.StatusEmpty
+		} else {
+			resp.Status = wire.StatusOK
+			resp.Count = uint32(n)
+			resp.Values = append(resp.Values, d[:n]...)
+		}
+	}
+	return dst
+}

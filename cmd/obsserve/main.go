@@ -18,12 +18,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	dq "repro"
 	"repro/internal/obs"
@@ -88,9 +93,32 @@ func main() {
 
 	fmt.Printf("obsserve: pattern=%s workers=%d elim=%v trace=%d obs=%v on http://%s\n",
 		*pattern, *workers, *elim, *trace, dq.MetricsEnabled, *addr)
-	if err := http.ListenAndServe(*addr, nil); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then shut down gracefully: in-flight
+	// scrapes finish, and a final metrics snapshot goes to stderr so a
+	// terminated run still leaves its evidence behind.
+	srv := &http.Server{Addr: *addr, Handler: http.DefaultServeMux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "obsserve: shutdown:", err)
+		}
+		cancel()
+	}
+	fmt.Fprintln(os.Stderr, "obsserve: final metrics snapshot")
+	if err := dq.WriteMetricsProm(os.Stderr, "deque", d.Metrics()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 }
 

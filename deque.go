@@ -47,6 +47,8 @@ type options struct {
 	elimination   bool
 	capacity      int
 	capacitySet   bool
+	registryLimit int
+	registrySet   bool
 	noHotPath     bool
 	traceSample   int
 	traceBuf      int
@@ -85,6 +87,17 @@ func WithCapacity(n int) Option {
 	return func(o *options) { o.capacity, o.capacitySet = n, true }
 }
 
+// WithRegistryLimit bounds the lifetime number of internal node
+// allocations (default 1<<26). Node IDs are never reused — removal is what
+// makes them ABA-safe — so this caps a deque's total append capacity over
+// its whole life: once spent, pushes needing a fresh node return ErrFull
+// forever, while pops and pushes into existing slots keep working. Set it
+// to bound worst-case memory in long-lived services; the limit must be
+// positive or New rejects it with ErrBadOption.
+func WithRegistryLimit(n int) Option {
+	return func(o *options) { o.registryLimit, o.registrySet = n, true }
+}
+
 // WithHotPathOptimizations toggles the contention-engineering layer added on
 // top of the paper's algorithm: per-handle edge caching with throttled
 // global-hint publication, and per-handle slab freelist caches. On by
@@ -114,12 +127,13 @@ func buildOptions(opts []Option) (options, error) {
 
 func (o options) coreConfig() core.Config {
 	return core.Config{
-		NodeSize:    o.nodeSize,
-		MaxThreads:  o.maxThreads,
-		Elimination: o.elimination,
-		NoEdgeCache: o.noHotPath,
-		TraceSample: o.traceSample,
-		TraceBuf:    o.traceBuf,
+		NodeSize:      o.nodeSize,
+		MaxThreads:    o.maxThreads,
+		Elimination:   o.elimination,
+		NoEdgeCache:   o.noHotPath,
+		TraceSample:   o.traceSample,
+		TraceBuf:      o.traceBuf,
+		RegistryLimit: uint32(o.registryLimit),
 	}
 }
 
@@ -418,7 +432,12 @@ func (h *Handle[T]) PushRightN(vs []T) (int, error) {
 }
 
 // PopLeftN pops up to len(dst) values from the left end into dst in pop
-// order, stopping early when the deque is empty. Returns the count popped.
+// order, stopping early when the deque is empty.
+//
+// The returned n int is the exact count popped: dst[:n] holds the values
+// and dst[n:] is untouched. n pairs with the batch-push prefix contract —
+// after a PushRightN truncated to (k, ErrFull), draining pops observe
+// exactly the pushed prefix vs[:k], in order, and nothing of vs[k:].
 func (h *Handle[T]) PopLeftN(dst []T) int {
 	if len(dst) == 0 {
 		return 0
@@ -432,7 +451,8 @@ func (h *Handle[T]) PopLeftN(dst []T) int {
 }
 
 // PopRightN pops up to len(dst) values from the right end into dst in pop
-// order. Returns the count popped.
+// order. The returned n int is the exact count popped: dst[:n] holds the
+// values, dst[n:] is untouched (see PopLeftN for the full contract).
 func (h *Handle[T]) PopRightN(dst []T) int {
 	if len(dst) == 0 {
 		return 0
@@ -579,11 +599,15 @@ func (h *Uint32Handle) PushLeftN(vs []uint32) (int, error) { return h.d.core.Pus
 func (h *Uint32Handle) PushRightN(vs []uint32) (int, error) { return h.d.core.PushRightN(h.h, vs) }
 
 // PopLeftN pops up to len(dst) values from the left end into dst in pop
-// order, stopping early when the deque is empty. Returns the count popped.
+// order, stopping early when the deque is empty. The returned n int is
+// the exact count popped: dst[:n] holds the values, dst[n:] is untouched
+// — after a PushRightN truncated to (k, ErrFull), draining pops observe
+// exactly the pushed prefix vs[:k] and nothing of vs[k:].
 func (h *Uint32Handle) PopLeftN(dst []uint32) int { return h.d.core.PopLeftN(h.h, dst) }
 
 // PopRightN pops up to len(dst) values from the right end into dst in pop
-// order. Returns the count popped.
+// order. The returned n int is the exact count popped: dst[:n] holds the
+// values, dst[n:] is untouched (see PopLeftN for the full contract).
 func (h *Uint32Handle) PopRightN(dst []uint32) int { return h.d.core.PopRightN(h.h, dst) }
 
 // Eliminated reports how many of this handle's operations completed via

@@ -72,6 +72,9 @@ func (o options) validate() error {
 	if o.capacitySet && o.capacity <= 0 {
 		return fmt.Errorf("%w: WithCapacity(%d) must be positive", ErrBadOption, o.capacity)
 	}
+	if o.registrySet && (o.registryLimit <= 0 || uint64(o.registryLimit) > (1<<32)-1) {
+		return fmt.Errorf("%w: WithRegistryLimit(%d) must be a positive uint32", ErrBadOption, o.registryLimit)
+	}
 	if o.traceSample < 0 {
 		return fmt.Errorf("%w: WithTracing(%d) must be non-negative", ErrBadOption, o.traceSample)
 	}

@@ -1,0 +1,490 @@
+package deque
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/pad"
+	"repro/internal/shard"
+)
+
+// Pool is a sharded deque: N independent Deque[T] shards behind a
+// routing layer, for workloads where a single structure's two ends are
+// not enough parallelism. Routing is pluggable (RouteRoundRobin,
+// RouteKeyAffinity, RouteLeastLoaded), and a pop that finds its home
+// shard empty can steal from the opposite end of the most-loaded shard
+// (WithStealing, on by default) — the double-ended structure makes the
+// steal cheap, because a thief on the far end does not contend with the
+// victim shard's own consumers on its hot end.
+//
+// # What a Pool guarantees
+//
+// Each shard is a full Deque[T]: unbounded, obstruction-free, per-shard
+// linearizable. The pool as a whole deliberately is NOT one linearizable
+// deque — it is a partitioned structure with relaxed global ordering
+// (see DESIGN.md §9). What survives composition:
+//
+//   - Conservation: every pushed value is popped exactly once, across
+//     any mix of routing, stealing, and ErrFull backpressure.
+//   - Per-key order under RouteKeyAffinity: equal keys share a shard, so
+//     two values pushed under one key from one handle retain that
+//     shard's deque order — until a steal drains the shard's far end.
+//   - Emptiness: a pop (with stealing on) returns ok=false only after
+//     finding every shard empty at the moment it tried it.
+//
+// Like Deque[T], a Pool is used through per-goroutine handles.
+type Pool[T any] struct {
+	shards []*Deque[T]
+	loads  []poolLoad // cheap per-shard resident estimates, for routing
+	policy RoutePolicy
+	steal  bool
+	nextRR atomic.Uint32 // staggers each handle's round-robin start
+}
+
+// poolLoad is one shard's approximate resident count, alone on its cache
+// line so shards' counters do not false-share.
+type poolLoad struct {
+	n atomic.Int64
+	_ [pad.CacheLine - 8]byte
+}
+
+// RoutePolicy selects how pool operations map to shards; see the Route*
+// constants. The zero value is RouteRoundRobin.
+type RoutePolicy = shard.Policy
+
+const (
+	// RouteRoundRobin spreads operations evenly; each handle cycles
+	// through the shards from a staggered start.
+	RouteRoundRobin = shard.RoundRobin
+	// RouteKeyAffinity routes by hash of the per-operation key: equal
+	// keys always reach the same shard.
+	RouteKeyAffinity = shard.KeyAffinity
+	// RouteLeastLoaded pushes to the least-loaded shard and pops from the
+	// most-loaded one, by the pool's per-shard load estimates.
+	RouteLeastLoaded = shard.LeastLoaded
+)
+
+// ParseRoutePolicy maps the flag spellings "rr", "key", and "least" (and
+// their long forms) to a RoutePolicy, wrapping ErrBadOption on unknown
+// input.
+func ParseRoutePolicy(s string) (RoutePolicy, error) {
+	p, err := shard.ParsePolicy(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadOption, err)
+	}
+	return p, nil
+}
+
+// poolOptions collects pool construction parameters.
+type poolOptions struct {
+	policy    RoutePolicy
+	steal     bool
+	shardOpts []Option
+}
+
+// PoolOption configures NewPool.
+type PoolOption func(*poolOptions)
+
+// WithRouting sets the routing policy (default RouteRoundRobin).
+func WithRouting(p RoutePolicy) PoolOption {
+	return func(o *poolOptions) { o.policy = p }
+}
+
+// WithStealing toggles steal-on-empty rebalancing (default on): a pop
+// whose home shard is empty pops from the opposite end of the most-loaded
+// other shard instead of reporting empty.
+func WithStealing(on bool) PoolOption {
+	return func(o *poolOptions) { o.steal = on }
+}
+
+// WithShardOptions forwards deque options (WithNodeSize, WithCapacity,
+// WithElimination, ...) to every shard. WithCapacity is per shard: a
+// pool of n shards with capacity c holds at most n*c resident values,
+// and a push returns ErrFull when its routed shard is full even if
+// others have room (stealing rebalances pops, not pushes).
+func WithShardOptions(opts ...Option) PoolOption {
+	return func(o *poolOptions) { o.shardOpts = append(o.shardOpts, opts...) }
+}
+
+// NewPool returns a pool of shards independent deques. It panics on
+// invalid configuration; use NewPoolChecked to receive the error.
+func NewPool[T any](shards int, opts ...PoolOption) *Pool[T] {
+	p, err := NewPoolChecked[T](shards, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewPoolChecked is NewPool returning invalid configuration as an error
+// wrapping ErrBadOption instead of panicking.
+func NewPoolChecked[T any](shards int, opts ...PoolOption) (*Pool[T], error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("%w: NewPool(%d) needs at least one shard", ErrBadOption, shards)
+	}
+	o := poolOptions{steal: true}
+	for _, f := range opts {
+		f(&o)
+	}
+	switch o.policy {
+	case RouteRoundRobin, RouteKeyAffinity, RouteLeastLoaded:
+	default:
+		return nil, fmt.Errorf("%w: unknown routing policy %d", ErrBadOption, o.policy)
+	}
+	p := &Pool[T]{
+		shards: make([]*Deque[T], shards),
+		loads:  make([]poolLoad, shards),
+		policy: o.policy,
+		steal:  o.steal,
+	}
+	for i := range p.shards {
+		d, err := NewChecked[T](o.shardOpts...)
+		if err != nil {
+			return nil, err
+		}
+		p.shards[i] = d
+	}
+	return p, nil
+}
+
+// Shards returns the shard count.
+func (p *Pool[T]) Shards() int { return len(p.shards) }
+
+// Shard returns shard i — an escape hatch for tests and tools. Values
+// pushed or popped directly on a shard bypass the pool's load estimates;
+// the estimates are heuristics, so routing stays correct, merely less
+// informed.
+func (p *Pool[T]) Shard(i int) *Deque[T] { return p.shards[i] }
+
+// Len returns the total number of stored values by walking every shard.
+// Like Deque.Len it is exact only in quiescence; prefer LenEstimate on
+// hot paths.
+func (p *Pool[T]) Len() int {
+	n := 0
+	for _, d := range p.shards {
+		n += d.Len()
+	}
+	return n
+}
+
+// LenEstimate returns the pool's cheap resident estimate: the sum of the
+// per-shard counters routing consults. It is maintained only by pool
+// operations and may transiently disagree with Len under concurrency.
+func (p *Pool[T]) LenEstimate() int {
+	var n int64
+	for i := range p.loads {
+		n += p.loads[i].n.Load()
+	}
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Metrics returns the pool-merged observability snapshot: every shard's
+// Metrics() accumulated with Metrics.Add, so counters are sums and the
+// capacity gauges report per-shard limits (see obs.Metrics.Add). The
+// push/pop identities (pushes = L1+L3+L6+elim, pops = L2+L4+elim) hold
+// on the merged snapshot exactly as they do per shard.
+func (p *Pool[T]) Metrics() Metrics {
+	var m Metrics
+	for _, d := range p.shards {
+		m.Add(d.Metrics())
+	}
+	return m
+}
+
+// Register returns a PoolHandle for the calling goroutine: one deque
+// handle per shard plus private routing state. Handles are cheap and
+// long-lived; a server should reuse them across connections (each shard
+// admits at most WithMaxThreads handles, ever).
+func (p *Pool[T]) Register() *PoolHandle[T] {
+	h := &PoolHandle[T]{
+		p:      p,
+		hs:     make([]*Handle[T], len(p.shards)),
+		router: shard.NewRouter(p.policy, len(p.shards), p.nextRR.Add(1)-1),
+	}
+	for i, d := range p.shards {
+		h.hs[i] = d.Register()
+	}
+	return h
+}
+
+// PoolHandle is a per-goroutine accessor to a Pool. Not safe for
+// concurrent use; register one per goroutine (or per connection) and
+// reuse it.
+type PoolHandle[T any] struct {
+	p      *Pool[T]
+	hs     []*Handle[T]
+	router shard.Router
+	order  []int // steal-order scratch
+	snap   []int // load-snapshot scratch
+}
+
+// load is the router's cheap per-shard estimate callback.
+func (h *PoolHandle[T]) load(i int) int { return int(h.p.loads[i].n.Load()) }
+
+// Home returns the shard the next push under key would route to —
+// exported so tools can predict placement. For RouteRoundRobin the
+// answer consumes a routing step (the cursor advances).
+func (h *PoolHandle[T]) Home(key uint64) int { return h.router.Push(key, h.load) }
+
+// note records a successful push (+n) or pop (-n) on shard i.
+func (h *PoolHandle[T]) note(i int, n int64) { h.p.loads[i].n.Add(n) }
+
+// PushLeft pushes v at the left end of the routed shard; ErrFull when
+// that shard's capacity is exhausted (nothing pushed).
+func (h *PoolHandle[T]) PushLeft(key uint64, v T) error {
+	i := h.router.Push(key, h.load)
+	err := h.hs[i].PushLeft(v)
+	if err == nil {
+		h.note(i, 1)
+	}
+	return err
+}
+
+// PushRight mirrors PushLeft on the right end.
+func (h *PoolHandle[T]) PushRight(key uint64, v T) error {
+	i := h.router.Push(key, h.load)
+	err := h.hs[i].PushRight(v)
+	if err == nil {
+		h.note(i, 1)
+	}
+	return err
+}
+
+// PushLeftCtx is PushLeft, aborting with ctx.Err() once ctx is
+// cancelled; a non-nil error means nothing was pushed.
+func (h *PoolHandle[T]) PushLeftCtx(ctx context.Context, key uint64, v T) error {
+	i := h.router.Push(key, h.load)
+	err := h.hs[i].PushLeftCtx(ctx, v)
+	if err == nil {
+		h.note(i, 1)
+	}
+	return err
+}
+
+// PushRightCtx mirrors PushLeftCtx.
+func (h *PoolHandle[T]) PushRightCtx(ctx context.Context, key uint64, v T) error {
+	i := h.router.Push(key, h.load)
+	err := h.hs[i].PushRightCtx(ctx, v)
+	if err == nil {
+		h.note(i, 1)
+	}
+	return err
+}
+
+// steal tries every other shard in most-loaded-first order, popping from
+// the side opposite the request (a left pop steals with right pops and
+// vice versa) so thieves avoid the victims' hot ends. The load-ordered
+// pass is best-effort; a final full sweep certifies emptiness, since
+// estimates can be stale.
+func (h *PoolHandle[T]) steal(home int, left bool) (v T, ok bool) {
+	n := len(h.hs)
+	if cap(h.snap) < n {
+		h.snap = make([]int, n)
+	}
+	snap := h.snap[:n]
+	for i := range snap {
+		snap[i] = h.load(i)
+	}
+	h.order = shard.StealOrder(h.order, snap, home)
+	tryShard := func(j int) bool {
+		if left {
+			v, ok = h.hs[j].PopRight()
+		} else {
+			v, ok = h.hs[j].PopLeft()
+		}
+		if ok {
+			h.note(j, -1)
+		}
+		return ok
+	}
+	for _, j := range h.order {
+		if tryShard(j) {
+			return v, true
+		}
+	}
+	// Estimates may have missed a non-empty shard; sweep the rest.
+	for j := 0; j < n; j++ {
+		if j == home || snap[j] > 0 {
+			continue // snap[j] > 0 was already tried above
+		}
+		if tryShard(j) {
+			return v, true
+		}
+	}
+	return v, false
+}
+
+// PopLeft pops from the left end of the routed shard, stealing from the
+// right end of the most-loaded other shard when the home shard is empty
+// (if stealing is enabled). ok is false only after every shard came up
+// empty.
+func (h *PoolHandle[T]) PopLeft(key uint64) (v T, ok bool) {
+	i := h.router.Pop(key, h.load)
+	if v, ok = h.hs[i].PopLeft(); ok {
+		h.note(i, -1)
+		return v, true
+	}
+	if !h.p.steal {
+		return v, false
+	}
+	return h.steal(i, true)
+}
+
+// PopRight mirrors PopLeft, stealing from victims' left ends.
+func (h *PoolHandle[T]) PopRight(key uint64) (v T, ok bool) {
+	i := h.router.Pop(key, h.load)
+	if v, ok = h.hs[i].PopRight(); ok {
+		h.note(i, -1)
+		return v, true
+	}
+	if !h.p.steal {
+		return v, false
+	}
+	return h.steal(i, false)
+}
+
+// PopLeftCtx is PopLeft, aborting with ctx.Err() once ctx is cancelled.
+// The home-shard pop honors ctx; steal legs are plain bounded pops.
+func (h *PoolHandle[T]) PopLeftCtx(ctx context.Context, key uint64) (v T, ok bool, err error) {
+	i := h.router.Pop(key, h.load)
+	if v, ok, err = h.hs[i].PopLeftCtx(ctx); err != nil || ok {
+		if ok {
+			h.note(i, -1)
+		}
+		return v, ok, err
+	}
+	if !h.p.steal {
+		return v, false, nil
+	}
+	v, ok = h.steal(i, true)
+	return v, ok, nil
+}
+
+// PopRightCtx mirrors PopLeftCtx.
+func (h *PoolHandle[T]) PopRightCtx(ctx context.Context, key uint64) (v T, ok bool, err error) {
+	i := h.router.Pop(key, h.load)
+	if v, ok, err = h.hs[i].PopRightCtx(ctx); err != nil || ok {
+		if ok {
+			h.note(i, -1)
+		}
+		return v, ok, err
+	}
+	if !h.p.steal {
+		return v, false, nil
+	}
+	v, ok = h.steal(i, false)
+	return v, ok, nil
+}
+
+// PushLeftN pushes vs in order at the left end of one routed shard (a
+// batch never splits across shards, preserving its contiguity there). On
+// ErrFull the returned n reports the landed prefix: vs[:n] stays pushed,
+// vs[n:] had no effect.
+func (h *PoolHandle[T]) PushLeftN(key uint64, vs []T) (int, error) {
+	i := h.router.Push(key, h.load)
+	n, err := h.hs[i].PushLeftN(vs)
+	if n > 0 {
+		h.note(i, int64(n))
+	}
+	return n, err
+}
+
+// PushRightN mirrors PushLeftN on the right end.
+func (h *PoolHandle[T]) PushRightN(key uint64, vs []T) (int, error) {
+	i := h.router.Push(key, h.load)
+	n, err := h.hs[i].PushRightN(vs)
+	if n > 0 {
+		h.note(i, int64(n))
+	}
+	return n, err
+}
+
+// stealN drains up to len(dst) values from the first non-empty victim's
+// opposite end. One victim per call: a stolen batch is contiguous in its
+// source shard.
+func (h *PoolHandle[T]) stealN(home int, left bool, dst []T) int {
+	n := len(h.hs)
+	if cap(h.snap) < n {
+		h.snap = make([]int, n)
+	}
+	snap := h.snap[:n]
+	for i := range snap {
+		snap[i] = h.load(i)
+	}
+	h.order = shard.StealOrder(h.order, snap, home)
+	tryShard := func(j int) int {
+		var got int
+		if left {
+			got = h.hs[j].PopRightN(dst)
+		} else {
+			got = h.hs[j].PopLeftN(dst)
+		}
+		if got > 0 {
+			h.note(j, -int64(got))
+		}
+		return got
+	}
+	for _, j := range h.order {
+		if got := tryShard(j); got > 0 {
+			return got
+		}
+	}
+	for j := 0; j < n; j++ {
+		if j == home || snap[j] > 0 {
+			continue
+		}
+		if got := tryShard(j); got > 0 {
+			return got
+		}
+	}
+	return 0
+}
+
+// PopLeftN pops up to len(dst) values from the left end of the routed
+// shard into dst in pop order, returning the count n: dst[:n] holds the
+// values, dst[n:] is untouched. When the home shard yields nothing and
+// stealing is on, the batch drains the opposite end of the most-loaded
+// other shard instead.
+func (h *PoolHandle[T]) PopLeftN(key uint64, dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	i := h.router.Pop(key, h.load)
+	if n := h.hs[i].PopLeftN(dst); n > 0 {
+		h.note(i, -int64(n))
+		return n
+	}
+	if !h.p.steal {
+		return 0
+	}
+	return h.stealN(i, true, dst)
+}
+
+// PopRightN mirrors PopLeftN, stealing from victims' left ends.
+func (h *PoolHandle[T]) PopRightN(key uint64, dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	i := h.router.Pop(key, h.load)
+	if n := h.hs[i].PopRightN(dst); n > 0 {
+		h.note(i, -int64(n))
+		return n
+	}
+	if !h.p.steal {
+		return 0
+	}
+	return h.stealN(i, false, dst)
+}
+
+// Flush returns every per-shard handle's cached slab capacity to the
+// shared freelists; call it when the goroutine (or connection) is done
+// with the handle for good. The handle itself stays reusable.
+func (h *PoolHandle[T]) Flush() {
+	for _, sh := range h.hs {
+		sh.Flush()
+	}
+}

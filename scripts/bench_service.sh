@@ -1,0 +1,69 @@
+#!/bin/sh
+# Regenerates BENCH_service.json: closed-loop dqload throughput against a
+# local dequed at 1/4/16 shards (EXPERIMENTS.md E5). The host's CPU count
+# is recorded in the output — on a single-core host the sweep measures
+# routing and steal overhead, not parallel speedup, and must be read that
+# way (see EXPERIMENTS.md).
+set -e
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-3s}"
+CONNS="${CONNS:-8}"
+BATCH="${BATCH:-16}"
+PIPELINE="${PIPELINE:-4}"
+SHARDS="${SHARDS:-1 4 16}"
+ROUTE="${ROUTE:-least}"
+OUT="${OUT:-BENCH_service.json}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/dequed" ./cmd/dequed
+go build -o "$TMP/dqload" ./cmd/dqload
+
+for s in $SHARDS; do
+    rm -f "$TMP/addr"
+    "$TMP/dequed" -addr 127.0.0.1:0 -addr-file "$TMP/addr" -shards "$s" \
+        -route "$ROUTE" -maxconns "$((CONNS + 4))" 2>"$TMP/dequed.err" &
+    DEQUED=$!
+    i=0
+    while [ ! -s "$TMP/addr" ] && [ $i -lt 50 ]; do
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -s "$TMP/addr" ] || {
+        echo "bench_service: dequed ($s shards) never came up" >&2
+        exit 1
+    }
+    echo "== dqload vs $s shard(s) ($CONNS conns, batch=$BATCH, pipeline=$PIPELINE, $DURATION) =="
+    "$TMP/dqload" -addr "$(cat "$TMP/addr")" -conns "$CONNS" -duration "$DURATION" \
+        -batch "$BATCH" -pipeline "$PIPELINE" -json >"$TMP/run_$s.json"
+    kill -TERM "$DEQUED"
+    wait "$DEQUED"
+done
+
+python3 - "$OUT" "$TMP" $SHARDS <<'EOF'
+import json, os, subprocess, sys
+out, tmp, shards = sys.argv[1], sys.argv[2], sys.argv[3:]
+runs = []
+for s in shards:
+    r = json.load(open(os.path.join(tmp, "run_%s.json" % s)))
+    r["shards"] = int(s)
+    runs.append(r)
+doc = {
+    "benchmark": "dequed service throughput vs shard count",
+    "harness": "scripts/bench_service.sh (dqload closed loop over TCP loopback)",
+    "nproc": os.cpu_count(),
+    "go": subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip(),
+    "config": {
+        "conns": runs[0]["conns"], "batch": runs[0]["batch"],
+        "pipeline": runs[0]["pipeline"], "route": os.environ.get("ROUTE", "least"),
+    },
+    "runs": runs,
+}
+json.dump(doc, open(out, "w"), indent=2, sort_keys=True)
+print("wrote", out)
+for r in runs:
+    print("  %2d shard(s): %8.0f values/s  p50 %6dns  p99 %7dns  p99.9 %7dns"
+          % (r["shards"], r["values_per_sec"], r["p50_ns"], r["p99_ns"], r["p999_ns"]))
+EOF

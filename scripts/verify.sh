@@ -17,6 +17,12 @@ go test ./... -count=1
 echo "== go test -race -short (core, arena, obs, root) =="
 go test -race -short -count=1 ./internal/core/ ./internal/arena/ ./internal/obs/ .
 
+echo "== go test -race -short (shard, wire, dequed) =="
+go test -race -short -count=1 ./internal/shard/ ./internal/wire/ ./cmd/dequed/
+
+echo "== service loopback smoke (dequed + dqload) =="
+sh scripts/smoke_service.sh
+
 echo "== go vet (obsoff build) =="
 go vet -tags obsoff ./...
 

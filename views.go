@@ -70,7 +70,10 @@ func (h *StackHandle[T]) TryPop(attempts int) (T, bool, error) { return h.h.TryP
 func (h *StackHandle[T]) PushN(vs []T) (int, error) { return h.h.PushLeftN(vs) }
 
 // PopN pops up to len(dst) values from the top into dst in pop order,
-// stopping early when the stack is empty. Returns the count popped.
+// stopping early when the stack is empty. The returned n int is the
+// exact count popped: dst[:n] holds the values, dst[n:] is untouched —
+// after a PushN truncated to (k, ErrFull), draining pops observe exactly
+// the pushed prefix vs[:k].
 func (h *StackHandle[T]) PopN(dst []T) int { return h.h.PopLeftN(dst) }
 
 // Stats returns a copy of this handle's operation counters.
@@ -143,7 +146,10 @@ func (h *QueueHandle[T]) TryDequeue(attempts int) (T, bool, error) { return h.h.
 func (h *QueueHandle[T]) EnqueueN(vs []T) (int, error) { return h.h.PushLeftN(vs) }
 
 // DequeueN dequeues up to len(dst) values into dst in dequeue order,
-// stopping early when the queue is empty. Returns the count dequeued.
+// stopping early when the queue is empty. The returned n int is the
+// exact count dequeued: dst[:n] holds the values, dst[n:] is untouched —
+// after an EnqueueN truncated to (k, ErrFull), draining dequeues observe
+// exactly the enqueued prefix vs[:k], oldest first.
 func (h *QueueHandle[T]) DequeueN(dst []T) int { return h.h.PopRightN(dst) }
 
 // Stats returns a copy of this handle's operation counters.
