@@ -10,24 +10,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/contbench"
+	"repro/internal/hostmeta"
 	"repro/internal/obs"
 )
 
 // run is one sweep's numbers, keyed by goroutine count.
 type run struct {
-	Label      string             `json:"label"`
-	Mode       string             `json:"mode"`
-	Batch      int                `json:"batch,omitempty"`
-	OpsPerSec  map[string]float64 `json:"ops_per_sec"`
-	RelStddev  map[string]float64 `json:"rel_stddev"`
-	TrialsUsed int                `json:"trials"`
+	Label       string             `json:"label"`
+	Mode        string             `json:"mode"`
+	Batch       int                `json:"batch,omitempty"`
+	OpsPerSec   map[string]float64 `json:"ops_per_sec"`
+	RelStddev   map[string]float64 `json:"rel_stddev"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+	BytesPerOp  map[string]float64 `json:"bytes_per_op"`
+	TrialsUsed  int                `json:"trials"`
 	// Metrics/Derived report the observability layer's transition mix per
 	// goroutine count (summed over trials); present only with -metrics.
 	Metrics map[string]obs.Metrics `json:"metrics,omitempty"`
@@ -35,18 +37,15 @@ type run struct {
 }
 
 type report struct {
-	Generated  string             `json:"generated"`
-	GOOS       string             `json:"goos"`
-	GOARCH     string             `json:"goarch"`
-	NumCPU     int                `json:"num_cpu"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Workload   string             `json:"workload"`
-	DurationS  float64            `json:"duration_s"`
-	Threads    []int              `json:"threads"`
-	Baseline   run                `json:"baseline"`
-	Current    run                `json:"current"`
-	Batches    []run              `json:"batch_runs,omitempty"`
-	Speedup    map[string]float64 `json:"speedup_current_over_baseline"`
+	Generated string             `json:"generated"`
+	Host      hostmeta.Host      `json:"host"`
+	Workload  string             `json:"workload"`
+	DurationS float64            `json:"duration_s"`
+	Threads   []int              `json:"threads"`
+	Baseline  run                `json:"baseline"`
+	Current   run                `json:"current"`
+	Batches   []run              `json:"batch_runs,omitempty"`
+	Speedup   map[string]float64 `json:"speedup_current_over_baseline"`
 }
 
 func main() {
@@ -87,12 +86,14 @@ func main() {
 
 	sweep := func(mode contbench.ContentionMode, batch int, label string) run {
 		r := run{
-			Label:      label,
-			Mode:       string(mode),
-			Batch:      batch,
-			OpsPerSec:  map[string]float64{},
-			RelStddev:  map[string]float64{},
-			TrialsUsed: *trials,
+			Label:       label,
+			Mode:        string(mode),
+			Batch:       batch,
+			OpsPerSec:   map[string]float64{},
+			RelStddev:   map[string]float64{},
+			AllocsPerOp: map[string]float64{},
+			BytesPerOp:  map[string]float64{},
+			TrialsUsed:  *trials,
 		}
 		for _, t := range threads {
 			res := contbench.RunContention(contbench.ContentionConfig{
@@ -107,8 +108,11 @@ func main() {
 			key := strconv.Itoa(t)
 			r.OpsPerSec[key] = res.Throughput()
 			r.RelStddev[key] = res.Summary.RelStddev()
-			fmt.Fprintf(os.Stderr, "  %-24s t=%-3d %14.0f ops/s (±%.1f%%)\n",
-				label, t, res.Throughput(), 100*res.Summary.RelStddev())
+			r.AllocsPerOp[key] = res.AllocsPerOp
+			r.BytesPerOp[key] = res.BytesPerOp
+			fmt.Fprintf(os.Stderr, "  %-24s t=%-3d %14.0f ops/s (±%.1f%%)  %.4f allocs/op  %.1f B/op\n",
+				label, t, res.Throughput(), 100*res.Summary.RelStddev(),
+				res.AllocsPerOp, res.BytesPerOp)
 			if *metricsFlag {
 				if r.Metrics == nil {
 					r.Metrics = map[string]obs.Metrics{}
@@ -167,18 +171,15 @@ func main() {
 	}
 
 	rep := report{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workload:   fmt.Sprintf("mixed 4-way push/pop on deque.Deque[uint32], prefill %d", *prefill),
-		DurationS:  duration.Seconds(),
-		Threads:    threads,
-		Baseline:   baseline,
-		Current:    current,
-		Batches:    batchRuns,
-		Speedup:    speedup,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host:      hostmeta.Collect(),
+		Workload:  fmt.Sprintf("mixed 4-way push/pop on deque.Deque[uint32], prefill %d", *prefill),
+		DurationS: duration.Seconds(),
+		Threads:   threads,
+		Baseline:  baseline,
+		Current:   current,
+		Batches:   batchRuns,
+		Speedup:   speedup,
 	}
 	writeJSON(*out, rep)
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)

@@ -1,0 +1,137 @@
+// Command benchreclaim measures the node-reclamation A/B and writes
+// BENCH_reclaim.json: the mixed 4-way push/pop workload on a small-node
+// Deque[uint32] (small nodes cross node boundaries constantly, so node
+// churn dominates) under each reclamation policy — gc (no recycling, the
+// historical behavior), hazard, and epoch. The headline numbers are
+// allocs/op per policy: the recycling policies reuse removed nodes through
+// the bounded pool, and epoch's retire path is allocation-free, so its
+// steady-state allocs/op is ~0. See scripts/bench_reclaim.sh.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	deque "repro"
+	"repro/internal/contbench"
+	"repro/internal/hostmeta"
+)
+
+// run is one policy's measured numbers.
+type run struct {
+	Policy      string  `json:"policy"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	RelStddev   float64 `json:"rel_stddev"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Reclamation gauges summed over trials (zero under gc / obsoff).
+	NodesRetired   uint64 `json:"nodes_retired"`
+	NodesRecycled  uint64 `json:"nodes_recycled"`
+	NodesHighWater uint64 `json:"mem_nodes_high_water"`
+}
+
+type report struct {
+	Generated string        `json:"generated"`
+	Host      hostmeta.Host `json:"host"`
+	Workload  string        `json:"workload"`
+	DurationS float64       `json:"duration_s"`
+	Threads   int           `json:"threads"`
+	NodeSize  int           `json:"node_size"`
+	Trials    int           `json:"trials"`
+	Runs      []run         `json:"runs"`
+}
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 1*time.Second, "measured run length per trial")
+		trials   = flag.Int("trials", 3, "trials per policy")
+		threads  = flag.Int("threads", 4, "worker goroutines")
+		prefill  = flag.Int("prefill", 256, "elements inserted before measuring")
+		nodeSize = flag.Int("nodesize", 16, "deque node size (small = heavy node churn)")
+		// The pool must absorb retire-rate x grace-latency worth of nodes
+		// or recycling starves into fresh allocation. Epoch grace latency
+		// is scheduling-bound (a worker preempted mid-op blocks the advance
+		// for its whole quantum), and releases land a full generation at a
+		// time, so on saturated or single-core hosts the pool needs to hold
+		// tens of thousands of nodes, not the 32-node default.
+		poolNodes = flag.Int("poolnodes", 65536, "recycling pool capacity for the hazard/epoch configs")
+		out       = flag.String("out", "BENCH_reclaim.json", "output path")
+		// maxAllocs gates CI: exit nonzero when the named policy's
+		// allocs/op exceeds the bound (negative disables the gate).
+		gatePolicy = flag.String("gate-policy", "", "policy whose allocs/op the -gate-allocs bound applies to (empty disables)")
+		gateAllocs = flag.Float64("gate-allocs", 0.01, "allocs/op ceiling for -gate-policy")
+	)
+	flag.Parse()
+
+	policies := []struct {
+		label   string
+		reclaim deque.Reclamation
+	}{
+		{"gc", deque.ReclaimGC},
+		{"hazard", deque.ReclaimHazard},
+		{"epoch", deque.ReclaimEpoch},
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host:      hostmeta.Collect(),
+		Workload: fmt.Sprintf(
+			"mixed 4-way push/pop on deque.Deque[uint32], node size %d, prefill %d", *nodeSize, *prefill),
+		DurationS: duration.Seconds(),
+		Threads:   *threads,
+		NodeSize:  *nodeSize,
+		Trials:    *trials,
+	}
+
+	gateFailed := false
+	for _, p := range policies {
+		res := contbench.RunContention(contbench.ContentionConfig{
+			Threads:   *threads,
+			Duration:  *duration,
+			Trials:    *trials,
+			Prefill:   *prefill,
+			NodeSize:  *nodeSize,
+			Reclaim:   p.reclaim,
+			PoolNodes: *poolNodes,
+			Seed:      0x9E3779B97F4A7C15,
+		})
+		r := run{
+			Policy:         p.label,
+			OpsPerSec:      res.Throughput(),
+			RelStddev:      res.Summary.RelStddev(),
+			AllocsPerOp:    res.AllocsPerOp,
+			BytesPerOp:     res.BytesPerOp,
+			NodesRetired:   res.Metrics.NodesRetired,
+			NodesRecycled:  res.Metrics.NodesRecycled,
+			NodesHighWater: res.Metrics.MemNodesHighWater,
+		}
+		rep.Runs = append(rep.Runs, r)
+		fmt.Fprintf(os.Stderr,
+			"  %-7s %14.0f ops/s (±%.1f%%)  %.5f allocs/op  %8.1f B/op  retired=%d recycled=%d hw=%d\n",
+			p.label, r.OpsPerSec, 100*r.RelStddev, r.AllocsPerOp, r.BytesPerOp,
+			r.NodesRetired, r.NodesRecycled, r.NodesHighWater)
+		if *gatePolicy == p.label && *gateAllocs >= 0 && r.AllocsPerOp > *gateAllocs {
+			fmt.Fprintf(os.Stderr, "GATE FAIL: %s allocs/op %.5f > %.5f\n",
+				p.label, r.AllocsPerOp, *gateAllocs)
+			gateFailed = true
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreclaim:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreclaim:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	if gateFailed {
+		os.Exit(1)
+	}
+}

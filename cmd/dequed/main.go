@@ -40,6 +40,8 @@ func main() {
 		steal    = flag.Bool("steal", true, "steal-on-empty rebalancing across shards")
 		capacity = flag.Int("capacity", 0, "per-shard value capacity (0 = default)")
 		maxconns = flag.Int("maxconns", 64, "concurrent connection cap (pool handles are pooled up to this)")
+		reclaim  = flag.String("reclaim", "gc", "node reclamation: gc, hazard, or epoch (recycling)")
+		memlimit = flag.Int64("memlimit", 0, "per-shard node-memory cap in bytes (0 = unbounded); exceeding pushes get STATUS_FULL")
 		metrics  = flag.String("metrics", "", "serve Prometheus /metrics on this HTTP address (empty disables)")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful drain window on SIGTERM before in-flight ops are cancelled")
 	)
@@ -50,9 +52,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dequed:", err)
 		os.Exit(2)
 	}
+	rpol, err := dq.ParseReclamation(*reclaim)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dequed:", err)
+		os.Exit(2)
+	}
 	var shardOpts []dq.Option
 	if *capacity > 0 {
 		shardOpts = append(shardOpts, dq.WithCapacity(*capacity))
+	}
+	if rpol != dq.ReclaimGC {
+		shardOpts = append(shardOpts, dq.WithReclamation(rpol))
+	}
+	if *memlimit > 0 {
+		shardOpts = append(shardOpts, dq.WithMemoryLimit(*memlimit))
 	}
 	srv, err := NewServer(Config{
 		Shards:       *shards,

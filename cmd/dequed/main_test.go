@@ -9,6 +9,7 @@ import (
 	"time"
 
 	dq "repro"
+	"repro/internal/core"
 	"repro/internal/wire"
 )
 
@@ -352,5 +353,74 @@ func TestHardDrainTimeout(t *testing.T) {
 	// The force-closed connection surfaces as a transport error.
 	if err := c.Ping(); err == nil {
 		t.Fatal("ping on force-closed connection succeeded")
+	}
+}
+
+// TestMemoryLimitStatusFull is the end-to-end memory-bound check: a shard
+// built with WithMemoryLimit answers pushes past the node budget with
+// StatusFull (surfacing as ErrFull at the client), pops make room again,
+// and the connection stays healthy throughout.
+func TestMemoryLimitStatusFull(t *testing.T) {
+	_, addr := startServer(t, Config{
+		Shards: 1, Route: dq.RouteRoundRobin, Steal: false, MaxConns: 4,
+		ShardOpts: []dq.Option{
+			dq.WithNodeSize(4),
+			dq.WithReclamation(dq.ReclaimEpoch),
+			dq.WithMemoryLimit(8 * core.NodeFootprint(4)),
+		},
+	})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var pushed int
+	for i := 0; i < 200; i++ {
+		err := c.Push(wire.Left, 0, uint32(i))
+		if errors.Is(err, dq.ErrFull) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		pushed++
+	}
+	if pushed == 0 || pushed == 200 {
+		t.Fatalf("pushed %d values: node budget never tripped as StatusFull", pushed)
+	}
+	for i := 0; i < pushed; i++ {
+		if _, ok, err := c.Pop(wire.Right, 0); err != nil || !ok {
+			t.Fatalf("pop %d of %d: ok=%v err=%v", i, pushed, ok, err)
+		}
+	}
+	// The popped nodes sit in reclamation limbo — still charged against the
+	// bound — until the connection's handle is flushed, which the server
+	// does when the connection is released back to the freelist. Reconnect
+	// and the budget is available again (recycled through the pool).
+	c.Close()
+	c2, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// The old connection's server-side Flush races with the reconnect;
+	// retry until it lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := c2.Push(wire.Left, 0, 7)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, dq.ErrFull) {
+			t.Fatalf("push after reconnect: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node budget still exhausted 5s after handle release")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v, ok, err := c2.Pop(wire.Left, 0); err != nil || !ok || v != 7 {
+		t.Fatalf("pop after recovery = (%d, %v, %v)", v, ok, err)
 	}
 }

@@ -179,7 +179,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err != nil {
 		return // shutting down
 	}
-	defer func() { s.handles <- h }()
+	// Flush before parking: return cached slab capacity and drain pending
+	// node retires, so a handle idling in the freelist neither strands
+	// slab indices nor stalls node recycling for the whole pool.
+	defer func() { h.Flush(); s.handles <- h }()
 
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)

@@ -31,6 +31,7 @@ package deque
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/arena"
 	"repro/internal/core"
@@ -52,6 +53,12 @@ type options struct {
 	noHotPath     bool
 	traceSample   int
 	traceBuf      int
+	reclaim       Reclamation
+	reclaimSet    bool
+	poolNodes     int
+	poolNodesSet  bool
+	memLimit      int64
+	memLimitSet   bool
 }
 
 // Option configures New and NewUint32.
@@ -107,6 +114,73 @@ func WithRegistryLimit(n int) Option {
 // contention benchmark uses as its baseline.
 func WithHotPathOptimizations(on bool) Option { return func(o *options) { o.noHotPath = !on } }
 
+// Reclamation selects how the deque reclaims the internal nodes it removes
+// from its chain; see WithReclamation.
+type Reclamation int
+
+const (
+	// ReclaimGC leaves removed nodes to the garbage collector (the
+	// default, and the historical behavior): node IDs are never reused and
+	// every removal allocates a replacement eventually. Simplest, but
+	// sustained churn allocates one node per node's worth of traffic.
+	ReclaimGC Reclamation = iota
+	// ReclaimHazard retires removed nodes through a hazard-domain scan and
+	// recycles them via a bounded per-deque pool: steady-state churn reuses
+	// nodes instead of allocating. The amortized scan allocates a small
+	// snapshot per sweep.
+	ReclaimHazard
+	// ReclaimEpoch retires removed nodes through epoch-based reclamation:
+	// nodes are recycled two global epochs after removal. The retire path
+	// is allocation-free, making this the zero-allocs/op steady-state
+	// configuration.
+	ReclaimEpoch
+)
+
+// ParseReclamation maps the flag spellings "gc", "hazard", and "epoch" to
+// a Reclamation, wrapping ErrBadOption on unknown input.
+func ParseReclamation(s string) (Reclamation, error) {
+	switch s {
+	case "gc", "none":
+		return ReclaimGC, nil
+	case "hazard", "hp":
+		return ReclaimHazard, nil
+	case "epoch", "ebr":
+		return ReclaimEpoch, nil
+	}
+	return 0, fmt.Errorf("%w: unknown reclamation policy %q (want gc, hazard, or epoch)", ErrBadOption, s)
+}
+
+// WithReclamation selects the node-reclamation policy (default ReclaimGC).
+// The recycling policies (ReclaimHazard, ReclaimEpoch) bound steady-state
+// allocation by reusing removed nodes through an internal pool; see
+// DESIGN.md §10 for the safety argument and the tradeoff between the two.
+func WithReclamation(r Reclamation) Option {
+	return func(o *options) { o.reclaim, o.reclaimSet = r, true }
+}
+
+// WithPoolNodes bounds the recycling pool of a WithReclamation deque
+// (default core.DefaultPoolNodes, currently 32): at most n removed nodes
+// are retained for reuse, the rest go to the garbage collector. Ignored
+// under ReclaimGC; must be positive or New rejects it with ErrBadOption.
+func WithPoolNodes(n int) Option {
+	return func(o *options) { o.poolNodes, o.poolNodesSet = n, true }
+}
+
+// WithMemoryLimit caps the node-structure memory the deque may retain, in
+// bytes: chained nodes, nodes awaiting reclamation grace, and pooled spares
+// together. A push whose node allocation would exceed the cap fails with
+// ErrFull (nothing pushed, the deque stays usable, pops make room). The
+// cap is converted to a whole-node budget at construction and must admit at
+// least two nodes at the configured WithNodeSize, or New rejects it with
+// ErrBadOption.
+//
+// The limit governs the deque's unbounded component — the node chain. The
+// value slab of a Deque[T] is bounded separately by WithCapacity and grows
+// lazily toward it; budget the two independently.
+func WithMemoryLimit(bytes int64) Option {
+	return func(o *options) { o.memLimit, o.memLimitSet = bytes, true }
+}
+
 // WithTracing arms the sampled op tracer: every sampleRate-th operation per
 // handle records a TraceRecord (op, side, transitions taken, attempts,
 // duration) into a fixed ring read via TraceRecords. sampleRate 1 traces
@@ -125,8 +199,23 @@ func buildOptions(opts []Option) (options, error) {
 	return o, o.validate()
 }
 
+// effectiveNodeSize is the node size core.New will use, defaults applied —
+// the memory-limit budget math needs it before core.New runs.
+func (o options) effectiveNodeSize() int {
+	if o.nodeSize == 0 {
+		return core.DefaultNodeSize
+	}
+	return o.nodeSize
+}
+
+// nodeBudget converts the byte limit into a whole-node live bound at the
+// effective node size. Only meaningful when memLimitSet.
+func (o options) nodeBudget() int64 {
+	return o.memLimit / core.NodeFootprint(o.effectiveNodeSize())
+}
+
 func (o options) coreConfig() core.Config {
-	return core.Config{
+	cfg := core.Config{
 		NodeSize:      o.nodeSize,
 		MaxThreads:    o.maxThreads,
 		Elimination:   o.elimination,
@@ -134,7 +223,22 @@ func (o options) coreConfig() core.Config {
 		TraceSample:   o.traceSample,
 		TraceBuf:      o.traceBuf,
 		RegistryLimit: uint32(o.registryLimit),
+		PoolNodes:     o.poolNodes,
 	}
+	switch o.reclaim {
+	case ReclaimHazard:
+		cfg.Reclaim = core.ReclaimHazard
+	case ReclaimEpoch:
+		cfg.Reclaim = core.ReclaimEpoch
+	}
+	if o.memLimitSet {
+		b := o.nodeBudget()
+		if b > int64(^uint32(0)) {
+			b = int64(^uint32(0))
+		}
+		cfg.MaxLiveNodes = uint32(b)
+	}
+	return cfg
 }
 
 // Deque is an unbounded concurrent double-ended queue of T.
@@ -465,14 +569,18 @@ func (h *Handle[T]) PopRightN(dst []T) int {
 	return n
 }
 
-// Flush returns the handle's cached slab capacity to the shared freelists.
-// Call it when a goroutine is done with its handle for good; a dropped
-// unflushed handle only strands its cached indices (bounded), it does not
-// leak values.
+// Flush returns the handle's cached slab capacity to the shared freelists
+// and drains its deferred node-reclamation work (pending retires and
+// whatever the grace domain will release). Call it before parking a handle
+// for a long time — an idle handle otherwise delays node recycling for the
+// whole deque — and when a goroutine is done with its handle for good. The
+// handle remains usable; a dropped unflushed handle only strands its cached
+// indices and pending retires (both bounded), it does not leak values.
 func (h *Handle[T]) Flush() {
 	if h.sh != nil {
 		h.sh.Flush()
 	}
+	h.h.Drain()
 }
 
 // Eliminated reports how many of this handle's operations completed via
@@ -609,6 +717,13 @@ func (h *Uint32Handle) PopLeftN(dst []uint32) int { return h.d.core.PopLeftN(h.h
 // order. The returned n int is the exact count popped: dst[:n] holds the
 // values, dst[n:] is untouched (see PopLeftN for the full contract).
 func (h *Uint32Handle) PopRightN(dst []uint32) int { return h.d.core.PopRightN(h.h, dst) }
+
+// Flush drains this handle's deferred node-reclamation work (pending
+// retires and whatever the grace domain will release). Call it before
+// parking a handle for a long time — an idle handle otherwise delays node
+// recycling for the whole deque. The handle remains usable; a no-op under
+// ReclaimGC.
+func (h *Uint32Handle) Flush() { h.h.Drain() }
 
 // Eliminated reports how many of this handle's operations completed via
 // elimination.

@@ -78,5 +78,15 @@ func (o options) validate() error {
 	if o.traceSample < 0 {
 		return fmt.Errorf("%w: WithTracing(%d) must be non-negative", ErrBadOption, o.traceSample)
 	}
+	if o.reclaimSet && (o.reclaim < ReclaimGC || o.reclaim > ReclaimEpoch) {
+		return fmt.Errorf("%w: WithReclamation(%d) is not a defined policy", ErrBadOption, o.reclaim)
+	}
+	if o.poolNodesSet && o.poolNodes <= 0 {
+		return fmt.Errorf("%w: WithPoolNodes(%d) must be positive", ErrBadOption, o.poolNodes)
+	}
+	if o.memLimitSet && o.nodeBudget() < 2 {
+		return fmt.Errorf("%w: WithMemoryLimit(%d) admits fewer than 2 nodes of %d bytes each",
+			ErrBadOption, o.memLimit, core.NodeFootprint(o.effectiveNodeSize()))
+	}
 	return nil
 }

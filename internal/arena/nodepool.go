@@ -1,0 +1,135 @@
+package arena
+
+import (
+	"sync/atomic"
+
+	"repro/internal/chaos"
+	"repro/internal/pad"
+)
+
+// poolShards spreads the NodePool's list heads across a few cache lines.
+// Pool traffic is one Get/Put per node recycle — once per ~NodeSize boundary
+// crossings, orders of magnitude colder than the slab's value traffic — so a
+// small shard count bounds the miss-scan while still keeping concurrent
+// recyclers off one hot word.
+const (
+	poolShards    = 4
+	poolShardMask = poolShards - 1
+)
+
+// NodePool is a bounded lock-free pool of *T, the free pool retired deque
+// nodes return to instead of the garbage collector. It is a fixed array of
+// entries threaded onto two sets of tagged Treiber stacks: `full` lists of
+// stocked entries (popped by Get) and `vac` lists of vacant ones (popped by
+// Put to find a cell to store into). Entry indices are stable and the heads
+// carry a 32-bit tag, the same ABA defense as the Slab freelists: a head CAS
+// only commits if no push or pop intervened since the head was read.
+//
+// Put on a full pool reports false and the caller releases the node to the
+// GC — the pool is a bound on retained memory, never a source of blocking.
+type NodePool[T any] struct {
+	entries []poolEntry[T]
+	full    [poolShards]pad.Uint64
+	vac     [poolShards]pad.Uint64
+	nextOp  atomic.Uint32 // round-robin start shard for Get/Put scans
+
+	// pooled is the current stocked-entry count (gauge); gets counts
+	// successful reuses (monotone).
+	pooled atomic.Int64
+	gets   atomic.Uint64
+}
+
+type poolEntry[T any] struct {
+	v    atomic.Pointer[T]
+	next atomic.Uint32 // idx+1 link within whichever list holds the entry
+}
+
+// NewNodePool returns a pool retaining at most capacity nodes.
+func NewNodePool[T any](capacity int) *NodePool[T] {
+	if capacity <= 0 {
+		panic("arena: NewNodePool with non-positive capacity")
+	}
+	p := &NodePool[T]{entries: make([]poolEntry[T], capacity)}
+	// Seed every entry onto a vac list, round-robin across shards.
+	for i := capacity - 1; i >= 0; i-- {
+		h := &p.vac[i&poolShardMask]
+		p.entries[i].next.Store(uint32(h.Load()))
+		h.Store(packHead(0, uint32(i)+1))
+	}
+	return p
+}
+
+// Cap returns the pool's retention bound.
+func (p *NodePool[T]) Cap() int { return len(p.entries) }
+
+// Len returns the number of nodes currently pooled (gauge; racy by nature).
+func (p *NodePool[T]) Len() int { return int(p.pooled.Load()) }
+
+// Recycled returns the number of nodes Get has handed back out (monotone).
+func (p *NodePool[T]) Recycled() uint64 { return p.gets.Load() }
+
+// Get pops a pooled node, or nil when the pool is empty (the caller then
+// allocates fresh). A chaos-forced failure is a pool miss.
+func (p *NodePool[T]) Get() *T {
+	if chaos.Visit(chaos.PoolGet) {
+		return nil
+	}
+	start := p.nextOp.Add(1)
+	for i := uint32(0); i < poolShards; i++ {
+		sh := &p.full[(start+i)&poolShardMask]
+		if idx, ok := p.pop(sh); ok {
+			e := &p.entries[idx]
+			n := e.v.Swap(nil)
+			p.push(&p.vac[(start+i)&poolShardMask], idx)
+			p.pooled.Add(-1)
+			p.gets.Add(1)
+			return n
+		}
+	}
+	return nil
+}
+
+// Put offers n to the pool. It reports false — node goes to the GC — when
+// the pool already holds its capacity.
+func (p *NodePool[T]) Put(n *T) bool {
+	if n == nil {
+		panic("arena: NodePool.Put(nil)")
+	}
+	start := p.nextOp.Add(1)
+	for i := uint32(0); i < poolShards; i++ {
+		sh := &p.vac[(start+i)&poolShardMask]
+		if idx, ok := p.pop(sh); ok {
+			e := &p.entries[idx]
+			e.v.Store(n)
+			p.push(&p.full[(start+i)&poolShardMask], idx)
+			p.pooled.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+func (p *NodePool[T]) pop(h *pad.Uint64) (uint32, bool) {
+	for {
+		old := h.Load()
+		idx, ok := headIdx(old)
+		if !ok {
+			return 0, false
+		}
+		next := p.entries[idx].next.Load()
+		if h.CompareAndSwap(old, packHead(headTag(old)+1, next)) {
+			return idx, true
+		}
+	}
+}
+
+func (p *NodePool[T]) push(h *pad.Uint64, idx uint32) {
+	e := &p.entries[idx]
+	for {
+		old := h.Load()
+		e.next.Store(uint32(old))
+		if h.CompareAndSwap(old, packHead(headTag(old)+1, idx+1)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+type poolNode struct{ id uint32 }
+
+func TestNodePoolRoundTrip(t *testing.T) {
+	p := NewNodePool[poolNode](4)
+	if p.Get() != nil {
+		t.Fatal("Get on empty pool returned a node")
+	}
+	nodes := []*poolNode{{1}, {2}, {3}, {4}}
+	for _, n := range nodes {
+		if !p.Put(n) {
+			t.Fatalf("Put(%d) refused below capacity", n.id)
+		}
+	}
+	if p.Put(&poolNode{5}) {
+		t.Fatal("Put succeeded past capacity")
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", p.Len())
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 4; i++ {
+		n := p.Get()
+		if n == nil {
+			t.Fatalf("Get %d returned nil with %d pooled", i, 4-i)
+		}
+		if seen[n.id] {
+			t.Fatalf("node %d handed out twice", n.id)
+		}
+		seen[n.id] = true
+	}
+	if p.Get() != nil {
+		t.Fatal("Get on drained pool returned a node")
+	}
+	if p.Recycled() != 4 {
+		t.Fatalf("Recycled = %d, want 4", p.Recycled())
+	}
+}
+
+// TestNodePoolNoDuplicatesUnderChurn: concurrent Put/Get must never hand the
+// same node to two getters or lose one — the tagged heads' ABA defense.
+func TestNodePoolNoDuplicatesUnderChurn(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 20_000
+		cap     = 16
+	)
+	p := NewNodePool[poolNode](cap)
+	var wg sync.WaitGroup
+	outMu := sync.Mutex{}
+	liveOut := make(map[*poolNode]bool) // nodes currently held by a getter
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := &poolNode{id: uint32(w)}
+			for i := 0; i < rounds; i++ {
+				if own != nil {
+					if p.Put(own) {
+						own = nil
+					}
+				}
+				if n := p.Get(); n != nil {
+					outMu.Lock()
+					if liveOut[n] {
+						outMu.Unlock()
+						t.Errorf("node %p handed to two holders", n)
+						return
+					}
+					liveOut[n] = true
+					outMu.Unlock()
+					// Hold briefly, then hand back.
+					outMu.Lock()
+					delete(liveOut, n)
+					outMu.Unlock()
+					own = n
+				} else if own == nil {
+					own = &poolNode{id: uint32(w)}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := p.Len(); n < 0 || n > cap {
+		t.Fatalf("pooled gauge %d out of [0,%d]", n, cap)
+	}
+}
+
+func TestRegistryReinstall(t *testing.T) {
+	r := NewRegistry[poolNode](64)
+	n := &poolNode{id: 0}
+	id := r.Alloc(n)
+	r.Clear(id)
+	if r.Get(id) != nil {
+		t.Fatal("entry survives Clear")
+	}
+	liveBefore := r.Allocated() - r.Freed()
+	if !r.Reinstall(id, n) {
+		t.Fatal("Reinstall into cleared entry failed")
+	}
+	if r.Get(id) != n {
+		t.Fatal("Reinstall did not republish the node")
+	}
+	if live := r.Allocated() - r.Freed(); live != liveBefore+1 {
+		t.Fatalf("live count %d after Reinstall, want %d", live, liveBefore+1)
+	}
+	if r.Reinstall(id, n) {
+		t.Fatal("Reinstall over a live entry succeeded")
+	}
+}
+
+func TestRegistryReinstallNeverAllocatedPanics(t *testing.T) {
+	r := NewRegistry[poolNode](64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reinstall of never-allocated ID did not panic")
+		}
+	}()
+	r.Reinstall(7, &poolNode{})
+}

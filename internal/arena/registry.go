@@ -3,11 +3,14 @@
 //
 //   - Registry[T]: maps dense 32-bit IDs to *T. The paper stores 32-bit node
 //     pointers inside link slots; in Go we store 32-bit node IDs and resolve
-//     them here. IDs are allocated monotonically and never reused, so a slot
-//     counter plus ID uniqueness rules out ABA. Clearing an entry (after the
-//     hazard-pointer domain says no reader can still need it) releases the
-//     node to the garbage collector; a stale ID then resolves to nil, which
-//     readers treat as "hint went stale, retry".
+//     them here. IDs are allocated monotonically and an ID is never issued to
+//     a second object: without recycling an ID is simply never reused, and
+//     with recycling (NodePool + Reinstall) an ID stays bound to the same
+//     node for the registry's lifetime — either way a slot counter plus that
+//     binding rules out cross-object ABA. Clearing an entry (after the
+//     reclamation domain says no reader can still need it) releases the node
+//     to the pool or the garbage collector; a stale ID then resolves to nil,
+//     which readers treat as "hint went stale, retry".
 //
 //   - Slab[T]: a free-listed store mapping 32-bit handles to values of any
 //     type T, used by the generic Deque[T] wrapper to funnel arbitrary
@@ -132,6 +135,27 @@ func (r *Registry[T]) Clear(id uint32) {
 	if c != nil && c.entries[id&regChunkMask].Swap(nil) != nil {
 		r.freed.Add(1)
 	}
+}
+
+// Reinstall republishes v under an ID that was previously allocated and
+// then cleared — the node-recycling path, where a pooled node keeps its
+// original ID for its whole lifetime and rejoins the registry only after
+// the link CAS that makes it reachable again has committed. Reinstalling
+// over a still-live entry would alias two nodes under one ID; the CAS from
+// nil makes that a detectable failure instead of a corruption. The freed
+// count is decremented so Allocated()-Freed() stays the live-entry count.
+func (r *Registry[T]) Reinstall(id uint32, v *T) bool {
+	if v == nil {
+		panic("arena: Reinstall(nil)")
+	}
+	if id >= r.next.Load() {
+		panic("arena: Reinstall of never-allocated ID")
+	}
+	if !r.chunk(id).entries[id&regChunkMask].CompareAndSwap(nil, v) {
+		return false
+	}
+	r.freed.Add(^uint32(0))
+	return true
 }
 
 // chunk returns the chunk containing id, installing it if necessary.

@@ -63,6 +63,17 @@ const (
 	// RegistryAlloc is a node-registry ID allocation (forced failure
 	// surfaces as ErrRegistryFull / ErrFull).
 	RegistryAlloc
+	// Retire is the hand-off of a removed node to the reclamation domain
+	// (forced failure defers the retire to the handle's next drain, exactly
+	// as if the grace period had not yet expired).
+	Retire
+	// EpochAdvance is an epoch-domain global-advance attempt (forced
+	// failure models losing the advance race: limbo lists age one interval
+	// longer).
+	EpochAdvance
+	// PoolGet is a node-pool reuse attempt (forced failure is a pool miss:
+	// the caller falls back to a fresh allocation).
+	PoolGet
 
 	// NumPoints is the number of named injection points.
 	NumPoints
@@ -72,6 +83,7 @@ var pointNames = [NumPoints]string{
 	"L1", "L2", "L3", "L4", "L5", "L6", "L7",
 	"E1", "E2", "E3", "H",
 	"Oracle", "EdgeCache", "SlabAlloc", "RegistryAlloc",
+	"Retire", "EpochAdvance", "PoolGet",
 }
 
 // String returns the point's name as used in schedules, tests, and docs.

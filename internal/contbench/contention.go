@@ -41,6 +41,15 @@ type ContentionConfig struct {
 	Batch    int // <=1: single-op API; >1: PushLeftN/PopLeftN etc. in runs of Batch
 	Mode     ContentionMode
 	Seed     uint64
+	// NodeSize overrides the deque's node size (0 = default). Small nodes
+	// make the mixed workload cross node boundaries constantly, which is
+	// what the reclamation sweeps need.
+	NodeSize int
+	// Reclaim selects the node-reclamation policy (default ReclaimGC).
+	Reclaim deque.Reclamation
+	// PoolNodes bounds the recycling pool (0 = default); ignored under
+	// ReclaimGC.
+	PoolNodes int
 }
 
 // ContentionResult is the outcome of all trials of one ContentionConfig.
@@ -48,6 +57,13 @@ type ContentionResult struct {
 	Config  ContentionConfig
 	Trials  []float64 // element-ops/sec per trial
 	Summary stats.Summary
+	// AllocsPerOp and BytesPerOp are the process-wide heap allocation rates
+	// over the measured windows (runtime.MemStats deltas divided by element
+	// ops, aggregated across trials). The measurement starts after every
+	// worker has registered its handle, so steady-state workloads report
+	// ~0 under the recycling reclamation policies.
+	AllocsPerOp float64
+	BytesPerOp  float64
 	// Metrics is the observability snapshot summed over all trials (each
 	// trial builds a fresh deque), giving the workload's transition mix.
 	// All counters are zero under the obsoff build tag.
@@ -73,25 +89,51 @@ func RunContention(cfg ContentionConfig) ContentionResult {
 	}
 	trials := make([]float64, 0, cfg.Trials)
 	var m obs.Metrics
+	var ops, allocs, bytes uint64
 	for trial := 0; trial < cfg.Trials; trial++ {
-		ops, tm := runContentionTrial(cfg, uint64(trial))
-		trials = append(trials, float64(ops)/cfg.Duration.Seconds())
-		m.Add(tm)
+		t := runContentionTrial(cfg, uint64(trial))
+		trials = append(trials, float64(t.ops)/cfg.Duration.Seconds())
+		ops += t.ops
+		allocs += t.allocs
+		bytes += t.bytes
+		m.Add(t.metrics)
 	}
-	return ContentionResult{Config: cfg, Trials: trials, Summary: stats.Summarize(trials), Metrics: m}
+	r := ContentionResult{Config: cfg, Trials: trials, Summary: stats.Summarize(trials), Metrics: m}
+	if ops > 0 {
+		r.AllocsPerOp = float64(allocs) / float64(ops)
+		r.BytesPerOp = float64(bytes) / float64(ops)
+	}
+	return r
 }
 
-// newContentionDeque builds the Deque[uint32] under test for the given mode.
-func newContentionDeque(mode ContentionMode, maxThreads int) *deque.Deque[uint32] {
-	opts := []deque.Option{deque.WithMaxThreads(maxThreads)}
-	if mode == ModeLegacy {
+// newContentionDeque builds the Deque[uint32] under test for cfg.
+func newContentionDeque(cfg ContentionConfig) *deque.Deque[uint32] {
+	opts := []deque.Option{deque.WithMaxThreads(cfg.Threads + 1)}
+	if cfg.Mode == ModeLegacy {
 		opts = append(opts, legacyOptions()...)
+	}
+	if cfg.NodeSize > 0 {
+		opts = append(opts, deque.WithNodeSize(cfg.NodeSize))
+	}
+	if cfg.Reclaim != deque.ReclaimGC {
+		opts = append(opts, deque.WithReclamation(cfg.Reclaim))
+	}
+	if cfg.PoolNodes > 0 {
+		opts = append(opts, deque.WithPoolNodes(cfg.PoolNodes))
 	}
 	return deque.New[uint32](opts...)
 }
 
-func runContentionTrial(cfg ContentionConfig, trial uint64) (uint64, obs.Metrics) {
-	d := newContentionDeque(cfg.Mode, cfg.Threads+1)
+// trialResult carries one measured window's totals.
+type trialResult struct {
+	ops     uint64
+	allocs  uint64 // heap objects allocated during the window, process-wide
+	bytes   uint64 // heap bytes allocated during the window
+	metrics obs.Metrics
+}
+
+func runContentionTrial(cfg ContentionConfig, trial uint64) trialResult {
+	d := newContentionDeque(cfg)
 	if cfg.Prefill > 0 {
 		h := d.Register()
 		for i := 0; i < cfg.Prefill; i++ {
@@ -101,6 +143,10 @@ func runContentionTrial(cfg ContentionConfig, trial uint64) (uint64, obs.Metrics
 				h.PushRight(uint32(i))
 			}
 		}
+		// Park the prefill handle cleanly: under epoch reclamation an
+		// idle-but-pinned participant would block every advance for the
+		// rest of the trial.
+		h.Flush()
 	}
 
 	var (
@@ -129,13 +175,24 @@ func runContentionTrial(cfg ContentionConfig, trial uint64) (uint64, obs.Metrics
 		}(w)
 	}
 	start.Wait()
+	// Allocation window: every worker has registered its handle and parked
+	// on the gate, so the deltas below see only the workload's own heap
+	// traffic (plus one timer for the Sleep — noise at millions of ops).
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	close(gate)
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
+	runtime.ReadMemStats(&ms1)
 	m := d.Metrics()
 	runtime.KeepAlive(d)
-	return total.Load(), m
+	return trialResult{
+		ops:     total.Load(),
+		allocs:  ms1.Mallocs - ms0.Mallocs,
+		bytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+		metrics: m,
+	}
 }
 
 // contentionSingleLoop is the mixed 4-way workload: each iteration picks

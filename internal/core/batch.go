@@ -35,6 +35,7 @@ import (
 // as if the equivalent individual PushLeft calls had failed partway), and
 // the returned count reports how many elements landed.
 func (d *Deque) PushLeftN(h *Handle, vals []uint32) (int, error) {
+	defer h.unpin()
 	for _, v := range vals {
 		if word.IsReserved(v) {
 			return 0, ErrReserved
@@ -132,6 +133,7 @@ func (d *Deque) pushLeftRun(h *Handle, vals []uint32) (int, error) {
 // repeatedly, stopping early when the deque reports EMPTY. Returns the
 // number of values popped.
 func (d *Deque) PopLeftN(h *Handle, dst []uint32) int {
+	defer h.unpin()
 	if d.lElim != nil {
 		for i := range dst {
 			v, ok := d.PopLeft(h)
@@ -227,6 +229,7 @@ func (d *Deque) popLeftRun(h *Handle, dst []uint32) (int, bool) {
 // On ErrFull the already-pushed prefix stays pushed, and the returned count
 // reports how many elements landed (see PushLeftN).
 func (d *Deque) PushRightN(h *Handle, vals []uint32) (int, error) {
+	defer h.unpin()
 	for _, v := range vals {
 		if word.IsReserved(v) {
 			return 0, ErrReserved
@@ -315,6 +318,7 @@ func (d *Deque) pushRightRun(h *Handle, vals []uint32) (int, error) {
 
 // PopRightN mirrors PopLeftN for the right end.
 func (d *Deque) PopRightN(h *Handle, dst []uint32) int {
+	defer h.unpin()
 	if d.rElim != nil {
 		for i := range dst {
 			v, ok := d.PopRight(h)

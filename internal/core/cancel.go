@@ -106,6 +106,7 @@ func (d *Deque) pushLeftBounded(ctx context.Context, h *Handle, v uint32, attemp
 	if word.IsReserved(v) {
 		return ErrReserved
 	}
+	defer h.unpin()
 	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
@@ -136,6 +137,7 @@ func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attem
 	if word.IsReserved(v) {
 		return ErrReserved
 	}
+	defer h.unpin()
 	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
@@ -163,6 +165,7 @@ func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attem
 }
 
 func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (uint32, bool, error) {
+	defer h.unpin()
 	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
@@ -186,6 +189,7 @@ func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (ui
 }
 
 func (d *Deque) popRightBounded(ctx context.Context, h *Handle, attempts int) (uint32, bool, error) {
+	defer h.unpin()
 	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {

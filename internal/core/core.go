@@ -63,6 +63,8 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/chaos"
 	"repro/internal/elim"
+	"repro/internal/epoch"
+	"repro/internal/hazard"
 	"repro/internal/obs"
 	"repro/internal/pad"
 	"repro/internal/word"
@@ -147,6 +149,18 @@ type Config struct {
 	// TraceBuf is the tracer ring length (default obs.DefaultTraceBuf);
 	// ignored when TraceSample is 0.
 	TraceBuf int
+	// Reclaim selects the node-reclamation policy: ReclaimNone (clear on
+	// removal, GC frees — the historical behavior), or ReclaimHazard /
+	// ReclaimEpoch, which retire removed nodes through a grace domain into
+	// a bounded recycling pool (see reclaim.go).
+	Reclaim ReclaimPolicy
+	// PoolNodes bounds the recycling pool (default DefaultPoolNodes);
+	// ignored when Reclaim is ReclaimNone.
+	PoolNodes int
+	// MaxLiveNodes caps the number of node structures this deque may retain
+	// at once — chained, awaiting grace, and pooled together. A push that
+	// would allocate past the cap fails with ErrFull. 0 means unbounded.
+	MaxLiveNodes uint32
 }
 
 func (c Config) withDefaults() Config {
@@ -198,6 +212,20 @@ type Deque struct {
 	tracer *obs.Tracer
 
 	nextTID atomic.Int32
+
+	// Reclamation state (reclaim.go). Exactly one domain is non-nil when
+	// Config.Reclaim selects a recycling policy; pool is non-nil iff a
+	// domain is. memNodes is the node-memory account: +1 per fresh node
+	// allocation, -1 when a node leaves for the GC (removal under
+	// ReclaimNone, or pool overflow after grace).
+	hazDom   *hazard.Domain
+	epochDom *epoch.Domain
+	pool     *arena.NodePool[node]
+
+	memNodes     atomic.Int64
+	memHighWater atomic.Int64
+	nodesRetired atomic.Uint64
+	nodesFreed   atomic.Uint64
 }
 
 // node is one buffer in the doubly-linked chain (Fig. 5 lines 22-37).
@@ -210,6 +238,12 @@ type Deque struct {
 type node struct {
 	id    uint32
 	slots []atomic.Uint64
+	// retired is the exactly-once guard for handing this node to the
+	// reclamation domain (recycling modes only): CASed 0→1 by the
+	// unregister walk that retires it, reset to 0 when the grace period
+	// expires and the node is recycled. Ensures overlapping walks can never
+	// double-pool a node.
+	retired atomic.Uint32
 	// escape is set by the remover just before the node's registry entry
 	// is cleared: a GC-safe pointer to the node that was the active edge at
 	// removal time. A traversal stranded on a removed node whose inward
@@ -285,6 +319,7 @@ func New(cfg Config) *Deque {
 	if cfg.TraceSample > 0 {
 		d.tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceBuf)
 	}
+	d.initReclaim()
 	// Initial node, split down the middle (Fig. 5 constructor).
 	first := d.newNode(cfg.NodeSize / 2)
 	hint := word.Pack(first.id, 0)
@@ -297,19 +332,34 @@ func New(cfg Config) *Deque {
 
 // newNode allocates and registers a node whose first split slots hold LN
 // and the rest RN (Fig. 5 lines 27-35). It panics on registry exhaustion;
-// only the constructor uses it (the first allocation cannot fail).
+// only the constructor uses it (the first allocation cannot fail, and the
+// pool is empty at construction, so the node is always fresh-installed).
 func (d *Deque) newNode(split int) *node {
-	n, err := d.newNodeTry(split)
+	n, _, err := d.newNodeTry(split)
 	if err != nil {
 		panic(fmt.Sprintf("core: %v", err))
 	}
 	return n
 }
 
-// newNodeTry is newNode reporting registry exhaustion as ErrFull instead of
-// panicking — the push paths' graceful-degradation route.
-func (d *Deque) newNodeTry(split int) (*node, error) {
-	n := &node{slots: make([]atomic.Uint64, d.sz)}
+// newNodeTry is newNode reporting exhaustion as ErrFull instead of
+// panicking — the push paths' graceful-degradation route. With a recycling
+// policy it tries the node pool first; a pooled node is reinitialized with
+// counter-preserving writes and returned with fromPool=true, telling the
+// caller it must Reinstall the registry entry after the link CAS commits
+// (reclaim.go invariant I2). Fresh nodes are installed here, as always, and
+// charged against Config.MaxLiveNodes.
+func (d *Deque) newNodeTry(split int) (n *node, fromPool bool, err error) {
+	if d.pool != nil {
+		if n := d.pool.Get(); n != nil {
+			d.reinitNode(n, split)
+			return n, true, nil
+		}
+	}
+	if !d.accountFresh() {
+		return nil, false, ErrFull
+	}
+	n = &node{slots: make([]atomic.Uint64, d.sz)}
 	for i := 0; i < split; i++ {
 		n.slots[i].Store(word.Pack(word.LN, 0))
 	}
@@ -318,9 +368,10 @@ func (d *Deque) newNodeTry(split int) (*node, error) {
 	}
 	n.leftSlotHint.Store(int64(clamp(split-1, 1, d.sz-1)))
 	n.rightSlotHint.Store(int64(clamp(split, 0, d.sz-2)))
-	id, err := d.reg.TryAlloc(n)
-	if err != nil {
-		return nil, ErrFull
+	id, aerr := d.reg.TryAlloc(n)
+	if aerr != nil {
+		d.memNodes.Add(-1)
+		return nil, false, ErrFull
 	}
 	n.id = id
 	if n.id > word.MaxValue {
@@ -328,7 +379,7 @@ func (d *Deque) newNodeTry(split int) (*node, error) {
 		// reserved range.
 		panic("core: node ID collides with reserved slot values")
 	}
-	return n, nil
+	return n, false, nil
 }
 
 func clamp(v, lo, hi int) int {
@@ -346,45 +397,51 @@ func clamp(v, lo, hi int) int {
 // and it should retry from the oracle.
 func (d *Deque) resolve(id uint32) *node { return d.reg.Get(id) }
 
-// unregisterLeft clears n's registry entry after its removal, plus any
-// chain of left-sealed nodes hanging off its left link: they were only
-// reachable through n (the paper's "another sealed node which has been
-// sealed on the same side"), so they became garbage together with n. The
-// paper leaves those to its garbage collector; the registry must drop them
-// explicitly or they would stay pinned. Every node unregistered gets its
-// escape pointer aimed at the surviving edge first, so stranded traversals
-// always have a way back to the chain.
-func (d *Deque) unregisterLeft(n *node, edge *node) {
+// unregisterLeft retires n after its removal, plus any chain of left-sealed
+// nodes hanging off its left link: they were only reachable through n (the
+// paper's "another sealed node which has been sealed on the same side"), so
+// they became garbage together with n. The paper leaves those to its
+// garbage collector; the registry must drop them explicitly or they would
+// stay pinned. Every node unregistered gets its escape pointer aimed at the
+// surviving edge first, so stranded traversals always have a way back to
+// the chain. Under ReclaimNone each node's registry entry is cleared on the
+// spot; under a recycling policy the IDs are batched on the handle and only
+// handed to the grace domain after the walk — the walk keeps reading the
+// chain's link slots, and a retire that triggered an eager scan could
+// otherwise recycle a node out from under it (reclaim.go invariant I4).
+func (d *Deque) unregisterLeft(h *Handle, n *node, edge *node) {
 	for n != nil {
 		n.escape.Store(edge)
-		d.reg.Clear(n.id)
 		v := word.Val(n.slots[0].Load())
+		d.markRetired(h, n)
 		if word.IsReserved(v) {
-			return
+			break
 		}
 		p := d.resolve(v)
 		if p == nil || word.Val(p.slots[d.sz-2].Load()) != word.LS {
-			return
+			break
 		}
 		n = p
 	}
+	d.flushRetires(h)
 }
 
 // unregisterRight mirrors unregisterLeft for right-sealed chains.
-func (d *Deque) unregisterRight(n *node, edge *node) {
+func (d *Deque) unregisterRight(h *Handle, n *node, edge *node) {
 	for n != nil {
 		n.escape.Store(edge)
-		d.reg.Clear(n.id)
 		v := word.Val(n.slots[d.sz-1].Load())
+		d.markRetired(h, n)
 		if word.IsReserved(v) {
-			return
+			break
 		}
 		p := d.resolve(v)
 		if p == nil || word.Val(p.slots[1].Load()) != word.RS {
-			return
+			break
 		}
 		n = p
 	}
+	d.flushRetires(h)
 }
 
 // NodeSize returns the configured slots-per-node.
@@ -398,8 +455,12 @@ type Handle struct {
 
 	tid int
 	// spareL/spareR cache append nodes for each side (their slot layouts
-	// differ, so they are not interchangeable).
-	spareL, spareR *node
+	// differ, so they are not interchangeable). The install flags record
+	// that a spare came from the recycling pool and its registry entry must
+	// be republished after the link CAS commits (reclaim.go invariant I2);
+	// fresh spares are installed at allocation.
+	spareL, spareR               *node
+	spareLInstall, spareRInstall bool
 
 	// edgeL/edgeR + idxL/idxR remember exactly where this handle's last
 	// successful operation on each side left the edge: the node and the
@@ -464,6 +525,14 @@ type Handle struct {
 	Eliminated    uint64
 	Retries       uint64
 	EdgeCacheHits uint64
+
+	// ep/hp is this handle's grace-domain participant — exactly one is
+	// non-nil under a recycling policy, neither under ReclaimNone.
+	// retireBatch stages removed-node keys during an unregister walk until
+	// flushRetires hands them to the domain (reclaim.go).
+	ep          *epoch.Participant
+	hp          *hazard.Participant
+	retireBatch []uint64
 
 	// rec is the handle's observability counter block (internal/obs): one
 	// padded line of per-transition counters, written only by the owning
@@ -585,5 +654,11 @@ func (d *Deque) Register() *Handle {
 	}
 	h := &Handle{d: d, tid: tid, rec: d.obsReg.NewRec()}
 	h.bo.Init(backoff.DefaultMinSpins, backoff.DefaultMaxSpins, uint64(tid)*0x9e3779b97f4a7c15+1)
+	switch {
+	case d.epochDom != nil:
+		h.ep = d.epochDom.Register()
+	case d.hazDom != nil:
+		h.hp = d.hazDom.Register()
+	}
 	return h
 }

@@ -17,6 +17,7 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 	if word.IsReserved(v) {
 		return ErrReserved
 	}
+	defer h.unpin()
 	tr := d.traceStart(h)
 	if d.lElim != nil {
 		err := d.pushLeftElim(h, v)
@@ -47,6 +48,7 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 // PopLeft removes and returns the leftmost value; ok is false when the
 // deque was empty (the paper's EMPTY).
 func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
+	defer h.unpin()
 	tr := d.traceStart(h)
 	if d.lElim != nil {
 		v, ok = d.popLeftElim(h)
@@ -73,23 +75,26 @@ func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 // spareLeft returns a node shaped for a left append — every slot LN, the
 // new datum in the innermost data slot, the right link aimed back at edge
 // (Fig. 6 lines 102-104) — reusing the handle's cached left spare when an
-// earlier append lost its race. Counters restart at 0: the node is
-// unpublished, so no other thread holds stale copies of its slots.
-// ok=false means the registry is exhausted; h.allocErr holds ErrFull.
+// earlier append lost its race. Every write preserves the slot's counter
+// (storeKeepCt): a fresh node's counters simply step off 0, while a
+// recycled node's counters must never regress below its previous life's
+// values or CASes armed back then could succeed now (reclaim.go invariant
+// I1). ok=false means allocation failed; h.allocErr holds ErrFull.
 func (h *Handle) spareLeft(v uint32, edge *node) (*node, bool) {
 	d := h.d
 	n := h.spareL
 	if n == nil {
-		nn, err := d.newNodeTry(d.sz) // all LN
+		nn, fromPool, err := d.newNodeTry(d.sz) // all LN
 		if err != nil {
 			h.allocErr = err
 			return nil, false
 		}
 		n = nn
 		h.spareL = n
+		h.spareLInstall = fromPool
 	}
-	n.slots[d.sz-2].Store(word.Pack(v, 0))
-	n.slots[d.sz-1].Store(word.Pack(edge.id, 0))
+	storeKeepCt(&n.slots[d.sz-2], v)
+	storeKeepCt(&n.slots[d.sz-1], edge.id)
 	n.leftSlotHint.Store(int64(d.sz - 2))
 	n.rightSlotHint.Store(int64(d.sz - 2))
 	return n, true
@@ -160,6 +165,10 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, nw.id)) {
 			h.rec.Inc(obs.CtrL6)
+			// A recycled spare rejoins the registry only now, after the
+			// link made it reachable (invariant I2): installing earlier
+			// would let a stale edge cache validate the half-prepared node.
+			h.installSpare(nw, &h.spareLInstall)
 			h.spareL = nil
 			h.Appends++
 			h.edgeL = nw
@@ -218,7 +227,7 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 			h.rec.Inc(obs.CtrHintPublish)
 			d.left.set(hintW, edge)
 			d.refreshRightHint(h)
-			d.unregisterLeft(outNd, edge) // retire: stale IDs now resolve to nil
+			d.unregisterLeft(h, outNd, edge) // retire the removed chain
 		} else {
 			h.rec.Inc(obs.CtrFailL7)
 		}
@@ -365,7 +374,7 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 				h.rec.Inc(obs.CtrHintPublish)
 				hintW = d.left.set(hintW, edge)
 				d.refreshRightHint(h)
-				d.unregisterLeft(outNd, edge)
+				d.unregisterLeft(h, outNd, edge)
 				inCpy = word.Bump(inCpy)
 				outCpy = word.With(outCpy, word.LN)
 				outVal = word.LN
@@ -444,6 +453,7 @@ func (d *Deque) pushLeftElim(h *Handle, v uint32) error {
 	}
 	d.lElim.Insert(h.tid, elim.Push, v)
 	for {
+		h.repin()
 		edge, idx, hintW := d.lOracle(h.rec)
 		if _, eliminated := d.lElim.Remove(h.tid); eliminated {
 			h.rec.Inc(obs.CtrElimPush)
@@ -480,6 +490,7 @@ func (d *Deque) popLeftElim(h *Handle) (uint32, bool) {
 	}
 	d.lElim.Insert(h.tid, elim.Pop, 0)
 	for {
+		h.repin()
 		edge, idx, hintW := d.lOracle(h.rec)
 		if v, eliminated := d.lElim.Remove(h.tid); eliminated {
 			h.rec.Inc(obs.CtrElimPop)

@@ -145,6 +145,7 @@ func (d *Deque) lOracle(rec *obs.Rec) (*node, int, uint64) {
 // reports whether the answer came from the cache; it feeds EdgeCacheHits on
 // completion.
 func (d *Deque) lOracleSeeded(h *Handle) (edge *node, idx int, hintW uint64, cached bool) {
+	h.repin()
 	if c := h.edgeL; c != nil && !d.cfg.NoEdgeCache &&
 		h.idxL >= 1 && h.idxL <= d.sz-1 && d.resolve(c.id) == c &&
 		!chaos.Visit(chaos.EdgeCache) {
@@ -267,6 +268,7 @@ func (d *Deque) rOracle(rec *obs.Rec) (*node, int, uint64) {
 
 // rOracleSeeded mirrors lOracleSeeded for the right edge.
 func (d *Deque) rOracleSeeded(h *Handle) (edge *node, idx int, hintW uint64, cached bool) {
+	h.repin()
 	if c := h.edgeR; c != nil && !d.cfg.NoEdgeCache &&
 		h.idxR >= 0 && h.idxR <= d.sz-2 && d.resolve(c.id) == c &&
 		!chaos.Visit(chaos.EdgeCache) {

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/arena"
+	"repro/internal/chaos"
+	"repro/internal/epoch"
+	"repro/internal/hazard"
+	"repro/internal/word"
+)
+
+// This file wires the reclamation domains (internal/hazard, internal/epoch)
+// and the bounded node pool (internal/arena.NodePool) into the deque: node
+// retirement, grace-gated recycling, and the hard live-node bound.
+//
+// # Why recycling is safe (DESIGN.md §10 carries the full argument)
+//
+// Without recycling, safety is structural: IDs are never reused, so a stale
+// ID resolves to nil and a stale pointer leads to a node whose slots never
+// change again. Recycling re-arms both hazards, and four invariants disarm
+// them:
+//
+//  I1  Slot counters never regress. Reinit and spare prep write every slot
+//      with a counter-preserving bump (word.With over the current word),
+//      never a counter reset — so a CAS armed with a copy read in the node's
+//      previous life always fails.
+//  I2  Same-ID reuse with deferred install. A pooled node keeps its registry
+//      ID forever; its registry entry is cleared when the grace period
+//      expires and republished (Registry.Reinstall) only AFTER the link CAS
+//      that makes the node reachable again. Between pool exit and install
+//      the node is invisible to resolve(), so no stale edge cache and no
+//      straddle validation can touch a half-prepared spare.
+//  I3  Escape pointers survive reinit. A walker stranded on a node that was
+//      recycled under it either resolves the node (it is back in the chain —
+//      any once-valid node is a legal walk start) or follows the preserved
+//      escape toward the chain.
+//  I4  Retires are batched per removal walk. unregisterLeft/Right finish
+//      reading the sealed chain before any of its IDs reach the domain, so a
+//      scan triggered by the retire cannot recycle a node the walk is still
+//      reading; an atomic once-guard on the node makes retire exactly-once.
+//
+// The reclamation domain then orders Clear/Put(pool)/Reinstall: epoch mode
+// delays reuse until every handle pinned at the retire epoch has repinned
+// (two global advances); hazard mode frees on the amortized scan. The
+// domains gate reclamation *timing* — the invariants above carry
+// correctness — which is exactly the paper's Section II-C division of labor
+// with the GC's role taken over by counters and deferred install.
+
+// ReclaimPolicy selects how removed nodes are reclaimed and whether they are
+// recycled through the bounded node pool.
+type ReclaimPolicy uint8
+
+const (
+	// ReclaimNone is the historical behavior: a removed node's registry
+	// entry is cleared on the spot and the node is left to the garbage
+	// collector. No pool, no grace machinery, no recycling.
+	ReclaimNone ReclaimPolicy = iota
+	// ReclaimHazard retires removed nodes through an internal/hazard
+	// domain: an amortized scan releases unprotected IDs to the node pool.
+	ReclaimHazard
+	// ReclaimEpoch retires removed nodes through an internal/epoch domain:
+	// IDs are released to the node pool two global epochs after retirement.
+	// This is the allocation-free configuration — epoch's retire path does
+	// not allocate, where hazard's scan builds a snapshot set per sweep.
+	ReclaimEpoch
+)
+
+// DefaultPoolNodes bounds the node pool when a recycling policy is selected
+// and Config.PoolNodes is zero. Steady-state churn alternates between a
+// handful of nodes per side; 32 retains enough to absorb bursts from many
+// handles while capping retained slack at ~32 node footprints.
+const DefaultPoolNodes = 32
+
+// recycling reports whether cfg retires nodes through a grace domain into
+// the pool.
+func (c Config) recycling() bool { return c.Reclaim != ReclaimNone }
+
+// NodeFootprint returns the approximate heap bytes one node with sz slots
+// retains: the node header (including its cache-line spacers) plus the slot
+// array. Callers translating a byte budget into Config.MaxLiveNodes divide
+// by this.
+func NodeFootprint(sz int) int64 {
+	return int64(unsafe.Sizeof(node{})) + int64(sz)*8
+}
+
+// initReclaim builds the per-deque reclamation state: the node pool and the
+// configured grace domain. Called from New after cfg is defaulted.
+func (d *Deque) initReclaim() {
+	switch d.cfg.Reclaim {
+	case ReclaimHazard:
+		d.hazDom = hazard.NewDomain(d.cfg.MaxThreads, d.freeNode)
+	case ReclaimEpoch:
+		d.epochDom = epoch.NewDomain(d.cfg.MaxThreads, d.freeNode)
+	default:
+		return
+	}
+	cap := d.cfg.PoolNodes
+	if cap == 0 {
+		cap = DefaultPoolNodes
+	}
+	d.pool = arena.NewNodePool[node](cap)
+}
+
+// retireKey converts between node IDs and domain keys. Both domains reserve
+// key 0 and node IDs start at 0, so keys are id+1.
+func retireKey(id uint32) uint64 { return uint64(id) + 1 }
+func keyToID(key uint64) uint32  { return uint32(key - 1) }
+
+// repin publishes the handle's participation in the current reclamation
+// epoch. It runs at every oracle entry — the start of each operation
+// attempt — so a handle is always pinned no later than its first shared
+// read, and its previous pin is released no earlier than its previous
+// operation's last shared access. Hazard mode and ReclaimNone pay one nil
+// check.
+func (h *Handle) repin() {
+	if h.ep != nil {
+		h.ep.Pin()
+	}
+}
+
+// unpin marks the end of an operation's shared accesses: the handle leaves
+// the epoch critical section so a descheduled or idle caller never blocks
+// the global advance (a pinned participant parked between ops would freeze
+// reclamation domain-wide — e.g. a server connection waiting for its next
+// request, or a preempted worker on a saturated host). Every exported
+// operation defers it; hazard mode and ReclaimNone pay one nil check.
+func (h *Handle) unpin() {
+	if h.ep != nil {
+		h.ep.Quiesce()
+	}
+}
+
+// markRetired records one removed node during an unregister walk. In
+// ReclaimNone it clears the registry entry immediately (the historical
+// path); in recycling modes it parks the ID on the handle's retire batch —
+// the walk must finish reading the sealed chain before any ID reaches the
+// domain (invariant I4). The atomic once-guard makes a node's retire
+// exactly-once even if overlapping walks ever visit it.
+func (d *Deque) markRetired(h *Handle, n *node) {
+	// Shadow eviction: move a side shadow off the retiring node so hint
+	// readers start from the surviving edge instead of removal history.
+	// Best-effort — a lost CAS means the shadow already moved on.
+	if esc := n.escape.Load(); esc != nil {
+		if d.left.nd.Load() == n {
+			d.left.nd.CompareAndSwap(n, esc)
+		}
+		if d.right.nd.Load() == n {
+			d.right.nd.CompareAndSwap(n, esc)
+		}
+	}
+	if !d.cfg.recycling() {
+		d.reg.Clear(n.id)
+		d.memNodes.Add(-1)
+		return
+	}
+	if !n.retired.CompareAndSwap(0, 1) {
+		return
+	}
+	d.nodesRetired.Add(1)
+	h.retireBatch = append(h.retireBatch, retireKey(n.id))
+}
+
+// flushRetires hands the handle's batched retires to the grace domain, after
+// the unregister walk that produced them has finished. A chaos-forced
+// failure defers the whole batch to the next flush — legal, it models a
+// grace period that has not yet expired.
+func (d *Deque) flushRetires(h *Handle) {
+	if len(h.retireBatch) == 0 {
+		return
+	}
+	if chaos.Visit(chaos.Retire) {
+		return
+	}
+	for _, key := range h.retireBatch {
+		if h.ep != nil {
+			h.ep.Retire(key)
+		} else {
+			h.hp.Retire(key)
+		}
+	}
+	h.retireBatch = h.retireBatch[:0]
+}
+
+// freeNode is the domains' freeFn: the grace period for key has expired, so
+// no handle can still be walking the node's previous life. Clear the
+// registry entry (stale IDs now resolve to nil and take the escape
+// protocol), reset the retire guard, and recycle the node through the pool;
+// on pool overflow the node goes to the GC and leaves the memory account.
+func (d *Deque) freeNode(key uint64) {
+	d.nodesFreed.Add(1)
+	id := keyToID(key)
+	n := d.reg.Get(id)
+	if n != nil {
+		d.reg.Clear(id)
+		n.retired.Store(0)
+		if d.pool != nil && d.pool.Put(n) {
+			return
+		}
+	}
+	d.memNodes.Add(-1)
+}
+
+// storeKeepCt writes val into slot s with a counter-preserving bump
+// (invariant I1). Spare preparation uses it for every slot write so a
+// recycled node's counters never regress below its previous life's values.
+func storeKeepCt(s *atomic.Uint64, val uint32) {
+	s.Store(word.With(s.Load(), val))
+}
+
+// reinitNode rewrites a pooled node's slots for a new life as an append
+// spare: split LN slots then RN slots, exactly newNodeTry's layout — but
+// every store preserves the slot's counter (invariant I1): a CAS armed with
+// a copy from the node's previous life must keep failing forever.
+func (d *Deque) reinitNode(n *node, split int) {
+	for i := 0; i < split; i++ {
+		s := &n.slots[i]
+		s.Store(word.With(s.Load(), word.LN))
+	}
+	for i := split; i < d.sz; i++ {
+		s := &n.slots[i]
+		s.Store(word.With(s.Load(), word.RN))
+	}
+	n.leftSlotHint.Store(int64(clamp(split-1, 1, d.sz-1)))
+	n.rightSlotHint.Store(int64(clamp(split, 0, d.sz-2)))
+	// escape is deliberately preserved (invariant I3).
+}
+
+// installSpare republishes a recycled spare's registry entry after the link
+// CAS that made it reachable committed (invariant I2's deferred install).
+// Fresh spares were installed at allocation and need nothing.
+func (h *Handle) installSpare(n *node, needsInstall *bool) {
+	if !*needsInstall {
+		return
+	}
+	*needsInstall = false
+	if !h.d.reg.Reinstall(n.id, n) {
+		// Unreachable under I2: the entry stays nil from free to install.
+		panic("core: recycled node's registry entry occupied at install")
+	}
+}
+
+// accountFresh charges one fresh node allocation against the live-node
+// bound. It reports false — the caller surfaces ErrFull — when the bound
+// would be exceeded; the increment is rolled back so accounting stays
+// exact.
+func (d *Deque) accountFresh() bool {
+	n := d.memNodes.Add(1)
+	if max := d.cfg.MaxLiveNodes; max != 0 && n > int64(max) {
+		d.memNodes.Add(-1)
+		return false
+	}
+	for {
+		hw := d.memHighWater.Load()
+		if n <= hw || d.memHighWater.CompareAndSwap(hw, n) {
+			return true
+		}
+	}
+}
+
+// MemStats is a snapshot of the node-memory account.
+type MemStats struct {
+	// LiveNodes counts node structures currently retained by this deque:
+	// chained + sealed-awaiting-grace + pooled. Bounded by
+	// Config.MaxLiveNodes when set.
+	LiveNodes int64
+	// HighWater is the maximum LiveNodes has ever reached.
+	HighWater int64
+	// LimitNodes is Config.MaxLiveNodes (0 = unbounded).
+	LimitNodes uint32
+	// Retired counts nodes handed to the grace domain (monotone).
+	Retired uint64
+	// Freed counts grace expirations — nodes recycled or released (monotone).
+	Freed uint64
+	// Recycled counts pool reuses (monotone); Pooled is the current pool
+	// occupancy.
+	Recycled uint64
+	Pooled   int
+}
+
+// MemStats returns the node-memory account. Safe to call concurrently with
+// operations.
+func (d *Deque) MemStats() MemStats {
+	s := MemStats{
+		LiveNodes:  d.memNodes.Load(),
+		HighWater:  d.memHighWater.Load(),
+		LimitNodes: d.cfg.MaxLiveNodes,
+		Retired:    d.nodesRetired.Load(),
+		Freed:      d.nodesFreed.Load(),
+	}
+	if d.pool != nil {
+		s.Recycled = d.pool.Recycled()
+		s.Pooled = d.pool.Len()
+	}
+	return s
+}
+
+// Drain flushes this handle's deferred reclamation work: batched retires go
+// to the domain and the domain's limbo is swept as far as grace allows. Call
+// it before parking a handle for a long time (connection freelists, worker
+// pools) — an idle epoch participant otherwise blocks the global advance,
+// and either domain's pending list strands retired nodes. Safe to call at
+// any operation boundary; the handle remains usable.
+func (h *Handle) Drain() {
+	if !h.d.cfg.recycling() {
+		return
+	}
+	// Push batched retires even under a chaos schedule: Drain is the
+	// explicit "get it all out" call.
+	for _, key := range h.retireBatch {
+		if h.ep != nil {
+			h.ep.Retire(key)
+		} else {
+			h.hp.Retire(key)
+		}
+	}
+	h.retireBatch = h.retireBatch[:0]
+	if h.ep != nil {
+		h.ep.Drain()
+	} else {
+		h.hp.Drain()
+	}
+}
+
+// PendingRetires returns the number of this handle's retired-but-not-freed
+// nodes (batch + domain limbo). Diagnostics and tests.
+func (h *Handle) PendingRetires() int {
+	n := len(h.retireBatch)
+	if h.ep != nil {
+		n += h.ep.Pending()
+	}
+	if h.hp != nil {
+		n += h.hp.Pending()
+	}
+	return n
+}

@@ -18,6 +18,7 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 	if word.IsReserved(v) {
 		return ErrReserved
 	}
+	defer h.unpin()
 	tr := d.traceStart(h)
 	if d.rElim != nil {
 		err := d.pushRightElim(h, v)
@@ -48,6 +49,7 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 // PopRight removes and returns the rightmost value; ok is false when the
 // deque was empty.
 func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
+	defer h.unpin()
 	tr := d.traceStart(h)
 	if d.rElim != nil {
 		v, ok = d.popRightElim(h)
@@ -73,21 +75,23 @@ func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
 
 // spareRight returns a node shaped for a right append — every slot RN, the
 // new datum in the innermost data slot, the left link aimed back at edge.
-// ok=false means the registry is exhausted; h.allocErr holds ErrFull.
+// Writes preserve slot counters, as in spareLeft (invariant I1).
+// ok=false means allocation failed; h.allocErr holds ErrFull.
 func (h *Handle) spareRight(v uint32, edge *node) (*node, bool) {
 	d := h.d
 	n := h.spareR
 	if n == nil {
-		nn, err := d.newNodeTry(0) // all RN
+		nn, fromPool, err := d.newNodeTry(0) // all RN
 		if err != nil {
 			h.allocErr = err
 			return nil, false
 		}
 		n = nn
 		h.spareR = n
+		h.spareRInstall = fromPool
 	}
-	n.slots[1].Store(word.Pack(v, 0))
-	n.slots[0].Store(word.Pack(edge.id, 0))
+	storeKeepCt(&n.slots[1], v)
+	storeKeepCt(&n.slots[0], edge.id)
 	n.leftSlotHint.Store(1)
 	n.rightSlotHint.Store(1)
 	return n, true
@@ -147,6 +151,8 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 		if in.CompareAndSwap(inCpy, word.Bump(inCpy)) &&
 			out.CompareAndSwap(outCpy, word.With(outCpy, nw.id)) {
 			h.rec.Inc(obs.CtrL6)
+			// Deferred install of a recycled spare; see left.go.
+			h.installSpare(nw, &h.spareRInstall)
 			h.spareR = nil
 			h.Appends++
 			h.edgeR = nw
@@ -204,7 +210,7 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 			h.rec.Inc(obs.CtrHintPublish)
 			d.right.set(hintW, edge)
 			d.refreshLeftHint(h)
-			d.unregisterRight(outNd, edge)
+			d.unregisterRight(h, outNd, edge)
 		} else {
 			h.rec.Inc(obs.CtrFailL7)
 		}
@@ -337,7 +343,7 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 				h.rec.Inc(obs.CtrHintPublish)
 				hintW = d.right.set(hintW, edge)
 				d.refreshLeftHint(h)
-				d.unregisterRight(outNd, edge)
+				d.unregisterRight(h, outNd, edge)
 				inCpy = word.Bump(inCpy)
 				outCpy = word.With(outCpy, word.RN)
 				outVal = word.RN
@@ -392,6 +398,7 @@ func (d *Deque) pushRightElim(h *Handle, v uint32) error {
 	}
 	d.rElim.Insert(h.tid, elim.Push, v)
 	for {
+		h.repin()
 		edge, idx, hintW := d.rOracle(h.rec)
 		if _, eliminated := d.rElim.Remove(h.tid); eliminated {
 			h.rec.Inc(obs.CtrElimPush)
@@ -427,6 +434,7 @@ func (d *Deque) popRightElim(h *Handle) (uint32, bool) {
 	}
 	d.rElim.Insert(h.tid, elim.Pop, 0)
 	for {
+		h.repin()
 		edge, idx, hintW := d.rOracle(h.rec)
 		if v, eliminated := d.rElim.Remove(h.tid); eliminated {
 			h.rec.Inc(obs.CtrElimPop)

@@ -1,0 +1,263 @@
+// Package epoch implements epoch-based reclamation (EBR) over 64-bit keys —
+// the drop-in alternative to internal/hazard's hazard pointers for gating
+// when a retired deque node may be recycled.
+//
+// The classic scheme (Fraser's three-generation EBR): a global epoch counter
+// advances one step at a time; each participant publishes, in a padded word
+// of its own, the epoch it most recently observed ("pinned at e") or a
+// quiescent marker. Retired keys go on the retiring participant's limbo list
+// for the current global epoch, one list per generation e mod 3. The global
+// epoch may advance from e to e+1 only when every non-quiescent participant
+// has observed e; at that moment every key retired in generation e-1 (two
+// generations behind e+1) is unreachable by any pinned participant — any
+// critical section that could have seen the key began before the key was
+// unlinked — and its limbo list is released through the domain's free
+// function.
+//
+// Costs, compared to hazard pointers: Pin is one load and one store on a
+// participant-private line (no per-object advertisement, no validation
+// re-reads), Retire is an append plus an amortized advance attempt that
+// scans the participants' epoch words — O(participants) per advance but
+// amortized O(1) per retire via the advance interval. The trade is the
+// classic one: a single stalled pinned participant freezes reclamation
+// (limbo grows until it unpins), which hazard pointers do not suffer.
+// Participants that go idle must call Quiesce (or Drain) to take themselves
+// out of the advance condition.
+//
+// Keys are opaque uint64s (node IDs in practice); key 0 is reserved. A
+// Domain owns a fixed set of participant slots, like a hazard.Domain.
+package epoch
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/chaos"
+)
+
+// generations is the limbo ring width. Three is the classic minimum: keys
+// retired in generation g are freed when the global epoch reaches g+2, at
+// which point no pinned participant can have begun its critical section
+// before g+1 — after the key was unlinked.
+const generations = 3
+
+// advanceInterval is how many retires a participant accumulates between
+// advance attempts. Each attempt scans every participant's epoch word;
+// amortizing it over a batch of retires keeps Retire O(1) while still
+// advancing fast enough that limbo lists stay within a small multiple of
+// the retire rate.
+const advanceInterval = 32
+
+// quiescent is the epoch-word value of a participant outside any critical
+// section. Pinned participants store epoch<<1|1, so the low bit doubles as
+// the pinned flag and epoch 0 remains distinguishable from quiescence.
+const quiescent uint64 = 0
+
+// Domain is an EBR domain. All participants retiring and observing the same
+// class of objects must share a Domain.
+type Domain struct {
+	maxParticipants int
+	global          paddedU64
+	locals          []paddedU64
+	registered      atomic.Int32
+	// freeFn releases the object behind a key once no critical section can
+	// reach it (for the deque: clear the registry entry, pool the node).
+	freeFn func(key uint64)
+}
+
+// paddedU64 keeps each participant's epoch word (and the global) alone on
+// its cache line: the global is read on every pin, the locals are scanned
+// on every advance attempt, and neither should false-share with the other.
+type paddedU64 struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// NewDomain returns a Domain for up to maxParticipants participants whose
+// reclaimable keys are released with freeFn.
+func NewDomain(maxParticipants int, freeFn func(key uint64)) *Domain {
+	if maxParticipants <= 0 {
+		panic("epoch: need at least one participant")
+	}
+	if freeFn == nil {
+		panic("epoch: nil freeFn")
+	}
+	d := &Domain{
+		maxParticipants: maxParticipants,
+		locals:          make([]paddedU64, maxParticipants),
+		freeFn:          freeFn,
+	}
+	// Start at epoch 1 so a pinned word (epoch<<1|1) is never 0.
+	d.global.v.Store(1)
+	return d
+}
+
+// Register allocates a Participant. It panics when the domain is full.
+func (d *Domain) Register() *Participant {
+	n := d.registered.Add(1)
+	if int(n) > d.maxParticipants {
+		panic(fmt.Sprintf("epoch: more than %d participants", d.maxParticipants))
+	}
+	p := &Participant{d: d, idx: int(n - 1)}
+	for i := range p.limbo {
+		p.limbo[i].keys = make([]uint64, 0, advanceInterval)
+	}
+	return p
+}
+
+// Epoch returns the current global epoch (tests and gauges).
+func (d *Domain) Epoch() uint64 { return d.global.v.Load() }
+
+// tryAdvance attempts one global epoch step: from e to e+1, legal when every
+// registered participant is either quiescent or pinned at e. Returns the
+// epoch now current (advanced or not). A chaos-forced failure models losing
+// the advance race — always harmless, advancing is pure reclamation
+// progress, never correctness.
+func (d *Domain) tryAdvance() uint64 {
+	e := d.global.v.Load()
+	if chaos.Visit(chaos.EpochAdvance) {
+		return e
+	}
+	n := int(d.registered.Load())
+	for i := 0; i < n; i++ {
+		w := d.locals[i].v.Load()
+		if w != quiescent && w != e<<1|1 {
+			return e // a participant still sits in an older epoch
+		}
+	}
+	// CAS so concurrent advancers agree on one step at a time; a lost race
+	// means someone else advanced, which serves us equally well.
+	d.global.v.CompareAndSwap(e, e+1)
+	return d.global.v.Load()
+}
+
+// Participant is one worker's view of a Domain: its epoch word and its
+// three-generation limbo lists. A Participant is not safe for concurrent
+// use.
+type Participant struct {
+	d   *Domain
+	idx int
+	// pinnedAt caches the epoch word this participant last published, so
+	// Pin can skip the store when the global has not moved.
+	pinnedAt uint64
+	limbo    [generations]limboList
+	sinceAdv int
+	// Retires and Freed count reclamation traffic for tests and stats.
+	Retires uint64
+	Freed   uint64
+}
+
+// limboList is one generation's retired keys, tagged with the epoch they
+// were retired in so a list is only released once the global epoch has
+// moved two full steps past it.
+type limboList struct {
+	epoch uint64
+	keys  []uint64
+}
+
+// Pin marks the participant as inside a critical section at the current
+// global epoch. Pinning while already pinned re-publishes at the newer
+// epoch (the "repin" used at operation boundaries); the fast path — global
+// unchanged — is one load and one compare.
+func (p *Participant) Pin() {
+	w := p.d.global.v.Load()<<1 | 1
+	if w == p.pinnedAt {
+		return
+	}
+	p.pinnedAt = w
+	p.d.locals[p.idx].v.Store(w)
+}
+
+// Quiesce marks the participant as outside any critical section, taking it
+// out of the advance condition. Call it before parking a worker; a pinned
+// idle participant freezes the whole domain's reclamation.
+func (p *Participant) Quiesce() {
+	if p.pinnedAt == quiescent {
+		return
+	}
+	p.pinnedAt = quiescent
+	p.d.locals[p.idx].v.Store(quiescent)
+}
+
+// Pinned reports whether the participant currently advertises a pin (tests).
+func (p *Participant) Pinned() bool { return p.pinnedAt != quiescent }
+
+// Retire adds key to the current generation's limbo list and, every
+// advanceInterval retires, attempts a global advance and releases whatever
+// generation has fallen two steps behind — the amortized-O(1) retire.
+func (p *Participant) Retire(key uint64) {
+	if key == 0 {
+		panic("epoch: Retire of reserved key 0")
+	}
+	e := p.d.global.v.Load()
+	l := &p.limbo[e%generations]
+	if l.epoch != e && len(l.keys) > 0 {
+		// The ring wrapped onto a generation that was never released —
+		// possible only if the global advanced 3+ epochs since this
+		// participant last retired. Its keys are then ancient (unreachable
+		// for at least one full grace period); release them now.
+		p.release(l)
+	}
+	l.epoch = e
+	l.keys = append(l.keys, key)
+	p.Retires++
+	p.sinceAdv++
+	if p.sinceAdv >= advanceInterval {
+		p.sinceAdv = 0
+		cur := p.d.tryAdvance()
+		p.releaseExpired(cur)
+	}
+}
+
+// releaseExpired frees every limbo generation at least two epochs behind
+// cur.
+func (p *Participant) releaseExpired(cur uint64) {
+	for i := range p.limbo {
+		l := &p.limbo[i]
+		if len(l.keys) > 0 && l.epoch+2 <= cur {
+			p.release(l)
+		}
+	}
+}
+
+// release frees one limbo list through the domain's freeFn and resets it,
+// keeping the backing array for reuse (steady-state Retire must not
+// allocate).
+func (p *Participant) release(l *limboList) {
+	for _, k := range l.keys {
+		p.d.freeFn(k)
+		p.Freed++
+	}
+	l.keys = l.keys[:0]
+}
+
+// Drain quiesces the participant and releases every limbo generation whose
+// grace period it can prove expired, attempting advances until either all
+// lists are empty or a pinned peer blocks further progress. Call it when a
+// worker retires its participant for good (or parks it for a long time);
+// keys still blocked remain on the lists for the next Retire/Drain.
+func (p *Participant) Drain() {
+	p.Quiesce()
+	for tries := 0; tries < 2*generations; tries++ {
+		cur := p.d.tryAdvance()
+		p.releaseExpired(cur)
+		if p.Pending() == 0 {
+			return
+		}
+		if cur == p.d.global.v.Load() && cur == p.d.tryAdvance() {
+			// Advance is blocked by a pinned peer; no further progress is
+			// possible from here.
+			return
+		}
+	}
+}
+
+// Pending returns the number of retired-but-not-yet-freed keys across all
+// generations.
+func (p *Participant) Pending() int {
+	n := 0
+	for i := range p.limbo {
+		n += len(p.limbo[i].keys)
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+package hazard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// These tests cover the domain under participant churn: goroutines that
+// register mid-run (growing the snapshot window while scans are in
+// flight), retire from disjoint key ranges, protect each other's keys,
+// and drain on exit. The property under test is domain-wide
+// freed-exactly-once: every retired key reaches freeFn exactly once, and
+// never while any participant advertises it.
+
+// TestRegisterRetireDrainChurn staggers registration so early participants
+// are already scanning while later ones join — Snapshot's registered count
+// grows underneath running scans. Every key retired by any participant
+// must be freed exactly once by the end.
+func TestRegisterRetireDrainChurn(t *testing.T) {
+	const (
+		workers    = 12
+		keysPer    = 5000
+		keySpacing = 1 << 20 // disjoint per-worker key ranges
+	)
+	c := newCollector()
+	d := NewDomain(workers, c.free)
+
+	// Each worker registers only after the previous one has retired a chunk,
+	// so registration interleaves with live scan traffic.
+	joined := make([]chan struct{}, workers+1)
+	for i := range joined {
+		joined[i] = make(chan struct{})
+	}
+	close(joined[0])
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-joined[w]
+			p := d.Register()
+			base := uint64(w+1) * keySpacing
+			for i := 0; i < keysPer; i++ {
+				p.Retire(base + uint64(i))
+				if i == keysPer/10 {
+					close(joined[w+1]) // next worker joins mid-churn
+				}
+			}
+			p.Drain()
+		}(w)
+	}
+	wg.Wait()
+
+	// All participants have drained and none holds a hazard, so one more
+	// drain from a fresh pass is unnecessary: every list must already be
+	// empty. Check the global ledger instead.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.freed) != workers*keysPer {
+		t.Fatalf("%d distinct keys freed, want %d", len(c.freed), workers*keysPer)
+	}
+	for k, n := range c.freed {
+		if n != 1 {
+			t.Fatalf("key %d freed %d times", k, n)
+		}
+	}
+}
+
+// TestChurnWithReaders runs retire churn while reader participants protect
+// a rotating published window, with readers joining mid-run. Keys must
+// never be freed while advertised, and after quiescence every retired key
+// is freed exactly once.
+func TestChurnWithReaders(t *testing.T) {
+	const (
+		readers = 6
+		rounds  = 400
+	)
+	dead := make([]atomic.Bool, 1<<16)
+	c := newCollector()
+	d := NewDomain(readers+1, func(k uint64) {
+		if dead[k].Swap(true) {
+			panic("double free")
+		}
+		c.free(k)
+	})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	published := make([]atomic.Uint64, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Half the readers register immediately, half only after the
+			// reclaimer is already churning (mid-run domain growth).
+			if r%2 == 1 {
+				for published[r].Load() == 0 && !stop.Load() {
+				}
+			}
+			p := d.Register()
+			for !stop.Load() {
+				k := published[r].Load()
+				if k == 0 {
+					continue
+				}
+				p.Protect(0, k)
+				if published[r].Load() != k {
+					p.Clear(0)
+					continue
+				}
+				if dead[k].Load() {
+					t.Errorf("key %d freed while protected", k)
+					stop.Store(true)
+					return
+				}
+				p.Clear(0)
+			}
+			p.ClearAll()
+		}(r)
+	}
+
+	reclaimer := d.Register()
+	retired := make(map[uint64]struct{})
+	key := uint64(1)
+	for round := 0; round < rounds && !stop.Load(); round++ {
+		for r := range published {
+			old := published[r].Swap(key)
+			if old != 0 {
+				reclaimer.Retire(old)
+				retired[old] = struct{}{}
+			}
+			key++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for r := range published {
+		if old := published[r].Swap(0); old != 0 {
+			reclaimer.Retire(old)
+			retired[old] = struct{}{}
+		}
+	}
+	reclaimer.Drain()
+	if t.Failed() {
+		return
+	}
+	if reclaimer.Pending() != 0 {
+		t.Fatalf("%d keys pending after quiescent drain", reclaimer.Pending())
+	}
+	for k := range retired {
+		if c.count(k) != 1 {
+			t.Fatalf("key %d freed %d times, want 1", k, c.count(k))
+		}
+	}
+}

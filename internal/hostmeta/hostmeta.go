@@ -1,0 +1,27 @@
+// Package hostmeta collects the host facts every BENCH_*.json must carry
+// so numbers can be compared across machines: CPU topology as the Go
+// runtime sees it and the toolchain that produced the binary.
+package hostmeta
+
+import "runtime"
+
+// Host identifies the benchmark host and toolchain. Embed it in every
+// benchmark report.
+type Host struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// Collect snapshots the current host.
+func Collect() Host {
+	return Host{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}

@@ -97,6 +97,13 @@ func WriteProm(w io.Writer, prefix string, m Metrics) error {
 		{"node_limit", "Node registry ID-space limit.", m.NodeLimit},
 		{"values_high_water", "Maximum simultaneously resident values (slab bump cursor).", m.ValuesHighWater},
 		{"value_capacity", "Value slab occupancy limit.", m.ValueCapacity},
+		{"mem_nodes_live", "Node structures currently retained (chained+limbo+pooled).", m.MemNodesLive},
+		{"mem_nodes_high_water", "Lifetime maximum of mem_nodes_live.", m.MemNodesHighWater},
+		{"mem_limit_nodes", "Configured live-node hard bound (0 = unbounded).", m.MemLimitNodes},
+		{"nodes_retired", "Nodes handed to the reclamation grace domain.", m.NodesRetired},
+		{"nodes_recycled", "Node pool reuses.", m.NodesRecycled},
+		{"nodes_limbo", "Nodes retired but not yet past their grace period.", m.NodesLimbo},
+		{"nodes_pooled", "Current node pool occupancy.", m.NodesPooled},
 	}
 	for _, g := range gauges {
 		gauge(g.name, g.help)

@@ -198,6 +198,20 @@ type Metrics struct {
 	// freelists cannot satisfy a Put).
 	ValuesHighWater uint64 `json:"values_high_water,omitempty"`
 	ValueCapacity   uint64 `json:"value_capacity,omitempty"`
+
+	// Node-memory account (recycling reclamation only; all zero under
+	// ReclaimNone). MemNodesLive counts node structures currently retained
+	// (chained + awaiting grace + pooled); MemNodesHighWater its lifetime
+	// maximum; MemLimitNodes the configured hard bound (0 = unbounded).
+	// NodesRetired/NodesRecycled are monotone counters; NodesLimbo is
+	// retired-not-yet-freed and NodesPooled the current pool occupancy.
+	MemNodesLive      uint64 `json:"mem_nodes_live,omitempty"`
+	MemNodesHighWater uint64 `json:"mem_nodes_high_water,omitempty"`
+	MemLimitNodes     uint64 `json:"mem_limit_nodes,omitempty"`
+	NodesRetired      uint64 `json:"nodes_retired,omitempty"`
+	NodesRecycled     uint64 `json:"nodes_recycled,omitempty"`
+	NodesLimbo        uint64 `json:"nodes_limbo,omitempty"`
+	NodesPooled       uint64 `json:"nodes_pooled,omitempty"`
 }
 
 // FromCounters fills the counter-derived fields of a Metrics from a merged
@@ -292,8 +306,17 @@ func (m *Metrics) Add(o Metrics) {
 	m.NodesFreed += o.NodesFreed
 	m.NodesLive += o.NodesLive
 	m.ValuesHighWater += o.ValuesHighWater
+	m.MemNodesLive += o.MemNodesLive
+	m.MemNodesHighWater += o.MemNodesHighWater
+	m.NodesRetired += o.NodesRetired
+	m.NodesRecycled += o.NodesRecycled
+	m.NodesLimbo += o.NodesLimbo
+	m.NodesPooled += o.NodesPooled
 	if o.NodeLimit > m.NodeLimit {
 		m.NodeLimit = o.NodeLimit
+	}
+	if o.MemLimitNodes > m.MemLimitNodes {
+		m.MemLimitNodes = o.MemLimitNodes
 	}
 	if o.ValueCapacity > m.ValueCapacity {
 		m.ValueCapacity = o.ValueCapacity

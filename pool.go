@@ -481,8 +481,9 @@ func (h *PoolHandle[T]) PopRightN(key uint64, dst []T) int {
 }
 
 // Flush returns every per-shard handle's cached slab capacity to the
-// shared freelists; call it when the goroutine (or connection) is done
-// with the handle for good. The handle itself stays reusable.
+// shared freelists and drains each shard handle's deferred reclamation
+// work; call it when the goroutine (or connection) is done with the handle
+// for good, or before parking it. The handle itself stays reusable.
 func (h *PoolHandle[T]) Flush() {
 	for _, sh := range h.hs {
 		sh.Flush()

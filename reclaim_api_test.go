@@ -1,0 +1,131 @@
+package deque
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Public-API coverage for the reclamation options: flag parsing, option
+// validation, recycling through Deque[T], and the WithMemoryLimit -> ErrFull
+// contract.
+
+func TestParseReclamation(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Reclamation
+	}{
+		{"gc", ReclaimGC}, {"none", ReclaimGC},
+		{"hazard", ReclaimHazard}, {"hp", ReclaimHazard},
+		{"epoch", ReclaimEpoch}, {"ebr", ReclaimEpoch},
+	}
+	for _, tc := range cases {
+		got, err := ParseReclamation(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseReclamation(%q) = (%v, %v), want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "GC", "hazard ", "generational"} {
+		if _, err := ParseReclamation(bad); !errors.Is(err, ErrBadOption) {
+			t.Errorf("ParseReclamation(%q) err = %v, want ErrBadOption", bad, err)
+		}
+	}
+}
+
+func TestReclaimOptionsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"undefined policy", []Option{WithReclamation(Reclamation(42))}},
+		{"negative policy", []Option{WithReclamation(Reclamation(-1))}},
+		{"pool zero", []Option{WithPoolNodes(0)}},
+		{"pool negative", []Option{WithPoolNodes(-4)}},
+		{"memory limit zero", []Option{WithMemoryLimit(0)}},
+		{"memory limit negative", []Option{WithMemoryLimit(-1)}},
+		{"memory limit below two nodes", []Option{
+			WithNodeSize(64), WithMemoryLimit(core.NodeFootprint(64))}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewChecked[int](tc.opts...); !errors.Is(err, ErrBadOption) {
+				t.Fatalf("NewChecked err = %v, want ErrBadOption", err)
+			}
+		})
+	}
+}
+
+func TestRecyclingThroughGenericAPI(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		r    Reclamation
+	}{
+		{"hazard", ReclaimHazard},
+		{"epoch", ReclaimEpoch},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New[int](WithNodeSize(4), WithReclamation(tc.r), WithPoolNodes(8))
+			h := d.Register()
+			for i := 0; i < 2000; i++ {
+				if err := h.PushLeft(i); err != nil {
+					t.Fatalf("push %d: %v", i, err)
+				}
+				if v, ok := h.PopRight(); !ok || v != i {
+					t.Fatalf("pop %d = (%d, %v)", i, v, ok)
+				}
+			}
+			h.Flush() // drains pending retires through the grace domain
+			m := d.Metrics()
+			if m.NodesRetired == 0 || m.NodesRecycled == 0 {
+				t.Fatalf("retired=%d recycled=%d: node recycling not engaged",
+					m.NodesRetired, m.NodesRecycled)
+			}
+			if m.MemNodesHighWater == 0 || m.MemNodesHighWater > 128 {
+				t.Fatalf("node high-water %d: want small bounded footprint",
+					m.MemNodesHighWater)
+			}
+		})
+	}
+}
+
+func TestMemoryLimitErrFullAndRecovery(t *testing.T) {
+	// Budget exactly 6 nodes at node size 4.
+	const nodes = 6
+	d := NewUint32(WithNodeSize(4), WithReclamation(ReclaimEpoch),
+		WithPoolNodes(4), WithMemoryLimit(nodes*core.NodeFootprint(4)))
+	h := d.Register()
+	if m := d.Metrics(); m.MemLimitNodes != nodes {
+		t.Fatalf("MemLimitNodes = %d, want %d", m.MemLimitNodes, nodes)
+	}
+	var pushed int
+	for i := 0; i < 10*nodes; i++ {
+		err := h.PushLeft(uint32(i))
+		if errors.Is(err, ErrFull) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		pushed++
+	}
+	if pushed == 10*nodes {
+		t.Fatalf("bound of %d nodes never tripped after %d pushes", nodes, pushed)
+	}
+	if m := d.Metrics(); m.MemNodesHighWater > nodes {
+		t.Fatalf("high-water %d exceeds bound %d", m.MemNodesHighWater, nodes)
+	}
+	// Pops make room again; the deque stays fully usable.
+	for i := 0; i < pushed; i++ {
+		if _, ok := h.PopRight(); !ok {
+			t.Fatalf("pop %d of %d failed", i, pushed)
+		}
+	}
+	h.Flush()
+	if err := h.PushLeft(7); err != nil {
+		t.Fatalf("push after drain: %v", err)
+	}
+	if v, ok := h.PopLeft(); !ok || v != 7 {
+		t.Fatalf("PopLeft = (%d, %v) after recovery", v, ok)
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerates BENCH_reclaim.json: the node-reclamation A/B on a small-node
+# Deque[uint32] — gc (no recycling) vs hazard vs epoch — reporting ops/s
+# and the headline allocs/op per policy. The duration must comfortably
+# exceed the epoch grace latency (scheduling-bound, tens of ms on a
+# saturated host) or epoch's numbers measure the limbo ramp, not steady
+# state; see DESIGN.md section 10.
+set -e
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-2s}"
+TRIALS="${TRIALS:-3}"
+THREADS="${THREADS:-4}"
+NODESIZE="${NODESIZE:-16}"
+POOLNODES="${POOLNODES:-65536}"
+OUT="${OUT:-BENCH_reclaim.json}"
+
+echo "== reclamation sweep (duration=$DURATION trials=$TRIALS threads=$THREADS nodesize=$NODESIZE poolnodes=$POOLNODES) =="
+go run ./cmd/benchreclaim -duration "$DURATION" -trials "$TRIALS" \
+    -threads "$THREADS" -nodesize "$NODESIZE" -poolnodes "$POOLNODES" \
+    -out "$OUT"

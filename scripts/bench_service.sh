@@ -54,6 +54,7 @@ doc = {
     "benchmark": "dequed service throughput vs shard count",
     "harness": "scripts/bench_service.sh (dqload closed loop over TCP loopback)",
     "nproc": os.cpu_count(),
+    "gomaxprocs": int(os.environ.get("GOMAXPROCS") or os.cpu_count()),
     "go": subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip(),
     "config": {
         "conns": runs[0]["conns"], "batch": runs[0]["batch"],

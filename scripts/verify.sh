@@ -32,6 +32,14 @@ go test -tags obsoff -count=1 . ./internal/core/ ./internal/obs/
 echo "== metrics-overhead A/B gate (default vs -tags obsoff) =="
 sh scripts/obs_overhead.sh
 
+echo "== reclamation allocs/op gate (epoch steady state ~0 allocs/op) =="
+# Short run; the 0.018 ceiling is 3x the measured ~0.006 at this duration
+# (limbo ramp noise included — the checked-in BENCH_reclaim.json uses 2s
+# runs and lands near 0.003) and half the ~0.036 the non-recycling gc
+# policy measures, so it fails hard if recycling stops working.
+go run ./cmd/benchreclaim -duration 1s -trials 1 \
+    -gate-policy epoch -gate-allocs 0.018 -out /tmp/verify_reclaim.json
+
 echo "== go vet (chaos build) =="
 go vet -tags chaos ./...
 
