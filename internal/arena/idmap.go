@@ -1,0 +1,72 @@
+package arena
+
+import "sync/atomic"
+
+// IDMap is a sparse, lock-free map from dense uint32 IDs to *T, chunked like
+// Registry so it costs memory only for ID ranges actually touched. The deque
+// uses one as the reclamation limbo table: a retired node's registry entry is
+// cleared at retire time (so stale IDs stop resolving immediately), and the
+// node pointer parks here — keeping it both recoverable and GC-live — until
+// the grace domain expires the key and the pool takes the node back.
+//
+// The intended discipline is exclusive hand-off: Put publishes a pointer
+// under an ID that must be vacant, Take claims and vacates it. Both are
+// single CAS/swap operations, safe for concurrent use across IDs and racing
+// claimers on the same ID (exactly one Take wins).
+type IDMap[T any] struct {
+	chunks []atomic.Pointer[regChunk[T]]
+}
+
+// NewIDMap returns an IDMap covering IDs [0, limit). limit is rounded up to
+// a whole number of chunks, matching Registry's geometry so the two can
+// share an ID space.
+func NewIDMap[T any](limit uint32) *IDMap[T] {
+	if limit == 0 {
+		panic("arena: NewIDMap with zero limit")
+	}
+	nChunks := (uint64(limit) + regChunkSize - 1) / regChunkSize
+	return &IDMap[T]{chunks: make([]atomic.Pointer[regChunk[T]], nChunks)}
+}
+
+// Put publishes v under id. It reports false — and stores nothing — when the
+// slot is already occupied, which callers with an exclusive-ownership
+// protocol (the deque's exactly-once retire guard) treat as a logic error.
+func (m *IDMap[T]) Put(id uint32, v *T) bool {
+	if v == nil {
+		panic("arena: IDMap.Put(nil)")
+	}
+	return m.chunk(id).entries[id&regChunkMask].CompareAndSwap(nil, v)
+}
+
+// Take removes and returns the entry for id, or nil when the slot is vacant.
+// Racing Takes on one ID resolve to a single winner.
+func (m *IDMap[T]) Take(id uint32) *T {
+	c := m.chunks[id>>regChunkBits].Load()
+	if c == nil {
+		return nil
+	}
+	return c.entries[id&regChunkMask].Swap(nil)
+}
+
+// Get returns the entry for id without claiming it (diagnostics).
+func (m *IDMap[T]) Get(id uint32) *T {
+	c := m.chunks[id>>regChunkBits].Load()
+	if c == nil {
+		return nil
+	}
+	return c.entries[id&regChunkMask].Load()
+}
+
+// chunk returns the chunk containing id, installing it if necessary.
+func (m *IDMap[T]) chunk(id uint32) *regChunk[T] {
+	slot := &m.chunks[id>>regChunkBits]
+	c := slot.Load()
+	if c != nil {
+		return c
+	}
+	fresh := new(regChunk[T])
+	if slot.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return slot.Load()
+}

@@ -1,0 +1,67 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIDMapPutTakeRoundTrip(t *testing.T) {
+	m := NewIDMap[int](1 << 16)
+	v := new(int)
+	if !m.Put(7, v) {
+		t.Fatal("Put into vacant slot failed")
+	}
+	if m.Put(7, new(int)) {
+		t.Fatal("Put over occupied slot succeeded")
+	}
+	if got := m.Get(7); got != v {
+		t.Fatalf("Get = %p, want %p", got, v)
+	}
+	if got := m.Take(7); got != v {
+		t.Fatalf("Take = %p, want %p", got, v)
+	}
+	if got := m.Take(7); got != nil {
+		t.Fatalf("second Take = %p, want nil", got)
+	}
+	if got := m.Get(1 << 15); got != nil {
+		t.Fatalf("Get of never-touched id = %p, want nil", got)
+	}
+	// The slot is reusable after Take.
+	if !m.Put(7, v) {
+		t.Fatal("Put after Take failed")
+	}
+}
+
+func TestIDMapRacingTakesSingleWinner(t *testing.T) {
+	m := NewIDMap[int](regChunkSize * 3)
+	const ids = 512
+	vals := make([]*int, ids)
+	for i := range vals {
+		vals[i] = new(int)
+		// Spread across chunks to exercise lazy chunk install.
+		if !m.Put(uint32(i)*11%(regChunkSize*3), vals[i]) {
+			t.Fatalf("Put id %d collided", i)
+		}
+	}
+	var wg sync.WaitGroup
+	var wins [4]int
+	for w := range wins {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ids; i++ {
+				if m.Take(uint32(i)*11%(regChunkSize*3)) != nil {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range wins {
+		total += n
+	}
+	if total != ids {
+		t.Fatalf("racing Takes claimed %d entries, want exactly %d", total, ids)
+	}
+}

@@ -43,8 +43,11 @@
 // link inward toward nodes removed no earlier, the paper's own invariant),
 // while threads holding only the stale ID get nil and restart from the
 // global hint, whose node is carried as a real pointer and therefore always
-// resolves. The hazard-pointer machinery the paper needs to make this safe
-// in C++ is provided as a faithful standalone substrate in internal/hazard.
+// resolves. With a recycling policy (Config.Reclaim), removed nodes instead
+// return to a bounded pool after a grace period — hazard-pointer or
+// epoch-based — and the entry-cleared-at-retire rule is what keeps stale
+// IDs from ever reaching a node whose grace clock is running; reclaim.go
+// states the invariants (I0-I4) that make same-ID reuse safe.
 //
 // # Elimination
 //
@@ -214,13 +217,17 @@ type Deque struct {
 	nextTID atomic.Int32
 
 	// Reclamation state (reclaim.go). Exactly one domain is non-nil when
-	// Config.Reclaim selects a recycling policy; pool is non-nil iff a
-	// domain is. memNodes is the node-memory account: +1 per fresh node
-	// allocation, -1 when a node leaves for the GC (removal under
-	// ReclaimNone, or pool overflow after grace).
+	// Config.Reclaim selects a recycling policy; pool and limbo are non-nil
+	// iff a domain is. limbo parks retired nodes — whose registry entries
+	// are cleared at retire time (invariant I0) — until the grace domain
+	// expires their keys and the pool takes them back. memNodes is the
+	// node-memory account: +1 per fresh node allocation, -1 when a node
+	// leaves for the GC (removal under ReclaimNone, pool overflow after
+	// grace, or a drained spare the pool would not retain).
 	hazDom   *hazard.Domain
 	epochDom *epoch.Domain
 	pool     *arena.NodePool[node]
+	limbo    *arena.IDMap[node]
 
 	memNodes     atomic.Int64
 	memHighWater atomic.Int64
@@ -393,8 +400,12 @@ func clamp(v, lo, hi int) int {
 }
 
 // resolve maps a node ID read from a link slot to its node. A nil result
-// means the node was removed and unregistered; the caller's view is stale
-// and it should retry from the oracle.
+// means the node was retired (its entry is cleared the moment its retire
+// guard is won — reclaim.go invariant I0) or is a recycled spare awaiting
+// install; the caller's view is stale and it should retry from the oracle.
+// Readers that need the node to stay recyclable-free for subsequent slot
+// reads go through guardNode/guardNeighbor rather than calling this
+// directly.
 func (d *Deque) resolve(id uint32) *node { return d.reg.Get(id) }
 
 // unregisterLeft retires n after its removal, plus any chain of left-sealed
@@ -404,11 +415,15 @@ func (d *Deque) resolve(id uint32) *node { return d.reg.Get(id) }
 // garbage collector; the registry must drop them explicitly or they would
 // stay pinned. Every node unregistered gets its escape pointer aimed at the
 // surviving edge first, so stranded traversals always have a way back to
-// the chain. Under ReclaimNone each node's registry entry is cleared on the
-// spot; under a recycling policy the IDs are batched on the handle and only
-// handed to the grace domain after the walk — the walk keeps reading the
-// chain's link slots, and a retire that triggered an eager scan could
-// otherwise recycle a node out from under it (reclaim.go invariant I4).
+// the chain. Each node's registry entry is cleared on the spot (reclaim.go
+// invariant I0); under a recycling policy the IDs are additionally batched
+// on the handle and only handed to the grace domain after the walk — the
+// walk keeps reading the chain's link slots, and a retire that triggered an
+// eager scan could otherwise recycle a node out from under it (invariant
+// I4). The walk needs no hazard guard of its own: the sealed chain is
+// reachable only through the removal the caller just won, and each node's
+// slots are read before the walk marks it retired — an unretired node can
+// never be freed.
 func (d *Deque) unregisterLeft(h *Handle, n *node, edge *node) {
 	for n != nil {
 		n.escape.Store(edge)

@@ -75,8 +75,8 @@ func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 // spareLeft returns a node shaped for a left append — every slot LN, the
 // new datum in the innermost data slot, the right link aimed back at edge
 // (Fig. 6 lines 102-104) — reusing the handle's cached left spare when an
-// earlier append lost its race. Every write preserves the slot's counter
-// (storeKeepCt): a fresh node's counters simply step off 0, while a
+// earlier append lost its race. Every write advances the slot's counter in
+// place (storeKeepCt): a fresh node's counters simply step off 0, while a
 // recycled node's counters must never regress below its previous life's
 // values or CASes armed back then could succeed now (reclaim.go invariant
 // I1). ok=false means allocation failed; h.allocErr holds ErrFull.
@@ -168,6 +168,17 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 			// A recycled spare rejoins the registry only now, after the
 			// link made it reachable (invariant I2): installing earlier
 			// would let a stale edge cache validate the half-prepared node.
+			//
+			// Between the link CAS above and the Reinstall inside
+			// installSpare, other threads resolve nw.id to nil and take the
+			// escape/restart path — wasted oracle restarts, but bounded by
+			// these two instructions on the appender, and the global hint
+			// still points at the old edge until the set below. If the
+			// appender is preempted exactly here, other threads spin on
+			// restarts until it resumes: progress can hinge on one thread,
+			// which is within this algorithm's obstruction-freedom contract
+			// (the paper's guarantee — it was never lock-free), and the
+			// livelock watchdog's backoff keeps the spin cheap.
 			h.installSpare(nw, &h.spareLInstall)
 			h.spareL = nil
 			h.Appends++
@@ -182,8 +193,11 @@ func (d *Deque) pushLeftTransitions(h *Handle, v uint32, edge *node, idx int, hi
 	}
 
 	// Straddling edge (lines 112-138): outVal is the left neighbor's ID.
+	// guardNeighbor advertises the neighbor in the handle's second hazard
+	// slot (the edge itself sits in the first) and re-validates it, so its
+	// slots cannot be recycled under the reads below.
 	outNd := d.resolve(outVal)
-	if outNd == nil {
+	if outNd == nil || !d.guardNeighbor(h, outNd) {
 		return false
 	}
 	far := &outNd.slots[sz-2]
@@ -300,7 +314,7 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 	// remove L7, then fall through to the boundary pop (lines 179-218).
 	if outVal != word.LN {
 		outNd := d.resolve(outVal)
-		if outNd == nil {
+		if outNd == nil || !d.guardNeighbor(h, outNd) {
 			return 0, false, false
 		}
 		far := &outNd.slots[sz-2]
@@ -426,7 +440,7 @@ func (d *Deque) popLeftTransitions(h *Handle, edge *node, idx int, hintW uint64)
 // (lines 135/212): after a removal, both global hints must be moved off the
 // retired node so future threads cannot trace to it.
 func (d *Deque) refreshRightHint(h *Handle) {
-	nd, idx, hw := d.rOracle(h.rec)
+	nd, idx, hw := d.rOracle(h, h.rec)
 	h.rec.Inc(obs.CtrHintPublish)
 	nd.rightSlotHint.Store(int64(idx))
 	d.right.set(hw, nd)
@@ -434,7 +448,7 @@ func (d *Deque) refreshRightHint(h *Handle) {
 
 // refreshLeftHint mirrors refreshRightHint for removals on the right side.
 func (d *Deque) refreshLeftHint(h *Handle) {
-	nd, idx, hw := d.lOracle(h.rec)
+	nd, idx, hw := d.lOracle(h, h.rec)
 	h.rec.Inc(obs.CtrHintPublish)
 	nd.leftSlotHint.Store(int64(idx))
 	d.left.set(hw, nd)
@@ -454,7 +468,7 @@ func (d *Deque) pushLeftElim(h *Handle, v uint32) error {
 	d.lElim.Insert(h.tid, elim.Push, v)
 	for {
 		h.repin()
-		edge, idx, hintW := d.lOracle(h.rec)
+		edge, idx, hintW := d.lOracle(h, h.rec)
 		if _, eliminated := d.lElim.Remove(h.tid); eliminated {
 			h.rec.Inc(obs.CtrElimPush)
 			h.Eliminated++
@@ -491,7 +505,7 @@ func (d *Deque) popLeftElim(h *Handle) (uint32, bool) {
 	d.lElim.Insert(h.tid, elim.Pop, 0)
 	for {
 		h.repin()
-		edge, idx, hintW := d.lOracle(h.rec)
+		edge, idx, hintW := d.lOracle(h, h.rec)
 		if v, eliminated := d.lElim.Remove(h.tid); eliminated {
 			h.rec.Inc(obs.CtrElimPop)
 			h.Eliminated++

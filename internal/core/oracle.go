@@ -121,13 +121,15 @@ func (d *Deque) scanRight(n *node) int {
 // lOracle locates the left edge: the node and index of the leftmost non-LN
 // slot on the active chain (a datum; or RN/a link when the deque is empty).
 // It also returns the hint word it started from, which callers thread into
-// their hint updates.
-func (d *Deque) lOracle(rec *obs.Rec) (*node, int, uint64) {
+// their hint updates. h carries the walk's reclamation guard (hazard
+// advertisement + registration check, see guardNode); nil is allowed for
+// diagnostic walks outside any handle.
+func (d *Deque) lOracle(h *Handle, rec *obs.Rec) (*node, int, uint64) {
 	rec.Inc(obs.CtrOracleWalk)
 	for {
 		nd, hintW := d.left.get()
 		nd = d.advanceShadow(&d.left, nd)
-		if edge, idx, ok := d.lOracleWalk(nd, hintW, rec); ok {
+		if edge, idx, ok := d.lOracleWalk(h, nd, hintW, rec); ok {
 			return edge, idx, hintW
 		}
 		// Hops exhausted or the walk chose to restart: re-read the global
@@ -146,20 +148,23 @@ func (d *Deque) lOracle(rec *obs.Rec) (*node, int, uint64) {
 // completion.
 func (d *Deque) lOracleSeeded(h *Handle) (edge *node, idx int, hintW uint64, cached bool) {
 	h.repin()
+	// guardNode both validates the cached node is still registered and, in
+	// hazard mode, re-advertises it first — so a scan between operations
+	// cannot recycle the node after this validation passes.
 	if c := h.edgeL; c != nil && !d.cfg.NoEdgeCache &&
-		h.idxL >= 1 && h.idxL <= d.sz-1 && d.resolve(c.id) == c &&
+		h.idxL >= 1 && h.idxL <= d.sz-1 && d.guardNode(h, c) &&
 		!chaos.Visit(chaos.EdgeCache) {
 		h.rec.Inc(obs.CtrEdgeCacheHit)
 		return c, h.idxL, d.left.w.Load(), true
 	}
 	h.rec.Inc(obs.CtrEdgeCacheMiss)
-	edge, idx, hintW = d.lOracle(h.rec)
+	edge, idx, hintW = d.lOracle(h, h.rec)
 	return edge, idx, hintW, false
 }
 
 // lOracleWalk runs one bounded walk from nd toward the left edge. ok=false
 // means the walk wants a restart from a fresh global hint.
-func (d *Deque) lOracleWalk(nd *node, hintW uint64, rec *obs.Rec) (*node, int, bool) {
+func (d *Deque) lOracleWalk(h *Handle, nd *node, hintW uint64, rec *obs.Rec) (*node, int, bool) {
 	sz := d.sz
 	hops := 0
 walk:
@@ -168,6 +173,19 @@ walk:
 		// out: the oracle restarts from a fresh global hint.
 		if chaos.Visit(chaos.Oracle) {
 			break walk
+		}
+		// Guard the node before reading its slots: advertise it (hazard
+		// mode) and confirm it is still registered. Unregistered nodes are
+		// retired — possibly mid-recycle — so they are escape-only
+		// territory (reclaim.go invariants I0/I3): follow the escape chain
+		// back toward the live chain without touching their slots.
+		if !d.guardNode(h, nd) {
+			next, restart := d.escapeFrom(&d.left, hintW, nd)
+			if restart {
+				break walk
+			}
+			nd = next
+			continue walk
 		}
 		idx := d.scanLeft(nd)
 		v := word.Val(nd.slots[idx].Load())
@@ -254,12 +272,12 @@ walk:
 }
 
 // rOracle locates the right edge, mirroring lOracle.
-func (d *Deque) rOracle(rec *obs.Rec) (*node, int, uint64) {
+func (d *Deque) rOracle(h *Handle, rec *obs.Rec) (*node, int, uint64) {
 	rec.Inc(obs.CtrOracleWalk)
 	for {
 		nd, hintW := d.right.get()
 		nd = d.advanceShadow(&d.right, nd)
-		if edge, idx, ok := d.rOracleWalk(nd, hintW, rec); ok {
+		if edge, idx, ok := d.rOracleWalk(h, nd, hintW, rec); ok {
 			return edge, idx, hintW
 		}
 		rec.Inc(obs.CtrOracleRestart)
@@ -270,24 +288,34 @@ func (d *Deque) rOracle(rec *obs.Rec) (*node, int, uint64) {
 func (d *Deque) rOracleSeeded(h *Handle) (edge *node, idx int, hintW uint64, cached bool) {
 	h.repin()
 	if c := h.edgeR; c != nil && !d.cfg.NoEdgeCache &&
-		h.idxR >= 0 && h.idxR <= d.sz-2 && d.resolve(c.id) == c &&
+		h.idxR >= 0 && h.idxR <= d.sz-2 && d.guardNode(h, c) &&
 		!chaos.Visit(chaos.EdgeCache) {
 		h.rec.Inc(obs.CtrEdgeCacheHit)
 		return c, h.idxR, d.right.w.Load(), true
 	}
 	h.rec.Inc(obs.CtrEdgeCacheMiss)
-	edge, idx, hintW = d.rOracle(h.rec)
+	edge, idx, hintW = d.rOracle(h, h.rec)
 	return edge, idx, hintW, false
 }
 
 // rOracleWalk mirrors lOracleWalk for the right edge.
-func (d *Deque) rOracleWalk(nd *node, hintW uint64, rec *obs.Rec) (*node, int, bool) {
+func (d *Deque) rOracleWalk(h *Handle, nd *node, hintW uint64, rec *obs.Rec) (*node, int, bool) {
 	sz := d.sz
 	hops := 0
 walk:
 	for ; hops <= maxOracleHops; hops++ {
 		if chaos.Visit(chaos.Oracle) {
 			break walk
+		}
+		// Guard before slot reads; unregistered nodes are escape-only (see
+		// lOracleWalk).
+		if !d.guardNode(h, nd) {
+			next, restart := d.escapeFrom(&d.right, hintW, nd)
+			if restart {
+				break walk
+			}
+			nd = next
+			continue walk
 		}
 		idx := d.scanRight(nd)
 		v := word.Val(nd.slots[idx].Load())

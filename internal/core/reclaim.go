@@ -19,34 +19,68 @@ import (
 //
 // Without recycling, safety is structural: IDs are never reused, so a stale
 // ID resolves to nil and a stale pointer leads to a node whose slots never
-// change again. Recycling re-arms both hazards, and four invariants disarm
+// change again. Recycling re-arms both hazards, and five invariants disarm
 // them:
 //
-//  I1  Slot counters never regress. Reinit and spare prep write every slot
-//      with a counter-preserving bump (word.With over the current word),
-//      never a counter reset — so a CAS armed with a copy read in the node's
-//      previous life always fails.
+//  I0  Retired means unresolvable. markRetired clears the node's registry
+//      entry the moment the retire guard is won — before the key reaches any
+//      grace domain — and the entry is republished (Registry.Reinstall) only
+//      after the node's next life is linked. So at every instant,
+//      resolve(id) != nil implies the node is live on (or being appended to)
+//      the chain: stale IDs and stale hints cannot acquire a reference to a
+//      node whose grace period is already running. The retired node itself
+//      parks in the limbo IDMap until the domain expires its key.
+//  I1  Slot counters strictly advance, across lives. Every in-life slot
+//      write goes through word.Bump/word.With, each of which increments the
+//      counter; reinitNode additionally adds an explicit Bump, so the first
+//      word of a new life exceeds the final word of the old life by two.
+//      A CAS armed with a word copied in an earlier life therefore can never
+//      succeed in a later one: armed copies carry counters no greater than
+//      the old life's final counter, and every word the slot will ever hold
+//      again is strictly larger. (Cross-life ABA would need a full 2^32
+//      counter wrap between the copy and the CAS — the same assumption the
+//      paper's own two-CAS protocol already makes within one life.)
 //  I2  Same-ID reuse with deferred install. A pooled node keeps its registry
-//      ID forever; its registry entry is cleared when the grace period
-//      expires and republished (Registry.Reinstall) only AFTER the link CAS
-//      that makes the node reachable again. Between pool exit and install
-//      the node is invisible to resolve(), so no stale edge cache and no
-//      straddle validation can touch a half-prepared spare.
-//  I3  Escape pointers survive reinit. A walker stranded on a node that was
-//      recycled under it either resolves the node (it is back in the chain —
-//      any once-valid node is a legal walk start) or follows the preserved
-//      escape toward the chain.
+//      ID forever; the entry — cleared at retire (I0) — is republished only
+//      AFTER the link CAS that makes the node reachable again. Between pool
+//      exit and install the node is invisible to resolve(), so no stale edge
+//      cache and no straddle validation can touch a half-prepared spare.
+//  I3  Escape pointers survive reinit. reinitNode never touches escape, and
+//      every retire stores a fresh escape before clearing the entry — so a
+//      walker stranded on an unresolvable node can always read its escape
+//      and move toward the chain. Unresolvable nodes are escape-only
+//      territory: guarded walks (below) never read their slots.
 //  I4  Retires are batched per removal walk. unregisterLeft/Right finish
 //      reading the sealed chain before any of its IDs reach the domain, so a
 //      scan triggered by the retire cannot recycle a node the walk is still
-//      reading; an atomic once-guard on the node makes retire exactly-once.
+//      reading. (The chain is exclusively the removing walk's: only the L7/R7
+//      winner reaches it, and its nodes are unretired — hence unfreeable —
+//      until the walk itself marks them.) An atomic once-guard on the node
+//      makes retire exactly-once across every policy, including ReclaimNone.
 //
-// The reclamation domain then orders Clear/Put(pool)/Reinstall: epoch mode
-// delays reuse until every handle pinned at the retire epoch has repinned
-// (two global advances); hazard mode frees on the amortized scan. The
-// domains gate reclamation *timing* — the invariants above carry
-// correctness — which is exactly the paper's Section II-C division of labor
-// with the GC's role taken over by counters and deferred install.
+// # Reader participation
+//
+// Both domains need readers to identify themselves:
+//
+//   - Epoch: a handle pins at every oracle entry and quiesces at operation
+//     end. Any node it resolves while pinned was unretired at resolution
+//     (I0), so its retire epoch is >= the pin epoch and the two-advance grace
+//     cannot expire while the pin lasts.
+//   - Hazard: guardNode/guardNeighbor advertise a node's key in one of the
+//     participant's slots and then validate resolve(id) == n. Validation is
+//     sound because I0 clears the entry no later than the retire hand-off:
+//     observing a non-nil entry after the Protect store proves the protect
+//     preceded the clear, hence preceded the retire, hence precedes any scan
+//     snapshot that could free the key — so that snapshot sees the hazard.
+//     Reads of unguarded nodes (walk-interior neighbor peeks) only ever feed
+//     oracle answers, which every transition re-validates before CASing.
+//
+// The reclamation domain then orders Put(pool)/Reinstall: epoch mode delays
+// reuse until every handle pinned at the retire epoch has repinned (two
+// global advances); hazard mode frees on the amortized scan, skipping
+// advertised keys. This is the paper's Section II-C division of labor with
+// the GC's role taken over by counters, the limbo table, and deferred
+// install.
 
 // ReclaimPolicy selects how removed nodes are reclaimed and whether they are
 // recycled through the bounded node pool.
@@ -58,7 +92,10 @@ const (
 	// collector. No pool, no grace machinery, no recycling.
 	ReclaimNone ReclaimPolicy = iota
 	// ReclaimHazard retires removed nodes through an internal/hazard
-	// domain: an amortized scan releases unprotected IDs to the node pool.
+	// domain: an amortized scan releases unadvertised IDs to the node pool.
+	// Oracle walks and edge-cache validation advertise the nodes they read
+	// (guardNode/guardNeighbor), so a scan never recycles a node out from
+	// under a reader.
 	ReclaimHazard
 	// ReclaimEpoch retires removed nodes through an internal/epoch domain:
 	// IDs are released to the node pool two global epochs after retirement.
@@ -85,8 +122,9 @@ func NodeFootprint(sz int) int64 {
 	return int64(unsafe.Sizeof(node{})) + int64(sz)*8
 }
 
-// initReclaim builds the per-deque reclamation state: the node pool and the
-// configured grace domain. Called from New after cfg is defaulted.
+// initReclaim builds the per-deque reclamation state: the node pool, the
+// limbo table, and the configured grace domain. Called from New after cfg is
+// defaulted.
 func (d *Deque) initReclaim() {
 	switch d.cfg.Reclaim {
 	case ReclaimHazard:
@@ -101,6 +139,7 @@ func (d *Deque) initReclaim() {
 		cap = DefaultPoolNodes
 	}
 	d.pool = arena.NewNodePool[node](cap)
+	d.limbo = arena.NewIDMap[node](d.cfg.RegistryLimit)
 }
 
 // retireKey converts between node IDs and domain keys. Both domains reserve
@@ -126,18 +165,55 @@ func (h *Handle) repin() {
 // reclamation domain-wide — e.g. a server connection waiting for its next
 // request, or a preempted worker on a saturated host). Every exported
 // operation defers it; hazard mode and ReclaimNone pay one nil check.
+//
+// Hazard advertisements are deliberately NOT cleared here: they are
+// overwritten by the next operation's guards, and leaving them set lets the
+// edge cache keep its node safe from recycling between operations at zero
+// cost. A handle parking for a long time calls Drain, which does clear them.
 func (h *Handle) unpin() {
 	if h.ep != nil {
 		h.ep.Quiesce()
 	}
 }
 
-// markRetired records one removed node during an unregister walk. In
-// ReclaimNone it clears the registry entry immediately (the historical
-// path); in recycling modes it parks the ID on the handle's retire batch —
-// the walk must finish reading the sealed chain before any ID reaches the
-// domain (invariant I4). The atomic once-guard makes a node's retire
-// exactly-once even if overlapping walks ever visit it.
+// guardNode makes nd safe to read for the rest of the current operation
+// attempt, advertising it in the handle's primary hazard slot (hazard mode)
+// and validating that it is still registered. A false return means nd is
+// retired (or a half-prepared spare): the caller must not read its slots —
+// only its escape pointer (invariant I3).
+//
+// Soundness of the protect-then-validate order is invariant I0's job: the
+// registry entry is cleared no later than the retire hand-off, so a non-nil
+// entry observed after the Protect store proves the advertisement precedes
+// every scan snapshot that could free the node. In epoch mode the handle's
+// pin plays the advertisement's role; in ReclaimNone unregistered nodes are
+// frozen and the check merely classifies them as escape-only. h may be nil
+// (diagnostic walks), which skips the advertisement.
+func (d *Deque) guardNode(h *Handle, nd *node) bool {
+	if h != nil && h.hp != nil {
+		h.hp.Protect(0, retireKey(nd.id))
+	}
+	return d.resolve(nd.id) == nd
+}
+
+// guardNeighbor is guardNode for the second node a transition touches (the
+// straddle neighbor), using the participant's second hazard slot so the edge
+// node's advertisement stays in place.
+func (d *Deque) guardNeighbor(h *Handle, nd *node) bool {
+	if h != nil && h.hp != nil {
+		h.hp.Protect(1, retireKey(nd.id))
+	}
+	return d.resolve(nd.id) == nd
+}
+
+// markRetired records one removed node during an unregister walk. The atomic
+// once-guard makes a node's retire exactly-once across every policy, so
+// overlapping walks can neither double-count the memory account
+// (ReclaimNone) nor double-pool a node (recycling). The winner clears the
+// registry entry on the spot — invariant I0: from here on no stale ID can
+// acquire the node — and either leaves the node to the GC (ReclaimNone) or
+// parks it in limbo and on the handle's retire batch; the walk must finish
+// reading the sealed chain before any ID reaches the domain (invariant I4).
 func (d *Deque) markRetired(h *Handle, n *node) {
 	// Shadow eviction: move a side shadow off the retiring node so hint
 	// readers start from the surviving edge instead of removal history.
@@ -150,15 +226,20 @@ func (d *Deque) markRetired(h *Handle, n *node) {
 			d.right.nd.CompareAndSwap(n, esc)
 		}
 	}
-	if !d.cfg.recycling() {
-		d.reg.Clear(n.id)
-		d.memNodes.Add(-1)
-		return
-	}
 	if !n.retired.CompareAndSwap(0, 1) {
 		return
 	}
+	d.reg.Clear(n.id)
+	if !d.cfg.recycling() {
+		d.memNodes.Add(-1)
+		return
+	}
 	d.nodesRetired.Add(1)
+	if !d.limbo.Put(n.id, n) {
+		// Unreachable under the once-guard: an ID is in limbo only between
+		// its retire and its free, and the guard serializes retires.
+		panic("core: retired node's limbo slot occupied")
+	}
 	h.retireBatch = append(h.retireBatch, retireKey(n.id))
 }
 
@@ -183,44 +264,46 @@ func (d *Deque) flushRetires(h *Handle) {
 	h.retireBatch = h.retireBatch[:0]
 }
 
-// freeNode is the domains' freeFn: the grace period for key has expired, so
-// no handle can still be walking the node's previous life. Clear the
-// registry entry (stale IDs now resolve to nil and take the escape
-// protocol), reset the retire guard, and recycle the node through the pool;
-// on pool overflow the node goes to the GC and leaves the memory account.
+// freeNode is the domains' freeFn: the grace period for key has expired —
+// every reader that could have guarded or pinned the node's previous life
+// has moved on — so the node may be physically reused. The registry entry
+// was already cleared at retire (invariant I0); here the node leaves limbo
+// and recycles through the pool. On pool overflow it goes to the GC and
+// leaves the memory account.
 func (d *Deque) freeNode(key uint64) {
 	d.nodesFreed.Add(1)
-	id := keyToID(key)
-	n := d.reg.Get(id)
-	if n != nil {
-		d.reg.Clear(id)
-		n.retired.Store(0)
-		if d.pool != nil && d.pool.Put(n) {
-			return
-		}
+	n := d.limbo.Take(keyToID(key))
+	if n != nil && d.pool != nil && d.pool.Put(n) {
+		return
 	}
 	d.memNodes.Add(-1)
 }
 
-// storeKeepCt writes val into slot s with a counter-preserving bump
+// storeKeepCt writes val into slot s with a counter-advancing write
 // (invariant I1). Spare preparation uses it for every slot write so a
-// recycled node's counters never regress below its previous life's values.
+// recycled node's counters keep climbing from its previous life's values.
 func storeKeepCt(s *atomic.Uint64, val uint32) {
 	s.Store(word.With(s.Load(), val))
 }
 
 // reinitNode rewrites a pooled node's slots for a new life as an append
-// spare: split LN slots then RN slots, exactly newNodeTry's layout — but
-// every store preserves the slot's counter (invariant I1): a CAS armed with
-// a copy from the node's previous life must keep failing forever.
+// spare: split LN slots then RN slots, exactly newNodeTry's layout. Every
+// store advances the slot's counter twice — word.With already increments,
+// and the explicit Bump on top gives the new life a strict two-step lead —
+// so every word the slot holds in this life compares unequal to every word
+// any reader copied out of a prior life (invariant I1), and a CAS armed with
+// such a copy keeps failing forever. The retire guard is re-armed here, on
+// the same goroutine that will link the node, while the node is still
+// unresolvable (invariant I2).
 func (d *Deque) reinitNode(n *node, split int) {
+	n.retired.Store(0)
 	for i := 0; i < split; i++ {
 		s := &n.slots[i]
-		s.Store(word.With(s.Load(), word.LN))
+		s.Store(word.Bump(word.With(s.Load(), word.LN)))
 	}
 	for i := split; i < d.sz; i++ {
 		s := &n.slots[i]
-		s.Store(word.With(s.Load(), word.RN))
+		s.Store(word.Bump(word.With(s.Load(), word.RN)))
 	}
 	n.leftSlotHint.Store(int64(clamp(split-1, 1, d.sz-1)))
 	n.rightSlotHint.Store(int64(clamp(split, 0, d.sz-2)))
@@ -230,13 +313,18 @@ func (d *Deque) reinitNode(n *node, split int) {
 // installSpare republishes a recycled spare's registry entry after the link
 // CAS that made it reachable committed (invariant I2's deferred install).
 // Fresh spares were installed at allocation and need nothing.
+//
+// Between the link CAS and the Reinstall there is a bounded window in which
+// other threads resolve the freshly linked ID to nil and fall back to the
+// escape/restart protocol; see the comment at the L6 call site in left.go.
 func (h *Handle) installSpare(n *node, needsInstall *bool) {
 	if !*needsInstall {
 		return
 	}
 	*needsInstall = false
 	if !h.d.reg.Reinstall(n.id, n) {
-		// Unreachable under I2: the entry stays nil from free to install.
+		// Unreachable under I0/I2: the entry stays nil from retire to
+		// install.
 		panic("core: recycled node's registry entry occupied at install")
 	}
 }
@@ -262,7 +350,7 @@ func (d *Deque) accountFresh() bool {
 // MemStats is a snapshot of the node-memory account.
 type MemStats struct {
 	// LiveNodes counts node structures currently retained by this deque:
-	// chained + sealed-awaiting-grace + pooled. Bounded by
+	// chained + retired-awaiting-grace + pooled. Bounded by
 	// Config.MaxLiveNodes when set.
 	LiveNodes int64
 	// HighWater is the maximum LiveNodes has ever reached.
@@ -296,13 +384,44 @@ func (d *Deque) MemStats() MemStats {
 	return s
 }
 
-// Drain flushes this handle's deferred reclamation work: batched retires go
-// to the domain and the domain's limbo is swept as far as grace allows. Call
-// it before parking a handle for a long time (connection freelists, worker
-// pools) — an idle epoch participant otherwise blocks the global advance,
-// and either domain's pending list strands retired nodes. Safe to call at
-// any operation boundary; the handle remains usable.
+// releaseSpare uncharges one cached spare node: back to the pool when a
+// recycling policy retains one, otherwise to the GC with the memory account
+// decremented. A fresh spare was registered at allocation and must leave the
+// registry first — pooled nodes keep nil entries until their next install
+// (invariant I2); a pool-origin spare's entry is already nil.
+func (h *Handle) releaseSpare(n *node, fromPool bool) {
+	d := h.d
+	if !fromPool {
+		d.reg.Clear(n.id)
+	}
+	if d.pool != nil && d.pool.Put(n) {
+		return
+	}
+	d.memNodes.Add(-1)
+}
+
+// Drain flushes this handle's deferred reclamation state: cached spare
+// nodes return to the pool (or the GC) and leave the handle, batched retires
+// go to the domain, the domain's limbo is swept as far as grace allows, and
+// hazard advertisements are withdrawn. Call it before parking a handle for a
+// long time (connection freelists, worker pools) — an idle epoch participant
+// otherwise blocks the global advance, either domain's pending list strands
+// retired nodes, and a stranded spare would permanently shrink the
+// MaxLiveNodes budget. Safe to call at any operation boundary; the handle
+// remains usable.
 func (h *Handle) Drain() {
+	if n := h.spareL; n != nil {
+		h.spareL = nil
+		fromPool := h.spareLInstall
+		h.spareLInstall = false
+		h.releaseSpare(n, fromPool)
+	}
+	if n := h.spareR; n != nil {
+		h.spareR = nil
+		fromPool := h.spareRInstall
+		h.spareRInstall = false
+		h.releaseSpare(n, fromPool)
+	}
 	if !h.d.cfg.recycling() {
 		return
 	}
@@ -319,6 +438,10 @@ func (h *Handle) Drain() {
 	if h.ep != nil {
 		h.ep.Drain()
 	} else {
+		// Withdraw advertisements so a parked handle pins no keys, drop the
+		// edge caches they were protecting, then sweep.
+		h.hp.ClearAll()
+		h.edgeL, h.edgeR = nil, nil
 		h.hp.Drain()
 	}
 }

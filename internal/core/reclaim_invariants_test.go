@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+// White-box regression tests for the reclamation invariants documented in
+// reclaim.go (I0-I4): they drive markRetired/reinitNode/guard paths directly
+// so each invariant is checked at the exact boundary it protects, not just
+// statistically through the conformance battery.
+
+// I0: a retired node is unresolvable the instant the retire guard is won —
+// before its key reaches a grace domain, before any advance or scan. Stale
+// hints and IDs must not be able to acquire a reference to a node whose
+// grace period is running.
+func TestRetireClearsRegistryImmediately(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		reclaim ReclaimPolicy
+	}{
+		{"hazard", ReclaimHazard},
+		{"epoch", ReclaimEpoch},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New(Config{NodeSize: MinNodeSize, MaxThreads: 2,
+				Reclaim: tc.reclaim, PoolNodes: 4})
+			h := d.Register()
+			edge, _, _ := d.lOracle(h, h.rec)
+			if !d.guardNode(h, edge) {
+				t.Fatal("live edge failed guard validation")
+			}
+			d.markRetired(h, edge)
+			if d.resolve(edge.id) != nil {
+				t.Fatal("retired node still resolvable before grace expiry")
+			}
+			if d.guardNode(h, edge) {
+				t.Fatal("guard validated a retired node")
+			}
+			// The node parks in limbo so freeNode can recover the pointer.
+			if d.limbo.Get(edge.id) != edge {
+				t.Fatal("retired node missing from limbo")
+			}
+			// The once-guard makes retire idempotent across racing walks.
+			before := d.nodesRetired.Load()
+			d.markRetired(h, edge)
+			if got := d.nodesRetired.Load(); got != before {
+				t.Fatalf("double retire counted twice: %d -> %d", before, got)
+			}
+		})
+	}
+}
+
+// ReclaimNone shares the once-guard: overlapping unregister walks must
+// decrement the memory account exactly once per node.
+func TestReclaimNoneRetireExactlyOnce(t *testing.T) {
+	d := New(Config{NodeSize: MinNodeSize, MaxThreads: 2})
+	h := d.Register()
+	edge, _, _ := d.lOracle(h, h.rec)
+	live := d.MemStats().LiveNodes
+	d.markRetired(h, edge)
+	d.markRetired(h, edge)
+	if got := d.MemStats().LiveNodes; got != live-1 {
+		t.Fatalf("LiveNodes %d -> %d; want exactly one decrement", live, got)
+	}
+	if d.resolve(edge.id) != nil {
+		t.Fatal("retired node still resolvable under ReclaimNone")
+	}
+}
+
+// I1: reinitNode gives every slot a strict counter lead over its previous
+// life, so a CAS armed with a word copied before the recycle can never
+// succeed after it.
+func TestReinitCountersDefeatCrossLifeCAS(t *testing.T) {
+	d := New(Config{NodeSize: MinNodeSize, MaxThreads: 2,
+		Reclaim: ReclaimEpoch, PoolNodes: 4})
+	h := d.Register()
+	edge, _, _ := d.lOracle(h, h.rec)
+	old := make([]uint64, d.sz)
+	for i := range old {
+		old[i] = edge.slots[i].Load()
+	}
+	d.reinitNode(edge, 1)
+	for i := range old {
+		nw := edge.slots[i].Load()
+		if word.Ct(nw) < word.Ct(old[i])+2 {
+			t.Fatalf("slot %d counter %d -> %d; want a two-step lead",
+				i, word.Ct(old[i]), word.Ct(nw))
+		}
+		if edge.slots[i].CompareAndSwap(old[i], word.With(old[i], 7)) {
+			t.Fatalf("slot %d: CAS armed with a prior-life word succeeded", i)
+		}
+	}
+}
+
+// Hazard mode is only sound if readers advertise what they read: after any
+// operation the participant's slots must hold the nodes its edge cache
+// relies on, and Drain must withdraw them so a parked handle pins nothing.
+func TestHazardGuardsAdvertiseReads(t *testing.T) {
+	d := New(Config{NodeSize: MinNodeSize, MaxThreads: 2,
+		Reclaim: ReclaimHazard, PoolNodes: 4})
+	h := d.Register()
+	if err := d.PushLeft(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.hazDom.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("no hazard advertisements after an operation: readers are invisible to the scan")
+	}
+	if h.edgeL != nil {
+		if _, ok := snap[retireKey(h.edgeL.id)]; !ok {
+			t.Fatal("cached edge not advertised in the handle's hazard slots")
+		}
+	}
+	h.Drain()
+	if snap := d.hazDom.Snapshot(); len(snap) != 0 {
+		t.Fatalf("Drain left %d advertisements standing", len(snap))
+	}
+}
+
+// Drain must release cached spares in every policy: under ReclaimNone a
+// stranded spare would otherwise permanently shrink the MaxLiveNodes budget;
+// under a recycling policy it should return to the pool.
+func TestDrainReleasesCachedSpares(t *testing.T) {
+	t.Run("none", func(t *testing.T) {
+		d := New(Config{NodeSize: MinNodeSize, MaxThreads: 2, MaxLiveNodes: 4})
+		h := d.Register()
+		edge, _, _ := d.lOracle(h, h.rec)
+		if _, ok := h.spareLeft(5, edge); !ok {
+			t.Fatal("spare allocation failed")
+		}
+		sp := h.spareL
+		live := d.MemStats().LiveNodes
+		h.Drain()
+		if h.spareL != nil {
+			t.Fatal("Drain left the spare cached")
+		}
+		if got := d.MemStats().LiveNodes; got != live-1 {
+			t.Fatalf("LiveNodes %d -> %d: stranded spare still charged", live, got)
+		}
+		if d.resolve(sp.id) != nil {
+			t.Fatal("released spare still registered")
+		}
+	})
+	t.Run("epoch", func(t *testing.T) {
+		d := New(Config{NodeSize: MinNodeSize, MaxThreads: 2,
+			Reclaim: ReclaimEpoch, PoolNodes: 4})
+		h := d.Register()
+		edge, _, _ := d.lOracle(h, h.rec)
+		if _, ok := h.spareLeft(5, edge); !ok {
+			t.Fatal("spare allocation failed")
+		}
+		sp := h.spareL
+		pooled := d.MemStats().Pooled
+		h.Drain()
+		if h.spareL != nil {
+			t.Fatal("Drain left the spare cached")
+		}
+		if got := d.MemStats().Pooled; got != pooled+1 {
+			t.Fatalf("pool %d -> %d: released spare not pooled", pooled, got)
+		}
+		if d.resolve(sp.id) != nil {
+			t.Fatal("released spare still registered")
+		}
+	})
+}

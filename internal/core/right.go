@@ -165,9 +165,11 @@ func (d *Deque) pushRightTransitions(h *Handle, v uint32, edge *node, idx int, h
 		return false
 	}
 
-	// Straddling edge: outVal is the right neighbor's ID.
+	// Straddling edge: outVal is the right neighbor's ID. guardNeighbor
+	// advertises the neighbor in the handle's second hazard slot before we
+	// touch its far slot (reclaim.go, "Reader participation").
 	outNd := d.resolve(outVal)
-	if outNd == nil {
+	if outNd == nil || !d.guardNeighbor(h, outNd) {
 		return false
 	}
 	far := &outNd.slots[1]
@@ -269,10 +271,11 @@ func (d *Deque) popRightTransitions(h *Handle, edge *node, idx int, hintW uint64
 		return 0, false, false
 	}
 
-	// Straddling edge: seal L5, remove L7, then boundary pop.
+	// Straddling edge: seal L5, remove L7, then boundary pop. guardNeighbor
+	// advertises the neighbor before its slots are read (reclaim.go).
 	if outVal != word.RN {
 		outNd := d.resolve(outVal)
-		if outNd == nil {
+		if outNd == nil || !d.guardNeighbor(h, outNd) {
 			return 0, false, false
 		}
 		far := &outNd.slots[1]
@@ -399,7 +402,7 @@ func (d *Deque) pushRightElim(h *Handle, v uint32) error {
 	d.rElim.Insert(h.tid, elim.Push, v)
 	for {
 		h.repin()
-		edge, idx, hintW := d.rOracle(h.rec)
+		edge, idx, hintW := d.rOracle(h, h.rec)
 		if _, eliminated := d.rElim.Remove(h.tid); eliminated {
 			h.rec.Inc(obs.CtrElimPush)
 			h.Eliminated++
@@ -435,7 +438,7 @@ func (d *Deque) popRightElim(h *Handle) (uint32, bool) {
 	d.rElim.Insert(h.tid, elim.Pop, 0)
 	for {
 		h.repin()
-		edge, idx, hintW := d.rOracle(h.rec)
+		edge, idx, hintW := d.rOracle(h, h.rec)
 		if v, eliminated := d.rElim.Remove(h.tid); eliminated {
 			h.rec.Inc(obs.CtrElimPop)
 			h.Eliminated++

@@ -40,7 +40,7 @@ func TestLeftOracleReturnsPendingRSStraddle(t *testing.T) {
 	var idx int
 	go func() {
 		defer close(done)
-		edge, idx, _ = d.lOracle(new(obs.Rec))
+		edge, idx, _ = d.lOracle(nil, new(obs.Rec))
 	}()
 	select {
 	case <-done:

@@ -66,7 +66,7 @@ func TestRBoundaryPopAndE3(t *testing.T) {
 	}
 	// Now empty: the oracle lands on the rightmost LN (interior) and the
 	// pop reports EMPTY via the appropriate snapshot check.
-	edge, idx, hw := d.rOracle(new(obs.Rec))
+	edge, idx, hw := d.rOracle(nil, new(obs.Rec))
 	_, empty, done = d.popRightTransitions(h, edge, idx, hw)
 	if !done || !empty {
 		t.Fatalf("empty check = (empty=%v,done=%v) at idx %d, want (true,true)", empty, done, idx)
