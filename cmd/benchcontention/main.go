@@ -60,6 +60,7 @@ func main() {
 		baselineOnly = flag.Bool("baseline-only", false, "measure only the current tree's single-op sweep and write it as a baseline run file")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
 		metricsFlag  = flag.Bool("metrics", false, "record the transition mix (observability counters) per sweep point")
+		helpingFlag  = flag.Bool("helping", false, "enable the announcement/helping layer on the deques under test (A/B its overhead)")
 	)
 	flag.Parse()
 
@@ -104,6 +105,7 @@ func main() {
 				Batch:    batch,
 				Mode:     mode,
 				Seed:     0x9E3779B97F4A7C15,
+				Helping:  *helpingFlag,
 			})
 			key := strconv.Itoa(t)
 			r.OpsPerSec[key] = res.Throughput()

@@ -1,0 +1,248 @@
+//go:build chaos
+
+// Command benchlatency measures per-operation latency percentiles under an
+// adversarial forced-failure storm, A/B-ing the helping layer: the same
+// chaos schedule (FailProb on every transition point) runs with helping off
+// and with helping on, and the report compares p50/p99/p99.9. The workload
+// oversubscribes workers (default 32 goroutines; the reference host has one
+// core), so the Go scheduler itself plays the paper's parked-goroutine
+// adversary: a worker that loses its races gets descheduled mid-streak for
+// whole runqueue rounds. Without helping its op waits for its own next
+// timeslice every retry; with helping the op is announced and any scheduled
+// handle completes it, which is what pulls the p99.9 in.
+//
+// Tail percentiles under schedulers are noisy, so the two arms alternate
+// over several rounds (off/on pairs share machine state) and each arm's
+// percentiles are computed over the samples pooled across its rounds.
+//
+// The forced failures come from internal/chaos, so this binary only exists
+// under `-tags chaos` (see stub.go); scripts/latency.sh builds and runs it
+// to produce BENCH_latency.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dq "repro"
+	"repro/internal/chaos"
+	"repro/internal/hostmeta"
+	"repro/internal/xrand"
+)
+
+// arm is one configuration's latency profile over all its rounds.
+type arm struct {
+	Helping   bool    `json:"helping"`
+	Ops       uint64  `json:"ops"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	P999Us    float64 `json:"p999_us"`
+	MaxUs     float64 `json:"max_us"`
+	Announces uint64  `json:"announces"`
+	Helps     uint64  `json:"helps_given"`
+}
+
+type report struct {
+	Generated string        `json:"generated"`
+	Host      hostmeta.Host `json:"host"`
+	Workload  string        `json:"workload"`
+	DurationS float64       `json:"duration_s"`
+	Rounds    int           `json:"rounds"`
+	Workers   int           `json:"workers"`
+	FailProb  float64       `json:"fail_prob"`
+	Watchdog  int           `json:"watchdog_threshold"`
+	Off       arm           `json:"helping_off"`
+	On        arm           `json:"helping_on"`
+	// P999Ratio is off/on: > 1 means helping improved the p99.9 tail.
+	P999Ratio float64 `json:"p999_improvement_off_over_on"`
+}
+
+func main() {
+	var (
+		duration = flag.Duration("duration", time.Second, "measured window length per arm per round")
+		rounds   = flag.Int("rounds", 4, "alternating off/on rounds; percentiles pool all rounds of an arm")
+		workers  = flag.Int("workers", 32, "concurrent worker goroutines (oversubscribe the cores so the scheduler parks losers mid-streak)")
+		failProb = flag.Float64("failprob", 0.9, "forced-failure probability per transition attempt")
+		watchdog = flag.Int("watchdog", 8, "livelock-watchdog streak threshold (announce trips at 2x)")
+		prefill  = flag.Int("prefill", 256, "elements inserted before measuring")
+		seed     = flag.Uint64("seed", 1, "chaos schedule seed")
+		out      = flag.String("out", "BENCH_latency.json", "output path")
+	)
+	flag.Parse()
+
+	cfg := runConfig{
+		duration: *duration,
+		workers:  *workers,
+		failProb: *failProb,
+		watchdog: *watchdog,
+		prefill:  *prefill,
+	}
+	var offSamples, onSamples []int64
+	off := arm{Helping: false}
+	on := arm{Helping: true}
+	for r := 0; r < *rounds; r++ {
+		rs := *seed + uint64(r)*0x9e3779b97f4a7c15
+		fmt.Fprintf(os.Stderr, "== round %d/%d: helping off ==\n", r+1, *rounds)
+		s, a, h := runWindow(cfg, false, rs)
+		offSamples = append(offSamples, s...)
+		off.Announces += a
+		off.Helps += h
+		fmt.Fprintf(os.Stderr, "== round %d/%d: helping on ==\n", r+1, *rounds)
+		s, a, h = runWindow(cfg, true, rs)
+		onSamples = append(onSamples, s...)
+		on.Announces += a
+		on.Helps += h
+	}
+	summarize(&off, offSamples)
+	summarize(&on, onSamples)
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host:      hostmeta.Collect(),
+		Workload: fmt.Sprintf(
+			"mixed 4-way push/pop under FailProb=%.2f on L1-L7 (chaos build), %d workers, prefill %d",
+			*failProb, *workers, *prefill),
+		DurationS: duration.Seconds(),
+		Rounds:    *rounds,
+		Workers:   *workers,
+		FailProb:  *failProb,
+		Watchdog:  *watchdog,
+		Off:       off,
+		On:        on,
+	}
+	if on.P999Us > 0 {
+		rep.P999Ratio = off.P999Us / on.P999Us
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchlatency:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchlatency:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "  pooled p99.9 off=%.0fus on=%.0fus (off/on %.2fx)\n",
+		off.P999Us, on.P999Us, rep.P999Ratio)
+}
+
+type runConfig struct {
+	duration time.Duration
+	workers  int
+	failProb float64
+	watchdog int
+	prefill  int
+}
+
+// summarize fills a's percentile fields from its pooled samples.
+func summarize(a *arm, samples []int64) {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	a.Ops = uint64(len(samples))
+	a.P50Us = pctUs(samples, 0.50)
+	a.P99Us = pctUs(samples, 0.99)
+	a.P999Us = pctUs(samples, 0.999)
+	if n := len(samples); n > 0 {
+		a.MaxUs = float64(samples[n-1]) / 1e3
+	}
+}
+
+// runWindow measures one window under the storm schedule and returns every
+// op's wall latency in nanoseconds plus the window's announce/help counts.
+func runWindow(cfg runConfig, helping bool, seed uint64) (samples []int64, announces, helps uint64) {
+	opts := []dq.Option{
+		dq.WithMaxThreads(cfg.workers + 1),
+		dq.WithWatchdogThreshold(cfg.watchdog),
+	}
+	if helping {
+		opts = append(opts, dq.WithHelping(true))
+	}
+	d := dq.New[uint32](opts...)
+	h := d.Register()
+	for i := 0; i < cfg.prefill; i++ {
+		if err := h.PushRight(uint32(i)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchlatency: prefill:", err)
+			os.Exit(1)
+		}
+	}
+	h.Flush()
+
+	s := chaos.NewSchedule(seed).SetAll(
+		chaos.TransitionPoints(), chaos.Rule{FailProb: cfg.failProb})
+	chaos.Arm(s)
+	defer chaos.Disarm()
+
+	var (
+		start sync.WaitGroup
+		gate  = make(chan struct{})
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+	)
+	start.Add(cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wh := d.Register()
+			rng := xrand.NewXoshiro256(seed ^ uint64(w+1)*0x9e3779b97f4a7c15)
+			local := make([]int64, 0, 1<<16)
+			start.Done()
+			<-gate
+			for !stop.Load() {
+				op := rng.Intn(4)
+				v := uint32(len(local)) & 0x00FFFFFF
+				t0 := time.Now()
+				switch op {
+				case 0:
+					wh.PushLeft(v)
+				case 1:
+					wh.PushRight(v)
+				case 2:
+					wh.PopLeft()
+				case 3:
+					wh.PopRight()
+				}
+				local = append(local, time.Since(t0).Nanoseconds())
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	start.Wait()
+	close(gate)
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	chaos.Disarm()
+
+	m := d.Metrics()
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	fmt.Fprintf(os.Stderr,
+		"  ops=%d p50=%.0fus p99=%.0fus p99.9=%.0fus announces=%d helps=%d\n",
+		len(sorted), pctUs(sorted, 0.50), pctUs(sorted, 0.99), pctUs(sorted, 0.999),
+		m.Announces, m.HelpsGiven)
+	return samples, m.Announces, m.HelpsGiven
+}
+
+// pctUs returns the p-th percentile of sorted nanosecond samples, in
+// microseconds (nearest-rank).
+func pctUs(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / 1e3
+}

@@ -1,0 +1,17 @@
+//go:build !chaos
+
+// The latency A/B harness drives the deque through internal/chaos
+// forced-failure storms, which only exist under `-tags chaos`. The default
+// build gets this stub so `go build ./...` stays green.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Fprintln(os.Stderr,
+		"benchlatency requires the chaos build: go run -tags chaos ./cmd/benchlatency (see scripts/latency.sh)")
+	os.Exit(1)
+}

@@ -42,6 +42,8 @@ func main() {
 		maxconns = flag.Int("maxconns", 64, "concurrent connection cap (pool handles are pooled up to this)")
 		reclaim  = flag.String("reclaim", "gc", "node reclamation: gc, hazard, or epoch (recycling)")
 		memlimit = flag.Int64("memlimit", 0, "per-shard node-memory cap in bytes (0 = unbounded); exceeding pushes get STATUS_FULL")
+		helping  = flag.Bool("helping", false, "announcement/helping layer: starving ops are completed by other threads (bounded tail latency)")
+		watchdog = flag.Int("watchdog", 0, "livelock-watchdog streak threshold per shard (0 = default 256)")
 		metrics  = flag.String("metrics", "", "serve Prometheus /metrics on this HTTP address (empty disables)")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful drain window on SIGTERM before in-flight ops are cancelled")
 	)
@@ -66,6 +68,12 @@ func main() {
 	}
 	if *memlimit > 0 {
 		shardOpts = append(shardOpts, dq.WithMemoryLimit(*memlimit))
+	}
+	if *helping {
+		shardOpts = append(shardOpts, dq.WithHelping(true))
+	}
+	if *watchdog > 0 {
+		shardOpts = append(shardOpts, dq.WithWatchdogThreshold(*watchdog))
 	}
 	srv, err := NewServer(Config{
 		Shards:       *shards,

@@ -59,6 +59,9 @@ type options struct {
 	poolNodesSet  bool
 	memLimit      int64
 	memLimitSet   bool
+	helping       bool
+	watchdog      int
+	watchdogSet   bool
 }
 
 // Option configures New and NewUint32.
@@ -181,6 +184,32 @@ func WithMemoryLimit(bytes int64) Option {
 	return func(o *options) { o.memLimit, o.memLimitSet = bytes, true }
 }
 
+// WithHelping enables the announcement/helping layer. The deque is
+// obstruction-free: under an adversarial schedule a handle can lose its
+// internal races indefinitely, and the default livelock watchdog only
+// backs the loser off. With helping on, a handle whose failure streak
+// reaches twice the watchdog threshold (see WithWatchdogThreshold)
+// publishes its operation into a per-deque announcement array, and every
+// other handle polls the array at a throttled cadence and completes
+// announced operations on the starved handle's behalf — turning unbounded
+// starvation into a bound: an announced op completes as soon as any active
+// handle donates one claim's worth of attempts, regardless of the
+// announcer's own schedule. Each op still linearizes exactly once; *Ctx
+// cancellation of an announced op stays exact. Off by default — the
+// disabled hot path pays one nil check per operation; see DESIGN.md §11
+// for the protocol and its cost.
+func WithHelping(on bool) Option { return func(o *options) { o.helping = on } }
+
+// WithWatchdogThreshold sets the livelock watchdog's consecutive-failure
+// streak (default 256): every threshold-long run of lost internal races
+// escalates the handle's backoff to its maximum window and yields the
+// processor. With WithHelping, twice this threshold is also the streak at
+// which a starved op is announced for helping. The threshold must be
+// positive; New rejects anything else with ErrBadOption.
+func WithWatchdogThreshold(n int) Option {
+	return func(o *options) { o.watchdog, o.watchdogSet = n, true }
+}
+
 // WithTracing arms the sampled op tracer: every sampleRate-th operation per
 // handle records a TraceRecord (op, side, transitions taken, attempts,
 // duration) into a fixed ring read via TraceRecords. sampleRate 1 traces
@@ -216,14 +245,16 @@ func (o options) nodeBudget() int64 {
 
 func (o options) coreConfig() core.Config {
 	cfg := core.Config{
-		NodeSize:      o.nodeSize,
-		MaxThreads:    o.maxThreads,
-		Elimination:   o.elimination,
-		NoEdgeCache:   o.noHotPath,
-		TraceSample:   o.traceSample,
-		TraceBuf:      o.traceBuf,
-		RegistryLimit: uint32(o.registryLimit),
-		PoolNodes:     o.poolNodes,
+		NodeSize:          o.nodeSize,
+		MaxThreads:        o.maxThreads,
+		Elimination:       o.elimination,
+		NoEdgeCache:       o.noHotPath,
+		TraceSample:       o.traceSample,
+		TraceBuf:          o.traceBuf,
+		RegistryLimit:     uint32(o.registryLimit),
+		PoolNodes:         o.poolNodes,
+		Helping:           o.helping,
+		WatchdogThreshold: o.watchdog,
 	}
 	switch o.reclaim {
 	case ReclaimHazard:

@@ -84,6 +84,9 @@ func (o options) validate() error {
 	if o.poolNodesSet && o.poolNodes <= 0 {
 		return fmt.Errorf("%w: WithPoolNodes(%d) must be positive", ErrBadOption, o.poolNodes)
 	}
+	if o.watchdogSet && o.watchdog <= 0 {
+		return fmt.Errorf("%w: WithWatchdogThreshold(%d) must be positive", ErrBadOption, o.watchdog)
+	}
 	if o.memLimitSet && o.nodeBudget() < 2 {
 		return fmt.Errorf("%w: WithMemoryLimit(%d) admits fewer than 2 nodes of %d bytes each",
 			ErrBadOption, o.memLimit, core.NodeFootprint(o.effectiveNodeSize()))

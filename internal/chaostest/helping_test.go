@@ -1,0 +1,294 @@
+//go:build chaos
+
+package chaostest
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+)
+
+// These tests pin the helping layer's two headline properties under the
+// parked-goroutine adversary:
+//
+//   - The starvation bound: once a handle announces its op, the op
+//     completes within one poll interval of ANY active handle (16 ops,
+//     core's helpPollInterval) plus that handle's claim budget — even if
+//     the announcer itself never runs again until the end.
+//   - Exactly-once: an announced op linearizes at most once, and a *Ctx op
+//     whose context expires while announced either cancels cleanly (the op
+//     provably never happened) or completes normally (a helper got there
+//     first) — never both, never twice.
+
+// helpPollInterval mirrors core's unexported constant: how many ops a
+// handle starts between announcement-array polls. The bound asserted below
+// breaks (loudly) if the two drift apart.
+const helpPollInterval = 16
+
+// helpingConfig is a helping-enabled deque with a low watchdog threshold so
+// a small forced-failure budget reaches the announce streak (2x threshold).
+func helpingConfig(watchdog int, reclaim core.ReclaimPolicy) core.Config {
+	return core.Config{
+		NodeSize:          core.MinNodeSize,
+		MaxThreads:        4,
+		WatchdogThreshold: watchdog,
+		Helping:           true,
+		Reclaim:           reclaim,
+	}
+}
+
+// waitParked blocks until exactly n goroutines are parked on s.
+func waitParked(t *testing.T, s *chaos.Schedule, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.ParkedNow() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d parked goroutines (parked=%d)", n, s.ParkedNow())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestHelpBoundParkedAnnouncer is the starvation-bound schedule verify.sh
+// gates on. The adversary: force a handle's push to lose 16 straight races
+// (2x the watchdog threshold of 8, tripping the announce path), then park
+// the announcer at its self-claim — the strongest schedule the paper's
+// obstruction-free model allows, a thread suspended indefinitely right
+// after publishing its op. A second handle then runs ordinary ops, and the
+// announced push must complete within one poll interval (16 ops) of that
+// handle — the documented bound — after which the released announcer
+// observes Done and returns success exactly once.
+func TestHelpBoundParkedAnnouncer(t *testing.T) {
+	for _, rc := range []struct {
+		name string
+		p    core.ReclaimPolicy
+	}{{"none", core.ReclaimNone}, {"hazard", core.ReclaimHazard}, {"epoch", core.ReclaimEpoch}} {
+		t.Run(rc.name, func(t *testing.T) {
+			const watchdog = 8
+			d := core.New(helpingConfig(watchdog, rc.p))
+			announcer := d.Register() // tid 0
+			helper := d.Register()    // tid 1
+
+			// On an empty min-size deque every push attempt is an interior
+			// push, so 16 forced L1 failures are exactly the announce streak.
+			s := chaos.NewSchedule(1).
+				Set(chaos.L1, chaos.Rule{FailN: 2 * watchdog}).
+				Set(chaos.Claim, chaos.Rule{Park: 1})
+			chaos.Arm(s)
+			defer chaos.Disarm()
+
+			pushErr := make(chan error, 1)
+			go func() {
+				pushErr <- d.PushLeft(announcer, 777)
+			}()
+			waitParked(t, s, 1)
+			if got := s.Stats(chaos.Claim).Parks; got != 1 {
+				t.Fatalf("Claim parks = %d, want 1 (the announcer's self-claim)", got)
+			}
+
+			// The announcer is suspended with its op announced. The helper
+			// runs plain ops; the op must be helped to completion within one
+			// poll interval of them.
+			opsUsed := 0
+			for i := 0; i < helpPollInterval && d.Metrics().HelpsGiven == 0; i++ {
+				if err := d.PushRight(helper, uint32(1000+i)); err != nil {
+					t.Fatalf("helper push %d: %v", i, err)
+				}
+				opsUsed++
+			}
+			if got := d.Metrics().HelpsGiven; got != 1 {
+				t.Fatalf("announced op not helped within %d helper ops (HelpsGiven=%d)",
+					helpPollInterval, got)
+			}
+			t.Logf("announced push completed after %d helper ops (bound %d)",
+				opsUsed, helpPollInterval)
+
+			// Release the announcer: it must observe Done and report success.
+			s.Release()
+			if err := <-pushErr; err != nil {
+				t.Fatalf("announced PushLeft returned %v after release", err)
+			}
+
+			m := d.Metrics()
+			if m.Announces != 1 || m.HelpsGiven != 1 || m.HelpsReceived != 1 {
+				t.Fatalf("announce/help accounting = %d/%d/%d, want 1/1/1",
+					m.Announces, m.HelpsGiven, m.HelpsReceived)
+			}
+
+			// Exactly-once: 777 comes out exactly once, alongside every
+			// helper value exactly once.
+			chaos.Disarm()
+			seen := make(map[uint32]int)
+			for {
+				v, ok := d.PopLeft(helper)
+				if !ok {
+					break
+				}
+				seen[v]++
+			}
+			if seen[777] != 1 {
+				t.Fatalf("announced value popped %d times, want exactly 1", seen[777])
+			}
+			if len(seen) != 1+opsUsed {
+				t.Fatalf("drained %d distinct values, want %d", len(seen), 1+opsUsed)
+			}
+			for v, n := range seen {
+				if n != 1 {
+					t.Fatalf("value %d popped %d times", v, n)
+				}
+			}
+		})
+	}
+}
+
+// TestAnnouncedCancelExactlyOnce drives a PopLeftCtx whose context expires
+// while the op sits announced (the announcer parked at its self-claim), for
+// both resolutions of the race:
+//
+//   - cancel wins: nobody claimed the op, the withdrawal CAS succeeds, the
+//     call returns ctx.Err(), and the value is still in the deque;
+//   - completion wins: a helper claimed and executed the op before the
+//     announcer could withdraw, so the call returns the value normally —
+//     the cancellation arrived after the op's linearization point.
+//
+// In both branches the op takes effect at most once: the target value is
+// popped exactly once across the call and the final drain.
+func TestAnnouncedCancelExactlyOnce(t *testing.T) {
+	for _, rc := range []struct {
+		name string
+		p    core.ReclaimPolicy
+	}{{"hazard", core.ReclaimHazard}, {"epoch", core.ReclaimEpoch}} {
+		t.Run(rc.name, func(t *testing.T) {
+			const watchdog = 4
+
+			// Branch 1: cancel wins. The Claim rule parks the announcer and
+			// then forces its claim attempt to fail, so after release it
+			// re-checks the (now expired) context and withdraws.
+			t.Run("cancel-wins", func(t *testing.T) {
+				d := core.New(helpingConfig(watchdog, rc.p))
+				h := d.Register()
+				if err := d.PushRight(h, 99); err != nil {
+					t.Fatal(err)
+				}
+				s := chaos.NewSchedule(1).
+					SetAll([]chaos.Point{chaos.L2, chaos.L4}, chaos.Rule{FailN: 2 * watchdog}).
+					Set(chaos.Claim, chaos.Rule{Park: 1, FailN: 1})
+				chaos.Arm(s)
+				defer chaos.Disarm()
+
+				ctx, cancel := context.WithCancel(context.Background())
+				type popResult struct {
+					v   uint32
+					ok  bool
+					err error
+				}
+				res := make(chan popResult, 1)
+				go func() {
+					v, ok, err := d.PopLeftCtx(ctx, h)
+					res <- popResult{v, ok, err}
+				}()
+				waitParked(t, s, 1)
+				cancel() // the context expires while the op is announced
+				s.Release()
+
+				r := <-res
+				if r.ok || !errors.Is(r.err, context.Canceled) {
+					t.Fatalf("cancelled announced pop = (%d, %v, %v), want Canceled", r.v, r.ok, r.err)
+				}
+				m := d.Metrics()
+				if m.Announces != 1 || m.HelpsGiven != 0 || m.HelpsReceived != 0 {
+					t.Fatalf("accounting = %d/%d/%d, want 1/0/0 (withdrawn unhelped)",
+						m.Announces, m.HelpsGiven, m.HelpsReceived)
+				}
+				// The withdrawal proved the op never happened: 99 is intact.
+				chaos.Disarm()
+				h2 := d.Register()
+				if v, ok := d.PopLeft(h2); !ok || v != 99 {
+					t.Fatalf("after cancel, deque holds (%d, %v), want (99, true)", v, ok)
+				}
+				if _, ok := d.PopLeft(h2); ok {
+					t.Fatal("extra value after cancelled pop")
+				}
+			})
+
+			// Branch 2: completion wins. The announcer parks at its claim
+			// with no forced failure; a helper completes the pop while the
+			// context is already expired; the released announcer consumes the
+			// result and returns it.
+			t.Run("completion-wins", func(t *testing.T) {
+				d := core.New(helpingConfig(watchdog, rc.p))
+				announcer := d.Register()
+				helper := d.Register()
+				if err := d.PushRight(helper, 99); err != nil {
+					t.Fatal(err)
+				}
+				s := chaos.NewSchedule(1).
+					SetAll([]chaos.Point{chaos.L2, chaos.L4}, chaos.Rule{FailN: 2 * watchdog}).
+					Set(chaos.Claim, chaos.Rule{Park: 1})
+				chaos.Arm(s)
+				defer chaos.Disarm()
+
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				type popResult struct {
+					v   uint32
+					ok  bool
+					err error
+				}
+				res := make(chan popResult, 1)
+				go func() {
+					v, ok, err := d.PopLeftCtx(ctx, announcer)
+					res <- popResult{v, ok, err}
+				}()
+				waitParked(t, s, 1)
+				cancel() // expired while announced — but a helper is coming
+
+				// Helper pushes never hit the pop-side failure budgets; its
+				// poll claims the announced pop. Leftover L2/L4 budget can
+				// burn one claim (hand-back), so allow a few poll intervals.
+				pushed := 0
+				for i := 0; i < 4*helpPollInterval && d.Metrics().HelpsGiven == 0; i++ {
+					if err := d.PushRight(helper, uint32(1000+i)); err != nil {
+						t.Fatalf("helper push %d: %v", i, err)
+					}
+					pushed++
+				}
+				if d.Metrics().HelpsGiven != 1 {
+					t.Fatalf("announced pop not helped within %d helper ops", pushed)
+				}
+				s.Release()
+
+				r := <-res
+				if r.err != nil || !r.ok || r.v != 99 {
+					t.Fatalf("helped pop = (%d, %v, %v), want (99, true, nil): completion "+
+						"preceded the withdrawal attempt", r.v, r.ok, r.err)
+				}
+				// Exactly-once: 99 is gone; helper values drain once each.
+				chaos.Disarm()
+				seen := make(map[uint32]int)
+				for {
+					v, ok := d.PopLeft(helper)
+					if !ok {
+						break
+					}
+					seen[v]++
+				}
+				if seen[99] != 0 {
+					t.Fatalf("value 99 popped again after the helped pop")
+				}
+				if len(seen) != pushed {
+					t.Fatalf("drained %d distinct values, want %d", len(seen), pushed)
+				}
+				for v, n := range seen {
+					if n != 1 {
+						t.Fatalf("value %d popped %d times", v, n)
+					}
+				}
+			})
+		})
+	}
+}

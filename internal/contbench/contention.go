@@ -50,6 +50,12 @@ type ContentionConfig struct {
 	// PoolNodes bounds the recycling pool (0 = default); ignored under
 	// ReclaimGC.
 	PoolNodes int
+	// Helping enables the announcement/helping layer (WithHelping), for
+	// A/B-ing its overhead against the default build.
+	Helping bool
+	// Watchdog overrides the livelock-watchdog streak threshold (0 =
+	// default).
+	Watchdog int
 }
 
 // ContentionResult is the outcome of all trials of one ContentionConfig.
@@ -120,6 +126,12 @@ func newContentionDeque(cfg ContentionConfig) *deque.Deque[uint32] {
 	}
 	if cfg.PoolNodes > 0 {
 		opts = append(opts, deque.WithPoolNodes(cfg.PoolNodes))
+	}
+	if cfg.Helping {
+		opts = append(opts, deque.WithHelping(true))
+	}
+	if cfg.Watchdog > 0 {
+		opts = append(opts, deque.WithWatchdogThreshold(cfg.Watchdog))
 	}
 	return deque.New[uint32](opts...)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/help"
 	"repro/internal/obs"
 	"repro/internal/word"
 )
@@ -107,6 +108,9 @@ func (d *Deque) pushLeftBounded(ctx context.Context, h *Handle, v uint32, attemp
 		return ErrReserved
 	}
 	defer h.unpin()
+	if d.helpA != nil {
+		d.maybeHelp(h)
+	}
 	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
@@ -130,6 +134,14 @@ func (d *Deque) pushLeftBounded(ctx context.Context, h *Handle, v uint32, attemp
 			h.edgeL = nil
 		}
 		h.noteFailure()
+		// Try* ops (attempts > 0) never announce: their contract is to give
+		// up after the budget, not to escalate past it.
+		if attempts == 0 && d.shouldAnnounce(h) {
+			if err, announced := d.announcedPush(ctx, h, help.Left, v); announced {
+				d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, err != nil)
+				return err
+			}
+		}
 	}
 }
 
@@ -138,6 +150,9 @@ func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attem
 		return ErrReserved
 	}
 	defer h.unpin()
+	if d.helpA != nil {
+		d.maybeHelp(h)
+	}
 	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
@@ -161,11 +176,20 @@ func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attem
 			h.edgeR = nil
 		}
 		h.noteFailure()
+		if attempts == 0 && d.shouldAnnounce(h) {
+			if err, announced := d.announcedPush(ctx, h, help.Right, v); announced {
+				d.traceEnd(tr, h, obs.OpPush, obs.SideRight, err != nil)
+				return err
+			}
+		}
 	}
 }
 
 func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (uint32, bool, error) {
 	defer h.unpin()
+	if d.helpA != nil {
+		d.maybeHelp(h)
+	}
 	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
@@ -185,11 +209,20 @@ func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (ui
 			h.edgeL = nil
 		}
 		h.noteFailure()
+		if attempts == 0 && d.shouldAnnounce(h) {
+			if v, ok, err, announced := d.announcedPop(ctx, h, help.Left); announced {
+				d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, err != nil)
+				return v, ok, err
+			}
+		}
 	}
 }
 
 func (d *Deque) popRightBounded(ctx context.Context, h *Handle, attempts int) (uint32, bool, error) {
 	defer h.unpin()
+	if d.helpA != nil {
+		d.maybeHelp(h)
+	}
 	tr := d.traceStart(h)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
@@ -209,5 +242,11 @@ func (d *Deque) popRightBounded(ctx context.Context, h *Handle, attempts int) (u
 			h.edgeR = nil
 		}
 		h.noteFailure()
+		if attempts == 0 && d.shouldAnnounce(h) {
+			if v, ok, err, announced := d.announcedPop(ctx, h, help.Right); announced {
+				d.traceEnd(tr, h, obs.OpPop, obs.SideRight, err != nil)
+				return v, ok, err
+			}
+		}
 	}
 }

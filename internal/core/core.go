@@ -68,6 +68,7 @@ import (
 	"repro/internal/elim"
 	"repro/internal/epoch"
 	"repro/internal/hazard"
+	"repro/internal/help"
 	"repro/internal/obs"
 	"repro/internal/pad"
 	"repro/internal/word"
@@ -106,6 +107,13 @@ const (
 	// recycled). At the default node size this is tens of billions of
 	// boundary-crossing pushes.
 	DefaultRegistryLimit = 1 << 26
+	// DefaultWatchdogThreshold is the consecutive-failure streak that trips
+	// the livelock watchdog. At the default backoff bounds a streak this
+	// long has already spun through the full exponential range several
+	// times, so the handle is either convoyed or being actively interfered
+	// with; escalation (max window + a scheduler yield) is the cheap,
+	// always-safe response.
+	DefaultWatchdogThreshold = 256
 )
 
 // ElimPlacement selects where elimination attempts happen, for the ablation
@@ -164,6 +172,18 @@ type Config struct {
 	// at once — chained, awaiting grace, and pooled together. A push that
 	// would allocate past the cap fails with ErrFull. 0 means unbounded.
 	MaxLiveNodes uint32
+	// WatchdogThreshold is the consecutive-failure streak that trips the
+	// livelock watchdog (backoff escalation + yield). 0 selects
+	// DefaultWatchdogThreshold; New panics on negative values (the public
+	// wrapper validates first).
+	WatchdogThreshold int
+	// Helping enables the announcement/helping layer (help.go): a handle
+	// whose failure streak reaches twice the watchdog threshold publishes
+	// its op into a per-deque announcement array, and other handles
+	// complete it through the ordinary transitions, bounding worst-case
+	// completion time under adversarial schedules. Off by default: the
+	// disabled hot path pays one nil check per operation.
+	Helping bool
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +203,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ElimSpins == 0 {
 		c.ElimSpins = 128
+	}
+	if c.WatchdogThreshold == 0 {
+		c.WatchdogThreshold = DefaultWatchdogThreshold
 	}
 	return c
 }
@@ -233,6 +256,16 @@ type Deque struct {
 	memHighWater atomic.Int64
 	nodesRetired atomic.Uint64
 	nodesFreed   atomic.Uint64
+
+	// Helping layer (help.go). helpA is non-nil iff Config.Helping: the
+	// per-handle announcement array, indexed by tid. watchdog caches the
+	// effective watchdog threshold, announceStreak the failure streak at
+	// which an op is announced, helpAttempts the claim holder's per-claim
+	// attempt budget.
+	helpA          *help.Array
+	watchdog       uint64
+	announceStreak uint64
+	helpAttempts   int
 }
 
 // node is one buffer in the doubly-linked chain (Fig. 5 lines 22-37).
@@ -314,10 +347,25 @@ func New(cfg Config) *Deque {
 	if cfg.MaxThreads < 1 {
 		panic("core: MaxThreads must be positive")
 	}
+	if cfg.WatchdogThreshold < 1 {
+		panic("core: WatchdogThreshold must be positive")
+	}
 	d := &Deque{
 		sz:  cfg.NodeSize,
 		cfg: cfg,
 		reg: arena.NewRegistry[node](cfg.RegistryLimit),
+	}
+	d.watchdog = uint64(cfg.WatchdogThreshold)
+	if cfg.Helping {
+		d.helpA = help.NewArray(cfg.MaxThreads)
+		// Announce after two full watchdog periods: the first escalation
+		// already broke any transient convoy backoff could fix, so a streak
+		// twice that long is persistent interference worth publishing.
+		d.announceStreak = 2 * d.watchdog
+		// The claim holder's budget per claim. Generous enough to ride out
+		// the same interference that starved the announcer, small enough
+		// that a hopeless claim is handed back promptly.
+		d.helpAttempts = 2 * cfg.WatchdogThreshold
 	}
 	if cfg.Elimination {
 		d.lElim = elim.New(cfg.MaxThreads)
@@ -516,7 +564,7 @@ type Handle struct {
 	// consecFails is the livelock watchdog: consecutive failed transition
 	// attempts since the last success, across operations. Obstruction
 	// freedom means a long failure streak is always caused by interference
-	// (or a chaos schedule); each watchdogThreshold-long streak escalates
+	// (or a chaos schedule); each threshold-long streak (Config.WatchdogThreshold) escalates
 	// the backoff to its maximum window and yields the processor, which
 	// breaks the symmetric-retry convoys that pure exponential backoff is
 	// slow to escape. ConsecFailsPeak and LivelockEscalations feed Stats.
@@ -556,6 +604,13 @@ type Handle struct {
 	rec *obs.Rec
 	// traceTick is the sampled-op tracer countdown; see Config.TraceSample.
 	traceTick uint32
+
+	// Helping state (help.go). helpTick throttles the announcement-array
+	// poll at operation start; inHelp marks that the handle is inside the
+	// helping machinery (announcer wait loop or helper execution), which
+	// suppresses nested announces and scans.
+	helpTick uint32
+	inHelp   bool
 }
 
 // Stats is a copy of a Handle's operation counters.
@@ -571,7 +626,7 @@ type Stats struct {
 	// contention convoy or under an adversarial schedule.
 	ConsecFails     uint64
 	ConsecFailsPeak uint64
-	// LivelockEscalations counts watchdog trips: every watchdogThreshold
+	// LivelockEscalations counts watchdog trips: every threshold-many
 	// consecutive failures the handle escalated its backoff and yielded.
 	LivelockEscalations uint64
 }
@@ -591,25 +646,25 @@ func (h *Handle) Stats() Stats {
 	}
 }
 
-// watchdogThreshold is the consecutive-failure streak that trips the
-// livelock watchdog. At the default backoff bounds a streak this long has
-// already spun through the full exponential range several times, so the
-// handle is either convoyed or being actively interfered with; escalation
-// (max window + a scheduler yield) is the cheap, always-safe response.
-const watchdogThreshold = 256
-
 // noteFailure records a failed transition attempt: retry accounting, the
-// livelock watchdog, and one backoff step. Call exactly once per failed
-// oracle+transition cycle.
+// livelock watchdog (threshold Config.WatchdogThreshold, default
+// DefaultWatchdogThreshold), and one backoff step. Call exactly once per
+// failed oracle+transition cycle. With helping enabled, each watchdog trip
+// also scans the announcement array: a handle that is itself being starved
+// is exactly the one whose retry budget is cheapest to donate, and the scan
+// keeps announced ops progressing even when every handle is stuck.
 func (h *Handle) noteFailure() {
 	h.Retries++
 	h.consecFails++
 	if h.consecFails > h.ConsecFailsPeak {
 		h.ConsecFailsPeak = h.consecFails
 	}
-	if h.consecFails%watchdogThreshold == 0 {
+	if h.consecFails%h.d.watchdog == 0 {
 		h.LivelockEscalations++
 		h.bo.Escalate()
+		if h.d.helpA != nil {
+			h.d.helpScan(h)
+		}
 	}
 	h.bo.Spin()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/chaos"
 	"repro/internal/elim"
+	"repro/internal/help"
 	"repro/internal/obs"
 	"repro/internal/word"
 )
@@ -18,6 +19,9 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 		return ErrReserved
 	}
 	defer h.unpin()
+	if d.helpA != nil {
+		d.maybeHelp(h)
+	}
 	tr := d.traceStart(h)
 	if d.lElim != nil {
 		err := d.pushLeftElim(h, v)
@@ -42,6 +46,12 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 			h.edgeL = nil // cache was stale: next attempt runs the real oracle
 		}
 		h.noteFailure()
+		if d.shouldAnnounce(h) {
+			if err, announced := d.announcedPush(nil, h, help.Left, v); announced {
+				d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, err != nil)
+				return err
+			}
+		}
 	}
 }
 
@@ -49,6 +59,9 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 // deque was empty (the paper's EMPTY).
 func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 	defer h.unpin()
+	if d.helpA != nil {
+		d.maybeHelp(h)
+	}
 	tr := d.traceStart(h)
 	if d.lElim != nil {
 		v, ok = d.popLeftElim(h)
@@ -69,6 +82,12 @@ func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 			h.edgeL = nil
 		}
 		h.noteFailure()
+		if d.shouldAnnounce(h) {
+			if v, ok, _, announced := d.announcedPop(nil, h, help.Left); announced {
+				d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, false)
+				return v, ok
+			}
+		}
 	}
 }
 

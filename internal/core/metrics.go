@@ -21,6 +21,7 @@ import (
 func (d *Deque) Metrics() obs.Metrics {
 	m := obs.FromCounters(d.obsReg.Merge())
 	m.Handles = d.obsReg.Handles()
+	m.WatchdogThreshold = d.watchdog
 	m.NodesAllocated = uint64(d.reg.Allocated())
 	m.NodesFreed = uint64(d.reg.Freed())
 	m.NodesLive = m.NodesAllocated - m.NodesFreed

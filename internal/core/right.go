@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/chaos"
 	"repro/internal/elim"
+	"repro/internal/help"
 	"repro/internal/obs"
 	"repro/internal/word"
 )
@@ -19,6 +20,9 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 		return ErrReserved
 	}
 	defer h.unpin()
+	if d.helpA != nil {
+		d.maybeHelp(h)
+	}
 	tr := d.traceStart(h)
 	if d.rElim != nil {
 		err := d.pushRightElim(h, v)
@@ -43,6 +47,12 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 			h.edgeR = nil // cache was stale: next attempt runs the real oracle
 		}
 		h.noteFailure()
+		if d.shouldAnnounce(h) {
+			if err, announced := d.announcedPush(nil, h, help.Right, v); announced {
+				d.traceEnd(tr, h, obs.OpPush, obs.SideRight, err != nil)
+				return err
+			}
+		}
 	}
 }
 
@@ -50,6 +60,9 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 // deque was empty.
 func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
 	defer h.unpin()
+	if d.helpA != nil {
+		d.maybeHelp(h)
+	}
 	tr := d.traceStart(h)
 	if d.rElim != nil {
 		v, ok = d.popRightElim(h)
@@ -70,6 +83,12 @@ func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
 			h.edgeR = nil
 		}
 		h.noteFailure()
+		if d.shouldAnnounce(h) {
+			if v, ok, _, announced := d.announcedPop(nil, h, help.Right); announced {
+				d.traceEnd(tr, h, obs.OpPop, obs.SideRight, false)
+				return v, ok
+			}
+		}
 	}
 }
 

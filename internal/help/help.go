@@ -1,0 +1,250 @@
+// Package help implements the announcement array behind the deque's
+// opt-in helping layer.
+//
+// Each registered handle owns one padded slot, indexed by its thread id.
+// A handle whose livelock-watchdog streak trips the announce threshold
+// publishes its pending operation (side, kind, operand) into its slot;
+// any other handle may then complete the operation on its behalf through
+// the deque's ordinary transition CASes. The slot's state word arbitrates
+// who performs the operation so it takes effect exactly once:
+//
+//	Empty ──Announce──▶ Announced ──TryClaim──▶ Claimed ──Complete──▶ Done
+//	  ▲                     │                      │                    │
+//	  │◀──────TryCancel─────┘        HandBack──────┘                    │
+//	  │◀────────────────────────Consume────────────────────────────────┘
+//
+// The state word packs a phase (2 bits) with a sequence number (62 bits).
+// Only the slot's owner moves the word back to Empty (Consume, TryCancel,
+// or a failed Announce being abandoned), and every return to Empty bumps
+// the sequence, so a stale TryClaim or TryCancel from a previous
+// announcement can never hit a new one (no ABA). While a slot is Claimed
+// it is owned exclusively by the claim winner: nobody else writes it, so
+// HandBack and Complete are plain stores. The operand and result words
+// are written strictly before the state-word transition that publishes
+// them (Announce and Complete respectively), so a reader that observes
+// the phase also observes the payload.
+//
+// Exactly-once: an operation is applied to the deque only between a
+// successful TryClaim and the matching Complete or HandBack, and at most
+// one party holds the claim at a time. TryCancel succeeds only from
+// Announced — i.e. only while no one holds the claim — so a cancelled
+// operation was never applied, and a completed one can no longer be
+// cancelled.
+package help
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// Phase is a slot's protocol state.
+type Phase uint8
+
+const (
+	// Empty means no announcement is outstanding in the slot.
+	Empty Phase = iota
+	// Announced means the owner published an op and nobody has claimed it.
+	Announced
+	// Claimed means exactly one party is executing the op on the deque.
+	Claimed
+	// Done means the op executed; the result word is valid until Consume.
+	Done
+)
+
+const (
+	phaseBits = 2
+	phaseMask = (1 << phaseBits) - 1
+)
+
+func pack(seq uint64, p Phase) uint64 { return seq<<phaseBits | uint64(p) }
+
+func unpack(w uint64) (seq uint64, p Phase) { return w >> phaseBits, Phase(w & phaseMask) }
+
+// Kind says whether the announced op is a push or a pop.
+type Kind uint8
+
+const (
+	// Push announces a push of Operand.
+	Push Kind = iota
+	// Pop announces a pop; the result carries the value.
+	Pop
+)
+
+// Side says which end of the deque the announced op targets.
+type Side uint8
+
+const (
+	// Left targets the left end.
+	Left Side = iota
+	// Right targets the right end.
+	Right
+)
+
+// Op describes an announced operation. The operand is meaningful only
+// for pushes.
+type Op struct {
+	Side    Side
+	Kind    Kind
+	Operand uint32
+}
+
+// Result carries a completed op's outcome back to the announcer.
+type Result struct {
+	// Value is the popped payload when Kind==Pop and !Empty.
+	Value uint32
+	// Empty reports a pop that linearized against an empty deque.
+	Empty bool
+	// Full reports a push that failed allocation (deque at capacity).
+	Full bool
+}
+
+// Result-word layout: value in the low 32 bits, flags above.
+const (
+	resEmpty = 1 << 32
+	resFull  = 1 << 33
+)
+
+func packResult(r Result) uint64 {
+	w := uint64(r.Value)
+	if r.Empty {
+		w |= resEmpty
+	}
+	if r.Full {
+		w |= resFull
+	}
+	return w
+}
+
+func unpackResult(w uint64) Result {
+	return Result{Value: uint32(w), Empty: w&resEmpty != 0, Full: w&resFull != 0}
+}
+
+// slot is one handle's announcement record. Padded to its own cache
+// lines so helpers scanning the array do not false-share with the
+// owner's publishes.
+type slot struct {
+	_     pad.Spacer
+	state atomic.Uint64 // seq<<2 | phase
+	side  atomic.Uint32
+	kind  atomic.Uint32
+	arg   atomic.Uint32
+	res   atomic.Uint64
+	_     pad.Spacer
+}
+
+// Array is a deque's announcement table: one slot per possible handle,
+// plus a pending count that lets helpers skip the scan entirely when
+// nothing is announced (the common case — one atomic load per poll).
+type Array struct {
+	slots []slot
+
+	_       pad.Spacer
+	pending atomic.Int64
+	_       pad.Spacer
+}
+
+// NewArray returns an announcement table with n slots (one per handle).
+func NewArray(n int) *Array {
+	return &Array{slots: make([]slot, n)}
+}
+
+// Pending returns the number of outstanding announcements. Helpers read
+// this before scanning; zero means the scan can be skipped.
+func (a *Array) Pending() int64 { return a.pending.Load() }
+
+// Announce publishes op into slot i and returns the announcement's
+// sequence number. The caller must own slot i and the slot must be
+// Empty. The op fields are published before the state word flips, so
+// any helper that claims the announcement sees them.
+func (a *Array) Announce(i int, op Op) uint64 {
+	s := &a.slots[i]
+	seq, p := unpack(s.state.Load())
+	if p != Empty {
+		panic("help: Announce on non-empty slot")
+	}
+	s.side.Store(uint32(op.Side))
+	s.kind.Store(uint32(op.Kind))
+	s.arg.Store(op.Operand)
+	a.pending.Add(1)
+	s.state.Store(pack(seq, Announced))
+	return seq
+}
+
+// State returns slot i's current sequence number and phase.
+func (a *Array) State(i int) (seq uint64, p Phase) {
+	return unpack(a.slots[i].state.Load())
+}
+
+// Peek reports whether slot i currently holds an unclaimed announcement,
+// and if so its sequence number. Helpers use it to find work.
+func (a *Array) Peek(i int) (seq uint64, ok bool) {
+	seq, p := unpack(a.slots[i].state.Load())
+	return seq, p == Announced
+}
+
+// Op returns slot i's announced operation. Valid only while the caller
+// holds the claim (the owner does not mutate op fields between Announce
+// and the slot's return to Empty).
+func (a *Array) Op(i int) Op {
+	s := &a.slots[i]
+	return Op{
+		Side:    Side(s.side.Load()),
+		Kind:    Kind(s.kind.Load()),
+		Operand: s.arg.Load(),
+	}
+}
+
+// TryClaim attempts to take exclusive ownership of announcement (i, seq).
+// On success the caller — and only the caller — must eventually call
+// Complete or HandBack. Fails if the announcement was already claimed,
+// completed, cancelled, or superseded.
+func (a *Array) TryClaim(i int, seq uint64) bool {
+	return a.slots[i].state.CompareAndSwap(pack(seq, Announced), pack(seq, Claimed))
+}
+
+// HandBack returns a claimed announcement to Announced, e.g. when the
+// claim holder exhausted its attempt budget without completing the op.
+// The caller must hold the claim.
+func (a *Array) HandBack(i int, seq uint64) {
+	a.slots[i].state.Store(pack(seq, Announced))
+}
+
+// Complete publishes the claimed op's result and moves the slot to Done.
+// The caller must hold the claim. The result word is written before the
+// phase flips so the owner's Consume sees it.
+func (a *Array) Complete(i int, seq uint64, r Result) {
+	s := &a.slots[i]
+	s.res.Store(packResult(r))
+	s.state.Store(pack(seq, Done))
+}
+
+// TryCancel withdraws announcement (i, seq) if — and only if — nobody
+// holds its claim. On success the op was never applied to the deque and
+// the slot is Empty under a fresh sequence number. The caller must own
+// slot i. Failure means a helper holds the claim or already completed
+// the op: the owner must wait for Done and Consume the result.
+func (a *Array) TryCancel(i int, seq uint64) bool {
+	if !a.slots[i].state.CompareAndSwap(pack(seq, Announced), pack(seq+1, Empty)) {
+		return false
+	}
+	a.pending.Add(-1)
+	return true
+}
+
+// Consume retrieves the completed result of announcement (i, seq) and
+// resets the slot to Empty under a fresh sequence number. The caller
+// must own slot i and the slot must be Done.
+func (a *Array) Consume(i int, seq uint64) Result {
+	s := &a.slots[i]
+	if w := s.state.Load(); w != pack(seq, Done) {
+		panic("help: Consume on non-done slot")
+	}
+	r := unpackResult(s.res.Load())
+	s.state.Store(pack(seq+1, Empty))
+	a.pending.Add(-1)
+	return r
+}
+
+// Len returns the number of slots.
+func (a *Array) Len() int { return len(a.slots) }

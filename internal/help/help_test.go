@@ -1,0 +1,163 @@
+package help
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLifecycle(t *testing.T) {
+	a := NewArray(4)
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", a.Len())
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("fresh array pending = %d", a.Pending())
+	}
+	seq, p := a.State(1)
+	if seq != 0 || p != Empty {
+		t.Fatalf("fresh slot state = (%d,%v)", seq, p)
+	}
+
+	op := Op{Side: Right, Kind: Push, Operand: 0xdeadbeef}
+	s := a.Announce(1, op)
+	if s != 0 {
+		t.Fatalf("first announce seq = %d", s)
+	}
+	if a.Pending() != 1 {
+		t.Fatalf("pending after announce = %d", a.Pending())
+	}
+	if got, ok := a.Peek(1); !ok || got != s {
+		t.Fatalf("Peek = (%d,%v), want (%d,true)", got, ok, s)
+	}
+	if _, ok := a.Peek(0); ok {
+		t.Fatal("Peek on empty slot reported an announcement")
+	}
+
+	if !a.TryClaim(1, s) {
+		t.Fatal("TryClaim failed on announced slot")
+	}
+	if a.TryClaim(1, s) {
+		t.Fatal("second TryClaim succeeded on claimed slot")
+	}
+	if got := a.Op(1); got != op {
+		t.Fatalf("Op = %+v, want %+v", got, op)
+	}
+	if _, ok := a.Peek(1); ok {
+		t.Fatal("Peek reported a claimed slot as available")
+	}
+
+	// Hand back, reclaim, complete.
+	a.HandBack(1, s)
+	if _, ok := a.Peek(1); !ok {
+		t.Fatal("Peek missed handed-back announcement")
+	}
+	if !a.TryClaim(1, s) {
+		t.Fatal("TryClaim failed after hand-back")
+	}
+	want := Result{Value: 42}
+	a.Complete(1, s, want)
+	if _, p := a.State(1); p != Done {
+		t.Fatalf("phase after Complete = %v", p)
+	}
+	if got := a.Consume(1, s); got != want {
+		t.Fatalf("Consume = %+v, want %+v", got, want)
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("pending after consume = %d", a.Pending())
+	}
+	if seq, p := a.State(1); p != Empty || seq != s+1 {
+		t.Fatalf("state after consume = (%d,%v), want (%d,Empty)", seq, p, s+1)
+	}
+}
+
+func TestCancelVsClaim(t *testing.T) {
+	a := NewArray(1)
+
+	// Cancel wins: op withdrawn, stale claim on the old seq must fail.
+	s := a.Announce(0, Op{Kind: Pop})
+	if !a.TryCancel(0, s) {
+		t.Fatal("TryCancel failed on announced slot")
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("pending after cancel = %d", a.Pending())
+	}
+	if a.TryClaim(0, s) {
+		t.Fatal("stale TryClaim succeeded after cancel")
+	}
+
+	// Claim wins: cancel must fail from Claimed and from Done.
+	s = a.Announce(0, Op{Kind: Pop})
+	if !a.TryClaim(0, s) {
+		t.Fatal("TryClaim failed")
+	}
+	if a.TryCancel(0, s) {
+		t.Fatal("TryCancel succeeded on claimed slot")
+	}
+	a.Complete(0, s, Result{Value: 7})
+	if a.TryCancel(0, s) {
+		t.Fatal("TryCancel succeeded on done slot")
+	}
+	if got := a.Consume(0, s); got.Value != 7 {
+		t.Fatalf("Consume = %+v", got)
+	}
+
+	// Sequence advanced across both cycles: a claim using either old
+	// seq can never touch the next announcement.
+	s2 := a.Announce(0, Op{Kind: Push, Operand: 9})
+	if s2 == s {
+		t.Fatalf("seq did not advance: %d", s2)
+	}
+	if a.TryClaim(0, s) {
+		t.Fatal("ABA: old-seq TryClaim hit a new announcement")
+	}
+	if !a.TryCancel(0, s2) {
+		t.Fatal("cleanup cancel failed")
+	}
+}
+
+func TestResultEncoding(t *testing.T) {
+	for _, r := range []Result{
+		{},
+		{Value: ^uint32(0)},
+		{Empty: true},
+		{Full: true},
+		{Value: 12345, Empty: true},
+	} {
+		if got := unpackResult(packResult(r)); got != r {
+			t.Fatalf("round-trip %+v -> %+v", r, got)
+		}
+	}
+}
+
+// TestClaimRace hammers one announcement with many concurrent claimers
+// and checks exactly one wins per cycle.
+func TestClaimRace(t *testing.T) {
+	a := NewArray(1)
+	const cycles = 200
+	const claimers = 8
+	for c := 0; c < cycles; c++ {
+		s := a.Announce(0, Op{Kind: Pop})
+		var wins int32
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for g := 0; g < claimers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if a.TryClaim(0, s) {
+					mu.Lock()
+					wins++
+					mu.Unlock()
+					a.Complete(0, s, Result{Value: uint32(c)})
+				}
+			}()
+		}
+		wg.Wait()
+		if wins != 1 {
+			t.Fatalf("cycle %d: %d claim winners", c, wins)
+		}
+		if got := a.Consume(0, s); got.Value != uint32(c) {
+			t.Fatalf("cycle %d: result %+v", c, got)
+		}
+	}
+}

@@ -175,4 +175,28 @@ func TestWriteMetricsProm(t *testing.T) {
 	if MetricsEnabled && !strings.Contains(out, `dq_ops_total{op="push"} 3`) {
 		t.Errorf("exposition push count wrong:\n%s", out)
 	}
+	for _, want := range []string{
+		"dq_announces_total",
+		"dq_helps_given_total",
+		"dq_helps_received_total",
+		"dq_help_claim_races_total",
+		"dq_watchdog_threshold 256",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestWatchdogThresholdInMetrics pins the effective watchdog threshold
+// gauge: the default and an explicit WithWatchdogThreshold both surface.
+func TestWatchdogThresholdInMetrics(t *testing.T) {
+	d := New[int]()
+	if got := d.Metrics().WatchdogThreshold; got != 256 {
+		t.Fatalf("default WatchdogThreshold gauge = %d, want 256", got)
+	}
+	d = New[int](WithWatchdogThreshold(64), WithHelping(true))
+	if got := d.Metrics().WatchdogThreshold; got != 64 {
+		t.Fatalf("WatchdogThreshold gauge = %d, want 64", got)
+	}
 }

@@ -24,6 +24,8 @@ func TestBadOptionsRejected(t *testing.T) {
 		{"capacity zero", []Option{WithCapacity(0)}},
 		{"capacity negative", []Option{WithCapacity(-1)}},
 		{"tracing negative", []Option{WithTracing(-1)}},
+		{"watchdog zero", []Option{WithWatchdogThreshold(0)}},
+		{"watchdog negative", []Option{WithWatchdogThreshold(-256)}},
 		{"bad among good", []Option{WithNodeSize(64), WithMaxThreads(0), WithElimination(true)}},
 	}
 	for _, tc := range cases {
@@ -71,9 +73,13 @@ func TestGoodOptionsAccepted(t *testing.T) {
 		{"capacity one", []Option{WithCapacity(1)}},
 		{"tracing off explicitly", []Option{WithTracing(0)}},
 		{"tracing every op", []Option{WithTracing(1)}},
+		{"helping", []Option{WithHelping(true)}},
+		{"watchdog custom", []Option{WithWatchdogThreshold(64)}},
+		{"helping with custom watchdog", []Option{WithHelping(true), WithWatchdogThreshold(8)}},
 		{"kitchen sink", []Option{
 			WithNodeSize(64), WithMaxThreads(8), WithCapacity(1 << 10),
 			WithElimination(true), WithHotPathOptimizations(false), WithTracing(100),
+			WithHelping(true), WithWatchdogThreshold(128),
 		}},
 	}
 	for _, tc := range cases {

@@ -5,9 +5,17 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/backoff"
 	"repro/internal/pad"
 	"repro/internal/shard"
 )
+
+// stealAttempts bounds each steal leg: a victim shard gets this many retry
+// cycles (Handle.TryPop*) before the leg gives up with ErrContended. A
+// bounded leg keeps one hot victim from capturing the thief forever; the
+// sweep loop in steal decides whether the failure means "empty" or "retry
+// later".
+const stealAttempts = 64
 
 // Pool is a sharded deque: N independent Deque[T] shards behind a
 // routing layer, for workloads where a single structure's two ends are
@@ -200,11 +208,14 @@ func (p *Pool[T]) Metrics() Metrics {
 // long-lived; a server should reuse them across connections (each shard
 // admits at most WithMaxThreads handles, ever).
 func (p *Pool[T]) Register() *PoolHandle[T] {
+	start := p.nextRR.Add(1) - 1
 	h := &PoolHandle[T]{
 		p:      p,
 		hs:     make([]*Handle[T], len(p.shards)),
-		router: shard.NewRouter(p.policy, len(p.shards), p.nextRR.Add(1)-1),
+		router: shard.NewRouter(p.policy, len(p.shards), start),
 	}
+	h.bo.Init(backoff.DefaultMinSpins, backoff.DefaultMaxSpins,
+		uint64(start)*0x9e3779b97f4a7c15+1)
 	for i, d := range p.shards {
 		h.hs[i] = d.Register()
 	}
@@ -218,8 +229,20 @@ type PoolHandle[T any] struct {
 	p      *Pool[T]
 	hs     []*Handle[T]
 	router shard.Router
-	order  []int // steal-order scratch
-	snap   []int // load-snapshot scratch
+	order  []int           // steal-order scratch
+	snap   []int           // load-snapshot scratch
+	bo     backoff.Backoff // jittered wait between contended steal sweeps
+
+	// stealResweeps counts sweeps that ended contended-but-uncertified and
+	// were retried after a backoff wait. Exposed (package-private) so tests
+	// can pin the backoff-between-sweeps behavior.
+	stealResweeps uint64
+
+	// stealProbe is a test seam: when non-nil, steal consults it before
+	// each leg's real pop, and an ErrContended return stands in for a Try
+	// pop that exhausted its attempt budget (the shard is then skipped this
+	// sweep). Always nil outside tests.
+	stealProbe func(shard int) error
 }
 
 // load is the router's cheap per-shard estimate callback.
@@ -278,44 +301,90 @@ func (h *PoolHandle[T]) PushRightCtx(ctx context.Context, key uint64, v T) error
 // steal tries every other shard in most-loaded-first order, popping from
 // the side opposite the request (a left pop steals with right pops and
 // vice versa) so thieves avoid the victims' hot ends. The load-ordered
-// pass is best-effort; a final full sweep certifies emptiness, since
-// estimates can be stale.
+// pass is best-effort; a full sweep certifies emptiness, since estimates
+// can be stale.
+//
+// Each leg is a bounded Try pop (stealAttempts retry cycles), so one hot
+// victim cannot capture the thief indefinitely. A leg that spends its
+// whole budget (ErrContended) leaves that shard's emptiness unknown — the
+// documented contract is that ok=false means every shard came up empty at
+// the moment it was tried, and a contended shard was never observed empty.
+// Such a sweep is retried, but only after a jittered exponential backoff
+// wait (h.bo): under an all-shards-contended storm the thief cools off
+// instead of hammering full sweeps back to back, which both bounds the
+// cache-line traffic it adds to the storm and gives the shards' own
+// consumers room to drain. A sweep that finds a value or observes every
+// shard empty ends the loop.
+//
+// The Ctx pop variants pass their context through: it is consulted only
+// between sweeps (a cancelled context aborts the retry loop, never an
+// individual leg), so err is non-nil only when ctx expired while emptiness
+// was still uncertifiable.
 func (h *PoolHandle[T]) steal(home int, left bool) (v T, ok bool) {
+	v, ok, _ = h.stealCtx(nil, home, left)
+	return v, ok
+}
+
+func (h *PoolHandle[T]) stealCtx(ctx context.Context, home int, left bool) (v T, ok bool, err error) {
 	n := len(h.hs)
 	if cap(h.snap) < n {
 		h.snap = make([]int, n)
 	}
 	snap := h.snap[:n]
-	for i := range snap {
-		snap[i] = h.load(i)
+	h.bo.Reset()
+	for {
+		for i := range snap {
+			snap[i] = h.load(i)
+		}
+		h.order = shard.StealOrder(h.order, snap, home)
+		contended := false
+		tryShard := func(j int) bool {
+			if h.stealProbe != nil {
+				if perr := h.stealProbe(j); perr != nil {
+					contended = true
+					return false
+				}
+			}
+			var terr error
+			if left {
+				v, ok, terr = h.hs[j].TryPopRight(stealAttempts)
+			} else {
+				v, ok, terr = h.hs[j].TryPopLeft(stealAttempts)
+			}
+			if terr != nil {
+				contended = true // budget spent racing: emptiness unknown
+				return false
+			}
+			if ok {
+				h.note(j, -1)
+			}
+			return ok
+		}
+		for _, j := range h.order {
+			if tryShard(j) {
+				return v, true, nil
+			}
+		}
+		// Estimates may have missed a non-empty shard; sweep the rest.
+		for j := 0; j < n; j++ {
+			if j == home || snap[j] > 0 {
+				continue // snap[j] > 0 was already tried above
+			}
+			if tryShard(j) {
+				return v, true, nil
+			}
+		}
+		if !contended {
+			return v, false, nil // every shard certified empty this sweep
+		}
+		if ctx != nil {
+			if err = ctx.Err(); err != nil {
+				return v, false, err
+			}
+		}
+		h.stealResweeps++
+		h.bo.Spin()
 	}
-	h.order = shard.StealOrder(h.order, snap, home)
-	tryShard := func(j int) bool {
-		if left {
-			v, ok = h.hs[j].PopRight()
-		} else {
-			v, ok = h.hs[j].PopLeft()
-		}
-		if ok {
-			h.note(j, -1)
-		}
-		return ok
-	}
-	for _, j := range h.order {
-		if tryShard(j) {
-			return v, true
-		}
-	}
-	// Estimates may have missed a non-empty shard; sweep the rest.
-	for j := 0; j < n; j++ {
-		if j == home || snap[j] > 0 {
-			continue // snap[j] > 0 was already tried above
-		}
-		if tryShard(j) {
-			return v, true
-		}
-	}
-	return v, false
 }
 
 // PopLeft pops from the left end of the routed shard, stealing from the
@@ -348,7 +417,8 @@ func (h *PoolHandle[T]) PopRight(key uint64) (v T, ok bool) {
 }
 
 // PopLeftCtx is PopLeft, aborting with ctx.Err() once ctx is cancelled.
-// The home-shard pop honors ctx; steal legs are plain bounded pops.
+// The home-shard pop honors ctx; steal legs are bounded pops, with ctx
+// consulted between contended sweeps.
 func (h *PoolHandle[T]) PopLeftCtx(ctx context.Context, key uint64) (v T, ok bool, err error) {
 	i := h.router.Pop(key, h.load)
 	if v, ok, err = h.hs[i].PopLeftCtx(ctx); err != nil || ok {
@@ -360,8 +430,7 @@ func (h *PoolHandle[T]) PopLeftCtx(ctx context.Context, key uint64) (v T, ok boo
 	if !h.p.steal {
 		return v, false, nil
 	}
-	v, ok = h.steal(i, true)
-	return v, ok, nil
+	return h.stealCtx(ctx, i, true)
 }
 
 // PopRightCtx mirrors PopLeftCtx.
@@ -376,8 +445,7 @@ func (h *PoolHandle[T]) PopRightCtx(ctx context.Context, key uint64) (v T, ok bo
 	if !h.p.steal {
 		return v, false, nil
 	}
-	v, ok = h.steal(i, false)
-	return v, ok, nil
+	return h.stealCtx(ctx, i, false)
 }
 
 // PushLeftN pushes vs in order at the left end of one routed shard (a

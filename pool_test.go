@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/backoff"
 	"repro/internal/shard"
 )
 
@@ -365,5 +366,100 @@ func TestPoolConcurrentConservation(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestPoolStealContendedSweepBacksOff pins the steal-on-empty contention
+// fix: a sweep during which any leg spent its whole Try budget
+// (ErrContended) must not certify emptiness — the thief resweeps under
+// jittered backoff instead of hammering full sweeps hot — and a value a
+// contended shard was hiding is still found once the storm clears. The
+// stealProbe seam stands in for legs whose bounded pops keep losing races.
+func TestPoolStealContendedSweepBacksOff(t *testing.T) {
+	p := NewPool[int](2, WithRouting(RouteKeyAffinity))
+	h := p.Register()
+	victimKey := keyFor(t, 2, 0)
+	thiefKey := keyFor(t, 2, 1)
+	if err := h.PushRight(victimKey, 41); err != nil {
+		t.Fatal(err)
+	}
+
+	// With 2 shards the victim is the only non-home shard, so the probe
+	// fires exactly once per sweep: the first storm sweeps all look
+	// contended, then the storm clears.
+	const storm = 5
+	calls := 0
+	h.stealProbe = func(int) error {
+		calls++
+		if calls <= storm {
+			return ErrContended
+		}
+		return nil
+	}
+	if v, ok := h.PopLeft(thiefKey); !ok || v != 41 {
+		t.Fatalf("steal through contention storm = %d, %v; want 41", v, ok)
+	}
+	if h.stealResweeps != storm {
+		t.Fatalf("stealResweeps = %d, want %d (one backoff wait per contended sweep)",
+			h.stealResweeps, storm)
+	}
+	if w := h.bo.Window(); w <= backoff.DefaultMinSpins {
+		t.Fatalf("backoff window = %d after %d contended sweeps, want growth past %d",
+			w, storm, backoff.DefaultMinSpins)
+	}
+
+	// Emptiness is still certified — but only by a clean sweep. The pool
+	// is now empty; the probe keeps every sweep contended for another
+	// storm, and ok=false must not surface until it clears.
+	calls = 0
+	h.stealProbe = func(int) error {
+		calls++
+		if calls <= storm {
+			return ErrContended
+		}
+		return nil
+	}
+	before := h.stealResweeps
+	if _, ok := h.PopLeft(thiefKey); ok {
+		t.Fatal("pop on empty pool reported a value")
+	}
+	if got := h.stealResweeps - before; got != storm {
+		t.Fatalf("empty pop resweeps = %d, want %d", got, storm)
+	}
+
+	// A quiet steal certifies emptiness in one sweep: no backoff waits.
+	h.stealProbe = nil
+	before = h.stealResweeps
+	if _, ok := h.PopLeft(thiefKey); ok {
+		t.Fatal("pop on empty pool reported a value")
+	}
+	if h.stealResweeps != before {
+		t.Fatalf("uncontended empty pop backed off %d times", h.stealResweeps-before)
+	}
+}
+
+// TestPoolStealCtxAbortsContendedStorm pins the Ctx pop behavior under a
+// persistent contention storm: when every sweep stays uncertifiable, the
+// context is consulted between sweeps and its error surfaces instead of
+// retrying forever.
+func TestPoolStealCtxAbortsContendedStorm(t *testing.T) {
+	p := NewPool[int](2, WithRouting(RouteKeyAffinity))
+	h := p.Register()
+	thiefKey := keyFor(t, 2, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	h.stealProbe = func(int) error {
+		if calls++; calls == 3 {
+			cancel()
+		}
+		return ErrContended // storm never clears
+	}
+	_, ok, err := h.PopLeftCtx(ctx, thiefKey)
+	if ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("PopLeftCtx under persistent storm = ok=%v err=%v, want context.Canceled", ok, err)
+	}
+	if calls < 3 {
+		t.Fatalf("probe saw %d sweeps before cancellation surfaced", calls)
 	}
 }

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Latency A/B under the adversarial forced-failure storm: runs
+# cmd/benchlatency (chaos build) and writes BENCH_latency.json comparing
+# p50/p99/p99.9 op latency with the helping layer off versus on, same chaos
+# schedule both arms. The interesting number is p999_improvement_off_over_on:
+# > 1 means announced ops were finished by other handles faster than their
+# starving owners could finish them alone.
+#
+# The harness alternates off/on rounds and pools each arm's samples across
+# rounds, so scheduler and thermal drift cancel instead of landing on one
+# arm. Defaults (32 workers on the 1-core reference host, FailProb 0.9,
+# watchdog 8) are chosen so the Go scheduler itself parks losing handles
+# mid-streak — the paper's adversary, produced naturally.
+set -e
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-1s}"
+ROUNDS="${ROUNDS:-6}"
+WORKERS="${WORKERS:-32}"
+FAILPROB="${FAILPROB:-0.9}"
+WATCHDOG="${WATCHDOG:-8}"
+SEED="${SEED:-1}"
+OUT="${OUT:-BENCH_latency.json}"
+
+go run -tags chaos ./cmd/benchlatency \
+    -duration "$DURATION" -rounds "$ROUNDS" -workers "$WORKERS" \
+    -failprob "$FAILPROB" -watchdog "$WATCHDOG" -seed "$SEED" -out "$OUT"

@@ -49,4 +49,14 @@ go test -tags chaos -count=1 ./internal/chaos/ ./internal/chaostest/ ./internal/
 echo "== go test -tags chaos -race -short (chaostest) =="
 go test -tags chaos -race -short -count=1 ./internal/chaostest/
 
+echo "== helping starvation-bound gate (parked-announcer schedule) =="
+# Fails if an announced op does not complete within the documented bound
+# (one poll interval of any active handle) or if an announced *Ctx op's
+# cancellation ever double-applies; see internal/chaostest/helping_test.go.
+go test -tags chaos -count=1 -run 'TestHelpBoundParkedAnnouncer|TestAnnouncedCancelExactlyOnce' \
+    ./internal/chaostest/
+
+echo "== helping-overhead A/B gate (helping on vs off) =="
+sh scripts/helping_overhead.sh
+
 echo "verify: all gates green"
