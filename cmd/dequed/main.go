@@ -46,10 +46,13 @@ func main() {
 		watchdog = flag.Int("watchdog", 0, "livelock-watchdog streak threshold per shard (0 = default 256)")
 		metrics  = flag.String("metrics", "", "serve Prometheus /metrics on this HTTP address (empty disables)")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful drain window on SIGTERM before in-flight ops are cancelled")
+		relaxed  = flag.Bool("relaxed", false, "serve through the semantically-relaxed d-choice front-end (keys ignored; ordering relaxed across shards)")
+		dFlag    = flag.Int("d", 2, "relaxed sample width: shards sampled per op (0 = strict passthrough; needs -relaxed)")
+		rank     = flag.Int("rank-bound", 0, "worst-case rank-error bound for -relaxed (0 = unbounded; else >= 4*(shards-1))")
 	)
 	flag.Parse()
 
-	policy, err := dq.ParseRoutePolicy(*route)
+	policy, err := dq.ParseRouting(*route)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dequed:", err)
 		os.Exit(2)
@@ -82,6 +85,9 @@ func main() {
 		MaxConns:     *maxconns,
 		DrainTimeout: *drain,
 		ShardOpts:    shardOpts,
+		Relaxed:      *relaxed,
+		Sample:       *dFlag,
+		RankBound:    *rank,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dequed:", err)
@@ -109,6 +115,11 @@ func main() {
 			if err := dq.WriteMetricsProm(rw, "dequed", srv.Pool().Metrics()); err != nil {
 				fmt.Fprintln(os.Stderr, "dequed: write /metrics:", err)
 			}
+			if rx := srv.Relaxed(); rx != nil {
+				if err := dq.WriteRelaxMetricsProm(rw, "dequed", rx.RelaxMetrics()); err != nil {
+					fmt.Fprintln(os.Stderr, "dequed: write /metrics:", err)
+				}
+			}
 		})
 		msrv = &http.Server{Addr: *metrics, Handler: mux}
 		go func() {
@@ -118,8 +129,12 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("dequed: %d shards, route=%s steal=%v maxconns=%d on %s\n",
-		*shards, policy, *steal, *maxconns, ln.Addr())
+	mode := ""
+	if *relaxed {
+		mode = fmt.Sprintf(" relaxed(d=%d,rank-bound=%d)", *dFlag, *rank)
+	}
+	fmt.Printf("dequed: %d shards, route=%s steal=%v maxconns=%d%s on %s\n",
+		*shards, policy, *steal, *maxconns, mode, ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -151,6 +166,11 @@ func main() {
 	fmt.Fprintln(os.Stderr, "dequed: final metrics snapshot")
 	if err := dq.WriteMetricsProm(os.Stderr, "dequed", srv.Pool().Metrics()); err != nil {
 		fmt.Fprintln(os.Stderr, "dequed:", err)
+	}
+	if rx := srv.Relaxed(); rx != nil {
+		if err := dq.WriteRelaxMetricsProm(os.Stderr, "dequed", rx.RelaxMetrics()); err != nil {
+			fmt.Fprintln(os.Stderr, "dequed:", err)
+		}
 	}
 	os.Exit(exit)
 }

@@ -211,6 +211,163 @@ func runConservationWorker(addr string, w, rounds, batch int) connResult {
 	return res
 }
 
+// TestRelaxedE2E serves through the d-choice relaxed front-end and checks
+// the whole surface over the wire: conservation across concurrent
+// connections (keys ignored, d-choice routing), the OpRelax snapshot
+// (configuration gauges echoed, observed rank error within the bound),
+// and OpLen keeping exact semantics against the relaxed Len estimate.
+func TestRelaxedE2E(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 60
+		bound   = 64
+	)
+	srv, addr := startServer(t, Config{
+		Shards:    4,
+		Route:     dq.RouteRoundRobin,
+		Steal:     true,
+		MaxConns:  workers + 4,
+		Relaxed:   true,
+		Sample:    2,
+		RankBound: bound,
+		ShardOpts: []dq.Option{dq.WithNodeSize(8)},
+	})
+	if srv.Relaxed() == nil {
+		t.Fatal("relaxed server did not build a Relaxed front-end")
+	}
+
+	type ledger struct {
+		pushed []uint32
+		popped []uint32
+		err    error
+	}
+	results := make([]ledger, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				results[w].err = err
+				return
+			}
+			defer c.Close()
+			for r := 0; r < rounds; r++ {
+				v := uint32(w)<<20 | uint32(r+1)
+				if err := c.Push(wire.Left, uint64(w), v); err != nil {
+					results[w].err = err
+					return
+				}
+				results[w].pushed = append(results[w].pushed, v)
+				if r%2 == 1 {
+					got, ok, err := c.Pop(wire.Right, uint64(w))
+					if err != nil {
+						results[w].err = err
+						return
+					}
+					if ok {
+						results[w].popped = append(results[w].popped, got)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := make(map[uint32]bool)
+	seen := make(map[uint32]bool)
+	for w := range results {
+		if results[w].err != nil {
+			t.Fatalf("worker %d: %v", w, results[w].err)
+		}
+		for _, v := range results[w].pushed {
+			want[v] = true
+		}
+		for _, v := range results[w].popped {
+			if seen[v] {
+				t.Fatalf("value %#x popped twice", v)
+			}
+			seen[v] = true
+		}
+	}
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// OpLen stays exact: the quiescent backlog equals pushes minus pops.
+	n, err := c.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backlog := len(want) - len(seen); n != backlog {
+		t.Fatalf("Len = %d, want exact backlog %d", n, backlog)
+	}
+	for {
+		vs, err := c.PopN(wire.Right, 0, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) == 0 {
+			break
+		}
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %#x popped twice in drain", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v := range want {
+		if !seen[v] {
+			t.Fatalf("pushed value %#x never popped", v)
+		}
+	}
+	for v := range seen {
+		if !want[v] {
+			t.Fatalf("popped value %#x never pushed", v)
+		}
+	}
+
+	rs, err := c.Relax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Sample != 2 || rs.Shards != 4 || rs.RankBound != bound {
+		t.Fatalf("Relax gauges = %+v, want sample 2, shards 4, bound %d", rs, bound)
+	}
+	if dq.MetricsEnabled {
+		if rs.RankMax > bound {
+			t.Fatalf("observed rank error %d exceeds bound %d", rs.RankMax, bound)
+		}
+		m := srv.Relaxed().RelaxMetrics()
+		if m.Pops == 0 {
+			t.Fatal("no relaxed pops recorded a rank estimate")
+		}
+	}
+}
+
+// TestStrictServerRelaxSnapshot checks a non-relaxed server answers
+// OpRelax with an all-zero snapshot instead of an error, so probes can
+// always ask.
+func TestStrictServerRelaxSnapshot(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 2, Route: dq.RouteRoundRobin, Steal: true, MaxConns: 2})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rs, err := c.Relax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs != (wire.RelaxStats{}) {
+		t.Fatalf("strict server Relax = %+v, want zero snapshot", rs)
+	}
+}
+
 // TestHandleFreelist runs far more sequential connections than MaxConns:
 // registration is permanent per shard, so this only works if handles are
 // parked and reborrowed across connections.

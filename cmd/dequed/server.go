@@ -21,6 +21,16 @@ type Config struct {
 	MaxConns     int            // concurrent connection (= pool handle) cap
 	DrainTimeout time.Duration  // Shutdown grace before hard-cancel (0 = forever)
 	ShardOpts    []dq.Option    // forwarded to every shard (capacity, node size, ...)
+
+	// Relaxed serves every connection through a Relaxed[uint32] d-choice
+	// front-end instead of policy routing: request keys are ignored,
+	// ordering is relaxed across shards by at most RankBound, and OpRelax
+	// reports the observed rank-error snapshot. Sample is the d-choice
+	// width (0 = strict passthrough) and RankBound the worst-case
+	// rank-error cap (0 = unbounded); both ignored unless Relaxed.
+	Relaxed   bool
+	Sample    int
+	RankBound int
 }
 
 // Server owns a sharded deque pool and serves the wire protocol over TCP.
@@ -31,6 +41,7 @@ type Config struct {
 type Server struct {
 	cfg  Config
 	pool *dq.Pool[uint32]
+	rx   *dq.Relaxed[uint32] // non-nil in relaxed mode; pool == rx.Pool()
 
 	// ctx cancels in-flight blocked operations on hard shutdown.
 	ctx    context.Context
@@ -39,7 +50,7 @@ type Server struct {
 	// Handle freelist: acquire prefers a parked handle, registers a new
 	// one while under the cap, and otherwise waits for a connection to
 	// finish. cap(handles) == MaxConns so release never blocks.
-	handles    chan *dq.PoolHandle[uint32]
+	handles    chan connHandle
 	hmu        sync.Mutex
 	registered int
 
@@ -62,11 +73,28 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.MaxConns = 64
 	}
 	opts := append([]dq.Option{dq.WithMaxThreads(cfg.MaxConns + 1)}, cfg.ShardOpts...)
-	pool, err := dq.NewPoolChecked[uint32](cfg.Shards,
+	poolOpts := []dq.PoolOption{
 		dq.WithRouting(cfg.Route),
 		dq.WithStealing(cfg.Steal),
 		dq.WithShardOptions(opts...),
+	}
+	var (
+		pool *dq.Pool[uint32]
+		rx   *dq.Relaxed[uint32]
+		err  error
 	)
+	if cfg.Relaxed {
+		rx, err = dq.NewRelaxedChecked[uint32](cfg.Shards,
+			dq.WithRelaxation(cfg.Sample),
+			dq.WithRankBound(cfg.RankBound),
+			dq.WithRelaxedPool(poolOpts...),
+		)
+		if err == nil {
+			pool = rx.Pool()
+		}
+	} else {
+		pool, err = dq.NewPoolChecked[uint32](cfg.Shards, poolOpts...)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -74,15 +102,36 @@ func NewServer(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:     cfg,
 		pool:    pool,
+		rx:      rx,
 		ctx:     ctx,
 		cancel:  cancel,
-		handles: make(chan *dq.PoolHandle[uint32], cfg.MaxConns),
+		handles: make(chan connHandle, cfg.MaxConns),
 		conns:   make(map[net.Conn]struct{}),
 	}, nil
 }
 
 // Pool exposes the backing pool for the final metrics snapshot and tests.
 func (s *Server) Pool() *dq.Pool[uint32] { return s.pool }
+
+// Relaxed exposes the relaxed front-end (nil unless Config.Relaxed).
+func (s *Server) Relaxed() *dq.Relaxed[uint32] { return s.rx }
+
+// connHandle is one connection's accessor: the pool handle in strict
+// mode, the relaxed handle when the server fronts the pool with
+// Relaxed[uint32] (exactly one is non-nil).
+type connHandle struct {
+	ph *dq.PoolHandle[uint32]
+	rh *dq.RelaxedHandle[uint32]
+}
+
+// flush parks the handle cleanly before it returns to the freelist.
+func (h connHandle) flush() {
+	if h.rh != nil {
+		h.rh.Flush()
+		return
+	}
+	h.ph.Flush()
+}
 
 // Serve accepts connections on ln until the listener closes (Shutdown
 // does that). A closed listener is a clean return, not an error.
@@ -144,8 +193,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return ctx.Err()
 }
 
-// acquireHandle borrows a pool handle for one connection's lifetime.
-func (s *Server) acquireHandle() (*dq.PoolHandle[uint32], error) {
+// acquireHandle borrows a pool (or relaxed) handle for one connection's
+// lifetime.
+func (s *Server) acquireHandle() (connHandle, error) {
 	select {
 	case h := <-s.handles:
 		return h, nil
@@ -155,14 +205,17 @@ func (s *Server) acquireHandle() (*dq.PoolHandle[uint32], error) {
 	if s.registered < s.cfg.MaxConns {
 		s.registered++
 		s.hmu.Unlock()
-		return s.pool.Register(), nil
+		if s.rx != nil {
+			return connHandle{rh: s.rx.Register()}, nil
+		}
+		return connHandle{ph: s.pool.Register()}, nil
 	}
 	s.hmu.Unlock()
 	select {
 	case h := <-s.handles:
 		return h, nil
 	case <-s.ctx.Done():
-		return nil, s.ctx.Err()
+		return connHandle{}, s.ctx.Err()
 	}
 }
 
@@ -182,7 +235,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Flush before parking: return cached slab capacity and drain pending
 	// node retires, so a handle idling in the freelist neither strands
 	// slab indices nor stalls node recycling for the whole pool.
-	defer func() { h.Flush(); s.handles <- h }()
+	defer func() { h.flush(); s.handles <- h }()
 
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
@@ -214,11 +267,20 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// clamp32 saturates a uint64 gauge into a wire uint32.
+func clamp32(v uint64) uint32 {
+	if v > 1<<32-1 {
+		return 1<<32 - 1
+	}
+	return uint32(v)
+}
+
 // apply executes one validated request against the connection's handle
 // and fills resp. dst is the reusable pop buffer (returned possibly
 // grown). Statuses follow wire.StatusOf: the deque's error contract
-// crosses the wire unchanged.
-func (s *Server) apply(h *dq.PoolHandle[uint32], req *wire.Request, resp *wire.Response, dst []uint32) []uint32 {
+// crosses the wire unchanged. In relaxed mode the key is ignored —
+// d-choice selection replaces routing.
+func (s *Server) apply(h connHandle, req *wire.Request, resp *wire.Response, dst []uint32) []uint32 {
 	if st := req.Validate(); st != wire.StatusOK {
 		resp.Status = st
 		return dst
@@ -230,14 +292,30 @@ func (s *Server) apply(h *dq.PoolHandle[uint32], req *wire.Request, resp *wire.R
 
 	case wire.OpLen:
 		resp.Status = wire.StatusOK
-		resp.Count = uint32(s.pool.LenEstimate())
+		resp.Count = uint32(s.pool.LenExact())
+
+	case wire.OpRelax:
+		resp.Status = wire.StatusOK
+		var m dq.RelaxMetrics
+		if s.rx != nil {
+			m = s.rx.RelaxMetrics()
+		}
+		resp.Count = clamp32(m.RankMax)
+		resp.Values = append(resp.Values,
+			clamp32(m.RankBound), clamp32(m.Sample), clamp32(m.Shards),
+			clamp32(uint64(m.MeanRank()*1000)))
 
 	case wire.OpPush:
 		var err error
-		if left {
-			err = h.PushLeftCtx(s.ctx, req.Key, req.Values[0])
-		} else {
-			err = h.PushRightCtx(s.ctx, req.Key, req.Values[0])
+		switch {
+		case h.rh != nil && left:
+			err = h.rh.PushLeftCtx(s.ctx, req.Values[0])
+		case h.rh != nil:
+			err = h.rh.PushRightCtx(s.ctx, req.Values[0])
+		case left:
+			err = h.ph.PushLeftCtx(s.ctx, req.Key, req.Values[0])
+		default:
+			err = h.ph.PushRightCtx(s.ctx, req.Key, req.Values[0])
 		}
 		resp.Status = wire.StatusOf(err)
 		if err == nil {
@@ -250,10 +328,15 @@ func (s *Server) apply(h *dq.PoolHandle[uint32], req *wire.Request, resp *wire.R
 			ok  bool
 			err error
 		)
-		if left {
-			v, ok, err = h.PopLeftCtx(s.ctx, req.Key)
-		} else {
-			v, ok, err = h.PopRightCtx(s.ctx, req.Key)
+		switch {
+		case h.rh != nil && left:
+			v, ok, err = h.rh.PopLeftCtx(s.ctx)
+		case h.rh != nil:
+			v, ok, err = h.rh.PopRightCtx(s.ctx)
+		case left:
+			v, ok, err = h.ph.PopLeftCtx(s.ctx, req.Key)
+		default:
+			v, ok, err = h.ph.PopRightCtx(s.ctx, req.Key)
 		}
 		switch {
 		case err != nil:
@@ -271,10 +354,15 @@ func (s *Server) apply(h *dq.PoolHandle[uint32], req *wire.Request, resp *wire.R
 			n   int
 			err error
 		)
-		if left {
-			n, err = h.PushLeftN(req.Key, req.Values)
-		} else {
-			n, err = h.PushRightN(req.Key, req.Values)
+		switch {
+		case h.rh != nil && left:
+			n, err = h.rh.PushLeftN(req.Values)
+		case h.rh != nil:
+			n, err = h.rh.PushRightN(req.Values)
+		case left:
+			n, err = h.ph.PushLeftN(req.Key, req.Values)
+		default:
+			n, err = h.ph.PushRightN(req.Key, req.Values)
 		}
 		resp.Status = wire.StatusOf(err)
 		resp.Count = uint32(n)
@@ -286,10 +374,15 @@ func (s *Server) apply(h *dq.PoolHandle[uint32], req *wire.Request, resp *wire.R
 		}
 		d := dst[:want]
 		var n int
-		if left {
-			n = h.PopLeftN(req.Key, d)
-		} else {
-			n = h.PopRightN(req.Key, d)
+		switch {
+		case h.rh != nil && left:
+			n = h.rh.PopLeftN(d)
+		case h.rh != nil:
+			n = h.rh.PopRightN(d)
+		case left:
+			n = h.ph.PopLeftN(req.Key, d)
+		default:
+			n = h.ph.PopRightN(req.Key, d)
 		}
 		if n == 0 {
 			resp.Status = wire.StatusEmpty

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	dq "repro"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -44,6 +45,8 @@ func main() {
 		duration = flag.Duration("duration", 3*time.Second, "measurement window")
 		batch    = flag.Int("batch", 1, "values per push/pop request (1 = single-value ops)")
 		pipeline = flag.Int("pipeline", 1, "requests in flight per connection")
+		route    = flag.String("route", "key", "key discipline matching the server's routing: key (per-worker keys), rr or least (key 0)")
+		relax    = flag.Bool("relax", false, "query the server's observed-relaxation snapshot (OpRelax) after the run")
 		jsonOut  = flag.Bool("json", false, "emit a JSON summary instead of text")
 	)
 	flag.Parse()
@@ -51,6 +54,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dqload: conns, batch, and pipeline must be positive (batch <= MaxBatch)")
 		os.Exit(2)
 	}
+	policy, err := dq.ParseRouting(*route)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dqload:", err)
+		os.Exit(2)
+	}
+	// Under key-affinity routing each worker pins its own shard, so give
+	// every worker a distinct key; the other policies ignore the key (as
+	// does a -relaxed server), so key 0 keeps the value tags stable.
+	perWorkerKeys := policy == dq.RouteKeyAffinity
 
 	var stop atomic.Bool
 	results := make([]workerResult, *conns)
@@ -60,7 +72,11 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = runWorker(*addr, uint64(w), *batch, *pipeline, &stop)
+			key := uint64(0)
+			if perWorkerKeys {
+				key = uint64(w)
+			}
+			results[w] = runWorker(*addr, uint64(w), key, *batch, *pipeline, &stop)
 		}(w)
 	}
 	time.Sleep(*duration)
@@ -84,6 +100,21 @@ func main() {
 		total.empty += r.empty
 	}
 
+	// Observed-relaxation snapshot, queried once on a fresh connection
+	// after the workers are done so it covers the whole run.
+	var rs wire.RelaxStats
+	if *relax {
+		c, err := wire.Dial(*addr)
+		if err == nil {
+			rs, err = c.Relax()
+			c.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dqload: relax snapshot:", err)
+			os.Exit(1)
+		}
+	}
+
 	secs := elapsed.Seconds()
 	if *jsonOut {
 		out := map[string]any{
@@ -105,6 +136,13 @@ func main() {
 			"mean_ns":        merged.Mean(),
 			"max_ns":         merged.Max(),
 		}
+		if *relax {
+			out["rank_error_max"] = rs.RankMax
+			out["rank_bound"] = rs.RankBound
+			out["rank_error_mean"] = float64(rs.MeanMilli) / 1000
+			out["relax_d"] = rs.Sample
+			out["relax_shards"] = rs.Shards
+		}
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "dqload:", err)
@@ -117,13 +155,18 @@ func main() {
 		total.ops, float64(total.ops)/secs, total.values, float64(total.values)/secs,
 		total.full, total.empty)
 	fmt.Printf("  latency %s\n", merged.String())
+	if *relax {
+		fmt.Printf("  relaxation d=%d shards=%d: rank error max=%d mean=%.3f (bound %d)\n",
+			rs.Sample, rs.Shards, rs.RankMax, float64(rs.MeanMilli)/1000, rs.RankBound)
+	}
 }
 
 // runWorker drives one connection until stop flips: a window of pipeline
 // requests is sent, flushed, and received, alternating pushes (left) and
 // pops (right) — the pool behaves as a distributed FIFO, so sustained
-// load neither drains nor grows it without bound.
-func runWorker(addr string, key uint64, batch, pipeline int, stop *atomic.Bool) workerResult {
+// load neither drains nor grows it without bound. tag marks this
+// worker's values; key is the routing key (0 unless -route key).
+func runWorker(addr string, tag, key uint64, batch, pipeline int, stop *atomic.Bool) workerResult {
 	res := workerResult{hist: stats.NewHistogram()}
 	c, err := wire.Dial(addr)
 	if err != nil {
@@ -137,7 +180,7 @@ func runWorker(addr string, key uint64, batch, pipeline int, stop *atomic.Bool) 
 
 	vs := make([]uint32, batch)
 	for i := range vs {
-		vs[i] = uint32(key)<<16 | uint32(i)
+		vs[i] = uint32(tag)<<16 | uint32(i)
 	}
 	sent := make([]time.Time, pipeline)
 	push := true

@@ -1,0 +1,204 @@
+//go:build chaos
+
+package chaostest
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	dq "repro"
+	"repro/internal/chaos"
+)
+
+// TestRelaxedConservationChaos runs a concurrent mixed workload through
+// the d-choice relaxed front-end under a fail-everywhere schedule and
+// checks conservation: every value whose push reported success pops
+// exactly once, nothing is invented, nothing is lost — the stamp
+// reservation/undo protocol must stay balanced across forced ErrFull
+// failures and chaotic interleavings.
+func TestRelaxedConservationChaos(t *testing.T) {
+	for _, seed := range seeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			const (
+				shards = 4
+				bound  = 64
+			)
+			r := dq.NewRelaxed[uint64](shards,
+				dq.WithRankBound(bound),
+				dq.WithRelaxedPool(dq.WithShardOptions(
+					dq.WithNodeSize(4), dq.WithMaxThreads(16),
+				)),
+			)
+			s := failEverywhere(seed)
+			chaos.Arm(s)
+			defer chaos.Disarm()
+
+			const workers = 4
+			iters := 600
+			if testing.Short() {
+				iters = 150
+			}
+			pushedOK := make([][]uint64, workers)
+			popped := make([][]uint64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := r.Register()
+					defer h.Flush()
+					seq := uint64(0)
+					newv := func() uint64 {
+						seq++
+						return uint64(w+1)<<32 | seq
+					}
+					vs := make([]uint64, 3)
+					dst := make([]uint64, 4)
+					for i := 0; i < iters; i++ {
+						switch i % 7 {
+						case 0:
+							if v := newv(); h.PushLeft(v) == nil {
+								pushedOK[w] = append(pushedOK[w], v)
+							}
+						case 1:
+							if v := newv(); h.PushRight(v) == nil {
+								pushedOK[w] = append(pushedOK[w], v)
+							}
+						case 2, 3:
+							for j := range vs {
+								vs[j] = newv()
+							}
+							var n int
+							if i%7 == 2 {
+								n, _ = h.PushLeftN(vs)
+							} else {
+								n, _ = h.PushRightN(vs)
+							}
+							pushedOK[w] = append(pushedOK[w], vs[:n]...)
+						case 4:
+							if v, ok := h.PopLeft(); ok {
+								popped[w] = append(popped[w], v)
+							}
+						case 5:
+							if v, ok := h.PopRight(); ok {
+								popped[w] = append(popped[w], v)
+							}
+						case 6:
+							n := h.PopRightN(dst)
+							popped[w] = append(popped[w], dst[:n]...)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			chaos.Disarm()
+
+			want := make(map[uint64]bool)
+			for _, vs := range pushedOK {
+				for _, v := range vs {
+					if want[v] {
+						t.Fatalf("value %#x pushed-ok twice", v)
+					}
+					want[v] = true
+				}
+			}
+			recover := func(v uint64) {
+				if !want[v] {
+					t.Fatalf("value %#x popped but never successfully pushed", v)
+				}
+				delete(want, v)
+			}
+			for _, vs := range popped {
+				for _, v := range vs {
+					recover(v)
+				}
+			}
+			h := r.Register()
+			for {
+				v, ok := h.PopRight()
+				if !ok {
+					break
+				}
+				recover(v)
+			}
+			if len(want) != 0 {
+				t.Fatalf("%d successfully pushed values lost (e.g. %#x)", len(want), firstKey(want))
+			}
+			if got := r.LenExact(); got != 0 {
+				t.Fatalf("relaxed pool reports %d resident after full drain", got)
+			}
+		})
+	}
+}
+
+// TestRelaxedRankBoundChaos drives FIFO traffic (single-value ops only,
+// so no batch degradation applies) through a bounded relaxed front-end
+// under chaos schedules and gates the observed rank-error estimate
+// against the configured bound — the enforcement windows must hold even
+// when forced failures reroute pushes and retry pops mid-reservation.
+func TestRelaxedRankBoundChaos(t *testing.T) {
+	if !dq.MetricsEnabled {
+		t.Skip("rank-error recording compiled out (obsoff)")
+	}
+	for _, seed := range seeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			const (
+				shards = 4
+				bound  = 64
+			)
+			r := dq.NewRelaxed[uint64](shards,
+				dq.WithRankBound(bound),
+				dq.WithRelaxedPool(dq.WithShardOptions(
+					dq.WithNodeSize(4), dq.WithMaxThreads(16),
+				)),
+			)
+			s := failEverywhere(seed)
+			chaos.Arm(s)
+			defer chaos.Disarm()
+
+			const workers = 4
+			iters := 800
+			if testing.Short() {
+				iters = 200
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := r.Register()
+					defer h.Flush()
+					v := uint64(w+1) << 32
+					for i := 0; i < iters; i++ {
+						v++
+						// Ignore ErrFull (forced alloc failures): the stamp is
+						// undone and the bound unaffected.
+						_ = h.PushLeft(v)
+						if i%2 == 1 {
+							h.PopRight()
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Drain the backlog so late pops (largest q) are covered too.
+			h := r.Register()
+			for {
+				if _, ok := h.PopRight(); !ok {
+					break
+				}
+			}
+			chaos.Disarm()
+
+			m := r.RelaxMetrics()
+			if m.Pops == 0 {
+				t.Fatal("no pops recorded a rank estimate")
+			}
+			if m.RankMax > bound {
+				t.Fatalf("observed rank error %d exceeds configured bound %d (mean %.2f over %d pops)",
+					m.RankMax, bound, m.MeanRank(), m.Pops)
+			}
+		})
+	}
+}

@@ -13,15 +13,25 @@ type Host struct {
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	GoVersion  string `json:"go_version"`
+
+	// Caveat flags measurement conditions a reader must know before
+	// comparing numbers across hosts (currently: single-core hosts, where
+	// concurrent benchmarks measure scheduling overhead, not parallel
+	// speedup). Empty when nothing applies.
+	Caveat string `json:"caveat,omitempty"`
 }
 
 // Collect snapshots the current host.
 func Collect() Host {
-	return Host{
+	h := Host{
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
 	}
+	if h.NumCPU == 1 || h.GOMAXPROCS == 1 {
+		h.Caveat = "single-core host: concurrent results measure overhead, not parallel speedup"
+	}
+	return h
 }

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// Observed-relaxation metrics for the relaxed pool front-end (the public
+// deque.Relaxed[T]): per-handle recorders for the rank error each pop
+// actually exhibited, a churn-safe registry merge, and a Prometheus
+// exporter. The point of the whole subsystem is that a relaxed structure
+// without a measured error distribution is hand-waving — the configured
+// bound says what *may* happen, these counters say what *did*.
+//
+// Unlike the hot-path Rec (rec_on.go), a RelaxRec uses atomics
+// unconditionally: the relaxed pop path already pays an O(shards) scan
+// to compute the estimate, so an uncontended LOCK add on an owned cache
+// line is noise there, and one implementation stays race-detector-clean
+// without build-tag triplication. Strict-mode handles never touch it.
+
+// RankBuckets is the rank-error histogram width: bucket 0 counts pops
+// with rank error 0, bucket i counts errors in [2^(i-1), 2^i), and the
+// last bucket is open-ended (errors >= 2^(RankBuckets-2)).
+const RankBuckets = 18
+
+// RankBucket maps a rank error to its histogram bucket.
+func RankBucket(rank uint64) int {
+	b := bits.Len64(rank) // 0 -> 0, 1 -> 1, [2,4) -> 2, ...
+	if b > RankBuckets-1 {
+		b = RankBuckets - 1
+	}
+	return b
+}
+
+// RankBucketBound returns bucket i's inclusive upper bound (the
+// Prometheus `le` label); the last bucket has no finite bound.
+func RankBucketBound(i int) (bound uint64, finite bool) {
+	if i >= RankBuckets-1 {
+		return 0, false
+	}
+	return 1<<uint(i) - 1, true
+}
+
+// RelaxRec is one relaxed handle's rank-error recorder, padded off its
+// neighbors' cache lines. Written by its owning goroutine, read by
+// RelaxRegistry.Merge from anywhere.
+type RelaxRec struct {
+	_    pad.Spacer
+	pops atomic.Uint64
+	sum  atomic.Uint64
+	max  atomic.Uint64
+	hist [RankBuckets]atomic.Uint64
+	_    pad.Spacer
+}
+
+// Record tallies one pop's observed rank error. Owner goroutine only
+// (max uses an unfenced read-modify-write).
+func (r *RelaxRec) Record(rank uint64) {
+	r.pops.Add(1)
+	r.sum.Add(rank)
+	if rank > r.max.Load() {
+		r.max.Store(rank)
+	}
+	r.hist[RankBucket(rank)].Add(1)
+}
+
+// RelaxRegistry hands out RelaxRecs and merges them. Recs are never
+// removed — handle registration is permanent, exactly like the counter
+// Registry — so Merge is monotone across snapshots.
+type RelaxRegistry struct {
+	mu   sync.Mutex
+	recs []*RelaxRec
+}
+
+// NewRec registers and returns a fresh recorder.
+func (g *RelaxRegistry) NewRec() *RelaxRec {
+	r := new(RelaxRec)
+	g.mu.Lock()
+	g.recs = append(g.recs, r)
+	g.mu.Unlock()
+	return r
+}
+
+// Merge folds every recorder into one snapshot: counters sum, the max
+// maxes. Configuration gauges (Shards, Sample, RankBound, SegLen) are
+// left zero for the owner to fill.
+func (g *RelaxRegistry) Merge() RelaxMetrics {
+	var m RelaxMetrics
+	g.mu.Lock()
+	recs := g.recs
+	g.mu.Unlock()
+	for _, r := range recs {
+		m.Pops += r.pops.Load()
+		m.RankSum += r.sum.Load()
+		if v := r.max.Load(); v > m.RankMax {
+			m.RankMax = v
+		}
+		for i := range r.hist {
+			m.RankHist[i] += r.hist[i].Load()
+		}
+	}
+	return m
+}
+
+// RelaxMetrics is one merged observed-relaxation snapshot: how far from
+// strict FIFO order the relaxed front-end's pops actually strayed.
+type RelaxMetrics struct {
+	// Pops counts relaxed pops that recorded a rank estimate (strict-mode
+	// and obsoff operations record nothing).
+	Pops uint64 `json:"pops"`
+	// RankSum is the summed rank error over Pops; RankSum/Pops is the
+	// mean reordering actually paid for the throughput.
+	RankSum uint64 `json:"rank_sum"`
+	// RankMax is the worst rank error observed — the number the
+	// configured WithRankBound is gated against.
+	RankMax uint64 `json:"rank_max"`
+	// RankHist buckets the errors: [0], [1,2), [2,4), ... (RankBucket).
+	RankHist [RankBuckets]uint64 `json:"rank_hist"`
+
+	// Configuration gauges, filled by the owning front-end.
+	Shards    uint64 `json:"shards,omitempty"`     // pool width
+	Sample    uint64 `json:"sample,omitempty"`     // d-choice width (0 = strict)
+	RankBound uint64 `json:"rank_bound,omitempty"` // configured bound (0 = unbounded)
+	SegLen    uint64 `json:"seg_len,omitempty"`    // enforcement window length
+}
+
+// MeanRank returns the mean observed rank error (0 when nothing was
+// recorded).
+func (m RelaxMetrics) MeanRank() float64 {
+	if m.Pops == 0 {
+		return 0
+	}
+	return float64(m.RankSum) / float64(m.Pops)
+}
+
+// Add merges o into m: counters and histogram sum, maxes and gauges take
+// the larger value (mirrors Metrics.Add for multi-front-end scrapes).
+func (m *RelaxMetrics) Add(o RelaxMetrics) {
+	m.Pops += o.Pops
+	m.RankSum += o.RankSum
+	if o.RankMax > m.RankMax {
+		m.RankMax = o.RankMax
+	}
+	for i := range m.RankHist {
+		m.RankHist[i] += o.RankHist[i]
+	}
+	if o.Shards > m.Shards {
+		m.Shards = o.Shards
+	}
+	if o.Sample > m.Sample {
+		m.Sample = o.Sample
+	}
+	if o.RankBound > m.RankBound {
+		m.RankBound = o.RankBound
+	}
+	if o.SegLen > m.SegLen {
+		m.SegLen = o.SegLen
+	}
+}
+
+// WriteRelaxProm writes m in the Prometheus text exposition format with
+// the given metric-name prefix. The histogram follows the native
+// cumulative-bucket convention so rank-error quantiles work with
+// histogram_quantile.
+func WriteRelaxProm(w io.Writer, prefix string, m RelaxMetrics) error {
+	bw := &errWriter{w: w}
+	counter := func(name, help string) {
+		fmt.Fprintf(bw, "# HELP %s_%s %s\n# TYPE %s_%s counter\n", prefix, name, help, prefix, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(bw, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n", prefix, name, help, prefix, name)
+	}
+
+	counter("relax_pops_total", "Relaxed pops that recorded a rank-error estimate.")
+	fmt.Fprintf(bw, "%s_relax_pops_total %d\n", prefix, m.Pops)
+	counter("relax_rank_sum_total", "Summed observed rank error over all recorded pops.")
+	fmt.Fprintf(bw, "%s_relax_rank_sum_total %d\n", prefix, m.RankSum)
+
+	fmt.Fprintf(bw, "# HELP %s_relax_rank_error Observed per-pop rank error distribution.\n", prefix)
+	fmt.Fprintf(bw, "# TYPE %s_relax_rank_error histogram\n", prefix)
+	var cum uint64
+	for i := 0; i < RankBuckets; i++ {
+		cum += m.RankHist[i]
+		if bound, finite := RankBucketBound(i); finite {
+			fmt.Fprintf(bw, "%s_relax_rank_error_bucket{le=\"%d\"} %d\n", prefix, bound, cum)
+		}
+	}
+	fmt.Fprintf(bw, "%s_relax_rank_error_bucket{le=\"+Inf\"} %d\n", prefix, m.Pops)
+	fmt.Fprintf(bw, "%s_relax_rank_error_sum %d\n", prefix, m.RankSum)
+	fmt.Fprintf(bw, "%s_relax_rank_error_count %d\n", prefix, m.Pops)
+
+	gauges := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"relax_rank_error_max", "Worst rank error observed since start.", m.RankMax},
+		{"relax_rank_bound", "Configured worst-case rank-error bound (0 = unbounded).", m.RankBound},
+		{"relax_seg_len", "Segment-window length enforcing the bound.", m.SegLen},
+		{"relax_shards", "Shards behind the relaxed front-end.", m.Shards},
+		{"relax_sample", "d-choice sample width (0 = strict passthrough).", m.Sample},
+	}
+	for _, g := range gauges {
+		gauge(g.name, g.help)
+		fmt.Fprintf(bw, "%s_%s %d\n", prefix, g.name, g.v)
+	}
+	return bw.err
+}

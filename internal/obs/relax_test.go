@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRankBucket(t *testing.T) {
+	cases := []struct {
+		rank uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 16, 17}, {1 << 40, RankBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := RankBucket(c.rank); got != c.want {
+			t.Fatalf("RankBucket(%d) = %d, want %d", c.rank, got, c.want)
+		}
+	}
+	// Bucket bounds nest: every bucket's bound is below the next one's,
+	// and a rank lands in the first bucket whose bound covers it.
+	prev := uint64(0)
+	for i := 1; i < RankBuckets-1; i++ {
+		bound, finite := RankBucketBound(i)
+		if !finite || bound <= prev {
+			t.Fatalf("bucket %d bound %d (finite %v) not increasing past %d", i, bound, finite, prev)
+		}
+		if got := RankBucket(bound); got != i {
+			t.Fatalf("RankBucket(bound %d) = %d, want %d", bound, got, i)
+		}
+		prev = bound
+	}
+	if _, finite := RankBucketBound(RankBuckets - 1); finite {
+		t.Fatal("last bucket must be open-ended")
+	}
+}
+
+func TestRelaxRegistryMerge(t *testing.T) {
+	var g RelaxRegistry
+	a, b := g.NewRec(), g.NewRec()
+	a.Record(0)
+	a.Record(5)
+	b.Record(3)
+	b.Record(12)
+
+	m := g.Merge()
+	if m.Pops != 4 || m.RankSum != 20 || m.RankMax != 12 {
+		t.Fatalf("merge = pops %d sum %d max %d, want 4/20/12", m.Pops, m.RankSum, m.RankMax)
+	}
+	if m.RankHist[0] != 1 || m.RankHist[RankBucket(5)] != 1 || m.RankHist[RankBucket(12)] != 1 {
+		t.Fatalf("histogram mismatch: %v", m.RankHist)
+	}
+	if got := m.MeanRank(); got != 5.0 {
+		t.Fatalf("MeanRank = %v, want 5", got)
+	}
+
+	var sum RelaxMetrics
+	sum.Add(m)
+	sum.Add(RelaxMetrics{Pops: 1, RankSum: 30, RankMax: 30, Shards: 4})
+	if sum.Pops != 5 || sum.RankSum != 50 || sum.RankMax != 30 || sum.Shards != 4 {
+		t.Fatalf("Add = %+v", sum)
+	}
+}
+
+func TestWriteRelaxProm(t *testing.T) {
+	var g RelaxRegistry
+	r := g.NewRec()
+	r.Record(0)
+	r.Record(3)
+	m := g.Merge()
+	m.Shards, m.Sample, m.RankBound, m.SegLen = 4, 2, 64, 5
+
+	var sb strings.Builder
+	if err := WriteRelaxProm(&sb, "dq", m); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dq_relax_pops_total 2",
+		"dq_relax_rank_sum_total 3",
+		`dq_relax_rank_error_bucket{le="0"} 1`,
+		`dq_relax_rank_error_bucket{le="3"} 2`,
+		`dq_relax_rank_error_bucket{le="+Inf"} 2`,
+		"dq_relax_rank_error_sum 3",
+		"dq_relax_rank_error_count 2",
+		"dq_relax_rank_error_max 3",
+		"dq_relax_rank_bound 64",
+		"dq_relax_seg_len 5",
+		"dq_relax_shards 4",
+		"dq_relax_sample 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be monotone by construction; spot-check the
+	// le="1" line sits between the 0 and 3 counts.
+	if !strings.Contains(out, `dq_relax_rank_error_bucket{le="1"} 1`) {
+		t.Fatalf("prom output missing cumulative le=1 bucket:\n%s", out)
+	}
+}

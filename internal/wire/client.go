@@ -104,13 +104,47 @@ func (c *Client) Ping() error {
 	return resp.Err()
 }
 
-// Len returns the server's (approximate) total pool length.
+// Len returns the server's exact total pool length (exact only while
+// the server is quiescent, like Pool.LenExact).
 func (c *Client) Len() (int, error) {
 	resp, err := c.Do(&Request{Op: OpLen})
 	if err != nil {
 		return 0, err
 	}
 	return int(resp.Count), resp.Err()
+}
+
+// RelaxStats is the server's observed-relaxation snapshot as carried by
+// an OpRelax response: Count holds RankMax and Values the four gauges,
+// in this struct's field order. A server not running a relaxed front-end
+// answers all-zero with Sample 0.
+type RelaxStats struct {
+	RankMax   uint32 // worst rank error observed (clamped to uint32)
+	RankBound uint32 // configured bound (0 = unbounded)
+	Sample    uint32 // d-choice width (0 = strict / not relaxed)
+	Shards    uint32 // pool width
+	MeanMilli uint32 // mean observed rank error x1000
+}
+
+// Relax queries the observed-relaxation snapshot.
+func (c *Client) Relax() (RelaxStats, error) {
+	resp, err := c.Do(&Request{Op: OpRelax})
+	if err != nil {
+		return RelaxStats{}, err
+	}
+	if err := resp.Err(); err != nil {
+		return RelaxStats{}, err
+	}
+	if len(resp.Values) != 4 {
+		return RelaxStats{}, fmt.Errorf("%w: relax snapshot carried %d values", ErrFrame, len(resp.Values))
+	}
+	return RelaxStats{
+		RankMax:   resp.Count,
+		RankBound: resp.Values[0],
+		Sample:    resp.Values[1],
+		Shards:    resp.Values[2],
+		MeanMilli: resp.Values[3],
+	}, nil
 }
 
 // Push pushes v on side under key. The error is the deque contract

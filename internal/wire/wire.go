@@ -54,11 +54,12 @@ import (
 // Op codes.
 const (
 	OpPing  uint8 = iota + 1 // no-op round trip; responds OK
-	OpLen                    // approximate pool length in response count
+	OpLen                    // exact pool length in response count
 	OpPush                   // push values[0] on side
 	OpPop                    // pop one value from side
 	OpPushN                  // push count values in order on side
 	OpPopN                   // pop up to count values from side
+	OpRelax                  // observed-relaxation snapshot (see RelaxStats)
 )
 
 // Sides.
@@ -280,7 +281,10 @@ func (req *Request) Validate() uint8 {
 		return StatusBad
 	}
 	switch req.Op {
-	case OpPing, OpLen:
+	case OpPing, OpLen, OpRelax:
+		if len(req.Values) != 0 {
+			return StatusBad
+		}
 		return StatusOK
 	case OpPush:
 		if len(req.Values) != 1 || req.Count != 1 {

@@ -116,6 +116,8 @@ func TestValidateRejections(t *testing.T) {
 		{Op: OpPushN, Count: 2, Values: []uint32{1}},   // count mismatch
 		{Op: OpPopN, Count: MaxBatch + 1},              // over batch limit
 		{Op: OpPopN, Count: 4, Values: []uint32{1}},    // popN with payload
+		{Op: OpLen, Values: []uint32{1}},               // len with payload
+		{Op: OpRelax, Values: []uint32{1}},             // relax with payload
 	}
 	for i, r := range bad {
 		if st := r.Validate(); st != StatusBad {
@@ -211,5 +213,58 @@ func TestClientPipelining(t *testing.T) {
 		if resp.Count != 2 {
 			t.Fatalf("recv %d: count %d, want 2", i, resp.Count)
 		}
+	}
+}
+
+// relaxServer answers every request as an OpRelax snapshot with the given
+// values payload.
+func relaxServer(t *testing.T, conn net.Conn, count uint32, values []uint32) {
+	t.Helper()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var req Request
+	var scratch, out []byte
+	for {
+		var err error
+		scratch, err = ReadRequest(br, &req, scratch)
+		if err != nil {
+			return
+		}
+		resp := Response{Tag: req.Tag, Status: StatusOK, Count: count, Values: values}
+		out = AppendResponse(out[:0], &resp)
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func TestClientRelax(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	// Count carries RankMax; Values carry bound, sample, shards, mean*1000.
+	go relaxServer(t, b, 17, []uint32{64, 2, 4, 2500})
+
+	c := NewClient(a)
+	rs, err := c.Relax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RelaxStats{RankMax: 17, RankBound: 64, Sample: 2, Shards: 4, MeanMilli: 2500}
+	if rs != want {
+		t.Fatalf("Relax = %+v, want %+v", rs, want)
+	}
+}
+
+func TestClientRelaxRejectsShortSnapshot(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	go relaxServer(t, b, 1, []uint32{64, 2, 4}) // one gauge short
+
+	c := NewClient(a)
+	if _, err := c.Relax(); !errors.Is(err, ErrFrame) {
+		t.Fatalf("short snapshot: err = %v, want ErrFrame", err)
 	}
 }

@@ -77,3 +77,17 @@ func (d *Uint32) PublishExpvar(name string) error {
 func WriteMetricsProm(w io.Writer, prefix string, m Metrics) error {
 	return obs.WriteProm(w, prefix, m)
 }
+
+// RelaxMetrics is the observed-relaxation snapshot of a Relaxed
+// front-end: max, sum, and histogram of the rank error its pops actually
+// exhibited, plus the configuration gauges (shards, sample width,
+// configured bound, enforcement window). See Relaxed.RelaxMetrics.
+type RelaxMetrics = obs.RelaxMetrics
+
+// WriteRelaxMetricsProm writes m in Prometheus text exposition format
+// (counters, a cumulative rank-error histogram, and gauges), every
+// series prefixed with prefix. cmd/dequed appends this to its /metrics
+// endpoint when serving in -relaxed mode.
+func WriteRelaxMetricsProm(w io.Writer, prefix string, m RelaxMetrics) error {
+	return obs.WriteRelaxProm(w, prefix, m)
+}

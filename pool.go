@@ -73,16 +73,22 @@ const (
 	RouteLeastLoaded = shard.LeastLoaded
 )
 
-// ParseRoutePolicy maps the flag spellings "rr", "key", and "least" (and
+// ParseRouting maps the flag spellings "rr", "key", and "least" (and
 // their long forms) to a RoutePolicy, wrapping ErrBadOption on unknown
-// input.
-func ParseRoutePolicy(s string) (RoutePolicy, error) {
+// input — the routing twin of ParseReclamation, and what cmd/dequed and
+// cmd/dqload parse their -route flags with.
+func ParseRouting(s string) (RoutePolicy, error) {
 	p, err := shard.ParsePolicy(s)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrBadOption, err)
+		return 0, fmt.Errorf("%w: unknown routing policy %q (want rr, key, or least)", ErrBadOption, s)
 	}
 	return p, nil
 }
+
+// ParseRoutePolicy is the original name of ParseRouting.
+//
+// Deprecated: use ParseRouting, which mirrors ParseReclamation.
+func ParseRoutePolicy(s string) (RoutePolicy, error) { return ParseRouting(s) }
 
 // poolOptions collects pool construction parameters.
 type poolOptions struct {
@@ -165,21 +171,16 @@ func (p *Pool[T]) Shards() int { return len(p.shards) }
 // informed.
 func (p *Pool[T]) Shard(i int) *Deque[T] { return p.shards[i] }
 
-// Len returns the total number of stored values by walking every shard.
-// Like Deque.Len it is exact only in quiescence; prefer LenEstimate on
-// hot paths.
+// Len returns the pool's resident-count estimate: the sum of the padded
+// per-shard load counters routing consults. It is O(shards) — a Len that
+// walked every chain was far too heavy to offer as the default on a
+// structure meant for hot paths. The estimate is maintained only by pool
+// (and relaxed) handle operations, so it equals the true count in
+// quiescence as long as all traffic used those handles; values moved
+// directly through Shard() bypass it. Under concurrency it may
+// transiently disagree with LenExact. The wire protocol's OpLen answers
+// with LenExact, not this.
 func (p *Pool[T]) Len() int {
-	n := 0
-	for _, d := range p.shards {
-		n += d.Len()
-	}
-	return n
-}
-
-// LenEstimate returns the pool's cheap resident estimate: the sum of the
-// per-shard counters routing consults. It is maintained only by pool
-// operations and may transiently disagree with Len under concurrency.
-func (p *Pool[T]) LenEstimate() int {
 	var n int64
 	for i := range p.loads {
 		n += p.loads[i].n.Load()
@@ -188,6 +189,18 @@ func (p *Pool[T]) LenEstimate() int {
 		return 0
 	}
 	return int(n)
+}
+
+// LenExact returns the total number of stored values by walking every
+// shard's chain — O(shards × n), exact only in quiescence (like
+// Deque.Len). Use it for drain verification and protocol-level length
+// queries; use Len on hot paths.
+func (p *Pool[T]) LenExact() int {
+	n := 0
+	for _, d := range p.shards {
+		n += d.Len()
+	}
+	return n
 }
 
 // Metrics returns the pool-merged observability snapshot: every shard's

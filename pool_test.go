@@ -33,10 +33,14 @@ func TestPoolConstructionValidation(t *testing.T) {
 	if _, err := NewPoolChecked[int](2, WithShardOptions(WithNodeSize(3))); !errors.Is(err, ErrBadOption) {
 		t.Fatalf("bad shard option: err = %v, want ErrBadOption", err)
 	}
-	if _, err := ParseRoutePolicy("bogus"); !errors.Is(err, ErrBadOption) {
-		t.Fatal("ParseRoutePolicy(bogus) must wrap ErrBadOption")
+	if _, err := ParseRouting("bogus"); !errors.Is(err, ErrBadOption) {
+		t.Fatal("ParseRouting(bogus) must wrap ErrBadOption")
 	}
 	for _, s := range []string{"rr", "key", "least"} {
+		if _, err := ParseRouting(s); err != nil {
+			t.Fatalf("ParseRouting(%q): %v", s, err)
+		}
+		// The deprecated alias must keep answering identically.
 		if _, err := ParseRoutePolicy(s); err != nil {
 			t.Fatalf("ParseRoutePolicy(%q): %v", s, err)
 		}
@@ -62,8 +66,8 @@ func TestPoolRoundRobinSpreads(t *testing.T) {
 			t.Fatalf("shard %d has %d values, want 10 (round-robin must spread evenly)", i, got)
 		}
 	}
-	if p.Len() != 40 || p.LenEstimate() != 40 {
-		t.Fatalf("Len = %d, LenEstimate = %d, want 40", p.Len(), p.LenEstimate())
+	if p.LenExact() != 40 || p.Len() != 40 {
+		t.Fatalf("LenExact = %d, Len = %d, want 40", p.LenExact(), p.Len())
 	}
 }
 
@@ -214,8 +218,8 @@ func TestPoolBatchPrefixAndSteal(t *testing.T) {
 			t.Fatalf("stolen batch[%d] = %d, want %d", i, dst[i], 100+7-i)
 		}
 	}
-	if p.Len() != 0 || p.LenEstimate() != 0 {
-		t.Fatalf("pool not empty after drain: Len=%d est=%d", p.Len(), p.LenEstimate())
+	if p.LenExact() != 0 || p.Len() != 0 {
+		t.Fatalf("pool not empty after drain: exact=%d est=%d", p.LenExact(), p.Len())
 	}
 }
 

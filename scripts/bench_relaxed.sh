@@ -1,0 +1,23 @@
+#!/bin/sh
+# Regenerates BENCH_relaxed.json: the strict-vs-relaxed curve at 1/4/16
+# shards — the alternating push-left/pop-right workload once through a
+# plain Pool (key-0 routing, what strict mode delegates to) and once
+# through the d-choice Relaxed front-end, with the observed rank error
+# (max + mean) next to every relaxed throughput point. RANK_BOUND gates
+# the relaxed arm's enforcement window; 0 measures unbounded d-choice.
+set -e
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-1s}"
+TRIALS="${TRIALS:-3}"
+THREADS="${THREADS:-1,4,16}"
+SHARDS="${SHARDS:-1,4,16}"
+D="${D:-2}"
+RANK_BOUND="${RANK_BOUND:-64}"
+OUT="${OUT:-BENCH_relaxed.json}"
+
+ARGS="-duration $DURATION -trials $TRIALS -threads $THREADS -shards $SHARDS"
+ARGS="$ARGS -d $D -rank-bound $RANK_BOUND -out $OUT"
+
+echo "== relaxed sweep ($ARGS) =="
+go run ./cmd/benchrelaxed $ARGS

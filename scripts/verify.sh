@@ -59,4 +59,15 @@ go test -tags chaos -count=1 -run 'TestHelpBoundParkedAnnouncer|TestAnnouncedCan
 echo "== helping-overhead A/B gate (helping on vs off) =="
 sh scripts/helping_overhead.sh
 
+echo "== relaxed rank-bound gate (observed rank error <= configured bound) =="
+go run ./cmd/benchrelaxed -mode relaxed -duration 400ms -trials 1 \
+    -shards 4 -threads 4 -rank-bound 64 -gate-rank-bound -out /tmp/verify_relaxed.json
+
+echo "== relaxed chaos gates (conservation + rank bound under fault schedules) =="
+go test -tags chaos -count=1 -run 'TestRelaxedConservationChaos|TestRelaxedRankBoundChaos' \
+    ./internal/chaostest/
+
+echo "== relaxed strict-overhead A/B gate (Relaxed d=0 vs plain pool) =="
+sh scripts/relaxed_overhead.sh
+
 echo "verify: all gates green"

@@ -158,3 +158,86 @@ func (h *QueueHandle[T]) Stats() Stats { return h.h.Stats() }
 // Flush returns the handle's cached slab capacity to the shared freelists;
 // call it when the goroutine is done with the handle for good.
 func (h *QueueHandle[T]) Flush() { h.h.Flush() }
+
+// Pool views: the same Stack/Queue vocabulary over a PoolHandle, so code
+// written against a single Deque's views migrates to a sharded Pool (and
+// from there to Relaxed) without changing call sites. The views are
+// keyless — they route every operation under key 0, which RouteRoundRobin
+// and RouteLeastLoaded ignore; under RouteKeyAffinity a keyless view
+// pins all its traffic to one shard, so pair these views with a non-key
+// policy. Ordering is the pool's: per-shard LIFO/FIFO, relaxed across
+// shards (DESIGN.md §9).
+
+// StackView returns this handle as a LIFO (left-end) view matching
+// StackHandle's vocabulary.
+func (h *PoolHandle[T]) StackView() PoolStackHandle[T] { return PoolStackHandle[T]{h: h} }
+
+// QueueView returns this handle as a FIFO (push left, pop right) view
+// matching QueueHandle's vocabulary.
+func (h *PoolHandle[T]) QueueView() PoolQueueHandle[T] { return PoolQueueHandle[T]{h: h} }
+
+// PoolStackHandle is a LIFO method-subset view of a PoolHandle.
+type PoolStackHandle[T any] struct {
+	h *PoolHandle[T]
+}
+
+// Push adds v to the top of the routed shard's stack; ErrFull when that
+// shard's capacity is exhausted.
+func (s PoolStackHandle[T]) Push(v T) error { return s.h.PushLeft(0, v) }
+
+// Pop removes and returns a recently pushed value; ok is false only
+// after every shard came up empty.
+func (s PoolStackHandle[T]) Pop() (T, bool) { return s.h.PopLeft(0) }
+
+// PushCtx is Push, aborting with ctx.Err() once ctx is cancelled.
+func (s PoolStackHandle[T]) PushCtx(ctx context.Context, v T) error {
+	return s.h.PushLeftCtx(ctx, 0, v)
+}
+
+// PopCtx is Pop, aborting with ctx.Err() once ctx is cancelled.
+func (s PoolStackHandle[T]) PopCtx(ctx context.Context) (T, bool, error) {
+	return s.h.PopLeftCtx(ctx, 0)
+}
+
+// PushN pushes vs in order, batched onto one shard; on ErrFull vs[:n]
+// stays pushed.
+func (s PoolStackHandle[T]) PushN(vs []T) (int, error) { return s.h.PushLeftN(0, vs) }
+
+// PopN pops up to len(dst) values from the top into dst.
+func (s PoolStackHandle[T]) PopN(dst []T) int { return s.h.PopLeftN(0, dst) }
+
+// Flush parks the handle cleanly (see PoolHandle.Flush).
+func (s PoolStackHandle[T]) Flush() { s.h.Flush() }
+
+// PoolQueueHandle is a FIFO method-subset view of a PoolHandle.
+type PoolQueueHandle[T any] struct {
+	h *PoolHandle[T]
+}
+
+// Enqueue adds v at the back of the routed shard's queue; ErrFull when
+// that shard's capacity is exhausted.
+func (q PoolQueueHandle[T]) Enqueue(v T) error { return q.h.PushLeft(0, v) }
+
+// Dequeue removes and returns an oldest value (per shard order); ok is
+// false only after every shard came up empty.
+func (q PoolQueueHandle[T]) Dequeue() (T, bool) { return q.h.PopRight(0) }
+
+// EnqueueCtx is Enqueue, aborting with ctx.Err() once ctx is cancelled.
+func (q PoolQueueHandle[T]) EnqueueCtx(ctx context.Context, v T) error {
+	return q.h.PushLeftCtx(ctx, 0, v)
+}
+
+// DequeueCtx is Dequeue, aborting with ctx.Err() once ctx is cancelled.
+func (q PoolQueueHandle[T]) DequeueCtx(ctx context.Context) (T, bool, error) {
+	return q.h.PopRightCtx(ctx, 0)
+}
+
+// EnqueueN enqueues vs in order, batched onto one shard; on ErrFull
+// vs[:n] stays enqueued.
+func (q PoolQueueHandle[T]) EnqueueN(vs []T) (int, error) { return q.h.PushLeftN(0, vs) }
+
+// DequeueN dequeues up to len(dst) values into dst in dequeue order.
+func (q PoolQueueHandle[T]) DequeueN(dst []T) int { return q.h.PopRightN(0, dst) }
+
+// Flush parks the handle cleanly (see PoolHandle.Flush).
+func (q PoolQueueHandle[T]) Flush() { q.h.Flush() }

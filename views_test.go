@@ -222,3 +222,76 @@ func TestQueueHandleParity(t *testing.T) {
 	}
 	h.Flush()
 }
+
+// TestPoolViews exercises PoolHandle.StackView/QueueView: the keyless
+// key-0 subsets must behave as a LIFO and a FIFO over the pool, batches
+// and Ctx forms included.
+func TestPoolViews(t *testing.T) {
+	p := NewPool[string](2, WithStealing(true))
+	ctx := context.Background()
+
+	st := p.Register().StackView()
+	for _, s := range []string{"a", "b"} {
+		if err := st.Push(s); err != nil {
+			t.Fatalf("stack Push: %v", err)
+		}
+	}
+	if err := st.PushCtx(ctx, "c"); err != nil {
+		t.Fatalf("PushCtx: %v", err)
+	}
+	if n, err := st.PushN([]string{"d", "e"}); n != 2 || err != nil {
+		t.Fatalf("PushN = (%d, %v)", n, err)
+	}
+	popped := 0
+	for {
+		if _, ok := st.Pop(); !ok {
+			break
+		}
+		popped++
+	}
+	if popped != 5 {
+		t.Fatalf("stack popped %d of 5", popped)
+	}
+	st.Flush()
+
+	q := p.Register().QueueView()
+	if err := q.Enqueue("x"); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if err := q.EnqueueCtx(ctx, "y"); err != nil {
+		t.Fatalf("EnqueueCtx: %v", err)
+	}
+	if n, err := q.EnqueueN([]string{"z", "w"}); n != 2 || err != nil {
+		t.Fatalf("EnqueueN = (%d, %v)", n, err)
+	}
+	seen := map[string]bool{}
+	if v, ok, err := q.DequeueCtx(ctx); err != nil || !ok {
+		t.Fatalf("DequeueCtx = (%q, %v, %v)", v, ok, err)
+	} else {
+		seen[v] = true
+	}
+	dst := make([]string, 4)
+	for len(seen) < 4 {
+		n := q.DequeueN(dst)
+		if n == 0 {
+			v, ok := q.Dequeue()
+			if !ok {
+				t.Fatalf("queue drained early with %d of 4 seen", len(seen))
+			}
+			seen[v] = true
+			continue
+		}
+		for _, v := range dst[:n] {
+			seen[v] = true
+		}
+	}
+	for _, want := range []string{"x", "y", "z", "w"} {
+		if !seen[want] {
+			t.Fatalf("queue lost %q (saw %v)", want, seen)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue after drain must report empty")
+	}
+	q.Flush()
+}
