@@ -61,6 +61,7 @@ func main() {
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
 		metricsFlag  = flag.Bool("metrics", false, "record the transition mix (observability counters) per sweep point")
 		helpingFlag  = flag.Bool("helping", false, "enable the announcement/helping layer on the deques under test (A/B its overhead)")
+		latSample    = flag.Int("latsample", 0, "latency-histogram sampling interval (0 = library default, negative = disabled; A/B via scripts/oplatency_overhead.sh)")
 	)
 	flag.Parse()
 
@@ -98,14 +99,15 @@ func main() {
 		}
 		for _, t := range threads {
 			res := contbench.RunContention(contbench.ContentionConfig{
-				Threads:  t,
-				Duration: *duration,
-				Trials:   *trials,
-				Prefill:  *prefill,
-				Batch:    batch,
-				Mode:     mode,
-				Seed:     0x9E3779B97F4A7C15,
-				Helping:  *helpingFlag,
+				Threads:   t,
+				Duration:  *duration,
+				Trials:    *trials,
+				Prefill:   *prefill,
+				Batch:     batch,
+				Mode:      mode,
+				Seed:      0x9E3779B97F4A7C15,
+				Helping:   *helpingFlag,
+				LatSample: *latSample,
 			})
 			key := strconv.Itoa(t)
 			r.OpsPerSec[key] = res.Throughput()

@@ -1,0 +1,159 @@
+// Command benchoplatency characterizes the per-op-class latency
+// distributions the observability layer records (E9): a mixed
+// single/batch workload over a stealing pool, run with full sampling so
+// every class the workload exercises — core push/pop by side, batch ops,
+// pool routing, steal sweeps — yields a dense histogram, written as
+// BENCH_oplatency.json with host metadata.
+//
+// This is a characterization run, not a gate: the numbers describe where
+// each layer's tail sits (and how far the pool's routing+steal envelope
+// is above the raw shard op). The cost gate for the recording itself is
+// scripts/oplatency_overhead.sh.
+//
+// Example:
+//
+//	go run ./cmd/benchoplatency -duration 2s -threads 4 -shards 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dq "repro"
+	"repro/internal/hostmeta"
+	"repro/internal/xrand"
+)
+
+// output is the BENCH_oplatency.json document.
+type output struct {
+	Generated string               `json:"generated"`
+	Host      hostmeta.Host        `json:"host"`
+	Workload  string               `json:"workload"`
+	DurationS float64              `json:"duration_s"`
+	Threads   int                  `json:"threads"`
+	Shards    int                  `json:"shards"`
+	Sample    int                  `json:"lat_sample"`
+	BatchLen  int                  `json:"batch_len"`
+	Ops       uint64               `json:"ops"`
+	OpsPerSec float64              `json:"ops_per_sec"`
+	Enabled   bool                 `json:"obs_enabled"`
+	OpStats   []dq.LatClassSummary `json:"op_stats"`
+}
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 2*time.Second, "measured run length")
+		threads  = flag.Int("threads", 4, "workload goroutines")
+		shards   = flag.Int("shards", 4, "pool shards")
+		batch    = flag.Int("batch", 8, "batch length for the occasional PushLeftN/PopRightN")
+		sample   = flag.Int("sample", 1, "latency sampling interval (1 = record every op: this is a characterization run, not a cost measurement)")
+		out      = flag.String("out", "BENCH_oplatency.json", "output path")
+	)
+	flag.Parse()
+	if *threads <= 0 || *shards <= 0 || *batch <= 0 || *sample <= 0 {
+		fmt.Fprintln(os.Stderr, "benchoplatency: threads, shards, batch, and sample must be positive")
+		os.Exit(2)
+	}
+
+	p := dq.NewPool[uint32](*shards, dq.WithShardOptions(
+		dq.WithMaxThreads(*threads+1),
+		dq.WithLatencySample(*sample),
+	))
+
+	var stop atomic.Bool
+	var ops atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := p.Register()
+			rng := xrand.NewXoshiro256(uint64(w)*0x9E3779B9 + 1)
+			buf := make([]uint32, *batch)
+			var n uint64
+			for !stop.Load() {
+				n++
+				v := uint32(n)
+				// 1-in-32 iterations run a batch op so batch_push/batch_pop
+				// accumulate samples without dominating the single-op mix;
+				// the rest split evenly across the four single-op classes.
+				// Pops on a drained home shard exercise the steal sweep.
+				if n%32 == 0 {
+					if rng.Intn(2) == 0 {
+						for i := range buf {
+							buf[i] = v
+						}
+						h.PushLeftN(0, buf)
+					} else {
+						h.PopRightN(0, buf)
+					}
+					continue
+				}
+				switch rng.Intn(4) {
+				case 0:
+					h.PushLeft(0, v)
+				case 1:
+					h.PushRight(0, v)
+				case 2:
+					h.PopLeft(0)
+				case 3:
+					h.PopRight(0)
+				}
+			}
+			ops.Add(n)
+		}(w)
+	}
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	doc := output{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host:      hostmeta.Collect(),
+		Workload:  "pool mixed 4-way single ops + 1/32 batch, rr routing, stealing on",
+		DurationS: elapsed.Seconds(),
+		Threads:   *threads,
+		Shards:    *shards,
+		Sample:    *sample,
+		BatchLen:  *batch,
+		Ops:       ops.Load(),
+		OpsPerSec: float64(ops.Load()) / elapsed.Seconds(),
+		Enabled:   dq.MetricsEnabled,
+		OpStats:   p.LatencySnapshot().Summaries(),
+	}
+
+	for _, s := range doc.OpStats {
+		fmt.Fprintf(os.Stderr, "  %-11s n=%-9d mean=%-10s p50=%-10s p90=%-10s p99=%-10s p99.9=%-10s max=%s\n",
+			s.Class, s.Count, time.Duration(s.MeanNs).Round(time.Nanosecond),
+			time.Duration(s.P50Ns), time.Duration(s.P90Ns),
+			time.Duration(s.P99Ns), time.Duration(s.P999Ns), time.Duration(s.MaxNs))
+	}
+	if !dq.MetricsEnabled {
+		fmt.Fprintln(os.Stderr, "  (obsoff build: no latency recorded)")
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchoplatency:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchoplatency:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchoplatency:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchoplatency: %d ops (%.0f/s) over %.1fs -> %s\n",
+		doc.Ops, doc.OpsPerSec, doc.DurationS, *out)
+}

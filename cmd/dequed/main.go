@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -44,7 +45,8 @@ func main() {
 		memlimit = flag.Int64("memlimit", 0, "per-shard node-memory cap in bytes (0 = unbounded); exceeding pushes get STATUS_FULL")
 		helping  = flag.Bool("helping", false, "announcement/helping layer: starving ops are completed by other threads (bounded tail latency)")
 		watchdog = flag.Int("watchdog", 0, "livelock-watchdog streak threshold per shard (0 = default 256)")
-		metrics  = flag.String("metrics", "", "serve Prometheus /metrics on this HTTP address (empty disables)")
+		metrics  = flag.String("metrics", "", "serve Prometheus /metrics and /debug/flightrecorder on this HTTP address (empty disables)")
+		fdump    = flag.Duration("flight-dump", 0, "auto-dump the flight recorder to stderr on watchdog/announce distress, rate-limited to one dump per this interval (0 disables)")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful drain window on SIGTERM before in-flight ops are cancelled")
 		relaxed  = flag.Bool("relaxed", false, "serve through the semantically-relaxed d-choice front-end (keys ignored; ordering relaxed across shards)")
 		dFlag    = flag.Int("d", 2, "relaxed sample width: shards sampled per op (0 = strict passthrough; needs -relaxed)")
@@ -106,6 +108,10 @@ func main() {
 		}
 	}
 
+	if *fdump > 0 {
+		srv.Pool().SetFlightDump(os.Stderr, *fdump)
+	}
+
 	// Optional scrape endpoint: a fresh pool-merged snapshot per request.
 	var msrv *http.Server
 	if *metrics != "" {
@@ -115,10 +121,24 @@ func main() {
 			if err := dq.WriteMetricsProm(rw, "dequed", srv.Pool().Metrics()); err != nil {
 				fmt.Fprintln(os.Stderr, "dequed: write /metrics:", err)
 			}
+			if err := dq.WriteLatMetricsProm(rw, "dequed", srv.LatencySnapshot()); err != nil {
+				fmt.Fprintln(os.Stderr, "dequed: write /metrics:", err)
+			}
 			if rx := srv.Relaxed(); rx != nil {
 				if err := dq.WriteRelaxMetricsProm(rw, "dequed", rx.RelaxMetrics()); err != nil {
 					fmt.Fprintln(os.Stderr, "dequed: write /metrics:", err)
 				}
+			}
+		})
+		mux.HandleFunc("/debug/flightrecorder", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(rw)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{
+				"total":   srv.Pool().FlightTotal(),
+				"records": srv.Pool().FlightRecords(),
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "dequed: write /debug/flightrecorder:", err)
 			}
 		})
 		msrv = &http.Server{Addr: *metrics, Handler: mux}

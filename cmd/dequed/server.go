@@ -9,6 +9,7 @@ import (
 	"time"
 
 	dq "repro"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -53,6 +54,11 @@ type Server struct {
 	handles    chan connHandle
 	hmu        sync.Mutex
 	registered int
+
+	// latReg holds per-connection service-time recorders (the "service"
+	// latency class: frame decoded → reply flushed, queueing included).
+	// Deque-level classes live in the shards; LatencySnapshot merges both.
+	latReg obs.LatRegistry
 
 	lnMu sync.Mutex
 	ln   net.Listener
@@ -116,12 +122,22 @@ func (s *Server) Pool() *dq.Pool[uint32] { return s.pool }
 // Relaxed exposes the relaxed front-end (nil unless Config.Relaxed).
 func (s *Server) Relaxed() *dq.Relaxed[uint32] { return s.rx }
 
+// LatencySnapshot returns the exact merged latency histograms of the
+// whole service: every shard's per-op classes, the pool-level routing
+// classes, and the server's per-connection service times.
+func (s *Server) LatencySnapshot() *dq.LatSnapshotSet {
+	set := s.latReg.Merge()
+	set.Merge(s.pool.LatencySnapshot())
+	return set
+}
+
 // connHandle is one connection's accessor: the pool handle in strict
 // mode, the relaxed handle when the server fronts the pool with
 // Relaxed[uint32] (exactly one is non-nil).
 type connHandle struct {
-	ph *dq.PoolHandle[uint32]
-	rh *dq.RelaxedHandle[uint32]
+	ph  *dq.PoolHandle[uint32]
+	rh  *dq.RelaxedHandle[uint32]
+	lat *obs.LatRec // single-writer service-time histogram
 }
 
 // flush parks the handle cleanly before it returns to the freelist.
@@ -206,9 +222,9 @@ func (s *Server) acquireHandle() (connHandle, error) {
 		s.registered++
 		s.hmu.Unlock()
 		if s.rx != nil {
-			return connHandle{rh: s.rx.Register()}, nil
+			return connHandle{rh: s.rx.Register(), lat: s.latReg.NewRec()}, nil
 		}
-		return connHandle{ph: s.pool.Register()}, nil
+		return connHandle{ph: s.pool.Register(), lat: s.latReg.NewRec()}, nil
 	}
 	s.hmu.Unlock()
 	select {
@@ -251,6 +267,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		var svc time.Time
+		if obs.Enabled {
+			svc = time.Now()
+		}
 		resp.Tag = req.Tag
 		resp.Count = 0
 		resp.Values = resp.Values[:0]
@@ -263,6 +283,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
+		}
+		// Service time spans frame decoded → reply handed to the kernel
+		// (or queued behind a pipelined burst) — the server-side half of
+		// what a closed-loop client observes as round-trip latency.
+		if obs.Enabled {
+			h.lat.Record(obs.LatService, uint64(time.Since(svc)))
 		}
 	}
 }
@@ -304,6 +330,10 @@ func (s *Server) apply(h connHandle, req *wire.Request, resp *wire.Response, dst
 		resp.Values = append(resp.Values,
 			clamp32(m.RankBound), clamp32(m.Sample), clamp32(m.Shards),
 			clamp32(uint64(m.MeanRank()*1000)))
+
+	case wire.OpStats:
+		resp.Status = wire.StatusOK
+		resp.Values, resp.Count = wire.AppendOpStats(resp.Values, s.LatencySnapshot())
 
 	case wire.OpPush:
 		var err error

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	dq "repro"
+	"repro/internal/hostmeta"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -47,6 +48,7 @@ func main() {
 		pipeline = flag.Int("pipeline", 1, "requests in flight per connection")
 		route    = flag.String("route", "key", "key discipline matching the server's routing: key (per-worker keys), rr or least (key 0)")
 		relax    = flag.Bool("relax", false, "query the server's observed-relaxation snapshot (OpRelax) after the run")
+		opstats  = flag.Bool("stats", false, "query the server's per-op-class latency snapshot (OpStats) after the run")
 		jsonOut  = flag.Bool("json", false, "emit a JSON summary instead of text")
 	)
 	flag.Parse()
@@ -115,6 +117,20 @@ func main() {
 		}
 	}
 
+	// Server-side latency histograms, same post-run fresh connection.
+	var srvStats []wire.OpStat
+	if *opstats {
+		c, err := wire.Dial(*addr)
+		if err == nil {
+			srvStats, err = c.Stats()
+			c.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dqload: op-stats snapshot:", err)
+			os.Exit(1)
+		}
+	}
+
 	secs := elapsed.Seconds()
 	if *jsonOut {
 		out := map[string]any{
@@ -135,6 +151,7 @@ func main() {
 			"p999_ns":        merged.Quantile(0.999),
 			"mean_ns":        merged.Mean(),
 			"max_ns":         merged.Max(),
+			"host":           hostmeta.Collect(),
 		}
 		if *relax {
 			out["rank_error_max"] = rs.RankMax
@@ -142,6 +159,9 @@ func main() {
 			out["rank_error_mean"] = float64(rs.MeanMilli) / 1000
 			out["relax_d"] = rs.Sample
 			out["relax_shards"] = rs.Shards
+		}
+		if *opstats {
+			out["op_stats"] = srvStats
 		}
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(out); err != nil {
@@ -158,6 +178,17 @@ func main() {
 	if *relax {
 		fmt.Printf("  relaxation d=%d shards=%d: rank error max=%d mean=%.3f (bound %d)\n",
 			rs.Sample, rs.Shards, rs.RankMax, float64(rs.MeanMilli)/1000, rs.RankBound)
+	}
+	if *opstats {
+		if len(srvStats) == 0 {
+			fmt.Println("  server op latency: no samples (obsoff build or idle server)")
+		}
+		for _, st := range srvStats {
+			fmt.Printf("  server %-11s n=%-8d p50=%s p90=%s p99=%s p99.9=%s max=%s\n",
+				st.Class, st.Count,
+				time.Duration(st.P50Ns), time.Duration(st.P90Ns),
+				time.Duration(st.P99Ns), time.Duration(st.P999Ns), time.Duration(st.MaxNs))
+		}
 	}
 }
 

@@ -5,26 +5,31 @@
 //
 // Endpoints:
 //
-//	/metrics     Prometheus text exposition of a fresh Metrics snapshot
-//	/trace       JSON dump of the sampled-op ring (WithTracing)
-//	/debug/vars  expvar, including the deque under "deque" (PublishExpvar)
-//	/debug/pprof pprof handlers; workers carry deque_op/deque_worker labels
+//	/metrics              Prometheus text exposition of a fresh Metrics
+//	                      snapshot, including the per-op-class latency
+//	                      histograms and quantile gauges
+//	/trace                JSON dump of the sampled-op ring (WithTracing)
+//	/debug/flightrecorder JSON dump of the always-on distress-event ring
+//	/debug/vars           expvar, including the deque under "deque"
+//	/debug/pprof          pprof handlers; workers carry deque_op labels
 //
 // Example:
 //
 //	obsserve -addr :8723 -workers 4 -pattern deque -trace 1024 &
-//	curl -s localhost:8723/metrics | grep straddle
-//	curl -s localhost:8723/trace | head
+//	curl -s localhost:8723/metrics | grep op_latency
+//	curl -s localhost:8723/debug/flightrecorder
 package main
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
-	_ "net/http/pprof"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +39,73 @@ import (
 	"repro/internal/obs"
 	"repro/internal/xrand"
 )
+
+// newMux builds the full HTTP surface over one deque — split from main so
+// handler tests can drive it through httptest without a real listener or
+// the global DefaultServeMux.
+func newMux(d *dq.Deque[uint32]) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := dq.WriteMetricsProm(rw, "deque", d.Metrics()); err != nil {
+			fmt.Fprintln(os.Stderr, "write /metrics:", err)
+		}
+		if err := dq.WriteLatMetricsProm(rw, "deque", d.LatencySnapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "write /metrics:", err)
+		}
+	})
+	mux.HandleFunc("/trace", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		recs := d.TraceRecords()
+		out := struct {
+			Total    uint64           `json:"total_sampled"`
+			Records  []dq.TraceRecord `json:"records"`
+			Rendered []string         `json:"rendered"`
+		}{Total: d.TraceTotal(), Records: recs}
+		for _, r := range recs {
+			out.Rendered = append(out.Rendered, r.String())
+		}
+		if err := json.NewEncoder(rw).Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "write /trace:", err)
+		}
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		out := struct {
+			Total   uint64            `json:"total"`
+			Records []dq.FlightRecord `json:"records"`
+		}{Total: d.FlightTotal(), Records: d.FlightRecords()}
+		if err := json.NewEncoder(rw).Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "write /debug/flightrecorder:", err)
+		}
+	})
+	// A private mux gets no automatic debug handlers; register the expvar
+	// and pprof surfaces explicitly.
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeFinalSnapshot emits the shutdown metrics snapshot: Prometheus
+// metrics (with latency) plus a flight-recorder dump when anything was
+// recorded, so a terminated run leaves its evidence behind.
+func writeFinalSnapshot(w io.Writer, d *dq.Deque[uint32]) {
+	if err := dq.WriteMetricsProm(w, "deque", d.Metrics()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if err := dq.WriteLatMetricsProm(w, "deque", d.LatencySnapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if d.FlightTotal() > 0 {
+		if err := d.WriteFlightRecords(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}
 
 func main() {
 	var (
@@ -69,35 +141,13 @@ func main() {
 		}(w)
 	}
 
-	http.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
-		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		if err := dq.WriteMetricsProm(rw, "deque", d.Metrics()); err != nil {
-			fmt.Fprintln(os.Stderr, "write /metrics:", err)
-		}
-	})
-	http.HandleFunc("/trace", func(rw http.ResponseWriter, _ *http.Request) {
-		rw.Header().Set("Content-Type", "application/json")
-		recs := d.TraceRecords()
-		out := struct {
-			Total    uint64           `json:"total_sampled"`
-			Records  []dq.TraceRecord `json:"records"`
-			Rendered []string         `json:"rendered"`
-		}{Total: d.TraceTotal(), Records: recs}
-		for _, r := range recs {
-			out.Rendered = append(out.Rendered, r.String())
-		}
-		if err := json.NewEncoder(rw).Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "write /trace:", err)
-		}
-	})
-
 	fmt.Printf("obsserve: pattern=%s workers=%d elim=%v trace=%d obs=%v on http://%s\n",
 		*pattern, *workers, *elim, *trace, dq.MetricsEnabled, *addr)
 
 	// Serve until SIGINT/SIGTERM, then shut down gracefully: in-flight
 	// scrapes finish, and a final metrics snapshot goes to stderr so a
 	// terminated run still leaves its evidence behind.
-	srv := &http.Server{Addr: *addr, Handler: http.DefaultServeMux}
+	srv := &http.Server{Addr: *addr, Handler: newMux(d)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -117,9 +167,7 @@ func main() {
 		cancel()
 	}
 	fmt.Fprintln(os.Stderr, "obsserve: final metrics snapshot")
-	if err := dq.WriteMetricsProm(os.Stderr, "deque", d.Metrics()); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-	}
+	writeFinalSnapshot(os.Stderr, d)
 }
 
 // drive runs one worker's endless workload loop under the given pattern.

@@ -62,6 +62,8 @@ type options struct {
 	helping       bool
 	watchdog      int
 	watchdogSet   bool
+	latSample     int
+	latSampleSet  bool
 }
 
 // Option configures New and NewUint32.
@@ -210,6 +212,23 @@ func WithWatchdogThreshold(n int) Option {
 	return func(o *options) { o.watchdog, o.watchdogSet = n, true }
 }
 
+// WithLatencySample sets the per-handle operation-latency sampling rate:
+// every n-th single-value operation per handle records its wall-clock
+// duration into the deque's log-bucketed latency histograms (see
+// Metrics.Latency, LatencySnapshot, WriteLatMetricsProm). The default is
+// obs-internal DefaultLatSample (currently 1024) — latency histograms are on
+// by default because the sampled path costs two clock reads per n ops and
+// the histograms themselves are per-handle single-writer. n == 1 times
+// every operation; n == 0 disables latency recording entirely; negative
+// rates are rejected with ErrBadOption. Batch operations, announce waits,
+// and steal sweeps are always timed (they are amortized or rare, and
+// sampling would hide exactly the tail they exist to expose) — except when
+// recording is disabled, which turns those off too. Building with -tags
+// obsoff compiles all of it away regardless.
+func WithLatencySample(n int) Option {
+	return func(o *options) { o.latSample, o.latSampleSet = n, true }
+}
+
 // WithTracing arms the sampled op tracer: every sampleRate-th operation per
 // handle records a TraceRecord (op, side, transitions taken, attempts,
 // duration) into a fixed ring read via TraceRecords. sampleRate 1 traces
@@ -255,6 +274,13 @@ func (o options) coreConfig() core.Config {
 		PoolNodes:         o.poolNodes,
 		Helping:           o.helping,
 		WatchdogThreshold: o.watchdog,
+	}
+	if o.latSampleSet {
+		if o.latSample == 0 {
+			cfg.LatSample = -1 // explicit 0 means "off"; core's 0 means "default"
+		} else {
+			cfg.LatSample = o.latSample
+		}
 	}
 	switch o.reclaim {
 	case ReclaimHazard:

@@ -78,6 +78,9 @@ func (o options) validate() error {
 	if o.traceSample < 0 {
 		return fmt.Errorf("%w: WithTracing(%d) must be non-negative", ErrBadOption, o.traceSample)
 	}
+	if o.latSampleSet && o.latSample < 0 {
+		return fmt.Errorf("%w: WithLatencySample(%d) must be non-negative", ErrBadOption, o.latSample)
+	}
 	if o.reclaimSet && (o.reclaim < ReclaimGC || o.reclaim > ReclaimEpoch) {
 		return fmt.Errorf("%w: WithReclamation(%d) is not a defined policy", ErrBadOption, o.reclaim)
 	}

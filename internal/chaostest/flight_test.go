@@ -1,0 +1,105 @@
+//go:build chaos
+
+package chaostest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestFlightRecorderOnEscalation forces a losing streak past the watchdog
+// threshold and checks the flight recorder's end-to-end story: the
+// escalation automatically dumps the ring to the armed writer, the escalate
+// record identifies the stalled op and carries a transition mask that
+// reconstructs where it was failing, and the eventual success closes the
+// streak with a recover record whose mask includes the transition that
+// finally went through.
+func TestFlightRecorderOnEscalation(t *testing.T) {
+	d := core.New(core.Config{NodeSize: core.MinNodeSize, MaxThreads: 2})
+	h := d.Register()
+
+	var dump strings.Builder
+	d.Flight().SetDump(&dump, time.Millisecond)
+
+	// 300 forced failures on an empty min-size deque: every push attempt is
+	// an interior push, so the op loses at L1 until the budget is spent —
+	// crossing the 256-failure watchdog threshold exactly once.
+	const forced = 300
+	s := chaos.NewSchedule(1).SetAll(chaos.TransitionPoints(), chaos.Rule{FailN: forced})
+	chaos.Arm(s)
+	defer chaos.Disarm()
+
+	if err := d.PushLeft(h, 7); err != nil {
+		t.Fatalf("PushLeft through forced streak: %v", err)
+	}
+	chaos.Disarm()
+
+	recs := d.Flight().Records()
+	if total := d.Flight().Total(); total != uint64(len(recs)) {
+		t.Fatalf("Total = %d but ring holds %d (nothing should have wrapped)", total, len(recs))
+	}
+
+	var esc, rec *obs.FlightRecord
+	for i := range recs {
+		switch recs[i].Kind {
+		case obs.FlightEscalate:
+			if esc == nil {
+				esc = &recs[i]
+			}
+		case obs.FlightRecover:
+			rec = &recs[i]
+		}
+	}
+	if esc == nil {
+		t.Fatal("no escalate record after the watchdog tripped")
+	}
+	if rec == nil {
+		t.Fatal("no recover record after the op finally succeeded")
+	}
+
+	// The escalate record names the stalled op and its streak.
+	if esc.Op != obs.OpPush || esc.Side != obs.SideLeft {
+		t.Fatalf("escalate names %v %v, want push left", esc.Op, esc.Side)
+	}
+	if esc.Streak%256 != 0 || esc.Streak == 0 {
+		t.Fatalf("escalate streak = %d, want a watchdog-threshold multiple", esc.Streak)
+	}
+	if esc.Tid != 0 {
+		t.Fatalf("escalate tid = %d, want 0", esc.Tid)
+	}
+
+	if obs.Enabled {
+		// Transition-path reconstruction: the mask accumulated since the
+		// streak began must show the op losing at L1 — and only at
+		// fail counters, since nothing succeeded during the streak.
+		if !esc.Took(obs.CtrFailL1) {
+			t.Fatalf("escalate mask %#x misses fail_l1: %s", esc.Transitions, esc)
+		}
+		for c := obs.CtrL1; c <= obs.CtrL7; c++ {
+			if esc.Took(c) {
+				t.Fatalf("escalate mask %#x claims success transition %s mid-streak", esc.Transitions, c)
+			}
+		}
+		// The recover record's mask adds the transition that went through.
+		if !rec.Took(obs.CtrL1) {
+			t.Fatalf("recover mask %#x misses the completing L1 transition: %s", rec.Transitions, rec)
+		}
+		if esc.Ns <= 0 || rec.Ns < esc.Ns {
+			t.Fatalf("streak spans not monotone: escalate %dns, recover %dns", esc.Ns, rec.Ns)
+		}
+	}
+	if rec.Streak < esc.Streak {
+		t.Fatalf("recover streak %d < escalate streak %d", rec.Streak, esc.Streak)
+	}
+
+	// The armed writer received an automatic dump at escalation, rendering
+	// the distress record.
+	if !strings.Contains(dump.String(), "escalate push left") {
+		t.Fatalf("auto-dump missing the escalation:\n%s", dump.String())
+	}
+}

@@ -56,6 +56,11 @@ type ContentionConfig struct {
 	// Watchdog overrides the livelock-watchdog streak threshold (0 =
 	// default).
 	Watchdog int
+	// LatSample sets the latency-histogram sampling interval for single
+	// ops: 0 keeps the library default (on, 1 in obs.DefaultLatSample),
+	// negative disables latency recording entirely — the A/B pair
+	// scripts/oplatency_overhead.sh gates on.
+	LatSample int
 }
 
 // ContentionResult is the outcome of all trials of one ContentionConfig.
@@ -132,6 +137,11 @@ func newContentionDeque(cfg ContentionConfig) *deque.Deque[uint32] {
 	}
 	if cfg.Watchdog > 0 {
 		opts = append(opts, deque.WithWatchdogThreshold(cfg.Watchdog))
+	}
+	if cfg.LatSample < 0 {
+		opts = append(opts, deque.WithLatencySample(0)) // explicit 0 disables
+	} else if cfg.LatSample > 0 {
+		opts = append(opts, deque.WithLatencySample(cfg.LatSample))
 	}
 	return deque.New[uint32](opts...)
 }

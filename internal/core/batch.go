@@ -41,6 +41,9 @@ func (d *Deque) PushLeftN(h *Handle, vals []uint32) (int, error) {
 			return 0, ErrReserved
 		}
 	}
+	h.curOp, h.curSide = obs.OpPush, obs.SideLeft
+	bt := d.latNow() // whole-batch latency, always recorded (amortized over n)
+	defer d.latEndAt(h, obs.LatBatchPush, bt)
 	if d.lElim != nil {
 		for i, v := range vals {
 			if err := d.pushLeftElim(h, v); err != nil {
@@ -134,6 +137,9 @@ func (d *Deque) pushLeftRun(h *Handle, vals []uint32) (int, error) {
 // number of values popped.
 func (d *Deque) PopLeftN(h *Handle, dst []uint32) int {
 	defer h.unpin()
+	h.curOp, h.curSide = obs.OpPop, obs.SideLeft
+	bt := d.latNow() // whole-batch latency, always recorded (amortized over n)
+	defer d.latEndAt(h, obs.LatBatchPop, bt)
 	if d.lElim != nil {
 		for i := range dst {
 			v, ok := d.PopLeft(h)
@@ -235,6 +241,9 @@ func (d *Deque) PushRightN(h *Handle, vals []uint32) (int, error) {
 			return 0, ErrReserved
 		}
 	}
+	h.curOp, h.curSide = obs.OpPush, obs.SideRight
+	bt := d.latNow() // whole-batch latency, always recorded (amortized over n)
+	defer d.latEndAt(h, obs.LatBatchPush, bt)
 	if d.rElim != nil {
 		for i, v := range vals {
 			if err := d.pushRightElim(h, v); err != nil {
@@ -319,6 +328,9 @@ func (d *Deque) pushRightRun(h *Handle, vals []uint32) (int, error) {
 // PopRightN mirrors PopLeftN for the right end.
 func (d *Deque) PopRightN(h *Handle, dst []uint32) int {
 	defer h.unpin()
+	h.curOp, h.curSide = obs.OpPop, obs.SideRight
+	bt := d.latNow() // whole-batch latency, always recorded (amortized over n)
+	defer d.latEndAt(h, obs.LatBatchPop, bt)
 	if d.rElim != nil {
 		for i := range dst {
 			v, ok := d.PopRight(h)

@@ -111,10 +111,10 @@ func (d *Deque) pushLeftBounded(ctx context.Context, h *Handle, v uint32, attemp
 	if d.helpA != nil {
 		d.maybeHelp(h)
 	}
-	tr := d.traceStart(h)
+	tr := d.opStart(h, obs.OpPush, obs.SideLeft)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
-			d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, true)
+			d.opEnd(tr, h, obs.OpPush, obs.SideLeft, true)
 			return err
 		}
 		edge, idx, hintW, cached := d.lOracleSeeded(h)
@@ -123,11 +123,11 @@ func (d *Deque) pushLeftBounded(ctx context.Context, h *Handle, v uint32, attemp
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
-			d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, false)
+			d.opEnd(tr, h, obs.OpPush, obs.SideLeft, false)
 			return nil
 		}
 		if err := h.takeAllocErr(); err != nil {
-			d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, true)
+			d.opEnd(tr, h, obs.OpPush, obs.SideLeft, true)
 			return err
 		}
 		if cached {
@@ -138,7 +138,7 @@ func (d *Deque) pushLeftBounded(ctx context.Context, h *Handle, v uint32, attemp
 		// up after the budget, not to escalate past it.
 		if attempts == 0 && d.shouldAnnounce(h) {
 			if err, announced := d.announcedPush(ctx, h, help.Left, v); announced {
-				d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, err != nil)
+				d.opEnd(tr, h, obs.OpPush, obs.SideLeft, err != nil)
 				return err
 			}
 		}
@@ -153,10 +153,10 @@ func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attem
 	if d.helpA != nil {
 		d.maybeHelp(h)
 	}
-	tr := d.traceStart(h)
+	tr := d.opStart(h, obs.OpPush, obs.SideRight)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
-			d.traceEnd(tr, h, obs.OpPush, obs.SideRight, true)
+			d.opEnd(tr, h, obs.OpPush, obs.SideRight, true)
 			return err
 		}
 		edge, idx, hintW, cached := d.rOracleSeeded(h)
@@ -165,11 +165,11 @@ func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attem
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
-			d.traceEnd(tr, h, obs.OpPush, obs.SideRight, false)
+			d.opEnd(tr, h, obs.OpPush, obs.SideRight, false)
 			return nil
 		}
 		if err := h.takeAllocErr(); err != nil {
-			d.traceEnd(tr, h, obs.OpPush, obs.SideRight, true)
+			d.opEnd(tr, h, obs.OpPush, obs.SideRight, true)
 			return err
 		}
 		if cached {
@@ -178,7 +178,7 @@ func (d *Deque) pushRightBounded(ctx context.Context, h *Handle, v uint32, attem
 		h.noteFailure()
 		if attempts == 0 && d.shouldAnnounce(h) {
 			if err, announced := d.announcedPush(ctx, h, help.Right, v); announced {
-				d.traceEnd(tr, h, obs.OpPush, obs.SideRight, err != nil)
+				d.opEnd(tr, h, obs.OpPush, obs.SideRight, err != nil)
 				return err
 			}
 		}
@@ -190,10 +190,10 @@ func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (ui
 	if d.helpA != nil {
 		d.maybeHelp(h)
 	}
-	tr := d.traceStart(h)
+	tr := d.opStart(h, obs.OpPop, obs.SideLeft)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
-			d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, true)
+			d.opEnd(tr, h, obs.OpPop, obs.SideLeft, true)
 			return 0, false, err
 		}
 		edge, idx, hintW, cached := d.lOracleSeeded(h)
@@ -202,7 +202,7 @@ func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (ui
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
-			d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, false)
+			d.opEnd(tr, h, obs.OpPop, obs.SideLeft, false)
 			return v, !empty, nil
 		}
 		if cached {
@@ -211,7 +211,7 @@ func (d *Deque) popLeftBounded(ctx context.Context, h *Handle, attempts int) (ui
 		h.noteFailure()
 		if attempts == 0 && d.shouldAnnounce(h) {
 			if v, ok, err, announced := d.announcedPop(ctx, h, help.Left); announced {
-				d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, err != nil)
+				d.opEnd(tr, h, obs.OpPop, obs.SideLeft, err != nil)
 				return v, ok, err
 			}
 		}
@@ -223,10 +223,10 @@ func (d *Deque) popRightBounded(ctx context.Context, h *Handle, attempts int) (u
 	if d.helpA != nil {
 		d.maybeHelp(h)
 	}
-	tr := d.traceStart(h)
+	tr := d.opStart(h, obs.OpPop, obs.SideRight)
 	for n := 0; ; n++ {
 		if err := checkAbort(ctx, attempts, n); err != nil {
-			d.traceEnd(tr, h, obs.OpPop, obs.SideRight, true)
+			d.opEnd(tr, h, obs.OpPop, obs.SideRight, true)
 			return 0, false, err
 		}
 		edge, idx, hintW, cached := d.rOracleSeeded(h)
@@ -235,7 +235,7 @@ func (d *Deque) popRightBounded(ctx context.Context, h *Handle, attempts int) (u
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
-			d.traceEnd(tr, h, obs.OpPop, obs.SideRight, false)
+			d.opEnd(tr, h, obs.OpPop, obs.SideRight, false)
 			return v, !empty, nil
 		}
 		if cached {
@@ -244,7 +244,7 @@ func (d *Deque) popRightBounded(ctx context.Context, h *Handle, attempts int) (u
 		h.noteFailure()
 		if attempts == 0 && d.shouldAnnounce(h) {
 			if v, ok, err, announced := d.announcedPop(ctx, h, help.Right); announced {
-				d.traceEnd(tr, h, obs.OpPop, obs.SideRight, err != nil)
+				d.opEnd(tr, h, obs.OpPop, obs.SideRight, err != nil)
 				return v, ok, err
 			}
 		}

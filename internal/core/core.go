@@ -60,7 +60,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/backoff"
@@ -160,6 +162,15 @@ type Config struct {
 	// TraceBuf is the tracer ring length (default obs.DefaultTraceBuf);
 	// ignored when TraceSample is 0.
 	TraceBuf int
+	// LatSample is the latency-histogram sampling interval for single
+	// push/pop operations: every LatSample-th op per handle records its
+	// duration into the per-class histograms (batch ops, announce waits,
+	// and steal sweeps record always — they are rare or amortized). 0
+	// selects obs.DefaultLatSample; negative disables latency recording.
+	// Sampling is what keeps the two time.Now() calls inside the <=2%
+	// observability budget; the obsoff build compiles recording away
+	// entirely.
+	LatSample int
 	// Reclaim selects the node-reclamation policy: ReclaimNone (clear on
 	// removal, GC frees — the historical behavior), or ReclaimHazard /
 	// ReclaimEpoch, which retire removed nodes through a grace domain into
@@ -207,6 +218,9 @@ func (c Config) withDefaults() Config {
 	if c.WatchdogThreshold == 0 {
 		c.WatchdogThreshold = DefaultWatchdogThreshold
 	}
+	if c.LatSample == 0 {
+		c.LatSample = obs.DefaultLatSample
+	}
 	return c
 }
 
@@ -233,9 +247,17 @@ type Deque struct {
 	lElim, rElim *elim.Array
 
 	// obsReg owns every handle's observability counter block; Metrics()
-	// merges them. tracer is nil unless Config.TraceSample > 0.
+	// merges them. tracer is nil unless Config.TraceSample > 0. latReg
+	// owns the per-handle latency recorders (latSample is the cached
+	// single-op sampling interval, 0 = disabled), and flight is the
+	// always-on distress-event ring (escalations, announces, recoveries)
+	// — the deque's black box.
 	obsReg obs.Registry
 	tracer *obs.Tracer
+
+	latReg    obs.LatRegistry
+	latSample uint32
+	flight    *obs.Flight
 
 	nextTID atomic.Int32
 
@@ -266,6 +288,14 @@ type Deque struct {
 	watchdog       uint64
 	announceStreak uint64
 	helpAttempts   int
+
+	// streakStampAt is the failure-streak length at which a handle snapshots
+	// its counter block and the clock for the flight recorder (watchdog/4,
+	// min 1). Ordinary CAS races lose a handful of rounds, never a quarter
+	// of the watchdog threshold, so deferring the stamp keeps the counter
+	// copy and clock read off the contended retry path; any streak long
+	// enough to produce a flight record (>= watchdog) has already stamped.
+	streakStampAt uint64
 }
 
 // node is one buffer in the doubly-linked chain (Fig. 5 lines 22-37).
@@ -356,6 +386,10 @@ func New(cfg Config) *Deque {
 		reg: arena.NewRegistry[node](cfg.RegistryLimit),
 	}
 	d.watchdog = uint64(cfg.WatchdogThreshold)
+	d.streakStampAt = d.watchdog / 4
+	if d.streakStampAt == 0 {
+		d.streakStampAt = 1
+	}
 	if cfg.Helping {
 		d.helpA = help.NewArray(cfg.MaxThreads)
 		// Announce after two full watchdog periods: the first escalation
@@ -374,6 +408,10 @@ func New(cfg Config) *Deque {
 	if cfg.TraceSample > 0 {
 		d.tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceBuf)
 	}
+	if cfg.LatSample > 0 {
+		d.latSample = uint32(cfg.LatSample)
+	}
+	d.flight = obs.NewFlight(0)
 	d.initReclaim()
 	// Initial node, split down the middle (Fig. 5 constructor).
 	first := d.newNode(cfg.NodeSize / 2)
@@ -602,8 +640,34 @@ type Handle struct {
 	// goroutine and read by Deque.Metrics. On the obsoff build it is
 	// zero-size and every increment compiles away.
 	rec *obs.Rec
-	// traceTick is the sampled-op tracer countdown; see Config.TraceSample.
-	traceTick uint32
+	// lat is the handle's latency recorder (internal/obs histograms, one
+	// per op class). Zero-size on obsoff builds.
+	lat *obs.LatRec
+	// Shared sampling wheel (metrics.go): opTick is the single countdown
+	// every op decrements, armed by armTick to whichever of the two
+	// samplers — latency histograms (latLeft ops remaining) or the op
+	// tracer (traceLeft) — fires next, and parked at MaxUint64 when
+	// neither is on. opChunk remembers the armed span so the slow path
+	// knows how many ops elapsed. One decrement and one never-taken
+	// branch per unsampled op, identical with or without -tags obsoff.
+	opTick    uint64
+	opChunk   uint64
+	traceLeft uint64
+	latLeft   uint64
+
+	// Flight-recorder context. curOp/curSide are set at every operation
+	// start (two plain stores on an owned line) so distress records can
+	// name the op in trouble; streakBase/streakStart snapshot the counter
+	// block and the clock once a failure streak reaches Deque.streakStampAt
+	// (watchdog/4), letting an escalation record carry the transition mask
+	// and duration accumulated since then (short streaks never pay the
+	// copy); escalated marks a streak that tripped the
+	// watchdog so the next success writes a recover record.
+	curOp       obs.Op
+	curSide     obs.Side
+	streakBase  [obs.NumCounters]uint64
+	streakStart time.Time
+	escalated   bool
 
 	// Helping state (help.go). helpTick throttles the announcement-array
 	// poll at operation start; inHelp marks that the handle is inside the
@@ -656,12 +720,24 @@ func (h *Handle) Stats() Stats {
 func (h *Handle) noteFailure() {
 	h.Retries++
 	h.consecFails++
+	if obs.Enabled && h.consecFails == h.d.streakStampAt {
+		// The streak has lasted a quarter of the watchdog threshold:
+		// snapshot the counter block and the clock so an eventual
+		// escalation record can say which transitions the op kept failing
+		// at and for how long. Stamping at consecFails==1 would put the
+		// counter copy and a clock read on every contended retry burst;
+		// deferring to watchdog/4 keeps short streaks free while any streak
+		// that can reach the flight recorder has stamped first.
+		h.streakBase = h.rec.Snapshot()
+		h.streakStart = time.Now()
+	}
 	if h.consecFails > h.ConsecFailsPeak {
 		h.ConsecFailsPeak = h.consecFails
 	}
 	if h.consecFails%h.d.watchdog == 0 {
 		h.LivelockEscalations++
 		h.bo.Escalate()
+		h.d.flightEscalate(h)
 		if h.d.helpA != nil {
 			h.d.helpScan(h)
 		}
@@ -670,8 +746,12 @@ func (h *Handle) noteFailure() {
 }
 
 // noteSuccess resets the watchdog streak and the backoff window after a
-// completed operation.
+// completed operation. A streak that escalated leaves a recover record in
+// the flight ring on its way out.
 func (h *Handle) noteSuccess() {
+	if h.escalated {
+		h.d.flightRecover(h)
+	}
 	h.consecFails = 0
 	h.bo.Reset()
 }
@@ -722,7 +802,18 @@ func (d *Deque) Register() *Handle {
 	if tid >= d.cfg.MaxThreads {
 		panic(fmt.Sprintf("core: more than MaxThreads=%d handles", d.cfg.MaxThreads))
 	}
-	h := &Handle{d: d, tid: tid, rec: d.obsReg.NewRec()}
+	h := &Handle{d: d, tid: tid, rec: d.obsReg.NewRec(), lat: d.latReg.NewRec()}
+	// Arm the shared sampling wheel (see Handle.opTick): a sampler that is
+	// off parks at MaxUint64 and never fires.
+	h.traceLeft = math.MaxUint64
+	if d.tracer != nil {
+		h.traceLeft = uint64(d.tracer.Sample())
+	}
+	h.latLeft = math.MaxUint64
+	if obs.Enabled && d.latSample != 0 {
+		h.latLeft = uint64(d.latSample)
+	}
+	h.armTick()
 	h.bo.Init(backoff.DefaultMinSpins, backoff.DefaultMaxSpins, uint64(tid)*0x9e3779b97f4a7c15+1)
 	switch {
 	case d.epochDom != nil:

@@ -181,6 +181,11 @@ func (d *Deque) runAnnounced(ctx context.Context, h *Handle, op help.Op) (res he
 	defer func() { h.inHelp = false }()
 	seq := d.helpA.Announce(h.tid, op)
 	h.rec.Inc(obs.CtrAnnounce)
+	oop, oside := obsOpSide(op)
+	d.flightAnnounce(h, oop, oside)
+	// Announce→completion time is the helping layer's latency bound made
+	// continuously measurable; announces are rare, so record every one.
+	lt := d.latNow()
 	// The watchdog escalated the backoff to its maximum while the streak
 	// built up; announcing changes the progress mode — ANY party's success
 	// now completes the op, including our own self-claim — so the wide
@@ -201,6 +206,7 @@ func (d *Deque) runAnnounced(ctx context.Context, h *Handle, op help.Op) (res he
 				h.rec.Inc(obs.CtrHelpReceived)
 			}
 			h.noteSuccess()
+			d.latEndAt(h, obs.LatHelpWait, lt)
 			return res, false, true
 		case help.Announced:
 			if ctx != nil && ctx.Err() != nil {
@@ -240,6 +246,19 @@ func (d *Deque) runAnnounced(ctx context.Context, h *Handle, op help.Op) (res he
 			panic("core: announced slot reset while op in flight")
 		}
 	}
+}
+
+// obsOpSide maps a helping-layer op descriptor onto the observability
+// layer's op/side enums for flight-recorder records.
+func obsOpSide(op help.Op) (obs.Op, obs.Side) {
+	o, s := obs.OpPush, obs.SideLeft
+	if op.Kind == help.Pop {
+		o = obs.OpPop
+	}
+	if op.Side == help.Right {
+		s = obs.SideRight
+	}
+	return o, s
 }
 
 // announcedPush is runAnnounced shaped for the push loops.

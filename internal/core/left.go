@@ -22,10 +22,10 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 	if d.helpA != nil {
 		d.maybeHelp(h)
 	}
-	tr := d.traceStart(h)
+	tr := d.opStart(h, obs.OpPush, obs.SideLeft)
 	if d.lElim != nil {
 		err := d.pushLeftElim(h, v)
-		d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, err != nil)
+		d.opEnd(tr, h, obs.OpPush, obs.SideLeft, err != nil)
 		return err
 	}
 	for {
@@ -35,11 +35,11 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
-			d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, false)
+			d.opEnd(tr, h, obs.OpPush, obs.SideLeft, false)
 			return nil
 		}
 		if err := h.takeAllocErr(); err != nil {
-			d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, true)
+			d.opEnd(tr, h, obs.OpPush, obs.SideLeft, true)
 			return err
 		}
 		if cached {
@@ -48,7 +48,7 @@ func (d *Deque) PushLeft(h *Handle, v uint32) error {
 		h.noteFailure()
 		if d.shouldAnnounce(h) {
 			if err, announced := d.announcedPush(nil, h, help.Left, v); announced {
-				d.traceEnd(tr, h, obs.OpPush, obs.SideLeft, err != nil)
+				d.opEnd(tr, h, obs.OpPush, obs.SideLeft, err != nil)
 				return err
 			}
 		}
@@ -62,10 +62,10 @@ func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 	if d.helpA != nil {
 		d.maybeHelp(h)
 	}
-	tr := d.traceStart(h)
+	tr := d.opStart(h, obs.OpPop, obs.SideLeft)
 	if d.lElim != nil {
 		v, ok = d.popLeftElim(h)
-		d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, false)
+		d.opEnd(tr, h, obs.OpPop, obs.SideLeft, false)
 		return v, ok
 	}
 	for {
@@ -75,7 +75,7 @@ func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
-			d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, false)
+			d.opEnd(tr, h, obs.OpPop, obs.SideLeft, false)
 			return v, !empty
 		}
 		if cached {
@@ -84,7 +84,7 @@ func (d *Deque) PopLeft(h *Handle) (v uint32, ok bool) {
 		h.noteFailure()
 		if d.shouldAnnounce(h) {
 			if v, ok, _, announced := d.announcedPop(nil, h, help.Left); announced {
-				d.traceEnd(tr, h, obs.OpPop, obs.SideLeft, false)
+				d.opEnd(tr, h, obs.OpPop, obs.SideLeft, false)
 				return v, ok
 			}
 		}

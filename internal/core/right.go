@@ -23,10 +23,10 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 	if d.helpA != nil {
 		d.maybeHelp(h)
 	}
-	tr := d.traceStart(h)
+	tr := d.opStart(h, obs.OpPush, obs.SideRight)
 	if d.rElim != nil {
 		err := d.pushRightElim(h, v)
-		d.traceEnd(tr, h, obs.OpPush, obs.SideRight, err != nil)
+		d.opEnd(tr, h, obs.OpPush, obs.SideRight, err != nil)
 		return err
 	}
 	for {
@@ -36,11 +36,11 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
-			d.traceEnd(tr, h, obs.OpPush, obs.SideRight, false)
+			d.opEnd(tr, h, obs.OpPush, obs.SideRight, false)
 			return nil
 		}
 		if err := h.takeAllocErr(); err != nil {
-			d.traceEnd(tr, h, obs.OpPush, obs.SideRight, true)
+			d.opEnd(tr, h, obs.OpPush, obs.SideRight, true)
 			return err
 		}
 		if cached {
@@ -49,7 +49,7 @@ func (d *Deque) PushRight(h *Handle, v uint32) error {
 		h.noteFailure()
 		if d.shouldAnnounce(h) {
 			if err, announced := d.announcedPush(nil, h, help.Right, v); announced {
-				d.traceEnd(tr, h, obs.OpPush, obs.SideRight, err != nil)
+				d.opEnd(tr, h, obs.OpPush, obs.SideRight, err != nil)
 				return err
 			}
 		}
@@ -63,10 +63,10 @@ func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
 	if d.helpA != nil {
 		d.maybeHelp(h)
 	}
-	tr := d.traceStart(h)
+	tr := d.opStart(h, obs.OpPop, obs.SideRight)
 	if d.rElim != nil {
 		v, ok = d.popRightElim(h)
-		d.traceEnd(tr, h, obs.OpPop, obs.SideRight, false)
+		d.opEnd(tr, h, obs.OpPop, obs.SideRight, false)
 		return v, ok
 	}
 	for {
@@ -76,7 +76,7 @@ func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
 				h.EdgeCacheHits++
 			}
 			h.noteSuccess()
-			d.traceEnd(tr, h, obs.OpPop, obs.SideRight, false)
+			d.opEnd(tr, h, obs.OpPop, obs.SideRight, false)
 			return v, !empty
 		}
 		if cached {
@@ -85,7 +85,7 @@ func (d *Deque) PopRight(h *Handle) (v uint32, ok bool) {
 		h.noteFailure()
 		if d.shouldAnnounce(h) {
 			if v, ok, _, announced := d.announcedPop(nil, h, help.Right); announced {
-				d.traceEnd(tr, h, obs.OpPop, obs.SideRight, false)
+				d.opEnd(tr, h, obs.OpPop, obs.SideRight, false)
 				return v, ok
 			}
 		}

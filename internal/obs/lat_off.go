@@ -1,0 +1,15 @@
+//go:build obsoff
+
+package obs
+
+// LatRec is the no-op latency recorder of the obsoff build: zero-size,
+// every method constant-foldable, so the sampling branches and time.Now()
+// calls guarded by obs.Enabled disappear from the hot paths entirely.
+// Merges still work; every class just reads empty.
+type LatRec struct{}
+
+// Record is a no-op on the obsoff build.
+func (r *LatRec) Record(LatClass, uint64) {}
+
+// addTo is a no-op on the obsoff build.
+func (r *LatRec) addTo(*LatSnapshotSet) {}

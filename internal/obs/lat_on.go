@@ -1,0 +1,65 @@
+//go:build !obsoff && !race
+
+package obs
+
+import "sync/atomic"
+
+// LatRec is one handle's latency recorder: a table of lazily-allocated
+// per-class bucket blocks. A handle typically touches only a few classes
+// (a core handle never records pool_op; a server connection only records
+// service), so the table holds atomic pointers and each block is paid for
+// on first use.
+//
+// The bucket blocks follow the exact single-writer discipline of Rec
+// (rec_on.go): only the owning goroutine records, so increments are plain
+// adds on lines nobody else writes; LatRegistry.Merge reads them from
+// other goroutines with atomic loads, and per-location coherence on the
+// monotone word-sized counters keeps repeated merges monotone. The class
+// pointers themselves are atomic.Pointer — a store once per class
+// lifetime, a plain load thereafter — so Merge never reads a torn pointer.
+// Race-instrumented builds substitute lat_race.go's fully-atomic blocks.
+type LatRec struct {
+	classes [NumLatClasses]atomic.Pointer[latHist]
+}
+
+type latHist struct {
+	counts [NumLatBuckets]uint64
+	count  uint64
+	sum    uint64
+	max    uint64
+}
+
+// Record tallies one observation (nanoseconds) for class c. Owner
+// goroutine only.
+func (r *LatRec) Record(c LatClass, ns uint64) {
+	h := r.classes[c].Load()
+	if h == nil {
+		h = new(latHist)
+		r.classes[c].Store(h)
+	}
+	h.counts[LatBucketIndex(ns)]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// addTo folds the recorder into set with atomic loads (any goroutine).
+func (r *LatRec) addTo(set *LatSnapshotSet) {
+	for c := LatClass(0); c < NumLatClasses; c++ {
+		h := r.classes[c].Load()
+		if h == nil {
+			continue
+		}
+		s := &set.Classes[c]
+		for i := range h.counts {
+			s.Counts[i] += atomic.LoadUint64(&h.counts[i])
+		}
+		s.Count += atomic.LoadUint64(&h.count)
+		s.Sum += atomic.LoadUint64(&h.sum)
+		if m := atomic.LoadUint64(&h.max); m > s.Max {
+			s.Max = m
+		}
+	}
+}

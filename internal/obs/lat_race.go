@@ -1,0 +1,60 @@
+//go:build !obsoff && race
+
+package obs
+
+import "sync/atomic"
+
+// LatRec under the race detector: lat_on.go's plain single-writer bucket
+// increments are word-sized races against LatRegistry.Merge's atomic
+// loads — harmless by the memory model's word-tearing guarantee but
+// flagged by the detector — so -race builds swap in fully-atomic blocks.
+// Keep the two variants' semantics identical.
+type LatRec struct {
+	classes [NumLatClasses]atomic.Pointer[latHist]
+}
+
+type latHist struct {
+	counts [NumLatBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// Record tallies one observation (nanoseconds) for class c.
+func (r *LatRec) Record(c LatClass, ns uint64) {
+	h := r.classes[c].Load()
+	if h == nil {
+		h = new(latHist)
+		if !r.classes[c].CompareAndSwap(nil, h) {
+			h = r.classes[c].Load()
+		}
+	}
+	h.counts[LatBucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+}
+
+// addTo folds the recorder into set (any goroutine).
+func (r *LatRec) addTo(set *LatSnapshotSet) {
+	for c := LatClass(0); c < NumLatClasses; c++ {
+		h := r.classes[c].Load()
+		if h == nil {
+			continue
+		}
+		s := &set.Classes[c]
+		for i := range h.counts {
+			s.Counts[i] += h.counts[i].Load()
+		}
+		s.Count += h.count.Load()
+		s.Sum += h.sum.Load()
+		if m := h.max.Load(); m > s.Max {
+			s.Max = m
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatBucketRoundTrip(t *testing.T) {
+	last := -1
+	for _, v := range []uint64{0, 1, 2, 31, 32, 33, 63, 64, 100, 999,
+		1 << 10, 1<<10 + 7, 1 << 20, 1 << 30, 1 << 35, 1 << 36, 1 << 40, 1 << 62} {
+		i := LatBucketIndex(v)
+		if i < last {
+			t.Fatalf("LatBucketIndex not monotone at %d", v)
+		}
+		if i < 0 || i >= NumLatBuckets {
+			t.Fatalf("LatBucketIndex(%d) = %d out of range", v, i)
+		}
+		if low := LatBucketLow(i); low > v && i < NumLatBuckets-1 {
+			t.Fatalf("LatBucketLow(%d) = %d exceeds value %d", i, low, v)
+		}
+		last = i
+	}
+}
+
+// fill records v into s bucket-exactly — variant-independent (LatSnapshot
+// is a plain struct), so accuracy tests run under obsoff too.
+func fill(s *LatSnapshot, v uint64) {
+	s.Counts[LatBucketIndex(v)]++
+	s.Count++
+	s.Sum += v
+	if v > s.Max {
+		s.Max = v
+	}
+}
+
+func TestLatSnapshotQuantile(t *testing.T) {
+	var s LatSnapshot
+	for i := uint64(1); i <= 10000; i++ {
+		fill(&s, i*100) // 100ns..1ms
+	}
+	p50 := s.Quantile(0.5)
+	if p50 < 450000 || p50 > 550000 {
+		t.Fatalf("p50 = %d, want ~500000", p50)
+	}
+	last := uint64(0)
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		v := s.Quantile(q)
+		if v < last {
+			t.Fatalf("quantiles not monotone at q=%v: %d < %d", q, v, last)
+		}
+		last = v
+	}
+	if m := s.Mean(); m < 490000 || m > 510000 {
+		t.Fatalf("mean = %v, want ~500050", m)
+	}
+}
+
+func TestLatSnapshotMergeExact(t *testing.T) {
+	var whole, a, b LatSnapshot
+	for i := uint64(0); i < 5000; i++ {
+		v := (i*2654435761 + 3) % 1000000
+		fill(&whole, v)
+		if i%2 == 0 {
+			fill(&a, v)
+		} else {
+			fill(&b, v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count != whole.Count || a.Sum != whole.Sum || a.Max != whole.Max {
+		t.Fatalf("merge lost mass: %d/%d/%d vs %d/%d/%d",
+			a.Count, a.Sum, a.Max, whole.Count, whole.Sum, whole.Max)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if m, w := a.Quantile(q), whole.Quantile(q); m != w {
+			t.Fatalf("Quantile(%v): merged %d != whole %d", q, m, w)
+		}
+	}
+}
+
+func TestLatRegistryMerge(t *testing.T) {
+	if !Enabled {
+		t.Skip("obsoff build: recorders are no-ops")
+	}
+	var reg LatRegistry
+	r1, r2 := reg.NewRec(), reg.NewRec()
+	for i := uint64(0); i < 100; i++ {
+		r1.Record(LatPushLeft, 1000+i)
+		r2.Record(LatPushLeft, 2000+i)
+		r2.Record(LatPopRight, 500)
+	}
+	set := reg.Merge()
+	pl := &set.Classes[LatPushLeft]
+	if pl.Count != 200 {
+		t.Fatalf("push_left count = %d, want 200", pl.Count)
+	}
+	if pr := &set.Classes[LatPopRight]; pr.Count != 100 {
+		t.Fatalf("pop_right count = %d, want 100", pr.Count)
+	}
+	if set.Classes[LatBatchPush].Count != 0 {
+		t.Fatal("untouched class has samples")
+	}
+	// Monotone across snapshots: more recording never shrinks counts.
+	r1.Record(LatPushLeft, 1)
+	if set2 := reg.Merge(); set2.Classes[LatPushLeft].Count != 201 {
+		t.Fatalf("second merge count = %d, want 201", set2.Classes[LatPushLeft].Count)
+	}
+	sums := set.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("Summaries() returned %d classes, want 2", len(sums))
+	}
+	if sums[0].Class != LatPushLeft.String() || sums[1].Class != LatPopRight.String() {
+		t.Fatalf("summary classes = %q, %q", sums[0].Class, sums[1].Class)
+	}
+}
+
+func TestMergeLatSummariesWeighted(t *testing.T) {
+	a := []LatClassSummary{{Class: "push_left", Count: 100, MeanNs: 1000, P50Ns: 900, MaxNs: 2000}}
+	b := []LatClassSummary{
+		{Class: "push_left", Count: 300, MeanNs: 2000, P50Ns: 1900, MaxNs: 9000},
+		{Class: "pop_right", Count: 10, MeanNs: 50, P50Ns: 40, MaxNs: 100},
+	}
+	m := MergeLatSummaries(a, b)
+	if len(m) != 2 {
+		t.Fatalf("merged %d classes, want 2", len(m))
+	}
+	var pl *LatClassSummary
+	for i := range m {
+		if m[i].Class == "push_left" {
+			pl = &m[i]
+		}
+	}
+	if pl == nil {
+		t.Fatal("push_left missing from merge")
+	}
+	if pl.Count != 400 {
+		t.Fatalf("merged count = %d, want 400", pl.Count)
+	}
+	// Count-weighted mean: (100*1000 + 300*2000) / 400 = 1750.
+	if pl.MeanNs < 1749 || pl.MeanNs > 1751 {
+		t.Fatalf("merged mean = %v, want 1750", pl.MeanNs)
+	}
+	if pl.MaxNs != 9000 {
+		t.Fatalf("merged max = %d, want 9000", pl.MaxNs)
+	}
+}
+
+func TestWriteLatProm(t *testing.T) {
+	var set LatSnapshotSet
+	for i := uint64(1); i <= 1000; i++ {
+		fill(&set.Classes[LatPopLeft], i*1000)
+	}
+	var sb strings.Builder
+	if err := WriteLatProm(&sb, "test", &set); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"test_op_latency_ns_bucket",
+		`class="pop_left"`,
+		`le="+Inf"`,
+		"test_op_latency_ns_count",
+		"test_op_latency_quantile_ns",
+		`q="0.99"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("prom output missing %q:\n%.600s", frag, out)
+		}
+	}
+	if strings.Contains(out, `class="push_left"`) {
+		t.Error("prom output includes an empty class")
+	}
+}

@@ -243,6 +243,18 @@ type Metrics struct {
 	NodesRecycled     uint64 `json:"nodes_recycled,omitempty"`
 	NodesLimbo        uint64 `json:"nodes_limbo,omitempty"`
 	NodesPooled       uint64 `json:"nodes_pooled,omitempty"`
+
+	// Latency is the per-op-class latency digest (count, mean, p50/p90/
+	// p99/p99.9, max) merged from the deque's latency registry, classes
+	// with zero observations omitted. Empty on obsoff builds. Single core
+	// ops are sampled (see LatClass); batch, help-wait, steal-sweep, and
+	// service classes record every operation.
+	Latency []LatClassSummary `json:"latency,omitempty"`
+
+	// FlightRecords counts distress events ever written to the flight
+	// recorder (gauge of ring activity; the records themselves are read
+	// via the flight-recorder accessors/endpoints).
+	FlightRecords uint64 `json:"flight_records,omitempty"`
 }
 
 // FromCounters fills the counter-derived fields of a Metrics from a merged
@@ -370,6 +382,8 @@ func (m *Metrics) Add(o Metrics) {
 	if o.WatchdogThreshold > m.WatchdogThreshold {
 		m.WatchdogThreshold = o.WatchdogThreshold
 	}
+	m.FlightRecords += o.FlightRecords
+	m.Latency = MergeLatSummaries(m.Latency, o.Latency)
 }
 
 // Derived are the rates the paper's discussion reasons in, computed from

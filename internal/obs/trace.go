@@ -53,6 +53,10 @@ func (s Side) String() string {
 
 // TraceRecord is one sampled operation.
 type TraceRecord struct {
+	// At is the operation's coarse start timestamp (UnixNano of the
+	// sampling clock read); with Ns it places the op on a timeline when
+	// correlating a dump with external logs.
+	At int64 `json:"at"`
 	// Op and Side identify the operation.
 	Op   Op   `json:"op"`
 	Side Side `json:"side"`

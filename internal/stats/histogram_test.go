@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -94,6 +95,82 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 	p99 := float64(h.Quantile(0.99))
 	if p99 < 9300 || p99 > 10000 {
 		t.Fatalf("p99 = %v, want ~9900", p99)
+	}
+}
+
+// TestHistogramQuantileVsExact pins the histogram's accuracy contract
+// against ground truth: for several distributions, every reported
+// quantile must sit within one bucket width (1/subBuckets relative, the
+// geometry's guarantee) below the exact sorted-sample quantile. This is
+// the bound the latency layer (internal/obs) inherits, so it is asserted
+// here once, at the source of the bucket math.
+func TestHistogramQuantileVsExact(t *testing.T) {
+	distributions := map[string]func(i uint64) uint64{
+		"uniform":   func(i uint64) uint64 { return i + 1 },
+		"squared":   func(i uint64) uint64 { return (i + 1) * (i + 1) },
+		"logspread": func(i uint64) uint64 { return 100 + (i%20)*(1<<(i%30)/1024+1) },
+	}
+	const n = 20000
+	for name, gen := range distributions {
+		h := NewHistogram()
+		vals := make([]uint64, n)
+		for i := uint64(0); i < n; i++ {
+			vals[i] = gen(i)
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			target := int(q * n)
+			if target >= n {
+				target = n - 1
+			}
+			exact := vals[target]
+			got := h.Quantile(q)
+			if got > exact {
+				t.Errorf("%s: Quantile(%v) = %d above exact %d (representative must be a lower bound)",
+					name, q, got, exact)
+				continue
+			}
+			rel := float64(exact-got) / float64(exact)
+			if rel > 1.0/subBuckets {
+				t.Errorf("%s: Quantile(%v) = %d vs exact %d: relative error %.4f exceeds %.4f",
+					name, q, got, exact, rel, 1.0/subBuckets)
+			}
+		}
+	}
+}
+
+// TestHistogramMergePreservesQuantiles pins that splitting a stream
+// across histograms and merging is indistinguishable from recording it
+// all in one — merge adds bucket counts, so every quantile must be
+// bit-identical, not merely close.
+func TestHistogramMergePreservesQuantiles(t *testing.T) {
+	const n, parts = 30000, 7
+	whole := NewHistogram()
+	shards := make([]*Histogram, parts)
+	for i := range shards {
+		shards[i] = NewHistogram()
+	}
+	for i := uint64(0); i < n; i++ {
+		v := (i*2654435761 + 17) % 1000000
+		whole.Record(v)
+		shards[i%parts].Record(v)
+	}
+	merged := NewHistogram()
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count %d != whole count %d", merged.Count(), whole.Count())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged extremes %d/%d != whole %d/%d",
+			merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+			t.Errorf("Quantile(%v): merged %d != whole %d", q, m, w)
+		}
 	}
 }
 

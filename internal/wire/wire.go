@@ -60,6 +60,7 @@ const (
 	OpPushN                  // push count values in order on side
 	OpPopN                   // pop up to count values from side
 	OpRelax                  // observed-relaxation snapshot (see RelaxStats)
+	OpStats                  // per-op-class latency snapshot (see OpStat)
 )
 
 // Sides.
@@ -281,7 +282,7 @@ func (req *Request) Validate() uint8 {
 		return StatusBad
 	}
 	switch req.Op {
-	case OpPing, OpLen, OpRelax:
+	case OpPing, OpLen, OpRelax, OpStats:
 		if len(req.Values) != 0 {
 			return StatusBad
 		}

@@ -1,0 +1,109 @@
+package deque
+
+// Benchmarks backing the op-latency observability overhead gate
+// (scripts/oplatency_overhead.sh and scripts/obs_overhead.sh). They
+// replicate internal/contbench's baseline single-op workload — uniform
+// PushLeft/PushRight/PopLeft/PopRight through the public API — as paired
+// go-test benchmarks, because b.N iteration timing resolves sub-percent
+// per-op differences that wall-clock throughput windows cannot: on a
+// noisy single-core box the contention sweep's trial-to-trial spread is
+// >10%, while two 3-second runs of BenchmarkObsMixed4Way agree to ~0.2%.
+//
+//	go test -bench ObsMixed4Way -benchtime 1s            # default build
+//	go test -tags obsoff -bench ObsMixed4Way -benchtime 1s
+import (
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// benchOpts honors OPLAT_LATSAMPLE so the overhead gate's attribution
+// mode can race the same binary against itself with only the latency
+// sampler changed (e.g. OPLAT_LATSAMPLE=-1 disables it; unset keeps the
+// default interval).
+func benchOpts(opts ...Option) []Option {
+	if s := os.Getenv("OPLAT_LATSAMPLE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			opts = append(opts, WithLatencySample(n))
+		}
+	}
+	return opts
+}
+
+// benchMixed4Way runs n mixed single ops on h.
+func benchMixed4Way(h *Handle[uint32], rng *xrand.Xoshiro256, n int) {
+	for i := 0; i < n; i++ {
+		v := uint32(i) & 0x00FFFFFF
+		switch rng.Intn(4) {
+		case 0:
+			h.PushLeft(v)
+		case 1:
+			h.PushRight(v)
+		case 2:
+			h.PopLeft()
+		case 3:
+			h.PopRight()
+		}
+	}
+}
+
+// BenchmarkObsMixed4Way is the uncontended side of the overhead gate: one
+// handle, the 4-way mixed workload, everything the default build adds
+// (transition counters, sampled latency stamps, flight-recorder op notes)
+// on the measured path. On unix it also reports cpu-ns/op — process CPU
+// time per op — which competing load on a shared box cannot inflate the
+// way wall time can; the overhead gate compares that metric.
+func BenchmarkObsMixed4Way(b *testing.B) {
+	d := New[uint32](benchOpts(WithMaxThreads(2))...)
+	h := d.Register()
+	for i := 0; i < 1024; i++ {
+		h.PushLeft(uint32(i))
+	}
+	rng := xrand.NewXoshiro256(1)
+	b.ResetTimer()
+	start := cpuTimeNs()
+	benchMixed4Way(h, rng, b.N)
+	if end := cpuTimeNs(); start >= 0 && end >= 0 {
+		b.ReportMetric(float64(end-start)/float64(b.N), "cpu-ns/op")
+	}
+}
+
+// BenchmarkObsMixed4WayParallel is the contended side: GOMAXPROCS workers
+// (use -cpu to oversubscribe) hammer one deque so the failure-streak
+// bookkeeping in noteFailure and the watchdog checks run on the measured
+// path too.
+func BenchmarkObsMixed4WayParallel(b *testing.B) {
+	d := New[uint32](benchOpts(WithMaxThreads(64))...)
+	var seed atomic.Uint64
+	ph := d.Register()
+	for i := 0; i < 1024; i++ {
+		ph.PushLeft(uint32(i))
+	}
+	b.ResetTimer()
+	start := cpuTimeNs()
+	b.RunParallel(func(pb *testing.PB) {
+		h := d.Register()
+		rng := xrand.NewXoshiro256(seed.Add(1) * 0x9e3779b97f4a7c15)
+		ops := 0
+		for pb.Next() {
+			v := uint32(ops) & 0x00FFFFFF
+			switch rng.Intn(4) {
+			case 0:
+				h.PushLeft(v)
+			case 1:
+				h.PushRight(v)
+			case 2:
+				h.PopLeft()
+			case 3:
+				h.PopRight()
+			}
+			ops++
+		}
+	})
+	if end := cpuTimeNs(); start >= 0 && end >= 0 {
+		b.ReportMetric(float64(end-start)/float64(b.N), "cpu-ns/op")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package deque
+
+// cpuTimeNs reports CPU time as unavailable on non-unix platforms; the
+// overhead benchmarks then skip the cpu-ns/op metric and report wall
+// time only.
+func cpuTimeNs() int64 { return -1 }

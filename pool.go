@@ -3,9 +3,13 @@ package deque
 import (
 	"context"
 	"fmt"
+	"io"
+	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/obs"
 	"repro/internal/pad"
 	"repro/internal/shard"
 )
@@ -48,6 +52,12 @@ type Pool[T any] struct {
 	policy RoutePolicy
 	steal  bool
 	nextRR atomic.Uint32 // staggers each handle's round-robin start
+
+	// latReg holds the pool-level latency recorders (pool_op: whole
+	// routed operations including steal fallback; steal_sweep: the sweep
+	// loops themselves). Per-shard op classes live in the shards' own
+	// registries; LatencySnapshot merges both exactly.
+	latReg obs.LatRegistry
 }
 
 // poolLoad is one shard's approximate resident count, alone on its cache
@@ -207,13 +217,56 @@ func (p *Pool[T]) LenExact() int {
 // Metrics() accumulated with Metrics.Add, so counters are sums and the
 // capacity gauges report per-shard limits (see obs.Metrics.Add). The
 // push/pop identities (pushes = L1+L3+L6+elim, pops = L2+L4+elim) hold
-// on the merged snapshot exactly as they do per shard.
+// on the merged snapshot exactly as they do per shard. The Latency digest
+// is rebuilt from the exact merged histograms (LatencySnapshot) rather
+// than the shard digests, so its quantiles keep full bucket resolution.
 func (p *Pool[T]) Metrics() Metrics {
 	var m Metrics
 	for _, d := range p.shards {
 		m.Add(d.Metrics())
 	}
+	m.Latency = p.LatencySnapshot().Summaries()
 	return m
+}
+
+// LatencySnapshot returns the exact merged latency histograms of the
+// pool: every shard's per-op classes plus the pool-level pool_op and
+// steal_sweep classes, bucket-exact (no digest approximation).
+func (p *Pool[T]) LatencySnapshot() *LatSnapshotSet {
+	set := p.latReg.Merge()
+	for _, d := range p.shards {
+		set.Merge(d.LatencySnapshot())
+	}
+	return set
+}
+
+// FlightRecords returns every shard's retained flight records merged into
+// one timeline, oldest first.
+func (p *Pool[T]) FlightRecords() []FlightRecord {
+	var recs []FlightRecord
+	for _, d := range p.shards {
+		recs = append(recs, d.FlightRecords()...)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].At < recs[j].At })
+	return recs
+}
+
+// FlightTotal returns the total flight records ever written across all
+// shards, including ones the rings have overwritten.
+func (p *Pool[T]) FlightTotal() uint64 {
+	var n uint64
+	for _, d := range p.shards {
+		n += d.FlightTotal()
+	}
+	return n
+}
+
+// SetFlightDump arms automatic flight-recorder dumps on every shard; see
+// Deque.SetFlightDump for the contract.
+func (p *Pool[T]) SetFlightDump(w io.Writer, minInterval time.Duration) {
+	for _, d := range p.shards {
+		d.SetFlightDump(w, minInterval)
+	}
 }
 
 // Register returns a PoolHandle for the calling goroutine: one deque
@@ -226,6 +279,7 @@ func (p *Pool[T]) Register() *PoolHandle[T] {
 		p:      p,
 		hs:     make([]*Handle[T], len(p.shards)),
 		router: shard.NewRouter(p.policy, len(p.shards), start),
+		lat:    p.latReg.NewRec(),
 	}
 	h.bo.Init(backoff.DefaultMinSpins, backoff.DefaultMaxSpins,
 		uint64(start)*0x9e3779b97f4a7c15+1)
@@ -245,6 +299,9 @@ type PoolHandle[T any] struct {
 	order  []int           // steal-order scratch
 	snap   []int           // load-snapshot scratch
 	bo     backoff.Backoff // jittered wait between contended steal sweeps
+
+	lat     *obs.LatRec // pool-level latency histograms (pool_op, steal_sweep)
+	latTick uint32      // countdown for pool_op sampling
 
 	// stealResweeps counts sweeps that ended contended-but-uncertified and
 	// were retried after a backoff wait. Exposed (package-private) so tests
@@ -269,9 +326,43 @@ func (h *PoolHandle[T]) Home(key uint64) int { return h.router.Push(key, h.load)
 // note records a successful push (+n) or pop (-n) on shard i.
 func (h *PoolHandle[T]) note(i int, n int64) { h.p.loads[i].n.Add(n) }
 
+// latStart opens a sampled pool_op measurement: every DefaultLatSample-th
+// pool operation per handle is timed end to end — routing, the shard op,
+// and any steal fallback. Zero time means not sampled.
+func (h *PoolHandle[T]) latStart() (t time.Time) {
+	if !obs.Enabled {
+		return
+	}
+	h.latTick++
+	if h.latTick >= obs.DefaultLatSample {
+		h.latTick = 0
+		t = time.Now()
+	}
+	return
+}
+
+// latNow is the always-record variant for steal sweeps (rare, and the
+// tail is the point).
+func (h *PoolHandle[T]) latNow() (t time.Time) {
+	if obs.Enabled {
+		t = time.Now()
+	}
+	return
+}
+
+// latEnd records the elapsed time into class c; zero start is a no-op.
+func (h *PoolHandle[T]) latEnd(c obs.LatClass, t time.Time) {
+	if !obs.Enabled || t.IsZero() {
+		return
+	}
+	h.lat.Record(c, uint64(time.Since(t)))
+}
+
 // PushLeft pushes v at the left end of the routed shard; ErrFull when
 // that shard's capacity is exhausted (nothing pushed).
 func (h *PoolHandle[T]) PushLeft(key uint64, v T) error {
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Push(key, h.load)
 	err := h.hs[i].PushLeft(v)
 	if err == nil {
@@ -282,6 +373,8 @@ func (h *PoolHandle[T]) PushLeft(key uint64, v T) error {
 
 // PushRight mirrors PushLeft on the right end.
 func (h *PoolHandle[T]) PushRight(key uint64, v T) error {
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Push(key, h.load)
 	err := h.hs[i].PushRight(v)
 	if err == nil {
@@ -293,6 +386,8 @@ func (h *PoolHandle[T]) PushRight(key uint64, v T) error {
 // PushLeftCtx is PushLeft, aborting with ctx.Err() once ctx is
 // cancelled; a non-nil error means nothing was pushed.
 func (h *PoolHandle[T]) PushLeftCtx(ctx context.Context, key uint64, v T) error {
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Push(key, h.load)
 	err := h.hs[i].PushLeftCtx(ctx, v)
 	if err == nil {
@@ -303,6 +398,8 @@ func (h *PoolHandle[T]) PushLeftCtx(ctx context.Context, key uint64, v T) error 
 
 // PushRightCtx mirrors PushLeftCtx.
 func (h *PoolHandle[T]) PushRightCtx(ctx context.Context, key uint64, v T) error {
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Push(key, h.load)
 	err := h.hs[i].PushRightCtx(ctx, v)
 	if err == nil {
@@ -339,6 +436,10 @@ func (h *PoolHandle[T]) steal(home int, left bool) (v T, ok bool) {
 }
 
 func (h *PoolHandle[T]) stealCtx(ctx context.Context, home int, left bool) (v T, ok bool, err error) {
+	// Steals are the pool's rare, tail-shaped path: time every one, from
+	// first sweep to value / certified-empty / ctx abort.
+	st := h.latNow()
+	defer h.latEnd(obs.LatStealSweep, st)
 	n := len(h.hs)
 	if cap(h.snap) < n {
 		h.snap = make([]int, n)
@@ -405,6 +506,8 @@ func (h *PoolHandle[T]) stealCtx(ctx context.Context, home int, left bool) (v T,
 // (if stealing is enabled). ok is false only after every shard came up
 // empty.
 func (h *PoolHandle[T]) PopLeft(key uint64) (v T, ok bool) {
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Pop(key, h.load)
 	if v, ok = h.hs[i].PopLeft(); ok {
 		h.note(i, -1)
@@ -418,6 +521,8 @@ func (h *PoolHandle[T]) PopLeft(key uint64) (v T, ok bool) {
 
 // PopRight mirrors PopLeft, stealing from victims' left ends.
 func (h *PoolHandle[T]) PopRight(key uint64) (v T, ok bool) {
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Pop(key, h.load)
 	if v, ok = h.hs[i].PopRight(); ok {
 		h.note(i, -1)
@@ -433,6 +538,8 @@ func (h *PoolHandle[T]) PopRight(key uint64) (v T, ok bool) {
 // The home-shard pop honors ctx; steal legs are bounded pops, with ctx
 // consulted between contended sweeps.
 func (h *PoolHandle[T]) PopLeftCtx(ctx context.Context, key uint64) (v T, ok bool, err error) {
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Pop(key, h.load)
 	if v, ok, err = h.hs[i].PopLeftCtx(ctx); err != nil || ok {
 		if ok {
@@ -448,6 +555,8 @@ func (h *PoolHandle[T]) PopLeftCtx(ctx context.Context, key uint64) (v T, ok boo
 
 // PopRightCtx mirrors PopLeftCtx.
 func (h *PoolHandle[T]) PopRightCtx(ctx context.Context, key uint64) (v T, ok bool, err error) {
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Pop(key, h.load)
 	if v, ok, err = h.hs[i].PopRightCtx(ctx); err != nil || ok {
 		if ok {
@@ -466,6 +575,8 @@ func (h *PoolHandle[T]) PopRightCtx(ctx context.Context, key uint64) (v T, ok bo
 // ErrFull the returned n reports the landed prefix: vs[:n] stays pushed,
 // vs[n:] had no effect.
 func (h *PoolHandle[T]) PushLeftN(key uint64, vs []T) (int, error) {
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Push(key, h.load)
 	n, err := h.hs[i].PushLeftN(vs)
 	if n > 0 {
@@ -476,6 +587,8 @@ func (h *PoolHandle[T]) PushLeftN(key uint64, vs []T) (int, error) {
 
 // PushRightN mirrors PushLeftN on the right end.
 func (h *PoolHandle[T]) PushRightN(key uint64, vs []T) (int, error) {
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Push(key, h.load)
 	n, err := h.hs[i].PushRightN(vs)
 	if n > 0 {
@@ -488,6 +601,8 @@ func (h *PoolHandle[T]) PushRightN(key uint64, vs []T) (int, error) {
 // opposite end. One victim per call: a stolen batch is contiguous in its
 // source shard.
 func (h *PoolHandle[T]) stealN(home int, left bool, dst []T) int {
+	st := h.latNow()
+	defer h.latEnd(obs.LatStealSweep, st)
 	n := len(h.hs)
 	if cap(h.snap) < n {
 		h.snap = make([]int, n)
@@ -534,6 +649,8 @@ func (h *PoolHandle[T]) PopLeftN(key uint64, dst []T) int {
 	if len(dst) == 0 {
 		return 0
 	}
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Pop(key, h.load)
 	if n := h.hs[i].PopLeftN(dst); n > 0 {
 		h.note(i, -int64(n))
@@ -550,6 +667,8 @@ func (h *PoolHandle[T]) PopRightN(key uint64, dst []T) int {
 	if len(dst) == 0 {
 		return 0
 	}
+	lt := h.latStart()
+	defer h.latEnd(obs.LatPoolOp, lt)
 	i := h.router.Pop(key, h.load)
 	if n := h.hs[i].PopRightN(dst); n > 0 {
 		h.note(i, -int64(n))

@@ -3,7 +3,9 @@ package deque
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/shard"
@@ -165,6 +167,20 @@ func (r *Relaxed[T]) LenExact() int { return r.pool.LenExact() }
 
 // Metrics returns the pool-merged deque observability snapshot.
 func (r *Relaxed[T]) Metrics() Metrics { return r.pool.Metrics() }
+
+// LatencySnapshot returns the underlying pool's exact merged latency
+// histograms (relaxed operations land in the shards' per-op classes;
+// strict-mode passthrough also feeds pool_op/steal_sweep).
+func (r *Relaxed[T]) LatencySnapshot() *LatSnapshotSet { return r.pool.LatencySnapshot() }
+
+// FlightRecords returns the merged shard flight records, oldest first.
+func (r *Relaxed[T]) FlightRecords() []FlightRecord { return r.pool.FlightRecords() }
+
+// SetFlightDump arms automatic flight-recorder dumps on every shard; see
+// Deque.SetFlightDump for the contract.
+func (r *Relaxed[T]) SetFlightDump(w io.Writer, minInterval time.Duration) {
+	r.pool.SetFlightDump(w, minInterval)
+}
 
 // RelaxMetrics returns the observed-relaxation snapshot — the measured
 // answer to "how out-of-order did this structure actually run": max,

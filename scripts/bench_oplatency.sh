@@ -1,0 +1,15 @@
+#!/bin/sh
+# E9: per-op-class latency characterization. Runs the mixed pool workload
+# with full latency sampling and writes BENCH_oplatency.json (per-class
+# count/mean/p50/p90/p99/p99.9/max plus host metadata). See
+# EXPERIMENTS.md E9 for methodology and the single-core caveat.
+set -e
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-2s}"
+THREADS="${THREADS:-4}"
+SHARDS="${SHARDS:-4}"
+OUT="${OUT:-BENCH_oplatency.json}"
+
+go run ./cmd/benchoplatency -duration "$DURATION" -threads "$THREADS" \
+    -shards "$SHARDS" -out "$OUT"

@@ -1,70 +1,14 @@
 #!/bin/sh
-# Metrics-overhead A/B gate: the always-on observability counters must cost
-# no more than MAX_REGRESS (default 2%) on the contention sweep, comparing
-# the default build against `-tags obsoff` (counters compiled out).
+# Metrics-overhead A/B gate: the always-on observability layer must cost
+# no more than 2% per operation versus `-tags obsoff`.
 #
-# Both binaries are built once, then run in alternating rounds (obsoff
-# first) so each round's pair shares the machine's thermal/scheduler state.
-# Wall-clock noise on a shared box runs several percent per measurement —
-# more than the regression being gated — so a single comparison cannot
-# resolve 2%. The gate instead demands that a regression be both central
-# and consistent: it FAILs only when the median of the per-round
-# default/obsoff ratios (geomean over thread counts) is below the threshold
-# AND at least two thirds of the rounds individually fall below it. A real
-# cost regression (e.g. a LOCK-prefixed add per counter event measured
-# ~12%) trips every round; scheduler jitter trips scattered ones.
-set -e
-cd "$(dirname "$0")/.."
-
-DURATION="${DURATION:-750ms}"
-TRIALS="${TRIALS:-2}"
-THREADS="${THREADS:-1,4}"
-ROUNDS="${ROUNDS:-8}"
-MAX_REGRESS="${MAX_REGRESS:-0.02}"
-
-TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
-
-echo "== build (default and -tags obsoff) =="
-go build -o "$TMP/bench_on" ./cmd/benchcontention
-go build -tags obsoff -o "$TMP/bench_off" ./cmd/benchcontention
-
-ARGS="-baseline-only -duration $DURATION -trials $TRIALS -threads $THREADS"
-r=1
-while [ "$r" -le "$ROUNDS" ]; do
-    echo "== round $r/$ROUNDS: obsoff =="
-    "$TMP/bench_off" $ARGS -out "$TMP/off_$r.json"
-    echo "== round $r/$ROUNDS: default (obs on) =="
-    "$TMP/bench_on" $ARGS -out "$TMP/on_$r.json"
-    r=$((r + 1))
-done
-
-python3 - "$TMP" "$ROUNDS" "$MAX_REGRESS" <<'EOF'
-import json, math, statistics, sys
-
-tmp, rounds, max_regress = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
-threshold = 1 - max_regress
-
-def ops(tag, r):
-    with open(f"{tmp}/{tag}_{r}.json") as f:
-        return json.load(f)["ops_per_sec"]
-
-per_round = []
-for r in range(1, rounds + 1):
-    off, on = ops("off", r), ops("on", r)
-    ratios = {t: on[t] / off[t] for t in off}
-    geo = math.exp(sum(math.log(v) for v in ratios.values()) / len(ratios))
-    per_round.append(geo)
-    detail = "  ".join(f"t={t} {v:.4f}" for t, v in sorted(ratios.items(), key=lambda kv: int(kv[0])))
-    print(f"  round {r}: default/obsoff {detail}   geomean {geo:.4f}")
-
-med = statistics.median(per_round)
-below = sum(1 for g in per_round if g < threshold)
-print(f"  median of per-round geomeans = {med:.4f}; "
-      f"{below}/{rounds} rounds below {threshold:.4f}")
-if med < threshold and below * 3 >= rounds * 2:
-    print(f"obs_overhead: FAIL — consistent regression, counters cost "
-          f"{100 * (1 - med):.1f}% (> {100 * max_regress:.0f}% allowed)")
-    sys.exit(1)
-print("obs_overhead: PASS")
-EOF
+# This used to drive wall-clock contention sweeps (cmd/benchcontention
+# -baseline-only) through a median-of-rounds filter, but wall-clock
+# throughput on a noisy shared box cannot resolve 2% even with ABBA
+# ordering and consistency rules: a null A/B of one binary against
+# itself swings more than the budget. The gated comparison is exactly
+# the one scripts/oplatency_overhead.sh makes robustly — default build
+# (counters + latency histograms + flight recorder) versus obsoff —
+# using co-scheduled races and cpu-ns/op; delegate to it so the
+# methodology lives in one place.
+exec sh "$(dirname "$0")/oplatency_overhead.sh" "$@"

@@ -11,6 +11,19 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
+# staticcheck runs beside go vet on every tag set when the binary is
+# present (CI installs it; the gate degrades to vet-only elsewhere rather
+# than failing on a missing tool).
+run_staticcheck() {
+    if command -v staticcheck >/dev/null 2>&1; then
+        echo "== staticcheck $* =="
+        staticcheck "$@" ./...
+    else
+        echo "== staticcheck $* skipped (not installed) =="
+    fi
+}
+run_staticcheck
+
 echo "== go test (full) =="
 go test ./... -count=1
 
@@ -25,12 +38,14 @@ sh scripts/smoke_service.sh
 
 echo "== go vet (obsoff build) =="
 go vet -tags obsoff ./...
+run_staticcheck -tags obsoff
 
 echo "== go test -tags obsoff (counters compiled out) =="
 go test -tags obsoff -count=1 . ./internal/core/ ./internal/obs/
 
-echo "== metrics-overhead A/B gate (default vs -tags obsoff) =="
-sh scripts/obs_overhead.sh
+echo "== observability-overhead A/B gate (counters + histograms + flight recorder vs -tags obsoff) =="
+# scripts/obs_overhead.sh delegates to the same gate; one run covers both.
+sh scripts/oplatency_overhead.sh
 
 echo "== reclamation allocs/op gate (epoch steady state ~0 allocs/op) =="
 # Short run; the 0.018 ceiling is 3x the measured ~0.006 at this duration
@@ -42,12 +57,19 @@ go run ./cmd/benchreclaim -duration 1s -trials 1 \
 
 echo "== go vet (chaos build) =="
 go vet -tags chaos ./...
+run_staticcheck -tags chaos
 
 echo "== go test -tags chaos (fault-injection suites) =="
 go test -tags chaos -count=1 ./internal/chaos/ ./internal/chaostest/ ./internal/core/
 
 echo "== go test -tags chaos -race -short (chaostest) =="
 go test -tags chaos -race -short -count=1 ./internal/chaostest/
+
+echo "== flight-recorder escalation gate (forced streak dumps + reconstructs) =="
+# Fails if a watchdog escalation does not auto-dump the flight ring or if
+# its records' transition masks cannot reconstruct the stalled op's path;
+# see internal/chaostest/flight_test.go.
+go test -tags chaos -count=1 -run 'TestFlightRecorderOnEscalation' ./internal/chaostest/
 
 echo "== helping starvation-bound gate (parked-announcer schedule) =="
 # Fails if an announced op does not complete within the documented bound
