@@ -421,6 +421,13 @@ func (s *Server) apply(h connHandle, req *wire.Request, resp *wire.Response, dst
 			resp.Count = uint32(n)
 			resp.Values = append(resp.Values, d[:n]...)
 		}
+
+	default:
+		// Validate admits every op the protocol knows, but this server only
+		// serves the plain pool ops — the DEPQ family (OpPushPrio…OpDepq)
+		// belongs to cmd/schedd. A zero-value fallthrough would answer
+		// StatusOK for an op that did nothing.
+		resp.Status = wire.StatusBad
 	}
 	return dst
 }

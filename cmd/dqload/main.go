@@ -50,11 +50,29 @@ func main() {
 		relax    = flag.Bool("relax", false, "query the server's observed-relaxation snapshot (OpRelax) after the run")
 		opstats  = flag.Bool("stats", false, "query the server's per-op-class latency snapshot (OpStats) after the run")
 		jsonOut  = flag.Bool("json", false, "emit a JSON summary instead of text")
+
+		deadline = flag.Bool("deadline", false, "deadline workload against a schedd scheduler: OpPushPrio submits with sampled deadlines, OpPopMin serves, lateness quantiles reported")
+		bands    = flag.Int("bands", 8, "with -deadline: priority bands to spread submissions over (match the server's -bands)")
+		horizon  = flag.Duration("horizon", 50*time.Millisecond, "with -deadline: deadlines are sampled uniformly in (now, now+horizon]")
+		shed     = flag.Int("shed", 4, "with -deadline: every shed'th pop is an OpPopMax drop (0 = never shed from the client)")
+		conserve = flag.Bool("check-conserve", false, "with -deadline: drain the queue after the run and verify admitted = served + dropped + drained")
 	)
 	flag.Parse()
 	if *conns <= 0 || *batch <= 0 || *batch > wire.MaxBatch || *pipeline <= 0 {
 		fmt.Fprintln(os.Stderr, "dqload: conns, batch, and pipeline must be positive (batch <= MaxBatch)")
 		os.Exit(2)
+	}
+	if *deadline {
+		if *bands <= 0 || *horizon <= 0 || *shed < 0 {
+			fmt.Fprintln(os.Stderr, "dqload: -deadline needs bands > 0, horizon > 0, shed >= 0")
+			os.Exit(2)
+		}
+		if *batch != 1 {
+			fmt.Fprintln(os.Stderr, "dqload: -deadline submits are single-value; -batch must be 1")
+			os.Exit(2)
+		}
+		runDeadline(*addr, *conns, *duration, *bands, *horizon, *pipeline, *shed, *conserve, *opstats, *jsonOut)
+		return
 	}
 	policy, err := dq.ParseRouting(*route)
 	if err != nil {

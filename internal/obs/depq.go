@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// Observed priority-inversion metrics for the double-ended priority
+// queue front-end (the public deque.DEPQ[T]): per-handle recorders for
+// the band-distance inversion each PopMin/PopMax actually exhibited, a
+// churn-safe registry merge, and a Prometheus exporter — the priority
+// twin of the RelaxRegistry. The configured band bound says how far a
+// pop *may* reach past resident work; these counters say how far it
+// *did*.
+//
+// Like RelaxRec, a DepqRec uses atomics unconditionally: the DEPQ pop
+// path already pays an O(bands) residency scan inside its reservation,
+// so an uncontended LOCK add on an owned cache line is noise there, and
+// one implementation stays race-detector-clean without build-tag
+// triplication. Call sites skip recording entirely under obsoff.
+
+// InvBuckets is the inversion histogram width: bucket 0 counts pops with
+// inversion 0 (the lowest/highest resident band was popped), bucket i
+// counts inversions in [2^(i-1), 2^i), and the last bucket is open-ended.
+// Inversions are band distances, so 2^(InvBuckets-2) = 1024 bands covers
+// any plausible configuration.
+const InvBuckets = 12
+
+// InvBucket maps an inversion to its histogram bucket.
+func InvBucket(inv uint64) int {
+	b := bits.Len64(inv) // 0 -> 0, 1 -> 1, [2,4) -> 2, ...
+	if b > InvBuckets-1 {
+		b = InvBuckets - 1
+	}
+	return b
+}
+
+// InvBucketBound returns bucket i's inclusive upper bound (the
+// Prometheus `le` label); the last bucket has no finite bound.
+func InvBucketBound(i int) (bound uint64, finite bool) {
+	if i >= InvBuckets-1 {
+		return 0, false
+	}
+	return 1<<uint(i) - 1, true
+}
+
+// DepqRec is one DEPQ handle's inversion recorder, padded off its
+// neighbors' cache lines. Written by its owning goroutine, read by
+// DepqRegistry.Merge from anywhere.
+type DepqRec struct {
+	_    pad.Spacer
+	mins atomic.Uint64 // PopMin operations recorded
+	maxs atomic.Uint64 // PopMax operations recorded
+	sum  atomic.Uint64
+	max  atomic.Uint64
+	hist [InvBuckets]atomic.Uint64
+	_    pad.Spacer
+}
+
+// RecordMin tallies one PopMin's observed inversion: the band distance
+// to the lowest band that still held work when the pop committed. Owner
+// goroutine only (max uses an unfenced read-modify-write).
+func (r *DepqRec) RecordMin(inv uint64) {
+	r.mins.Add(1)
+	r.record(inv)
+}
+
+// RecordMax mirrors RecordMin for PopMax: the distance to the highest
+// resident band a shedder reached past.
+func (r *DepqRec) RecordMax(inv uint64) {
+	r.maxs.Add(1)
+	r.record(inv)
+}
+
+func (r *DepqRec) record(inv uint64) {
+	r.sum.Add(inv)
+	if inv > r.max.Load() {
+		r.max.Store(inv)
+	}
+	r.hist[InvBucket(inv)].Add(1)
+}
+
+// DepqRegistry hands out DepqRecs and merges them. Recs are never
+// removed — handle registration is permanent, exactly like the counter
+// Registry — so Merge is monotone across snapshots.
+type DepqRegistry struct {
+	mu   sync.Mutex
+	recs []*DepqRec
+}
+
+// NewRec registers and returns a fresh recorder.
+func (g *DepqRegistry) NewRec() *DepqRec {
+	r := new(DepqRec)
+	g.mu.Lock()
+	g.recs = append(g.recs, r)
+	g.mu.Unlock()
+	return r
+}
+
+// Merge folds every recorder into one snapshot: counters sum, the max
+// maxes. Configuration gauges (Bands, BandBound, Choice) are left zero
+// for the owner to fill.
+func (g *DepqRegistry) Merge() DepqMetrics {
+	var m DepqMetrics
+	g.mu.Lock()
+	recs := g.recs
+	g.mu.Unlock()
+	for _, r := range recs {
+		m.PopMins += r.mins.Load()
+		m.PopMaxes += r.maxs.Load()
+		m.InvSum += r.sum.Load()
+		if v := r.max.Load(); v > m.InvMax {
+			m.InvMax = v
+		}
+		for i := range r.hist {
+			m.InvHist[i] += r.hist[i].Load()
+		}
+	}
+	return m
+}
+
+// DepqMetrics is one merged observed-inversion snapshot: how far past
+// resident priority bands the DEPQ's pops actually reached.
+type DepqMetrics struct {
+	// PopMins counts PopMin operations that recorded an inversion
+	// estimate (obsoff operations record nothing).
+	PopMins uint64 `json:"pop_mins"`
+	// PopMaxes counts recorded PopMax operations.
+	PopMaxes uint64 `json:"pop_maxes"`
+	// InvSum is the summed inversion over all recorded pops;
+	// InvSum/(PopMins+PopMaxes) is the mean priority classes skipped.
+	InvSum uint64 `json:"inv_sum"`
+	// InvMax is the worst inversion observed — the number the configured
+	// WithBandBound is gated against.
+	InvMax uint64 `json:"inv_max"`
+	// InvHist buckets the inversions: [0], [1,2), [2,4), ... (InvBucket).
+	InvHist [InvBuckets]uint64 `json:"inv_hist"`
+
+	// Configuration gauges, filled by the owning front-end.
+	Bands     uint64 `json:"bands,omitempty"`      // priority-band count
+	BandBound uint64 `json:"band_bound,omitempty"` // effective inversion bound
+	Choice    uint64 `json:"choice,omitempty"`     // d-choice width inside the window
+}
+
+// Pops returns the total recorded pops on either end.
+func (m DepqMetrics) Pops() uint64 { return m.PopMins + m.PopMaxes }
+
+// MeanInv returns the mean observed inversion (0 when nothing was
+// recorded).
+func (m DepqMetrics) MeanInv() float64 {
+	if p := m.Pops(); p != 0 {
+		return float64(m.InvSum) / float64(p)
+	}
+	return 0
+}
+
+// Add merges o into m: counters and histogram sum, maxes and gauges take
+// the larger value (mirrors RelaxMetrics.Add for multi-front-end
+// scrapes).
+func (m *DepqMetrics) Add(o DepqMetrics) {
+	m.PopMins += o.PopMins
+	m.PopMaxes += o.PopMaxes
+	m.InvSum += o.InvSum
+	if o.InvMax > m.InvMax {
+		m.InvMax = o.InvMax
+	}
+	for i := range m.InvHist {
+		m.InvHist[i] += o.InvHist[i]
+	}
+	if o.Bands > m.Bands {
+		m.Bands = o.Bands
+	}
+	if o.BandBound > m.BandBound {
+		m.BandBound = o.BandBound
+	}
+	if o.Choice > m.Choice {
+		m.Choice = o.Choice
+	}
+}
+
+// WriteDepqProm writes m in the Prometheus text exposition format with
+// the given metric-name prefix. The histogram follows the native
+// cumulative-bucket convention so inversion quantiles work with
+// histogram_quantile.
+func WriteDepqProm(w io.Writer, prefix string, m DepqMetrics) error {
+	bw := &errWriter{w: w}
+	counter := func(name, help string) {
+		fmt.Fprintf(bw, "# HELP %s_%s %s\n# TYPE %s_%s counter\n", prefix, name, help, prefix, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(bw, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n", prefix, name, help, prefix, name)
+	}
+
+	counter("depq_pops_total", "DEPQ pops that recorded an inversion estimate, by end.")
+	fmt.Fprintf(bw, "%s_depq_pops_total{end=\"min\"} %d\n", prefix, m.PopMins)
+	fmt.Fprintf(bw, "%s_depq_pops_total{end=\"max\"} %d\n", prefix, m.PopMaxes)
+	counter("depq_inversion_sum_total", "Summed observed priority inversion over all recorded pops.")
+	fmt.Fprintf(bw, "%s_depq_inversion_sum_total %d\n", prefix, m.InvSum)
+
+	fmt.Fprintf(bw, "# HELP %s_depq_inversion Observed per-pop priority-inversion distribution (band distance).\n", prefix)
+	fmt.Fprintf(bw, "# TYPE %s_depq_inversion histogram\n", prefix)
+	var cum uint64
+	for i := 0; i < InvBuckets; i++ {
+		cum += m.InvHist[i]
+		if bound, finite := InvBucketBound(i); finite {
+			fmt.Fprintf(bw, "%s_depq_inversion_bucket{le=\"%d\"} %d\n", prefix, bound, cum)
+		}
+	}
+	fmt.Fprintf(bw, "%s_depq_inversion_bucket{le=\"+Inf\"} %d\n", prefix, m.Pops())
+	fmt.Fprintf(bw, "%s_depq_inversion_sum %d\n", prefix, m.InvSum)
+	fmt.Fprintf(bw, "%s_depq_inversion_count %d\n", prefix, m.Pops())
+
+	gauges := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"depq_inversion_max", "Worst priority inversion observed since start.", m.InvMax},
+		{"depq_band_bound", "Effective inversion bound in bands (bands-1 when unbounded).", m.BandBound},
+		{"depq_bands", "Priority bands behind the DEPQ front-end.", m.Bands},
+		{"depq_choice", "d-choice sample width inside the band window.", m.Choice},
+	}
+	for _, g := range gauges {
+		gauge(g.name, g.help)
+		fmt.Fprintf(bw, "%s_%s %d\n", prefix, g.name, g.v)
+	}
+	return bw.err
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInvBucket(t *testing.T) {
+	cases := []struct {
+		inv  uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, InvBuckets - 1}, {1 << 40, InvBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := InvBucket(c.inv); got != c.want {
+			t.Fatalf("InvBucket(%d) = %d, want %d", c.inv, got, c.want)
+		}
+	}
+	// Bucket bounds nest: every bucket's bound is below the next one's,
+	// and an inversion lands in the first bucket whose bound covers it.
+	prev := uint64(0)
+	for i := 1; i < InvBuckets-1; i++ {
+		bound, finite := InvBucketBound(i)
+		if !finite || bound <= prev {
+			t.Fatalf("bucket %d bound %d (finite %v) not increasing past %d", i, bound, finite, prev)
+		}
+		if got := InvBucket(bound); got != i {
+			t.Fatalf("InvBucket(bound %d) = %d, want %d", bound, got, i)
+		}
+		prev = bound
+	}
+	if _, finite := InvBucketBound(InvBuckets - 1); finite {
+		t.Fatal("last bucket must be open-ended")
+	}
+}
+
+func TestDepqRegistryMerge(t *testing.T) {
+	var g DepqRegistry
+	a, b := g.NewRec(), g.NewRec()
+	a.RecordMin(0)
+	a.RecordMin(5)
+	b.RecordMax(3)
+	b.RecordMax(12)
+
+	m := g.Merge()
+	if m.PopMins != 2 || m.PopMaxes != 2 || m.Pops() != 4 {
+		t.Fatalf("merge pops = min %d max %d, want 2/2", m.PopMins, m.PopMaxes)
+	}
+	if m.InvSum != 20 || m.InvMax != 12 {
+		t.Fatalf("merge = sum %d max %d, want 20/12", m.InvSum, m.InvMax)
+	}
+	if m.InvHist[0] != 1 || m.InvHist[InvBucket(5)] != 1 || m.InvHist[InvBucket(12)] != 1 {
+		t.Fatalf("histogram mismatch: %v", m.InvHist)
+	}
+	if got := m.MeanInv(); got != 5.0 {
+		t.Fatalf("MeanInv = %v, want 5", got)
+	}
+
+	var sum DepqMetrics
+	sum.Add(m)
+	sum.Add(DepqMetrics{PopMins: 1, InvSum: 30, InvMax: 30, Bands: 8, BandBound: 2, Choice: 2})
+	if sum.Pops() != 5 || sum.InvSum != 50 || sum.InvMax != 30 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if sum.Bands != 8 || sum.BandBound != 2 || sum.Choice != 2 {
+		t.Fatalf("Add gauges = %+v", sum)
+	}
+}
+
+func TestWriteDepqProm(t *testing.T) {
+	var g DepqRegistry
+	r := g.NewRec()
+	r.RecordMin(0)
+	r.RecordMax(3)
+	m := g.Merge()
+	m.Bands, m.BandBound, m.Choice = 8, 2, 2
+
+	var sb strings.Builder
+	if err := WriteDepqProm(&sb, "sched", m); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`sched_depq_pops_total{end="min"} 1`,
+		`sched_depq_pops_total{end="max"} 1`,
+		"sched_depq_inversion_sum_total 3",
+		`sched_depq_inversion_bucket{le="0"} 1`,
+		`sched_depq_inversion_bucket{le="3"} 2`,
+		`sched_depq_inversion_bucket{le="+Inf"} 2`,
+		"sched_depq_inversion_sum 3",
+		"sched_depq_inversion_count 2",
+		"sched_depq_inversion_max 3",
+		"sched_depq_band_bound 2",
+		"sched_depq_bands 8",
+		"sched_depq_choice 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be monotone by construction; spot-check the
+	// le="1" line sits between the 0 and 3 counts.
+	if !strings.Contains(out, `sched_depq_inversion_bucket{le="1"} 1`) {
+		t.Fatalf("prom output missing cumulative le=1 bucket:\n%s", out)
+	}
+}

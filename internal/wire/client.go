@@ -147,6 +147,80 @@ func (c *Client) Relax() (RelaxStats, error) {
 	}, nil
 }
 
+// DepqStats is the server's observed-inversion snapshot as carried by an
+// OpDepq response: Count holds InvMax and Values the gauges, in this
+// struct's field order. A server not running a DEPQ front-end answers
+// all-zero with Bands 0.
+type DepqStats struct {
+	InvMax    uint32 // worst priority inversion observed (band distance)
+	BandBound uint32 // effective inversion bound (bands-1 when unbounded)
+	Bands     uint32 // priority-band count (0 = not a DEPQ server)
+	Choice    uint32 // d-choice width inside the band window
+	MeanMilli uint32 // mean observed inversion x1000
+}
+
+// Depq queries the observed-inversion snapshot.
+func (c *Client) Depq() (DepqStats, error) {
+	resp, err := c.Do(&Request{Op: OpDepq})
+	if err != nil {
+		return DepqStats{}, err
+	}
+	if err := resp.Err(); err != nil {
+		return DepqStats{}, err
+	}
+	if len(resp.Values) != 4 {
+		return DepqStats{}, fmt.Errorf("%w: depq snapshot carried %d values", ErrFrame, len(resp.Values))
+	}
+	return DepqStats{
+		InvMax:    resp.Count,
+		BandBound: resp.Values[0],
+		Bands:     resp.Values[1],
+		Choice:    resp.Values[2],
+		MeanMilli: resp.Values[3],
+	}, nil
+}
+
+// PushPrio submits v under priority prio (band 0 most urgent). ErrFull
+// is the load-shedding signal: the job was refused admission and nothing
+// landed.
+func (c *Client) PushPrio(prio uint64, v uint32) error {
+	resp, err := c.Do(&Request{Op: OpPushPrio, Key: prio, Count: 1, Values: []uint32{v}})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// popEnd drives PopMin/PopMax: one payload-less frame, a [value, band]
+// response.
+func (c *Client) popEnd(op uint8) (v uint32, band uint32, ok bool, err error) {
+	resp, err := c.Do(&Request{Op: op})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err := resp.Err(); err != nil {
+		return 0, 0, false, err
+	}
+	if resp.Status == StatusEmpty {
+		return 0, 0, false, nil
+	}
+	if len(resp.Values) != 2 {
+		return 0, 0, false, fmt.Errorf("%w: depq pop returned %d values", ErrFrame, len(resp.Values))
+	}
+	return resp.Values[0], resp.Values[1], true, nil
+}
+
+// PopMin pops the most urgent job: value and the band it came from; ok
+// is false on empty.
+func (c *Client) PopMin() (v uint32, band uint32, ok bool, err error) {
+	return c.popEnd(OpPopMin)
+}
+
+// PopMax pops the most shed-able job — the scheduler's drop channel.
+func (c *Client) PopMax() (v uint32, band uint32, ok bool, err error) {
+	return c.popEnd(OpPopMax)
+}
+
 // Push pushes v on side under key. The error is the deque contract
 // (ErrFull under backpressure) or a transport error.
 func (c *Client) Push(side uint8, key uint64, v uint32) error {

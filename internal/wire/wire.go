@@ -53,15 +53,30 @@ import (
 
 // Op codes.
 const (
-	OpPing  uint8 = iota + 1 // no-op round trip; responds OK
-	OpLen                    // exact pool length in response count
-	OpPush                   // push values[0] on side
-	OpPop                    // pop one value from side
-	OpPushN                  // push count values in order on side
-	OpPopN                   // pop up to count values from side
-	OpRelax                  // observed-relaxation snapshot (see RelaxStats)
-	OpStats                  // per-op-class latency snapshot (see OpStat)
+	OpPing     uint8 = iota + 1 // no-op round trip; responds OK
+	OpLen                       // exact pool length in response count
+	OpPush                      // push values[0] on side
+	OpPop                       // pop one value from side
+	OpPushN                     // push count values in order on side
+	OpPopN                      // pop up to count values from side
+	OpRelax                     // observed-relaxation snapshot (see RelaxStats)
+	OpStats                     // per-op-class latency snapshot (see OpStat)
+	OpPushPrio                  // DEPQ push: values[0] under priority key (see below)
+	OpPopMin                    // DEPQ pop from the urgent end; response [value, band]
+	OpPopMax                    // DEPQ pop from the shed end; response [value, band]
+	OpDepq                      // observed-inversion snapshot (see DepqStats)
 )
+
+// DEPQ frame mapping (cmd/schedd). OpPushPrio reuses the routing-key
+// field as the priority band — the scheduler routes by priority, so the
+// two fields are the same concept — with side pinned to Left (a DEPQ
+// admits at each band's left end by construction; any other side is
+// StatusBad, not silently ignored). OpPopMin/OpPopMax/OpDepq are
+// payload-less AND side-less: the op itself names the end, so a stray
+// side, count, or payload means a confused or hostile peer and the frame
+// is rejected rather than partially honored. Pop responses carry
+// [value, band] with Count 2; StatusFull on OpPushPrio is the
+// load-shedding signal (the job was refused admission, nothing landed).
 
 // Sides.
 const (
@@ -301,6 +316,17 @@ func (req *Request) Validate() uint8 {
 		}
 	case OpPopN:
 		if req.Count == 0 || req.Count > MaxBatch || len(req.Values) != 0 {
+			return StatusBad
+		}
+	case OpPushPrio:
+		// Key carries the priority band; admission is left-end only.
+		if req.Side != Left || len(req.Values) != 1 || req.Count != 1 {
+			return StatusBad
+		}
+	case OpPopMin, OpPopMax, OpDepq:
+		// Payload-less and side-less: the op names the end. Anything extra
+		// is a desynchronized or malformed peer, not ignorable noise.
+		if req.Side != Left || req.Count != 0 || len(req.Values) != 0 {
 			return StatusBad
 		}
 	default:

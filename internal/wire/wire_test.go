@@ -108,6 +108,8 @@ func TestTruncatedAndOversizedFrames(t *testing.T) {
 func TestValidateRejections(t *testing.T) {
 	bad := []Request{
 		{Op: 0},                // unknown op
+		{Op: OpDepq + 1},       // unknown op past the DEPQ family
+		{Op: 0xFF},             // unknown op, far out
 		{Op: OpPush, Side: 9},  // bad side
 		{Op: OpPush, Count: 1}, // push with no value
 		{Op: OpPush, Count: 2, Values: []uint32{1, 2}}, // push with 2
@@ -118,11 +120,139 @@ func TestValidateRejections(t *testing.T) {
 		{Op: OpPopN, Count: 4, Values: []uint32{1}},    // popN with payload
 		{Op: OpLen, Values: []uint32{1}},               // len with payload
 		{Op: OpRelax, Values: []uint32{1}},             // relax with payload
+		// DEPQ family: payload-less frames reject payloads, counts, and
+		// sides — the op names the end, nothing else may ride along.
+		{Op: OpPushPrio}, // push with no value
+		{Op: OpPushPrio, Count: 1, Values: []uint32{1}, Side: Right}, // wrong side
+		{Op: OpPushPrio, Count: 2, Values: []uint32{1, 2}},           // two values
+		{Op: OpPopMin, Values: []uint32{1}},                          // payload on payload-less op
+		{Op: OpPopMin, Count: 1},                                     // stray count
+		{Op: OpPopMin, Side: Right},                                  // stray side
+		{Op: OpPopMax, Values: []uint32{7}},                          // payload on payload-less op
+		{Op: OpPopMax, Count: 3},                                     // stray count
+		{Op: OpDepq, Values: []uint32{1}},                            // payload on snapshot op
+		{Op: OpDepq, Side: Right},                                    // stray side
 	}
 	for i, r := range bad {
 		if st := r.Validate(); st != StatusBad {
 			t.Fatalf("case %d (%+v): Validate = %d, want StatusBad", i, r, st)
 		}
+	}
+	good := []Request{
+		{Op: OpPushPrio, Key: 3, Count: 1, Values: []uint32{42}},
+		{Op: OpPopMin},
+		{Op: OpPopMax},
+		{Op: OpDepq},
+	}
+	for i, r := range good {
+		if st := r.Validate(); st != StatusOK {
+			t.Fatalf("good case %d (%+v): Validate = %d, want StatusOK", i, r, st)
+		}
+	}
+}
+
+func TestDEPQRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Tag: 1, Op: OpPushPrio, Key: 7, Count: 1, Values: []uint32{0xCAFE}},
+		{Tag: 2, Op: OpPopMin},
+		{Tag: 3, Op: OpPopMax},
+		{Tag: 4, Op: OpDepq},
+	}
+	var stream []byte
+	for i := range reqs {
+		stream = AppendRequest(stream, &reqs[i])
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	var got Request
+	var scratch []byte
+	for i := range reqs {
+		var err error
+		scratch, err = ReadRequest(br, &got, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		want := reqs[i]
+		if got.Tag != want.Tag || got.Op != want.Op || got.Key != want.Key ||
+			got.Count != want.Count || len(got.Values) != len(want.Values) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+		if st := got.Validate(); st != StatusOK {
+			t.Fatalf("frame %d: Validate = %d", i, st)
+		}
+	}
+}
+
+// depqServer scripts responses for the DEPQ client helpers: pops answer
+// [value, band], OpDepq answers the snapshot layout, OpPushPrio echoes
+// the given status.
+func depqServer(t *testing.T, conn net.Conn, pushStatus uint8) {
+	t.Helper()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var req Request
+	var scratch, out []byte
+	for {
+		var err error
+		scratch, err = ReadRequest(br, &req, scratch)
+		if err != nil {
+			return
+		}
+		resp := Response{Tag: req.Tag, Status: StatusOK}
+		switch req.Op {
+		case OpPushPrio:
+			resp.Status = pushStatus
+		case OpPopMin:
+			resp.Count = 2
+			resp.Values = []uint32{100, 0}
+		case OpPopMax:
+			resp.Status = StatusEmpty
+		case OpDepq:
+			resp.Count = 3 // InvMax
+			resp.Values = []uint32{2, 8, 2, 750}
+		}
+		out = AppendResponse(out[:0], &resp)
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func TestClientDEPQHelpers(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	go depqServer(t, b, StatusOK)
+
+	c := NewClient(a)
+	if err := c.PushPrio(3, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	if v, band, ok, err := c.PopMin(); err != nil || !ok || v != 100 || band != 0 {
+		t.Fatalf("PopMin = (%d, %d, %v, %v), want (100, 0, true, nil)", v, band, ok, err)
+	}
+	if _, _, ok, err := c.PopMax(); err != nil || ok {
+		t.Fatalf("PopMax on empty = (ok %v, err %v), want (false, nil)", ok, err)
+	}
+	ds, err := c.Depq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DepqStats{InvMax: 3, BandBound: 2, Bands: 8, Choice: 2, MeanMilli: 750}
+	if ds != want {
+		t.Fatalf("Depq = %+v, want %+v", ds, want)
+	}
+}
+
+func TestClientPushPrioShed(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	go depqServer(t, b, StatusFull)
+
+	c := NewClient(a)
+	if err := c.PushPrio(0, 1); !errors.Is(err, core.ErrFull) {
+		t.Fatalf("shed PushPrio: err = %v, want ErrFull", err)
 	}
 }
 

@@ -168,3 +168,17 @@ type RelaxMetrics = obs.RelaxMetrics
 func WriteRelaxMetricsProm(w io.Writer, prefix string, m RelaxMetrics) error {
 	return obs.WriteRelaxProm(w, prefix, m)
 }
+
+// DepqMetrics is the observed-inversion snapshot of a DEPQ front-end:
+// max, sum, and histogram of the priority inversion (band distance) its
+// pops actually exhibited, plus the configuration gauges (bands,
+// effective bound, d-choice width). See DEPQ.DepqMetrics.
+type DepqMetrics = obs.DepqMetrics
+
+// WriteDepqMetricsProm writes m in Prometheus text exposition format
+// (counters, a cumulative inversion histogram, and gauges), every series
+// prefixed with prefix. cmd/schedd serves this from its /metrics
+// endpoint.
+func WriteDepqMetricsProm(w io.Writer, prefix string, m DepqMetrics) error {
+	return obs.WriteDepqProm(w, prefix, m)
+}

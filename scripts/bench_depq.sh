@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regenerates BENCH_depq.json: the price of priority at 2/4/8 bands —
+# the alternating submit/serve workload once through a plain Pool with
+# priority-as-key affinity routing (identical spread, no ordering) and
+# once through the DEPQ front-end with band stamps and two-choice
+# selection, with the observed priority inversion (max + mean) next to
+# every DEPQ throughput point. BAND_BOUND gates the DEPQ arm's
+# enforcement window; -1 measures unbounded selection.
+set -e
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-1s}"
+TRIALS="${TRIALS:-3}"
+THREADS="${THREADS:-1,4,16}"
+BANDS="${BANDS:-2,4,8}"
+CHOICE="${CHOICE:-2}"
+BAND_BOUND="${BAND_BOUND:-2}"
+OUT="${OUT:-BENCH_depq.json}"
+
+ARGS="-duration $DURATION -trials $TRIALS -threads $THREADS -bands $BANDS"
+ARGS="$ARGS -choice $CHOICE -band-bound $BAND_BOUND -out $OUT"
+
+echo "== depq sweep ($ARGS) =="
+go run ./cmd/benchdepq $ARGS

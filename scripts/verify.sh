@@ -30,11 +30,14 @@ go test ./... -count=1
 echo "== go test -race -short (core, arena, obs, root) =="
 go test -race -short -count=1 ./internal/core/ ./internal/arena/ ./internal/obs/ .
 
-echo "== go test -race -short (shard, wire, dequed) =="
-go test -race -short -count=1 ./internal/shard/ ./internal/wire/ ./cmd/dequed/
+echo "== go test -race -short (shard, wire, dequed, schedd) =="
+go test -race -short -count=1 ./internal/shard/ ./internal/wire/ ./cmd/dequed/ ./cmd/schedd/
 
 echo "== service loopback smoke (dequed + dqload) =="
 sh scripts/smoke_service.sh
+
+echo "== scheduler loopback smoke (schedd + dqload -deadline: conservation + inversion) =="
+sh scripts/smoke_sched.sh
 
 echo "== go vet (obsoff build) =="
 go vet -tags obsoff ./...
@@ -91,5 +94,13 @@ go test -tags chaos -count=1 -run 'TestRelaxedConservationChaos|TestRelaxedRankB
 
 echo "== relaxed strict-overhead A/B gate (Relaxed d=0 vs plain pool) =="
 sh scripts/relaxed_overhead.sh
+
+echo "== depq inversion-bound gate (observed priority inversion <= configured bound) =="
+go run ./cmd/benchdepq -mode depq -duration 400ms -trials 1 \
+    -bands 8 -threads 4 -band-bound 2 -gate-inv-bound -out /tmp/verify_depq.json
+
+echo "== depq chaos gates (conservation + inversion bound under fault schedules) =="
+go test -tags chaos -count=1 -run 'TestDEPQConservationChaos|TestDEPQInversionBoundChaos' \
+    ./internal/chaostest/
 
 echo "verify: all gates green"
